@@ -1,0 +1,95 @@
+//! Criterion benches, one per table/figure of the paper (reduced sweeps —
+//! the full experiment binaries in `src/bin/` regenerate the complete
+//! artifacts; these track that each experiment stays runnable and its
+//! simulation cost does not regress).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ksr_bench::fig4_barriers::{episode_time, BarrierMachine};
+use ksr_bench::{ep_scaling, fig2_latency, table1_cg, table2_is, table3_sp};
+use ksr_nas::{CgConfig, IsConfig, SpConfig};
+use ksr_sync::BarrierKind;
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2/remote_read_point_8procs", |b| {
+        b.iter(|| std::hint::black_box(fig2_latency::run(true)));
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    for kind in [BarrierKind::Counter, BarrierKind::TournamentFlag, BarrierKind::Dissemination] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                std::hint::black_box(episode_time(BarrierMachine::Ksr1, kind, 8, 4, 1))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5/ksr2_tournament_flag_40p", |b| {
+        b.iter(|| {
+            std::hint::black_box(episode_time(
+                BarrierMachine::Ksr2,
+                BarrierKind::TournamentFlag,
+                40,
+                3,
+                1,
+            ))
+        });
+    });
+}
+
+fn bench_sec323(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec323");
+    g.bench_function("symmetry_counter", |b| {
+        b.iter(|| std::hint::black_box(episode_time(BarrierMachine::Symmetry, BarrierKind::Counter, 8, 4, 1)));
+    });
+    g.bench_function("butterfly_dissemination", |b| {
+        b.iter(|| {
+            std::hint::black_box(episode_time(
+                BarrierMachine::Butterfly,
+                BarrierKind::Dissemination,
+                8,
+                4,
+                1,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    let cg = CgConfig { n: 140, offdiag_per_row: 14, iterations: 2, seed: 1, ..Default::default() };
+    g.bench_function("tab1_cg_4p", |b| {
+        b.iter(|| std::hint::black_box(table1_cg::cg_time(cg, 4, 1)));
+    });
+    let is = IsConfig { keys: 1 << 12, max_key: 1 << 8, seed: 1, chunk: 64 };
+    g.bench_function("tab2_is_4p", |b| {
+        b.iter(|| std::hint::black_box(table2_is::is_time(is, 4, 1)));
+    });
+    let sp = SpConfig { n: 8, iterations: 1, ..SpConfig::default() };
+    g.bench_function("tab3_sp_4p", |b| {
+        b.iter(|| std::hint::black_box(table3_sp::sp_time_per_iter(sp, 4, 1)));
+    });
+    g.bench_function("ep_4p", |b| {
+        b.iter(|| {
+            std::hint::black_box(ep_scaling::ep_time(
+                ksr_nas::EpConfig { pairs: 1 << 12, ..Default::default() },
+                4,
+                1,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig4, bench_fig5, bench_sec323, bench_tables
+}
+criterion_main!(benches);

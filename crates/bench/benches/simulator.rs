@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the simulator's own hot paths: how fast
+//! the host machine can push simulated cycles. These guard the
+//! simulator's throughput (the experiments replay millions of memory
+//! operations), not the KSR-1's performance.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ksr_core::XorShift64;
+use ksr_machine::{program, Cpu, Machine};
+use ksr_mem::{CacheTiming, MemGeometry, MemOp, MemorySystem};
+use ksr_net::{Fabric, PacketKind, RingConfig, SlottedRing};
+use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
+
+fn bench_ring_transact(c: &mut Criterion) {
+    c.bench_function("ring/transact", |b| {
+        b.iter_batched_ref(
+            || SlottedRing::new(RingConfig::ksr1_leaf()).unwrap(),
+            |ring| {
+                let mut t = 0u64;
+                for i in 0..100u64 {
+                    t += 200;
+                    let _ = ring.transact(t, (i % 2) as usize, PacketKind::ReadData);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_protocol_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    g.bench_function("subcache_hit", |b| {
+        let mut mem = MemorySystem::new(
+            MemGeometry::ksr1(),
+            CacheTiming::ksr1(),
+            Fabric::ksr1_32().unwrap(),
+            4,
+            1,
+        )
+        .unwrap();
+        mem.warm(0, 0, 4096);
+        let _ = mem.access(0, 0, MemOp::Read, 0);
+        let mut now = 100u64;
+        b.iter(|| {
+            now += 10;
+            std::hint::black_box(mem.access(0, 0, MemOp::Read, now))
+        });
+    });
+    g.bench_function("remote_miss_stream", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut mem = MemorySystem::new(
+                    MemGeometry::ksr1(),
+                    CacheTiming::ksr1(),
+                    Fabric::ksr1_32().unwrap(),
+                    4,
+                    1,
+                )
+                .unwrap();
+                mem.warm(1, 0, 1 << 20);
+                mem
+            },
+            |mem| {
+                let mut now = 0u64;
+                for i in 0..64u64 {
+                    now += 300;
+                    std::hint::black_box(mem.access(0, i * 128, MemOp::Read, now));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_machine_roundtrip(c: &mut Criterion) {
+    // Full coordinator round-trip cost per simulated memory operation.
+    c.bench_function("machine/roundtrip_1k_ops", |b| {
+        b.iter_batched(
+            || Machine::ksr1(1).unwrap(),
+            |mut m| {
+                let a = m.alloc_subpage(8).unwrap();
+                m.run(vec![program(move |cpu: &mut Cpu| {
+                    for i in 0..1_000u64 {
+                        cpu.write_u64(a, i);
+                    }
+                })]);
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_barrier_episode(c: &mut Criterion) {
+    c.bench_function("machine/tournament_flag_episode_8p", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::ksr1(1).unwrap();
+                let bar = AnyBarrier::alloc(BarrierKind::TournamentFlag, &mut m, 8).unwrap();
+                (m, bar)
+            },
+            |(mut m, bar)| {
+                m.run(
+                    (0..8)
+                        .map(|_| {
+                            program(move |cpu: &mut Cpu| {
+                                let mut ep = Episode::default();
+                                for _ in 0..4 {
+                                    bar.wait(cpu, &mut ep);
+                                }
+                            })
+                        })
+                        .collect(),
+                );
+                m
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("core/xorshift64", |b| {
+        let mut rng = XorShift64::new(42);
+        b.iter(|| std::hint::black_box(rng.next_u64()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ring_transact, bench_protocol_access, bench_machine_roundtrip,
+              bench_barrier_episode, bench_rng
+}
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! ABL — ablation studies of the design choices the paper's analysis
+//! leans on.
+//!
+//! The paper *explains* its measurements through specific architectural
+//! mechanisms; these ablations turn each mechanism off (or sweep it) and
+//! confirm the explanation holds inside the model:
+//!
+//! * **read-snarfing** — §3.2.2 credits it for cheap global-flag wake-ups
+//!   ("read-snarfing helps this global wakeup flag notification method
+//!   tremendously"): disable it and watch tournament(M) degrade;
+//! * **sub-ring interleaving** — the two address-interleaved sub-rings
+//!   double usable slot bandwidth: collapse to one and watch contention;
+//! * **slot count** — the 24-slot budget bounds in-flight transactions:
+//!   sweep it and watch the saturation knee move;
+//! * **MCS arrival arity** — §3.2.2's tournament-vs-MCS analysis hinges
+//!   on the 4-ary packed word: sweep the arity and watch the
+//!   false-sharing cost trade against tree height;
+//! * **poststore in kernels** — covered by TAB1 (CG) and TAB4 (SP).
+
+use ksr_core::time::cycles_to_seconds;
+use ksr_machine::{program, Cpu, Machine, MachineConfig, Program};
+use ksr_mem::ProtocolOptions;
+use ksr_net::RingHierarchyConfig;
+use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
+
+use crate::common::ExperimentOutput;
+
+/// Mean barrier episode seconds on a machine built from `cfg`.
+fn episode_secs<B, F>(cfg: MachineConfig, procs: usize, episodes: usize, alloc: F) -> f64
+where
+    B: BarrierAlg,
+    F: FnOnce(&mut Machine) -> B,
+{
+    let mut m = Machine::new(cfg).expect("machine");
+    let b = alloc(&mut m);
+    let run_eps = episodes + 2;
+    let programs: Vec<Box<dyn Program>> = (0..procs)
+        .map(|p| {
+            program(move |cpu: &mut Cpu| {
+                let mut ep = Episode::default();
+                for e in 0..run_eps {
+                    cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
+                    b.wait(cpu, &mut ep);
+                }
+            })
+        })
+        .collect();
+    let r = m.run(programs);
+    cycles_to_seconds(r.duration_cycles() / run_eps as u64, m.config().clock_hz)
+}
+
+/// Remote-read latency (cycles) with all processors hammering, under a
+/// custom ring geometry.
+fn hammer_latency(cfg: MachineConfig, procs: usize) -> f64 {
+    let mut m = Machine::new(cfg).expect("machine");
+    let arrays: Vec<u64> =
+        (0..procs).map(|_| m.alloc(256 * 1024, 16384).expect("alloc")).collect();
+    let results = ksr_machine::SharedU64::alloc(&mut m, procs).expect("alloc");
+    for (p, &a) in arrays.iter().enumerate() {
+        m.warm((p + 1) % m.config().cells, a, 256 * 1024);
+    }
+    let samples = 512u64;
+    m.run(
+        (0..procs)
+            .map(|p| {
+                let a = arrays[p];
+                program(move |cpu: &mut Cpu| {
+                    let t0 = cpu.now();
+                    for i in 0..samples {
+                        let _ = cpu.read_u64(a + (i * 128) % (256 * 1024));
+                    }
+                    results.set(cpu, p, (cpu.now() - t0) / samples);
+                })
+            })
+            .collect(),
+    );
+    (0..procs).map(|p| results.peek(&mut m, p) as f64).sum::<f64>() / procs as f64
+}
+
+/// Run all ablations.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("ABL", "Ablations of the paper's explanatory mechanisms");
+    let procs = if quick { 8 } else { 16 };
+    let episodes = if quick { 4 } else { 10 };
+
+    // 1. Poststore / read-snarfing ladder for the global-flag wake-up:
+    // with poststore the flag broadcast refills every spinner directly;
+    // without it the first woken spinner's read snarfs the rest; with
+    // neither, every spinner re-fetches through the (serializing) ring —
+    // "read-snarfing helps this global wakeup flag notification method
+    // tremendously. Read-snarfing is further aided by the use of
+    // poststore" (§3.2.2).
+    let tournament_m = |protocol: ProtocolOptions| {
+        let mut cfg = MachineConfig::ksr1(1);
+        cfg.protocol = protocol;
+        episode_secs(cfg, procs, episodes, |m| {
+            TournamentBarrier::alloc(m, procs, true).expect("alloc")
+        })
+    };
+    let full = tournament_m(ProtocolOptions::default());
+    let snarf_only =
+        tournament_m(ProtocolOptions { poststore: false, ..ProtocolOptions::default() });
+    let neither = tournament_m(ProtocolOptions { read_snarfing: false, poststore: false });
+    out.line(format_args!(
+        "wake-up ladder, tournament(M) @{procs}p: poststore+snarf {:.1} us; snarf only {:.1} us          ({:+.0}%); neither {:.1} us ({:+.0}%)",
+        full * 1e6,
+        snarf_only * 1e6,
+        (snarf_only / full - 1.0) * 100.0,
+        neither * 1e6,
+        (neither / full - 1.0) * 100.0
+    ));
+
+    // 2. Sub-ring interleaving: one fat lane vs two interleaved lanes.
+    let two_lanes = hammer_latency(MachineConfig::ksr1(2), procs);
+    let mut cfg = MachineConfig::ksr1(2);
+    let mut ring = RingHierarchyConfig::ksr1_32();
+    ring.leaf.subrings = 1;
+    cfg.ring_override = Some(ring);
+    let one_lane = hammer_latency(cfg, procs);
+    out.line(format_args!(
+        "sub-ring interleave @{procs}p hammer: {:.1} cycles with 2 sub-rings, {:.1} with 1 \
+         ({:+.0}%)",
+        two_lanes,
+        one_lane,
+        (one_lane / two_lanes - 1.0) * 100.0
+    ));
+
+    // 3. Slot-count sweep: where does the saturation knee go?
+    out.push_text("slot sweep (hammer latency, cycles):");
+    for slots in [8usize, 16, 24, 32] {
+        let mut cfg = MachineConfig::ksr1(3);
+        let mut ring = RingHierarchyConfig::ksr1_32();
+        ring.leaf.slots = slots;
+        cfg.ring_override = Some(ring);
+        let l = hammer_latency(cfg, procs);
+        out.line(format_args!("  {slots:>2} slots: {l:>7.1}"));
+    }
+
+    // 4. MCS arrival-arity sweep: tree height vs packed-word false sharing.
+    out.push_text("MCS arrival arity sweep (us/episode; 4 is the paper's):");
+    for arity in [2usize, 4, 8] {
+        let t = episode_secs(MachineConfig::ksr1(4), procs, episodes, |m| {
+            McsBarrier::alloc_with_arity(m, procs, false, arity).expect("alloc")
+        });
+        out.line(format_args!("  arity {arity}: {:.1}", t * 1e6));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snarfing_carries_the_wakeup_when_poststore_is_off() {
+        let run = |protocol: ProtocolOptions| {
+            let mut cfg = MachineConfig::ksr1(1);
+            cfg.protocol = protocol;
+            episode_secs(cfg, 16, 5, |m| {
+                TournamentBarrier::alloc(m, 16, true).expect("alloc")
+            })
+        };
+        let snarf_only = run(ProtocolOptions { poststore: false, ..ProtocolOptions::default() });
+        let neither = run(ProtocolOptions { read_snarfing: false, poststore: false });
+        assert!(
+            neither > snarf_only,
+            "without snarfing every spinner re-fetches through the ring:              {snarf_only:.2e} vs {neither:.2e}"
+        );
+    }
+
+    #[test]
+    fn fewer_slots_mean_more_contention() {
+        let latency_at = |slots: usize| {
+            let mut cfg = MachineConfig::ksr1(2);
+            let mut ring = RingHierarchyConfig::ksr1_32();
+            ring.leaf.slots = slots;
+            cfg.ring_override = Some(ring);
+            hammer_latency(cfg, 16)
+        };
+        let few = latency_at(8);
+        let many = latency_at(32);
+        assert!(few > many, "8 slots must contend more than 32: {few:.1} vs {many:.1}");
+    }
+
+    #[test]
+    fn single_subring_contends_more() {
+        let two = hammer_latency(MachineConfig::ksr1(5), 16);
+        let mut cfg = MachineConfig::ksr1(5);
+        let mut ring = RingHierarchyConfig::ksr1_32();
+        ring.leaf.subrings = 1;
+        // Keep total slots equal so only the interleaving changes.
+        cfg.ring_override = Some(ring);
+        let one = hammer_latency(cfg, 16);
+        assert!(
+            one >= two * 0.95,
+            "collapsing the interleave must not get cheaper: {two:.1} vs {one:.1}"
+        );
+    }
+
+    #[test]
+    fn mcs_arity_sweep_runs_and_orders_sanely() {
+        for arity in [2usize, 4, 8] {
+            let t = episode_secs(MachineConfig::ksr1(7), 8, 3, |m| {
+                McsBarrier::alloc_with_arity(m, 8, false, arity).expect("alloc")
+            });
+            assert!(t > 0.0 && t < 0.01, "arity {arity}: {t}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §4 wish-list experiments; see DESIGN.md. Pass
+//! KSR_QUICK=1 for a reduced sweep.
+fn main() {
+    let quick = ksr_bench::common::quick_mode();
+    ksr_bench::emit(&ksr_bench::ext_wishlist::run(quick));
+}

@@ -1,0 +1,6 @@
+//! Regenerates one artifact of the paper; see DESIGN.md. Pass
+//! KSR_QUICK=1 for a reduced sweep.
+fn main() {
+    let quick = ksr_bench::common::quick_mode();
+    ksr_bench::emit(&ksr_bench::fig8_speedup::run(quick));
+}

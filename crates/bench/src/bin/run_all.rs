@@ -1,0 +1,8 @@
+//! Regenerates every table and figure of the paper into `results/`.
+//! Pass KSR_QUICK=1 for reduced sweeps.
+fn main() {
+    let quick = ksr_bench::common::quick_mode();
+    for out in ksr_bench::run_all(quick) {
+        ksr_bench::emit(&out);
+    }
+}

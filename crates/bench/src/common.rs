@@ -1,0 +1,123 @@
+//! Shared experiment plumbing: output capture and result files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ksr_core::table::{series_to_csv, Series};
+
+/// Output of one experiment (one paper table or figure).
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id from DESIGN.md (e.g. `"FIG4"`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered text blocks (tables, analysis notes).
+    pub text: String,
+    /// Figure series, when the artifact is a figure.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentOutput {
+    /// Start an output block.
+    #[must_use]
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Self { id, title, text: String::new(), series: Vec::new() }
+    }
+
+    /// Append a text block.
+    pub fn push_text(&mut self, block: &str) {
+        self.text.push_str(block);
+        if !block.ends_with('\n') {
+            self.text.push('\n');
+        }
+    }
+
+    /// Append a formatted line.
+    pub fn line(&mut self, args: std::fmt::Arguments<'_>) {
+        let _ = writeln!(self.text, "{args}");
+    }
+
+    /// Full rendering: header, text, and series as CSV.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n\n{}", self.id, self.title, self.text);
+        if !self.series.is_empty() {
+            out.push('\n');
+            out.push_str(&series_to_csv(&self.series));
+        }
+        out
+    }
+
+    /// Write `<id>.txt` (and `<id>.csv` when there are series) under
+    /// `dir`, creating it if needed.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let txt = dir.join(format!("{}.txt", self.id.to_lowercase()));
+        fs::write(&txt, self.render())?;
+        if !self.series.is_empty() {
+            let csv = dir.join(format!("{}.csv", self.id.to_lowercase()));
+            fs::write(csv, series_to_csv(&self.series))?;
+        }
+        Ok(txt)
+    }
+}
+
+/// Whether quick mode is active (smaller sweeps for CI and tests). Set
+/// with `KSR_QUICK=1`.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var_os("KSR_QUICK").is_some_and(|v| v != "0")
+}
+
+/// Default results directory: `results/` under the workspace root (or the
+/// current directory when run elsewhere).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var_os("KSR_RESULTS").unwrap_or_else(|| "results".into()))
+}
+
+/// Processor counts for a 32-cell sweep.
+#[must_use]
+pub fn proc_sweep_32(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![2, 4, 8, 12, 16, 20, 24, 28, 32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_header_and_text() {
+        let mut o = ExperimentOutput::new("FIGX", "demo");
+        o.push_text("hello");
+        let r = o.render();
+        assert!(r.contains("FIGX"));
+        assert!(r.contains("hello\n"));
+    }
+
+    #[test]
+    fn write_creates_files() {
+        let dir = std::env::temp_dir().join(format!("ksr_bench_test_{}", std::process::id()));
+        let mut o = ExperimentOutput::new("T1", "t");
+        o.push_text("x");
+        let mut s = Series::new("a");
+        s.push(1.0, 2.0);
+        o.series.push(s);
+        let p = o.write_to(&dir).unwrap();
+        assert!(p.exists());
+        assert!(dir.join("t1.csv").exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sweep_contains_paper_endpoints() {
+        let s = proc_sweep_32(false);
+        assert!(s.contains(&2) && s.contains(&32));
+    }
+}

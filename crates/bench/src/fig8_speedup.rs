@@ -1,0 +1,52 @@
+//! FIG8 — CG and IS speedup curves (§3.3, Figure 8).
+//!
+//! The figure plots the speedup columns of Tables 1 and 2; this module
+//! re-measures both kernels on a common sweep and emits the two curves.
+
+use ksr_core::table::Series;
+
+use crate::common::ExperimentOutput;
+use crate::table1_cg::{cg_time, paper_config as cg_config};
+use crate::table2_is::{is_time, paper_config as is_config};
+
+/// Run the Figure 8 sweep.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("FIG8", "Speedup for CG and IS (Figure 8)");
+    let procs: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 24, 32] };
+    let cg_cfg = cg_config(quick);
+    let is_cfg = is_config(quick);
+    let mut cg = Series::new("CG");
+    let mut is = Series::new("IS");
+    let cg_t1 = cg_time(cg_cfg, 1, 900);
+    let (is_t1, _) = is_time(is_cfg, 1, 901);
+    for &p in &procs {
+        let tc = if p == 1 { cg_t1 } else { cg_time(cg_cfg, p, 900) };
+        let (ti, _) = if p == 1 { (is_t1, 0.0) } else { is_time(is_cfg, p, 901) };
+        cg.push(p as f64, cg_t1 / tc);
+        is.push(p as f64, is_t1 / ti);
+    }
+    if let (Some(&(_, cg_max)), Some(&(_, is_max))) = (cg.points.last(), is.points.last()) {
+        out.line(format_args!(
+            "speedup at max procs: CG {cg_max:.1} vs IS {is_max:.1} \
+             (paper at 32: CG 22.8, IS 18.9 — CG above IS)"
+        ));
+    }
+    out.series = vec![cg, is];
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_curves_rise_in_quick_mode() {
+        let out = run(true);
+        for s in &out.series {
+            let first = s.points.first().unwrap().1;
+            let last = s.points.last().unwrap().1;
+            assert!(last > first, "{} speedup should grow: {first} -> {last}", s.label);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # ksr-bench
+//!
+//! The experiment harness: one module per table/figure of *"Scalability
+//! Study of the KSR-1"*, each regenerating the same rows or curves the
+//! paper reports (see the per-experiment index in `DESIGN.md`).
+//!
+//! Every module exposes a `run(quick) -> ExperimentOutput`; the matching
+//! binaries in `src/bin/` print the output and write it under `results/`.
+//! Set `KSR_QUICK=1` for fast reduced sweeps. `run_all` regenerates
+//! everything.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod common;
+pub mod ep_scaling;
+pub mod ext_wishlist;
+pub mod fig2_latency;
+pub mod fig3_locks;
+pub mod fig4_barriers;
+pub mod fig8_speedup;
+pub mod table1_cg;
+pub mod table2_is;
+pub mod table3_sp;
+
+use common::ExperimentOutput;
+
+/// Run every experiment, in the DESIGN.md index order.
+#[must_use]
+pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
+    vec![
+        fig2_latency::run(quick),
+        fig2_latency::run_strides(quick),
+        fig3_locks::run(quick),
+        fig4_barriers::run_fig4(quick),
+        fig4_barriers::run_fig5(quick),
+        fig4_barriers::run_sec323(quick),
+        table1_cg::run(quick),
+        table2_is::run(quick),
+        fig8_speedup::run(quick),
+        table3_sp::run_table3(quick),
+        table3_sp::run_table4(quick),
+        ep_scaling::run(quick),
+        ablations::run(quick),
+        ext_wishlist::run(quick),
+    ]
+}
+
+/// Print an experiment and persist it under the results directory.
+pub fn emit(out: &ExperimentOutput) {
+    println!("{}", out.render());
+    match out.write_to(&common::results_dir()) {
+        Ok(path) => eprintln!("[written: {}]", path.display()),
+        Err(e) => eprintln!("[warning: could not write results file: {e}]"),
+    }
+}

@@ -1,0 +1,91 @@
+//! TAB2 — Integer Sort scalability (§3.3.2, Table 2).
+//!
+//! Runs the scaled IS problem (2^16 keys against the paper's 2^23, with
+//! the caches scaled by the same factor so the key/rank arrays still
+//! overflow one local cache at low processor counts) for the paper's
+//! processor counts including the 30-vs-32 pair that exposes ring
+//! saturation.
+
+use ksr_core::metrics::ScalingTable;
+use ksr_core::time::cycles_to_seconds;
+use ksr_machine::Machine;
+use ksr_nas::{IsConfig, IsSetup};
+
+use crate::common::ExperimentOutput;
+use crate::table1_cg::SCALE;
+
+/// Seconds for one IS run at `procs` processors. Also returns the mean
+/// remote-access latency observed by the performance monitor — the
+/// counter the authors used to attribute the 30→32 jump to the ring.
+#[must_use]
+pub fn is_time(cfg: IsConfig, procs: usize, seed: u64) -> (f64, f64) {
+    let mut m = Machine::ksr1_scaled(seed, SCALE).expect("machine");
+    let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
+    let r = m.run(setup.programs());
+    let lat = m.perfmon_total().mean_ring_latency();
+    (cycles_to_seconds(r.duration_cycles(), m.config().clock_hz), lat)
+}
+
+/// The scaled Table-2 configuration.
+#[must_use]
+pub fn paper_config(quick: bool) -> IsConfig {
+    IsConfig {
+        keys: if quick { 1 << 13 } else { 1 << 16 },
+        max_key: if quick { 1 << 9 } else { 1 << 11 },
+        seed: 1 << 23,
+        chunk: 128,
+    }
+}
+
+/// Run Table 2.
+#[must_use]
+pub fn run(quick: bool) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("TAB2", "Integer Sort (Table 2, Figure 8)");
+    let cfg = paper_config(quick);
+    let procs: Vec<usize> =
+        if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 30, 32] };
+    let mut lat_rows = Vec::new();
+    let times: Vec<(usize, f64)> = procs
+        .iter()
+        .map(|&p| {
+            let (t, lat) = is_time(cfg, p, 600);
+            lat_rows.push((p, lat));
+            (p, t)
+        })
+        .collect();
+    let table = ScalingTable::from_times(&times);
+    out.push_text(&table.render(&format!(
+        "Integer Sort, number of input keys = 2^{} (scaled 1/{SCALE})",
+        cfg.keys.trailing_zeros()
+    )));
+    out.line(format_args!(
+        "serial fraction monotonically increasing: {} (paper: yes — the algorithm, \
+         not the architecture)",
+        table.serial_fraction_monotonic_up()
+    ));
+    out.push_text("perfmon mean remote latency (cycles) — the 30→32 rise is the ring:");
+    for (p, lat) in lat_rows {
+        out.line(format_args!("  {p:>2} procs: {lat:8.1}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_scales_through_4_procs() {
+        let cfg = paper_config(true);
+        let (t1, _) = is_time(cfg, 1, 1);
+        let (t4, _) = is_time(cfg, 4, 1);
+        let s = t1 / t4;
+        assert!(s > 2.0, "IS speedup at 4 procs = {s:.2}");
+    }
+
+    #[test]
+    fn serial_fraction_rises_in_quick_table() {
+        let out = run(true);
+        assert!(out.text.contains("Serial Fraction"));
+    }
+}

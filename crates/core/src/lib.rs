@@ -1,0 +1,40 @@
+//! # ksr-core
+//!
+//! Foundation crate for the reproduction of *"Scalability Study of the
+//! KSR-1"* (Ramachandran, Shah, Muthukumarasamy, Ravikumar; ICPP 1993 /
+//! Parallel Computing 22, 1996).
+//!
+//! This crate holds everything the rest of the workspace shares but that is
+//! independent of any particular machine model:
+//!
+//! * [`time`] — virtual time in processor clock cycles, and conversion to
+//!   wall-clock seconds at a configurable clock rate (the KSR-1 runs at
+//!   20 MHz, the KSR-2 at 40 MHz).
+//! * [`rng`] — a small, fully deterministic xorshift PRNG used for cache
+//!   replacement decisions and workload generation, so that every simulation
+//!   is reproducible from a single seed.
+//! * [`stats`] — summary statistics (mean, stddev, min/max, percentiles) and
+//!   a least-squares linear fit used by the experiment harness.
+//! * [`metrics`] — the scalability metrics the paper reports: speedup,
+//!   efficiency, and the Karp–Flatt experimentally determined serial
+//!   fraction.
+//! * [`table`] — plain-text table and series rendering so each experiment
+//!   binary can print the same rows/columns the paper's tables and figures
+//!   contain.
+//! * [`error`] — the shared error type.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod metrics;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use error::{Error, Result};
+pub use metrics::{efficiency, karp_flatt, speedup, ScalingRow, ScalingTable};
+pub use rng::XorShift64;
+pub use stats::{linear_fit, Summary};
+pub use table::{Series, TextTable};
+pub use time::{Cycles, Hz, VirtualTime, KSR1_CLOCK_HZ, KSR2_CLOCK_HZ};

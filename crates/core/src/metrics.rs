@@ -1,0 +1,235 @@
+//! Scalability metrics used throughout the paper.
+//!
+//! The paper reports, for each kernel and processor count: execution time,
+//! **speedup** T(1)/T(p), **efficiency** S(p)/p, and the **experimentally
+//! determined serial fraction** of Karp & Flatt (CACM 33(5), 1990), which
+//! the authors use to separate algorithmic from architectural bottlenecks
+//! (Tables 1 and 2).
+
+/// Speedup `S(p) = t1 / tp`.
+///
+/// # Panics
+/// Panics if `tp` is not positive.
+#[must_use]
+pub fn speedup(t1: f64, tp: f64) -> f64 {
+    assert!(tp > 0.0, "parallel time must be positive");
+    t1 / tp
+}
+
+/// Efficiency `E(p) = S(p) / p`.
+#[must_use]
+pub fn efficiency(s: f64, p: usize) -> f64 {
+    assert!(p > 0, "processor count must be positive");
+    s / p as f64
+}
+
+/// Karp–Flatt experimentally determined serial fraction:
+///
+/// `f = (1/S - 1/p) / (1 - 1/p)`
+///
+/// For `p = 1` the metric is undefined (the paper prints "-"); this
+/// function returns `None` in that case.
+#[must_use]
+pub fn karp_flatt(s: f64, p: usize) -> Option<f64> {
+    if p < 2 {
+        return None;
+    }
+    assert!(s > 0.0, "speedup must be positive");
+    let p = p as f64;
+    Some((1.0 / s - 1.0 / p) / (1.0 - 1.0 / p))
+}
+
+/// Whether a speedup observation is *superunitary* at `p` processors, the
+/// term the paper borrows from Helmbold & McDowell for `S(p) > p` behaviour
+/// (observed for CG between 4 and 16 processors relative to the 4-processor
+/// run). This helper tests the *incremental* form the paper uses: scaling
+/// from `(p_lo, s_lo)` to `(p_hi, s_hi)` is superunitary when the speedup
+/// grows by more than the processor ratio.
+#[must_use]
+pub fn superunitary_step(p_lo: usize, s_lo: f64, p_hi: usize, s_hi: f64) -> bool {
+    assert!(p_hi > p_lo && p_lo > 0, "processor counts must increase");
+    s_hi / s_lo > p_hi as f64 / p_lo as f64
+}
+
+/// One row of a paper-style scaling table (Tables 1–3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Processor count for this row.
+    pub procs: usize,
+    /// Execution time in seconds.
+    pub time_s: f64,
+    /// Speedup relative to the 1-processor row.
+    pub speedup: f64,
+    /// Efficiency `speedup / procs`.
+    pub efficiency: f64,
+    /// Karp–Flatt serial fraction; `None` for the 1-processor row.
+    pub serial_fraction: Option<f64>,
+}
+
+/// A scaling table built from `(procs, time)` measurements, mirroring the
+/// layout of the paper's Tables 1 and 2.
+#[derive(Debug, Clone, Default)]
+pub struct ScalingTable {
+    rows: Vec<ScalingRow>,
+}
+
+impl ScalingTable {
+    /// Build a table from `(procs, seconds)` measurements. The first entry
+    /// must be the single-processor baseline.
+    ///
+    /// # Panics
+    /// Panics if `measurements` is empty, the first row is not `procs == 1`,
+    /// or any time is non-positive.
+    #[must_use]
+    pub fn from_times(measurements: &[(usize, f64)]) -> Self {
+        assert!(!measurements.is_empty(), "no measurements");
+        assert_eq!(measurements[0].0, 1, "first row must be the 1-processor baseline");
+        let t1 = measurements[0].1;
+        assert!(t1 > 0.0, "baseline time must be positive");
+        let rows = measurements
+            .iter()
+            .map(|&(p, t)| {
+                assert!(p >= 1 && t > 0.0, "bad measurement ({p}, {t})");
+                let s = speedup(t1, t);
+                ScalingRow {
+                    procs: p,
+                    time_s: t,
+                    speedup: s,
+                    efficiency: efficiency(s, p),
+                    serial_fraction: karp_flatt(s, p),
+                }
+            })
+            .collect();
+        Self { rows }
+    }
+
+    /// The table's rows in measurement order.
+    #[must_use]
+    pub fn rows(&self) -> &[ScalingRow] {
+        &self.rows
+    }
+
+    /// Whether the serial fraction is monotonically non-decreasing over the
+    /// multi-processor rows — the signature the paper reads as "the
+    /// slow-down is inherent to the algorithm" for IS (Table 2).
+    #[must_use]
+    pub fn serial_fraction_monotonic_up(&self) -> bool {
+        let fracs: Vec<f64> = self.rows.iter().filter_map(|r| r.serial_fraction).collect();
+        fracs.windows(2).all(|w| w[1] >= w[0] - 1e-12)
+    }
+
+    /// Render in the paper's format: Processors | Time | Speedup |
+    /// Efficiency | Serial Fraction.
+    #[must_use]
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{title}");
+        let _ = writeln!(
+            out,
+            "{:>10} {:>16} {:>10} {:>11} {:>16}",
+            "Processors", "Time (s)", "Speedup", "Efficiency", "Serial Fraction"
+        );
+        for r in &self.rows {
+            let frac = r
+                .serial_fraction
+                .map_or_else(|| "-".to_string(), |f| format!("{f:.6}"));
+            let _ = writeln!(
+                out,
+                "{:>10} {:>16.5} {:>10.5} {:>11.3} {:>16}",
+                r.procs, r.time_s, r.speedup, r.efficiency, frac
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_basic() {
+        assert_eq!(speedup(10.0, 2.0), 5.0);
+    }
+
+    #[test]
+    fn efficiency_basic() {
+        assert!((efficiency(8.0, 10) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn karp_flatt_single_proc_is_none() {
+        assert!(karp_flatt(1.0, 1).is_none());
+    }
+
+    #[test]
+    fn karp_flatt_perfect_speedup_is_zero() {
+        let f = karp_flatt(8.0, 8).unwrap();
+        assert!(f.abs() < 1e-12);
+    }
+
+    #[test]
+    fn karp_flatt_amdahl_consistency() {
+        // With serial fraction f, Amdahl gives S = 1 / (f + (1-f)/p);
+        // karp_flatt must invert that exactly.
+        let f = 0.05;
+        for p in [2usize, 4, 8, 16, 32] {
+            let s = 1.0 / (f + (1.0 - f) / p as f64);
+            let est = karp_flatt(s, p).unwrap();
+            assert!((est - f).abs() < 1e-12, "p={p}: {est} vs {f}");
+        }
+    }
+
+    #[test]
+    fn karp_flatt_matches_paper_table1() {
+        // Table 1 of the paper: CG, p=2: speedup 1.76131 -> 0.135518.
+        let f = karp_flatt(1.76131, 2).unwrap();
+        assert!((f - 0.135518).abs() < 1e-4, "{f}");
+        // p=32: speedup 22.75930 -> 0.013097.
+        let f = karp_flatt(22.7593, 32).unwrap();
+        assert!((f - 0.013097).abs() < 1e-4, "{f}");
+    }
+
+    #[test]
+    fn superunitary_step_detects_table1_jump() {
+        // Table 1: p=4 S=2.8995, p=8 S=6.31418 — more than 2x from 2x procs.
+        assert!(superunitary_step(4, 2.8995, 8, 6.31418));
+        // p=16 S=12.9534 to p=32 S=22.7593 — sub-linear step.
+        assert!(!superunitary_step(16, 12.9534, 32, 22.7593));
+    }
+
+    #[test]
+    fn scaling_table_from_paper_is_self_consistent() {
+        // Times from Table 2 (IS).
+        let t = ScalingTable::from_times(&[
+            (1, 692.95492),
+            (2, 351.03866),
+            (4, 180.95085),
+            (8, 95.79978),
+            (16, 54.80835),
+            (30, 36.56198),
+            (32, 36.63433),
+        ]);
+        let rows = t.rows();
+        assert!((rows[1].speedup - 1.97401).abs() < 1e-4);
+        assert!((rows[6].speedup - 18.9155).abs() < 1e-3);
+        assert!((rows[4].efficiency - 0.790).abs() < 1e-3);
+        assert!(t.serial_fraction_monotonic_up(), "IS serial fraction rises");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = ScalingTable::from_times(&[(1, 4.0), (2, 2.0), (4, 1.0)]);
+        let s = t.render("demo");
+        assert!(s.contains("demo"));
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains('-'), "baseline serial fraction prints as -");
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline")]
+    fn scaling_table_requires_baseline_first() {
+        let _ = ScalingTable::from_times(&[(2, 1.0)]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Typed shared-array handles.
+//!
+//! Kernels manipulate large shared vectors; these little wrappers keep the
+//! address arithmetic in one place and make simulated code read like the
+//! Fortran loops in the paper (`y.set(cpu, i, y.get(cpu, i) + a.get(cpu, k) * xj)`).
+
+use ksr_core::Result;
+
+use crate::cpu::Cpu;
+use crate::machine::Machine;
+
+/// A shared vector of `f64`.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedF64 {
+    base: u64,
+    len: usize,
+}
+
+impl SharedF64 {
+    /// Allocate a shared `f64` vector (sub-page aligned so independent
+    /// vectors never false-share).
+    pub fn alloc(m: &mut Machine, len: usize) -> Result<Self> {
+        let base = m.alloc_subpage(len as u64 * 8)?;
+        Ok(Self { base, len })
+    }
+
+    /// Wrap an externally allocated range (used by experiments that need
+    /// exact control of base-address alignment, e.g. the SP padding
+    /// study). `base` must be 8-byte aligned.
+    #[must_use]
+    pub fn from_raw(base: u64, len: usize) -> Self {
+        assert_eq!(base % 8, 0, "f64 vector base must be 8-byte aligned");
+        Self { base, len }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// SVA address of element `i`.
+    #[must_use]
+    pub fn addr(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + (i as u64) * 8
+    }
+
+    /// Timed load of element `i`.
+    pub fn get(&self, cpu: &mut Cpu, i: usize) -> f64 {
+        cpu.read_f64(self.addr(i))
+    }
+
+    /// Timed store to element `i`.
+    pub fn set(&self, cpu: &mut Cpu, i: usize, v: f64) {
+        cpu.write_f64(self.addr(i), v);
+    }
+
+    /// Prefetch the sub-page holding element `i`.
+    pub fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
+        cpu.prefetch(self.addr(i), exclusive);
+    }
+
+    /// Poststore the sub-page holding element `i`.
+    pub fn poststore(&self, cpu: &mut Cpu, i: usize) {
+        cpu.poststore(self.addr(i));
+    }
+
+    /// Untimed store (setup).
+    pub fn poke(&self, m: &mut Machine, i: usize, v: f64) {
+        m.poke_f64(self.addr(i), v);
+    }
+
+    /// Untimed load (verification).
+    pub fn peek(&self, m: &mut Machine, i: usize) -> f64 {
+        m.peek_f64(self.addr(i))
+    }
+}
+
+/// A shared vector of `u64`.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedU64 {
+    base: u64,
+    len: usize,
+}
+
+impl SharedU64 {
+    /// Allocate a shared `u64` vector (sub-page aligned).
+    pub fn alloc(m: &mut Machine, len: usize) -> Result<Self> {
+        let base = m.alloc_subpage(len as u64 * 8)?;
+        Ok(Self { base, len })
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// SVA address of element `i`.
+    #[must_use]
+    pub fn addr(&self, i: usize) -> u64 {
+        assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        self.base + (i as u64) * 8
+    }
+
+    /// Timed load of element `i`.
+    pub fn get(&self, cpu: &mut Cpu, i: usize) -> u64 {
+        cpu.read_u64(self.addr(i))
+    }
+
+    /// Timed store to element `i`.
+    pub fn set(&self, cpu: &mut Cpu, i: usize, v: u64) {
+        cpu.write_u64(self.addr(i), v);
+    }
+
+    /// Prefetch the sub-page holding element `i`.
+    pub fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
+        cpu.prefetch(self.addr(i), exclusive);
+    }
+
+    /// Poststore the sub-page holding element `i`.
+    pub fn poststore(&self, cpu: &mut Cpu, i: usize) {
+        cpu.poststore(self.addr(i));
+    }
+
+    /// Untimed store (setup).
+    pub fn poke(&self, m: &mut Machine, i: usize, v: u64) {
+        m.poke_u64(self.addr(i), v);
+    }
+
+    /// Untimed load (verification).
+    pub fn peek(&self, m: &mut Machine, i: usize) -> u64 {
+        m.peek_u64(self.addr(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::program;
+
+    #[test]
+    fn f64_vector_roundtrip() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let v = SharedF64::alloc(&mut m, 16).unwrap();
+        v.poke(&mut m, 3, 2.5);
+        m.run(vec![program(move |cpu| {
+            let x = v.get(cpu, 3);
+            v.set(cpu, 4, x * 2.0);
+        })]);
+        assert_eq!(v.peek(&mut m, 4), 5.0);
+    }
+
+    #[test]
+    fn u64_vector_roundtrip() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let v = SharedU64::alloc(&mut m, 4).unwrap();
+        m.run(vec![program(move |cpu| {
+            v.set(cpu, 0, 10);
+            let x = v.get(cpu, 0);
+            v.set(cpu, 1, x + 1);
+        })]);
+        assert_eq!(v.peek(&mut m, 1), 11);
+    }
+
+    #[test]
+    fn vectors_are_subpage_aligned_and_disjoint() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = SharedF64::alloc(&mut m, 1).unwrap();
+        let b = SharedF64::alloc(&mut m, 1).unwrap();
+        assert_eq!(a.addr(0) % 128, 0);
+        assert_eq!(b.addr(0) % 128, 0);
+        assert!(b.addr(0) >= a.addr(0) + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_index_panics() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let v = SharedU64::alloc(&mut m, 4).unwrap();
+        let _ = v.addr(4);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let v = SharedU64::alloc(&mut m, 4).unwrap();
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+}

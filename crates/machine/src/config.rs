@@ -1,0 +1,271 @@
+//! Machine configuration and presets.
+
+use ksr_core::time::{Hz, KSR1_CLOCK_HZ, KSR2_CLOCK_HZ};
+use ksr_core::{Error, Result};
+use ksr_mem::{CacheTiming, MemGeometry, ProtocolOptions};
+use ksr_net::{Fabric, RingHierarchy, RingHierarchyConfig};
+
+/// Which machine of the study this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// 32-cell KSR-1 (single-level ring, 20 MHz cells).
+    Ksr1,
+    /// 64-cell KSR-2 (two-level ring, 40 MHz cells; the ring keeps its
+    /// absolute speed, so it costs twice as many *processor* cycles).
+    Ksr2,
+    /// Sequent Symmetry-style bus machine (§3.2.3 comparison).
+    Symmetry,
+    /// BBN Butterfly-style MIN machine without coherent caches (§3.2.3).
+    Butterfly,
+}
+
+/// Unsynchronized per-processor timer interrupts — the OS effect the
+/// authors cite (via personal communication with Steve Frank) to explain
+/// why their software queue lock beats the hardware lock even with
+/// writers only (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptConfig {
+    /// Start-to-start interval between interrupts on one processor.
+    pub quantum_cycles: u64,
+    /// Processor cycles consumed by each interrupt.
+    pub duration_cycles: u64,
+}
+
+impl InterruptConfig {
+    /// A 100 Hz scheduler tick on a 20 MHz cell costing ~50 µs of handler
+    /// time — coarse, but the *unsynchronized phase* across processors is
+    /// what matters for the lock experiment.
+    #[must_use]
+    pub fn ksr_os() -> Self {
+        Self { quantum_cycles: 200_000, duration_cycles: 1_000 }
+    }
+}
+
+/// Full description of a simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Machine family.
+    pub kind: MachineKind,
+    /// Number of processor cells physically present (the fabric always has
+    /// its full complement of stations; experiments may run fewer
+    /// programs).
+    pub cells: usize,
+    /// Cache geometry per cell.
+    pub geometry: MemGeometry,
+    /// Cache/controller timing constants.
+    pub timing: CacheTiming,
+    /// Cell clock rate.
+    pub clock_hz: Hz,
+    /// Peak floating-point operations per cycle (KSR-1: 2, i.e. 40 MFLOPS
+    /// at 20 MHz).
+    pub flops_per_cycle: u64,
+    /// Master seed for replacement policies and workloads.
+    pub seed: u64,
+    /// Timer-interrupt model, if enabled.
+    pub interrupts: Option<InterruptConfig>,
+    /// Whether the processor has a native fetch-and-Φ instruction. The
+    /// KSR-1 does not (fetch-and-add is synthesised from `get_sub_page`,
+    /// §3.2.2); the Symmetry and Butterfly do, which matters for the
+    /// §3.2.3 barrier comparison.
+    pub native_fetch_op: bool,
+    /// Coherence-protocol feature toggles (ablations).
+    pub protocol: ProtocolOptions,
+    /// Ring-geometry override for ablation studies (Ksr1/Ksr2 kinds only;
+    /// `None` uses the machine's standard geometry).
+    pub ring_override: Option<RingHierarchyConfig>,
+}
+
+impl MachineConfig {
+    /// The paper's 32-cell KSR-1 with full-size caches.
+    #[must_use]
+    pub fn ksr1(seed: u64) -> Self {
+        Self {
+            kind: MachineKind::Ksr1,
+            cells: 32,
+            geometry: MemGeometry::ksr1(),
+            timing: CacheTiming::ksr1(),
+            clock_hz: KSR1_CLOCK_HZ,
+            flops_per_cycle: 2,
+            seed,
+            interrupts: None,
+            native_fetch_op: false,
+            protocol: ProtocolOptions::default(),
+            ring_override: None,
+        }
+    }
+
+    /// KSR-1 with caches scaled down by `factor` (used with problem sizes
+    /// scaled by the same factor; see DESIGN.md).
+    #[must_use]
+    pub fn ksr1_scaled(seed: u64, factor: u64) -> Self {
+        Self { geometry: MemGeometry::scaled(factor), ..Self::ksr1(seed) }
+    }
+
+    /// The 64-cell two-level KSR-2 of §3.2.4.
+    #[must_use]
+    pub fn ksr2(seed: u64) -> Self {
+        Self {
+            kind: MachineKind::Ksr2,
+            cells: 64,
+            geometry: MemGeometry::ksr1(),
+            timing: CacheTiming::ksr1(),
+            clock_hz: KSR2_CLOCK_HZ,
+            flops_per_cycle: 2,
+            seed,
+            interrupts: None,
+            native_fetch_op: false,
+            protocol: ProtocolOptions::default(),
+            ring_override: None,
+        }
+    }
+
+    /// Sequent Symmetry-style bus machine with `cells` processors.
+    #[must_use]
+    pub fn symmetry(cells: usize, seed: u64) -> Self {
+        Self {
+            kind: MachineKind::Symmetry,
+            cells,
+            geometry: MemGeometry::ksr1(),
+            timing: CacheTiming::symmetry(),
+            clock_hz: 16_000_000,
+            flops_per_cycle: 1,
+            seed,
+            interrupts: None,
+            native_fetch_op: true,
+            protocol: ProtocolOptions::default(),
+            ring_override: None,
+        }
+    }
+
+    /// BBN Butterfly-style MIN machine with `cells` processors.
+    #[must_use]
+    pub fn butterfly(cells: usize, seed: u64) -> Self {
+        Self {
+            kind: MachineKind::Butterfly,
+            cells,
+            geometry: MemGeometry::ksr1(),
+            timing: CacheTiming::butterfly(),
+            clock_hz: 16_000_000,
+            flops_per_cycle: 1,
+            seed,
+            interrupts: None,
+            native_fetch_op: true,
+            protocol: ProtocolOptions::default(),
+            ring_override: None,
+        }
+    }
+
+    /// Enable the timer-interrupt model.
+    #[must_use]
+    pub fn with_interrupts(mut self, ints: InterruptConfig) -> Self {
+        self.interrupts = Some(ints);
+        self
+    }
+
+    /// Build the interconnect for this configuration.
+    pub fn build_fabric(&self) -> Result<Fabric> {
+        if let Some(ring_cfg) = self.ring_override {
+            if !matches!(self.kind, MachineKind::Ksr1 | MachineKind::Ksr2) {
+                return Err(Error::Config("ring_override applies to ring machines only".into()));
+            }
+            if self.cells > ring_cfg.total_cells() {
+                return Err(Error::Config("ring_override too small for cell count".into()));
+            }
+            return Ok(Fabric::Ring(RingHierarchy::new(ring_cfg)?));
+        }
+        match self.kind {
+            MachineKind::Ksr1 => {
+                if self.cells > 32 {
+                    return Err(Error::Config("a single-level KSR-1 ring holds 32 cells".into()));
+                }
+                Fabric::ksr1_32()
+            }
+            MachineKind::Ksr2 => {
+                if self.cells > 64 {
+                    return Err(Error::Config("the modelled KSR-2 has 64 cells".into()));
+                }
+                // Same ring in absolute time; the 40 MHz cell sees every
+                // hop cost twice the cycles.
+                let mut cfg = RingHierarchyConfig::ksr_64();
+                cfg.leaf.hop_cycles *= 2;
+                cfg.top.hop_cycles *= 2;
+                cfg.ard_cycles *= 2;
+                Ok(Fabric::Ring(RingHierarchy::new(cfg)?))
+            }
+            MachineKind::Symmetry => Fabric::symmetry(),
+            MachineKind::Butterfly => Fabric::butterfly(self.cells),
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.geometry.validate()?;
+        if self.cells == 0 {
+            return Err(Error::Config("need at least one cell".into()));
+        }
+        if self.flops_per_cycle == 0 {
+            return Err(Error::Config("flops_per_cycle must be non-zero".into()));
+        }
+        if self.clock_hz == 0 {
+            return Err(Error::Config("clock must be non-zero".into()));
+        }
+        if let Some(i) = &self.interrupts {
+            if i.quantum_cycles == 0 || i.duration_cycles >= i.quantum_cycles {
+                return Err(Error::Config("interrupt duration must be well below quantum".into()));
+            }
+        }
+        self.build_fabric().map(drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::ksr1(1).validate().unwrap();
+        MachineConfig::ksr1_scaled(1, 64).validate().unwrap();
+        MachineConfig::ksr2(1).validate().unwrap();
+        MachineConfig::symmetry(16, 1).validate().unwrap();
+        MachineConfig::butterfly(32, 1).validate().unwrap();
+    }
+
+    #[test]
+    fn ksr1_is_the_papers_machine() {
+        let c = MachineConfig::ksr1(0);
+        assert_eq!(c.cells, 32);
+        assert_eq!(c.clock_hz, 20_000_000);
+        assert_eq!(c.flops_per_cycle, 2, "40 MFLOPS peak at 20 MHz");
+    }
+
+    #[test]
+    fn ksr2_doubles_clock_and_ring_cycle_cost() {
+        let c = MachineConfig::ksr2(0);
+        assert_eq!(c.clock_hz, 40_000_000);
+        match c.build_fabric().unwrap() {
+            Fabric::Ring(h) => {
+                assert_eq!(h.config().leaf.hop_cycles, 8, "ring absolute speed unchanged");
+                assert_eq!(h.config().n_leaves, 2);
+            }
+            _ => panic!("KSR-2 is a ring machine"),
+        }
+    }
+
+    #[test]
+    fn oversized_configs_rejected() {
+        let mut c = MachineConfig::ksr1(0);
+        c.cells = 33;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::ksr2(0);
+        c.cells = 65;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_interrupts_rejected() {
+        let c = MachineConfig::ksr1(0)
+            .with_interrupts(InterruptConfig { quantum_cycles: 100, duration_cycles: 100 });
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! The processor handle simulated programs run against.
+//!
+//! A [`Cpu`] lives on its program's OS thread. Every shared-memory
+//! operation sends a request to the machine coordinator and blocks until
+//! the coordinator has scheduled it in global virtual-time order; private
+//! computation advances the local clock without synchronization. This
+//! gives simulated programs a completely ordinary imperative style — the
+//! CG inner loop looks like a loop, a barrier looks like a function call —
+//! while the coordinator keeps the whole machine deterministic.
+
+use std::sync::mpsc::{Receiver, Sender};
+
+use ksr_core::time::{Cycles, Hz};
+
+use crate::config::InterruptConfig;
+
+/// A request from a program thread to the coordinator.
+pub(crate) enum Request {
+    /// Load a 64-bit word.
+    Read {
+        /// SVA address.
+        addr: u64,
+    },
+    /// Store a 64-bit word.
+    Write {
+        /// SVA address.
+        addr: u64,
+        /// Value to store.
+        value: u64,
+    },
+    /// One `get_sub_page` attempt.
+    GetSubPage {
+        /// Address within the target sub-page.
+        addr: u64,
+    },
+    /// `release_sub_page`.
+    ReleaseSubPage {
+        /// Address within the target sub-page.
+        addr: u64,
+    },
+    /// Native atomic fetch-and-add (Symmetry/Butterfly only).
+    FetchAdd {
+        /// SVA address.
+        addr: u64,
+        /// Addend (wrapping).
+        delta: u64,
+    },
+    /// Non-blocking `prefetch`.
+    Prefetch {
+        /// Address within the target sub-page.
+        addr: u64,
+        /// Fetch in exclusive state.
+        exclusive: bool,
+    },
+    /// `poststore`.
+    Poststore {
+        /// Address within the target sub-page.
+        addr: u64,
+    },
+    /// §4-extension: local-cache → sub-cache prefetch.
+    SubcachePrefetch {
+        /// Address within the target sub-page.
+        addr: u64,
+    },
+    /// Park until `pred` holds for the word at `addr` (fast-forwarded
+    /// spin loop; each wake-up is a fully costed re-read).
+    Spin {
+        /// SVA address being spun on.
+        addr: u64,
+        /// Exit predicate over the loaded value.
+        pred: Box<dyn FnMut(u64) -> bool + Send>,
+    },
+    /// The program returned.
+    Finish {
+        /// Total floating-point operations this processor performed.
+        flops: u64,
+    },
+}
+
+/// A timestamped request.
+pub(crate) struct Envelope {
+    pub proc: usize,
+    pub at: Cycles,
+    pub req: Request,
+}
+
+/// Coordinator's answer to a request.
+pub(crate) enum Reply {
+    /// A loaded value (reads, spins).
+    Value { value: u64, at: Cycles },
+    /// Success flag (`get_sub_page`).
+    Flag { ok: bool, at: Cycles },
+    /// Plain completion.
+    Unit { at: Cycles },
+}
+
+impl Reply {
+    fn at(&self) -> Cycles {
+        match self {
+            Self::Value { at, .. } | Self::Flag { at, .. } | Self::Unit { at } => *at,
+        }
+    }
+}
+
+/// Panic payload thrown inside a program thread when the coordinator has
+/// unwound (e.g. after detecting a simulation deadlock). The machine's run
+/// loop swallows it so the coordinator's own panic is the one reported.
+pub(crate) struct CoordinatorGone;
+
+/// One simulated processor, handed to a [`crate::program::Program`].
+pub struct Cpu {
+    id: usize,
+    nprocs: usize,
+    clock_hz: Hz,
+    flops_per_cycle: u64,
+    local: Cycles,
+    flops: u64,
+    interrupts: Option<(InterruptConfig, Cycles)>,
+    native_fetch_op: bool,
+    tx: Sender<Envelope>,
+    rx: Receiver<Reply>,
+}
+
+impl Cpu {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        id: usize,
+        nprocs: usize,
+        start: Cycles,
+        clock_hz: Hz,
+        flops_per_cycle: u64,
+        interrupts: Option<InterruptConfig>,
+        native_fetch_op: bool,
+        tx: Sender<Envelope>,
+        rx: Receiver<Reply>,
+    ) -> Self {
+        // Unsynchronized timers: each processor's first tick lands at a
+        // different phase derived from its id.
+        let interrupts = interrupts.map(|cfg| {
+            let phase = (id as u64 * 7919) % cfg.quantum_cycles;
+            (cfg, start + phase + 1)
+        });
+        Self {
+            id,
+            nprocs,
+            clock_hz,
+            flops_per_cycle,
+            local: start,
+            flops: 0,
+            interrupts,
+            native_fetch_op,
+            tx,
+            rx,
+        }
+    }
+
+    /// This processor's index (0-based).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of processors participating in this run.
+    #[must_use]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The local virtual clock, in cycles.
+    #[must_use]
+    pub fn now(&self) -> Cycles {
+        self.local
+    }
+
+    /// Cell clock rate.
+    #[must_use]
+    pub fn clock_hz(&self) -> Hz {
+        self.clock_hz
+    }
+
+    /// Perform `cycles` of private computation (loop overhead, address
+    /// arithmetic, anything not touching shared memory). Timer interrupts,
+    /// when enabled, land inside computation.
+    pub fn compute(&mut self, cycles: Cycles) {
+        let mut remaining = cycles;
+        if let Some((cfg, next)) = &mut self.interrupts {
+            while self.local + remaining >= *next {
+                let to_interrupt = next.saturating_sub(self.local);
+                remaining -= to_interrupt.min(remaining);
+                self.local = *next + cfg.duration_cycles;
+                *next += cfg.quantum_cycles;
+            }
+        }
+        self.local += remaining;
+    }
+
+    /// Perform `n` floating-point operations at the pipelined peak rate
+    /// (2 per cycle on the KSR-1 — 40 MFLOPS at 20 MHz).
+    pub fn flops(&mut self, n: u64) {
+        self.flops += n;
+        self.compute(n.div_ceil(self.flops_per_cycle));
+    }
+
+    fn roundtrip(&mut self, req: Request) -> Reply {
+        if self.tx.send(Envelope { proc: self.id, at: self.local, req }).is_err() {
+            std::panic::panic_any(CoordinatorGone);
+        }
+        let Ok(reply) = self.rx.recv() else {
+            std::panic::panic_any(CoordinatorGone);
+        };
+        self.local = reply.at();
+        // Interrupts that would have fired during the stall are treated as
+        // overlapped with it: skip them without extra charge.
+        if let Some((cfg, next)) = &mut self.interrupts {
+            while *next <= self.local {
+                *next += cfg.quantum_cycles;
+            }
+        }
+        reply
+    }
+
+    /// Load a 64-bit word from shared memory.
+    pub fn read_u64(&mut self, addr: u64) -> u64 {
+        match self.roundtrip(Request::Read { addr }) {
+            Reply::Value { value, .. } => value,
+            _ => unreachable!("read must yield a value"),
+        }
+    }
+
+    /// Store a 64-bit word to shared memory.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.roundtrip(Request::Write { addr, value });
+    }
+
+    /// Load an `f64` from shared memory.
+    pub fn read_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Store an `f64` to shared memory.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// One `get_sub_page` attempt on the sub-page containing `addr`;
+    /// `false` if another cell already holds it atomic.
+    pub fn get_sub_page(&mut self, addr: u64) -> bool {
+        match self.roundtrip(Request::GetSubPage { addr }) {
+            Reply::Flag { ok, .. } => ok,
+            _ => unreachable!("get_sub_page must yield a flag"),
+        }
+    }
+
+    /// Spin (in hardware fashion — each retry is a fresh ring request)
+    /// until `get_sub_page` succeeds. This is exactly the "naive hardware
+    /// exclusive lock" of §3.2.1.
+    pub fn acquire_sub_page(&mut self, addr: u64) {
+        while !self.get_sub_page(addr) {}
+    }
+
+    /// Release a sub-page held atomic.
+    pub fn release_sub_page(&mut self, addr: u64) {
+        self.roundtrip(Request::ReleaseSubPage { addr });
+    }
+
+    /// Whether this machine has a native fetch-and-Φ instruction (the
+    /// KSR-1 does not; the §3.2.3 comparison machines do).
+    #[must_use]
+    pub fn has_native_fetch_op(&self) -> bool {
+        self.native_fetch_op
+    }
+
+    /// Architecture-appropriate atomic fetch-and-add: a single fabric
+    /// transaction where the hardware offers one, otherwise the KSR-1
+    /// synthesis from `get_sub_page` (§3.2.2). Returns the old value.
+    pub fn fetch_add(&mut self, addr: u64, delta: u64) -> u64 {
+        if self.native_fetch_op {
+            match self.roundtrip(Request::FetchAdd { addr, delta }) {
+                Reply::Value { value, .. } => value,
+                _ => unreachable!("fetch_add must yield the old value"),
+            }
+        } else {
+            self.acquire_sub_page(addr);
+            let old = self.read_u64(addr);
+            self.write_u64(addr, old.wrapping_add(delta));
+            self.release_sub_page(addr);
+            old
+        }
+    }
+
+    /// Issue a non-blocking `prefetch` of the sub-page containing `addr`
+    /// into the local cache.
+    pub fn prefetch(&mut self, addr: u64, exclusive: bool) {
+        self.roundtrip(Request::Prefetch { addr, exclusive });
+    }
+
+    /// Issue a `poststore` of the sub-page containing `addr`.
+    pub fn poststore(&mut self, addr: u64) {
+        self.roundtrip(Request::Poststore { addr });
+    }
+
+    /// **Extension** (§4 wish list): non-blocking prefetch of a locally
+    /// resident sub-page from the local cache into the sub-cache —
+    /// "given that there is roughly an order of magnitude difference
+    /// between their access times".
+    pub fn prefetch_subcache(&mut self, addr: u64) {
+        self.roundtrip(Request::SubcachePrefetch { addr });
+    }
+
+    /// Spin on the word at `addr` until `pred` holds; returns the value
+    /// that satisfied it. Semantically identical to
+    /// `loop { let v = read(addr); if pred(v) { break v } }` — every
+    /// wake-up is a fully costed re-read — but fast-forwarded so the
+    /// simulator spends O(updates), not O(spin iterations).
+    pub fn spin_until(&mut self, addr: u64, pred: impl FnMut(u64) -> bool + Send + 'static) -> u64 {
+        match self.roundtrip(Request::Spin { addr, pred: Box::new(pred) }) {
+            Reply::Value { value, .. } => value,
+            _ => unreachable!("spin must yield a value"),
+        }
+    }
+
+    /// Convenience: spin until the word equals `target`.
+    pub fn spin_until_eq(&mut self, addr: u64, target: u64) {
+        self.spin_until(addr, move |v| v == target);
+    }
+
+    pub(crate) fn finish(self) {
+        let _ = self.tx.send(Envelope {
+            proc: self.id,
+            at: self.local,
+            req: Request::Finish { flops: self.flops },
+        });
+    }
+}

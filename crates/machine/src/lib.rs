@@ -1,0 +1,39 @@
+//! # ksr-machine
+//!
+//! The deterministic machine simulator for the KSR-1 scalability-study
+//! reproduction. A [`Machine`] combines the ALLCACHE memory system
+//! (`ksr-mem`) and an interconnect (`ksr-net`) with a set of processor
+//! cells; experiments hand it one [`Program`] per processor and get back a
+//! [`RunReport`] with virtual-time measurements.
+//!
+//! * [`config`] — machine presets: the 32-cell KSR-1, the 64-cell KSR-2
+//!   (two-level ring, doubled clock), and the Symmetry/Butterfly
+//!   comparison machines of §3.2.3, plus the timer-interrupt model used by
+//!   the lock experiment.
+//! * [`cpu`] — the processor handle: timed reads/writes,
+//!   `get_sub_page`/`release_sub_page`, `prefetch`, `poststore`, private
+//!   compute, FLOP accounting, and fast-forwarded spin loops.
+//! * [`machine`] — the coordinator that serializes all shared-memory
+//!   operations in global virtual-time order (fully deterministic runs).
+//! * [`arrays`] — typed shared-vector handles for kernel code.
+//! * [`heap`] — the SVA bump allocator with the paper's
+//!   false-sharing-avoiding sub-page alignment discipline.
+//! * [`report`] — run timing and FLOP reports.
+
+#![warn(missing_docs)]
+
+pub mod arrays;
+pub mod config;
+pub mod cpu;
+pub mod heap;
+pub mod machine;
+pub mod program;
+pub mod report;
+
+pub use arrays::{SharedF64, SharedU64};
+pub use config::{InterruptConfig, MachineConfig, MachineKind};
+pub use cpu::Cpu;
+pub use heap::Heap;
+pub use machine::Machine;
+pub use program::{program, Program};
+pub use report::RunReport;

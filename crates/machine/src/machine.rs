@@ -1,0 +1,607 @@
+//! The machine: processors + memory system + coordinator.
+//!
+//! ## Execution model
+//!
+//! Each simulated processor runs its [`Program`] on a dedicated OS thread
+//! against a [`Cpu`] handle; every shared-memory operation is sent to the
+//! coordinator (running on the caller's thread) and answered in **global
+//! virtual-time order**: the coordinator only ever processes the
+//! outstanding request with the smallest timestamp (ties broken by
+//! processor id), so a run is fully deterministic for a given
+//! configuration and seed, regardless of host scheduling.
+//!
+//! Spin loops ([`Cpu::spin_until`]) and accesses blocked on an atomic
+//! sub-page park on a per-sub-page watch list and are re-issued — as
+//! fully costed reads — whenever the memory system reports a visibility
+//! event on that sub-page. This is semantically identical to a tight
+//! polling loop (the woken read pays invalidation-refetch or snarf-refill
+//! costs exactly as the protocol dictates) at O(updates) instead of
+//! O(poll iterations) simulation cost.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::mpsc::{self, Receiver, Sender};
+
+use ksr_core::time::Cycles;
+use ksr_core::Result;
+use ksr_mem::{MemOp, MemorySystem, Outcome, PerfMon};
+use ksr_net::FabricStats;
+
+use crate::config::MachineConfig;
+use crate::cpu::{Cpu, Envelope, Reply, Request};
+use crate::heap::Heap;
+use crate::program::Program;
+use crate::report::RunReport;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProcState {
+    Running,
+    Waiting,
+    Parked,
+    Done,
+}
+
+/// A simulated multiprocessor.
+pub struct Machine {
+    cfg: MachineConfig,
+    mem: MemorySystem,
+    heap: Heap,
+    epoch: Cycles,
+}
+
+impl Machine {
+    /// Build a machine from a validated configuration.
+    pub fn new(cfg: MachineConfig) -> Result<Self> {
+        cfg.validate()?;
+        let fabric = cfg.build_fabric()?;
+        let mem = MemorySystem::with_options(
+            cfg.geometry,
+            cfg.timing,
+            fabric,
+            cfg.cells,
+            cfg.seed,
+            cfg.protocol,
+        )?;
+        Ok(Self { cfg, mem, heap: Heap::new(), epoch: 0 })
+    }
+
+    /// The paper's 32-cell KSR-1.
+    pub fn ksr1(seed: u64) -> Result<Self> {
+        Self::new(MachineConfig::ksr1(seed))
+    }
+
+    /// KSR-1 with caches scaled down by `factor`.
+    pub fn ksr1_scaled(seed: u64, factor: u64) -> Result<Self> {
+        Self::new(MachineConfig::ksr1_scaled(seed, factor))
+    }
+
+    /// The 64-cell KSR-2.
+    pub fn ksr2(seed: u64) -> Result<Self> {
+        Self::new(MachineConfig::ksr2(seed))
+    }
+
+    /// Sequent Symmetry-style bus machine.
+    pub fn symmetry(cells: usize, seed: u64) -> Result<Self> {
+        Self::new(MachineConfig::symmetry(cells, seed))
+    }
+
+    /// BBN Butterfly-style MIN machine.
+    pub fn butterfly(cells: usize, seed: u64) -> Result<Self> {
+        Self::new(MachineConfig::butterfly(cells, seed))
+    }
+
+    /// The machine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The memory system (for perfmon and directory inspection).
+    #[must_use]
+    pub fn mem(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// One cell's performance monitor.
+    #[must_use]
+    pub fn perfmon(&self, cell: usize) -> &PerfMon {
+        self.mem.perfmon(cell)
+    }
+
+    /// Machine-wide performance-monitor totals.
+    #[must_use]
+    pub fn perfmon_total(&self) -> PerfMon {
+        self.mem.perfmon_total()
+    }
+
+    /// Interconnect counters.
+    #[must_use]
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.mem.fabric().stats()
+    }
+
+    /// Allocate `bytes` of shared memory with the given alignment.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Result<u64> {
+        self.heap.alloc(bytes, align)
+    }
+
+    /// Allocate `words` 8-byte words.
+    pub fn alloc_words(&mut self, words: u64) -> Result<u64> {
+        self.heap.alloc_words(words)
+    }
+
+    /// Allocate on a fresh 128 B sub-page (no false sharing).
+    pub fn alloc_subpage(&mut self, bytes: u64) -> Result<u64> {
+        self.heap.alloc_subpage_aligned(bytes)
+    }
+
+    /// Pre-install an address range in a cell's local cache (untimed
+    /// setup; see [`MemorySystem::warm`]).
+    pub fn warm(&mut self, cell: usize, addr: u64, len: u64) {
+        self.mem.warm(cell, addr, len);
+    }
+
+    /// **Extension** (§4 wish list): turn sub-caching off for an address
+    /// range — streaming data then bypasses the sub-cache instead of
+    /// thrashing the hot working set out of it.
+    pub fn set_uncached(&mut self, addr: u64, len: u64) {
+        self.mem.set_uncached(addr, len);
+    }
+
+    /// Untimed data-plane store (experiment setup).
+    pub fn poke_u64(&mut self, addr: u64, value: u64) {
+        self.mem.data_mut().write_u64(addr, value).expect("poke");
+    }
+
+    /// Untimed data-plane load (result verification).
+    pub fn peek_u64(&mut self, addr: u64) -> u64 {
+        self.mem.data_mut().read_u64(addr).expect("peek")
+    }
+
+    /// Untimed `f64` store.
+    pub fn poke_f64(&mut self, addr: u64, value: f64) {
+        self.mem.data_mut().write_f64(addr, value).expect("poke");
+    }
+
+    /// Untimed `f64` load.
+    pub fn peek_f64(&mut self, addr: u64) -> f64 {
+        self.mem.data_mut().read_f64(addr).expect("peek")
+    }
+
+    /// Run one program per processor to completion; returns the run's
+    /// timing report. May be called repeatedly — cache and directory state
+    /// persist across runs (virtual time keeps increasing), which is how
+    /// multi-phase experiments separate warm-up from measurement.
+    ///
+    /// # Panics
+    /// Panics on simulation deadlock (every live processor parked on a
+    /// sub-page no one is going to touch) — always a bug in the simulated
+    /// program.
+    pub fn run(&mut self, mut programs: Vec<Box<dyn Program + '_>>) -> RunReport {
+        let n = programs.len();
+        assert!(n >= 1, "need at least one program");
+        assert!(
+            n <= self.cfg.cells,
+            "{n} programs exceed the machine's {} cells",
+            self.cfg.cells
+        );
+        let start = self.epoch;
+        let (req_tx, req_rx) = mpsc::channel::<Envelope>();
+        let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(n);
+        let mut cpus: Vec<Cpu> = Vec::with_capacity(n);
+        for p in 0..n {
+            let (rtx, rrx) = mpsc::channel::<Reply>();
+            reply_txs.push(rtx);
+            cpus.push(Cpu::new(
+                p,
+                n,
+                start,
+                self.cfg.clock_hz,
+                self.cfg.flops_per_cycle,
+                self.cfg.interrupts,
+                self.cfg.native_fetch_op,
+                req_tx.clone(),
+                rrx,
+            ));
+        }
+        drop(req_tx);
+
+        let mem = &mut self.mem;
+        let (proc_end, proc_flops) = std::thread::scope(|s| {
+            for (prog, cpu) in programs.iter_mut().zip(cpus) {
+                s.spawn(move || {
+                    let mut cpu = cpu;
+                    // If the coordinator unwinds (deadlock detection, a
+                    // protocol invariant), program threads wake with a
+                    // CoordinatorGone panic; swallow it so the
+                    // coordinator's panic is the one that propagates. Any
+                    // other panic (a failed assertion in the simulated
+                    // program) is re-thrown after notifying the
+                    // coordinator, so the run can't hang.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        prog.run(&mut cpu);
+                    }));
+                    match result {
+                        Ok(()) => cpu.finish(),
+                        Err(payload) => {
+                            let gone = payload.is::<crate::cpu::CoordinatorGone>();
+                            cpu.finish();
+                            if !gone {
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }
+                });
+            }
+            // `coordinate` owns the reply senders: if it unwinds, they
+            // drop, the program threads wake and exit, and the scope join
+            // completes instead of hanging.
+            coordinate(mem, n, &req_rx, reply_txs)
+        });
+
+        let finished_at = proc_end.iter().copied().max().unwrap_or(start);
+        self.epoch = finished_at;
+        RunReport {
+            started_at: start,
+            finished_at,
+            clock_hz: self.cfg.clock_hz,
+            proc_end,
+            proc_flops,
+        }
+    }
+}
+
+/// The coordinator loop: strict smallest-timestamp-first processing.
+fn coordinate(
+    mem: &mut MemorySystem,
+    n: usize,
+    req_rx: &Receiver<Envelope>,
+    reply_txs: Vec<Sender<Reply>>,
+) -> (Vec<Cycles>, Vec<u64>) {
+    let mut state = vec![ProcState::Running; n];
+    let mut slots: Vec<Option<Request>> = (0..n).map(|_| None).collect();
+    let mut heap: BinaryHeap<Reverse<(Cycles, usize)>> = BinaryHeap::new();
+    // sub-page -> parked (proc, parked_at)
+    let mut parked: HashMap<u64, Vec<(usize, Cycles)>> = HashMap::new();
+    let mut running = n;
+    let mut done = 0usize;
+    let mut end_at = vec![0; n];
+    let mut flops = vec![0; n];
+
+    macro_rules! reply {
+        ($p:expr, $r:expr) => {{
+            reply_txs[$p].send($r).expect("program thread died");
+            state[$p] = ProcState::Running;
+            running += 1;
+        }};
+    }
+    macro_rules! park {
+        ($p:expr, $sp:expr, $at:expr, $req:expr) => {{
+            mem.watch($sp);
+            parked.entry($sp).or_default().push(($p, $at));
+            slots[$p] = Some($req);
+            state[$p] = ProcState::Parked;
+        }};
+    }
+
+    loop {
+        // Wait until every live processor has an outstanding request.
+        while running > 0 {
+            let env = req_rx.recv().expect("program thread died");
+            running -= 1;
+            match env.req {
+                Request::Finish { flops: f } => {
+                    state[env.proc] = ProcState::Done;
+                    done += 1;
+                    end_at[env.proc] = env.at;
+                    flops[env.proc] = f;
+                }
+                req => {
+                    slots[env.proc] = Some(req);
+                    heap.push(Reverse((env.at, env.proc)));
+                    state[env.proc] = ProcState::Waiting;
+                }
+            }
+        }
+        if done == n {
+            break;
+        }
+        let Some(Reverse((t, p))) = heap.pop() else {
+            let stuck: Vec<u64> = parked.keys().copied().collect();
+            panic!(
+                "simulation deadlock: {} processor(s) parked on sub-pages {stuck:?} \
+                 with no pending writer",
+                n - done
+            );
+        };
+        let req = slots[p].take().expect("scheduled processor has a request");
+
+        match req {
+            Request::Read { addr } => match mem.access(p, addr, MemOp::Read, t) {
+                Outcome::Done { done_at } => {
+                    let value = mem.data_mut().read_u64(addr).expect("read");
+                    reply!(p, Reply::Value { value, at: done_at });
+                }
+                Outcome::BlockedOnAtomic { subpage } => {
+                    park!(p, subpage, t, Request::Read { addr });
+                }
+                Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+            },
+            Request::Write { addr, value } => match mem.access(p, addr, MemOp::Write, t) {
+                Outcome::Done { done_at } => {
+                    mem.data_mut().write_u64(addr, value).expect("write");
+                    reply!(p, Reply::Unit { at: done_at });
+                }
+                Outcome::BlockedOnAtomic { subpage } => {
+                    park!(p, subpage, t, Request::Write { addr, value });
+                }
+                Outcome::AtomicFailed { .. } => unreachable!("writes cannot fail atomically"),
+            },
+            Request::GetSubPage { addr } => match mem.access(p, addr, MemOp::GetSubPage, t) {
+                Outcome::Done { done_at } => reply!(p, Reply::Flag { ok: true, at: done_at }),
+                Outcome::AtomicFailed { done_at } => {
+                    reply!(p, Reply::Flag { ok: false, at: done_at });
+                }
+                Outcome::BlockedOnAtomic { .. } => {
+                    unreachable!("get_sub_page reports failure, not blockage")
+                }
+            },
+            Request::FetchAdd { addr, delta } => {
+                match mem.access(p, addr, MemOp::AtomicRmw, t) {
+                    Outcome::Done { done_at } => {
+                        let old = mem.data_mut().read_u64(addr).expect("rmw read");
+                        mem.data_mut().write_u64(addr, old.wrapping_add(delta)).expect("rmw");
+                        reply!(p, Reply::Value { value: old, at: done_at });
+                    }
+                    Outcome::BlockedOnAtomic { subpage } => {
+                        park!(p, subpage, t, Request::FetchAdd { addr, delta });
+                    }
+                    Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
+                }
+            }
+            Request::ReleaseSubPage { addr } => {
+                let done_at = mem.access(p, addr, MemOp::ReleaseSubPage, t).done_at();
+                reply!(p, Reply::Unit { at: done_at });
+            }
+            Request::Prefetch { addr, exclusive } => {
+                let done_at = mem.access(p, addr, MemOp::Prefetch { exclusive }, t).done_at();
+                reply!(p, Reply::Unit { at: done_at });
+            }
+            Request::Poststore { addr } => {
+                let done_at = mem.access(p, addr, MemOp::Poststore, t).done_at();
+                reply!(p, Reply::Unit { at: done_at });
+            }
+            Request::SubcachePrefetch { addr } => {
+                let done_at = mem.access(p, addr, MemOp::SubcachePrefetch, t).done_at();
+                reply!(p, Reply::Unit { at: done_at });
+            }
+            Request::Spin { addr, mut pred } => match mem.access(p, addr, MemOp::Read, t) {
+                Outcome::Done { done_at } => {
+                    let value = mem.data_mut().read_u64(addr).expect("spin read");
+                    if pred(value) {
+                        reply!(p, Reply::Value { value, at: done_at });
+                    } else {
+                        let sp = ksr_mem::subpage_of(addr);
+                        park!(p, sp, done_at, Request::Spin { addr, pred });
+                    }
+                }
+                Outcome::BlockedOnAtomic { subpage } => {
+                    park!(p, subpage, t, Request::Spin { addr, pred });
+                }
+                Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+            },
+            Request::Finish { .. } => unreachable!("finish is intercepted at receive time"),
+        }
+
+        // Visibility events wake parked processors for a costed retry.
+        for ev in mem.take_events() {
+            if let Some(waiters) = parked.remove(&ev.subpage) {
+                for (proc, parked_at) in waiters {
+                    mem.unwatch(ev.subpage);
+                    heap.push(Reverse((parked_at.max(ev.at), proc)));
+                    state[proc] = ProcState::Waiting;
+                }
+            }
+        }
+    }
+    (end_at, flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::program;
+
+    #[test]
+    fn single_program_runs_and_reports() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_words(8).unwrap();
+        let report = m.run(vec![program(move |cpu| {
+            cpu.write_u64(a, 7);
+            cpu.compute(100);
+            let v = cpu.read_u64(a);
+            assert_eq!(v, 7);
+        })]);
+        assert!(report.duration_cycles() > 100);
+        assert_eq!(m.peek_u64(a), 7);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run_once = || {
+            let mut m = Machine::ksr1(99).unwrap();
+            let a = m.alloc_subpage(8).unwrap();
+            let r = m.run(
+                (0..8)
+                    .map(|_| {
+                        program(move |cpu: &mut Cpu| {
+                            for _ in 0..20 {
+                                cpu.acquire_sub_page(a);
+                                let v = cpu.read_u64(a);
+                                cpu.write_u64(a, v + 1);
+                                cpu.release_sub_page(a);
+                                cpu.compute(50);
+                            }
+                        })
+                    })
+                    .collect(),
+            );
+            (r.duration_cycles(), r.proc_end.clone())
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn atomic_counter_is_exact_under_contention() {
+        let mut m = Machine::ksr1(5).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let procs = 16;
+        let iters = 25;
+        m.run(
+            (0..procs)
+                .map(|_| {
+                    program(move |cpu: &mut Cpu| {
+                        for _ in 0..iters {
+                            cpu.acquire_sub_page(a);
+                            let v = cpu.read_u64(a);
+                            cpu.write_u64(a, v + 1);
+                            cpu.release_sub_page(a);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(m.peek_u64(a), (procs * iters) as u64);
+    }
+
+    #[test]
+    fn spin_until_observes_writer() {
+        let mut m = Machine::ksr1(3).unwrap();
+        let flag = m.alloc_subpage(8).unwrap();
+        let data = m.alloc_subpage(8).unwrap();
+        let r = m.run(vec![
+            program(move |cpu| {
+                cpu.compute(5_000);
+                cpu.write_u64(data, 42);
+                cpu.write_u64(flag, 1);
+            }),
+            program(move |cpu| {
+                cpu.spin_until_eq(flag, 1);
+                let v = cpu.read_u64(data);
+                assert_eq!(v, 42, "flag ordering must publish data");
+            }),
+        ]);
+        // The spinner cannot have finished before the writer's flag write.
+        assert!(r.proc_end[1] > 5_000);
+    }
+
+    #[test]
+    fn blocked_access_waits_for_release() {
+        let mut m = Machine::ksr1(7).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let r = m.run(vec![
+            program(move |cpu| {
+                cpu.acquire_sub_page(a);
+                cpu.write_u64(a, 9);
+                cpu.compute(10_000);
+                cpu.release_sub_page(a);
+            }),
+            program(move |cpu| {
+                cpu.compute(500); // let proc 0 take the lock first
+                let v = cpu.read_u64(a); // blocks until release
+                assert_eq!(v, 9);
+            }),
+        ]);
+        assert!(
+            r.proc_end[1] > 10_000,
+            "reader must stall past the critical section: {}",
+            r.proc_end[1]
+        );
+    }
+
+    #[test]
+    fn per_proc_flops_accounted() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let r = m.run(vec![
+            program(|cpu: &mut Cpu| cpu.flops(1000)),
+            program(|cpu: &mut Cpu| cpu.flops(500)),
+        ]);
+        assert_eq!(r.proc_flops, vec![1000, 500]);
+        assert_eq!(r.total_flops(), 1500);
+        // 1000 flops at 2/cycle = 500 cycles.
+        assert_eq!(r.proc_end[0], 500);
+    }
+
+    #[test]
+    fn consecutive_runs_share_machine_state() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_words(1).unwrap();
+        let r1 = m.run(vec![program(move |cpu| cpu.write_u64(a, 5))]);
+        // Second run starts where the first ended, and the data persists.
+        let r2 = m.run(vec![program(move |cpu| {
+            assert_eq!(cpu.read_u64(a), 5);
+        })]);
+        assert!(r2.started_at >= r1.finished_at);
+        // Warm cache: that read is a cheap hit now.
+        assert!(r2.duration_cycles() <= 30, "{}", r2.duration_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_is_detected() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let _ = m.run(vec![program(move |cpu| {
+            cpu.spin_until_eq(a, 1); // nobody will ever write this
+        })]);
+    }
+
+    #[test]
+    fn timer_interrupts_stretch_compute() {
+        use crate::config::InterruptConfig;
+        let cfg = MachineConfig::ksr1(1)
+            .with_interrupts(InterruptConfig { quantum_cycles: 1_000, duration_cycles: 100 });
+        let mut m = Machine::new(cfg).unwrap();
+        let r = m.run(vec![program(|cpu: &mut Cpu| cpu.compute(10_000))]);
+        // ~10 interrupts of 100 cycles land inside 10k cycles of work.
+        assert!(r.duration_cycles() >= 10_900, "{}", r.duration_cycles());
+        assert!(r.duration_cycles() <= 11_200, "{}", r.duration_cycles());
+    }
+
+    #[test]
+    fn many_procs_distinct_data_pipelines() {
+        // 16 processors each hammering their own sub-page: total time must
+        // be far below 16x a single processor's (parallelism is real).
+        let mut m = Machine::ksr1(11).unwrap();
+        let addrs: Vec<u64> = (0..16).map(|_| m.alloc_subpage(8).unwrap()).collect();
+        let solo = {
+            let a = addrs[0];
+            let mut m1 = Machine::ksr1(11).unwrap();
+            let a1 = m1.alloc_subpage(8).unwrap();
+            let _ = a;
+            let r = m1.run(vec![program(move |cpu: &mut Cpu| {
+                for i in 0..200 {
+                    cpu.write_u64(a1, i);
+                }
+            })]);
+            r.duration_cycles()
+        };
+        let r = m.run(
+            addrs
+                .iter()
+                .map(|&a| {
+                    program(move |cpu: &mut Cpu| {
+                        for i in 0..200 {
+                            cpu.write_u64(a, i);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        assert!(
+            r.duration_cycles() < solo * 4,
+            "16 procs on distinct data should not serialize: {} vs solo {solo}",
+            r.duration_cycles()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! The program abstraction: what one simulated processor executes.
+
+use crate::cpu::Cpu;
+
+/// A program for one simulated processor.
+///
+/// Implemented automatically for closures, so most experiments spawn
+/// processors like:
+///
+/// ```ignore
+/// let programs: Vec<Box<dyn Program>> = (0..p)
+///     .map(|_| Box::new(move |cpu: &mut Cpu| { /* ... */ }) as Box<dyn Program>)
+///     .collect();
+/// machine.run(programs)?;
+/// ```
+pub trait Program: Send {
+    /// Run to completion on `cpu`. The processor's finish time is the
+    /// value of `cpu.now()` when this returns.
+    fn run(&mut self, cpu: &mut Cpu);
+}
+
+impl<F: FnMut(&mut Cpu) + Send> Program for F {
+    fn run(&mut self, cpu: &mut Cpu) {
+        self(cpu);
+    }
+}
+
+/// Box a closure as a program (sugar for experiment code).
+#[must_use]
+pub fn program(f: impl FnMut(&mut Cpu) + Send + 'static) -> Box<dyn Program> {
+    Box::new(f)
+}

@@ -1,0 +1,132 @@
+//! The per-cell hardware performance monitor.
+//!
+//! §2: "Each node in the KSR-1 has a hardware performance monitor that
+//! gives useful information such as the number of sub-cache and local-cache
+//! misses and the time spent in ring accesses. We used this piece of
+//! hardware quite extensively in our measurements." The experiment harness
+//! uses this structure exactly the way the authors used the monitor: to
+//! attribute slowdowns to cache capacity vs. ring saturation (e.g. the IS
+//! analysis in §3.3.2).
+
+/// Counter block for one cell. All counters are cumulative from machine
+/// construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfMon {
+    /// Accesses satisfied by the sub-cache.
+    pub subcache_hits: u64,
+    /// Accesses that missed the sub-cache.
+    pub subcache_misses: u64,
+    /// Sub-cache misses satisfied by the local cache.
+    pub localcache_hits: u64,
+    /// Accesses that left the cell (ring transactions for data).
+    pub localcache_misses: u64,
+    /// Ring transactions issued by this cell (all kinds).
+    pub ring_transactions: u64,
+    /// Cycles spent waiting for ring slots.
+    pub ring_wait_cycles: u64,
+    /// Total cycles of remote-access latency endured by this cell.
+    pub ring_latency_cycles: u64,
+    /// 16 KB page frames allocated in the local cache.
+    pub page_allocations: u64,
+    /// 2 KB blocks allocated in the sub-cache.
+    pub block_allocations: u64,
+    /// Sub-page invalidations received from other cells.
+    pub invalidations_received: u64,
+    /// Place-holder refills obtained via read-snarfing.
+    pub snarfs: u64,
+    /// Poststore packets issued.
+    pub poststores: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// `get_sub_page` attempts that lost to an existing atomic holder.
+    pub atomic_rejections: u64,
+}
+
+impl PerfMon {
+    /// Total processor-issued accesses observed.
+    #[must_use]
+    pub fn total_accesses(&self) -> u64 {
+        self.subcache_hits + self.subcache_misses
+    }
+
+    /// Sub-cache miss ratio (0 when no accesses).
+    #[must_use]
+    pub fn subcache_miss_ratio(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.subcache_misses as f64 / total as f64
+        }
+    }
+
+    /// Mean latency of this cell's remote (ring) accesses in cycles.
+    #[must_use]
+    pub fn mean_ring_latency(&self) -> f64 {
+        if self.ring_transactions == 0 {
+            0.0
+        } else {
+            self.ring_latency_cycles as f64 / self.ring_transactions as f64
+        }
+    }
+
+    /// Element-wise sum, for machine-wide aggregation.
+    #[must_use]
+    pub fn merged(self, o: Self) -> Self {
+        Self {
+            subcache_hits: self.subcache_hits + o.subcache_hits,
+            subcache_misses: self.subcache_misses + o.subcache_misses,
+            localcache_hits: self.localcache_hits + o.localcache_hits,
+            localcache_misses: self.localcache_misses + o.localcache_misses,
+            ring_transactions: self.ring_transactions + o.ring_transactions,
+            ring_wait_cycles: self.ring_wait_cycles + o.ring_wait_cycles,
+            ring_latency_cycles: self.ring_latency_cycles + o.ring_latency_cycles,
+            page_allocations: self.page_allocations + o.page_allocations,
+            block_allocations: self.block_allocations + o.block_allocations,
+            invalidations_received: self.invalidations_received + o.invalidations_received,
+            snarfs: self.snarfs + o.snarfs,
+            poststores: self.poststores + o.poststores,
+            prefetches: self.prefetches + o.prefetches,
+            atomic_rejections: self.atomic_rejections + o.atomic_rejections,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero() {
+        let p = PerfMon::default();
+        assert_eq!(p.subcache_miss_ratio(), 0.0);
+        assert_eq!(p.mean_ring_latency(), 0.0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let p = PerfMon { subcache_hits: 3, subcache_misses: 1, ..Default::default() };
+        assert_eq!(p.total_accesses(), 4);
+        assert!((p.subcache_miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ring_latency() {
+        let p = PerfMon {
+            ring_transactions: 4,
+            ring_latency_cycles: 700,
+            ..Default::default()
+        };
+        assert!((p.mean_ring_latency() - 175.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = PerfMon { subcache_hits: 1, poststores: 2, ..Default::default() };
+        let b = PerfMon { subcache_hits: 10, snarfs: 5, ..Default::default() };
+        let m = a.merged(b);
+        assert_eq!(m.subcache_hits, 11);
+        assert_eq!(m.poststores, 2);
+        assert_eq!(m.snarfs, 5);
+    }
+}

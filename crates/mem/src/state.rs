@@ -1,0 +1,79 @@
+//! Sub-page coherence states.
+//!
+//! §2: "Each sub-page can be in one of shared, exclusive, invalid, or
+//! atomic state. The atomic state is similar to the exclusive state except
+//! that a node succeeds in getting atomic access to a sub-page only if that
+//! sub-page is not already in an atomic state."
+//!
+//! A sub-page slot in a local-cache page descriptor can additionally be
+//! *missing* (never brought in since the page was allocated): the KSR
+//! distinguishes an allocated-but-invalid **place holder** — which
+//! read-snarfing and poststore refill for free — from a slot that was never
+//! touched.
+
+/// Coherence state of one 128 B sub-page in one cell's local cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SubpageState {
+    /// No copy and no place holder (page allocated, sub-page never seen).
+    #[default]
+    Missing,
+    /// Place holder present but contents stale. Eligible for read-snarfing
+    /// and poststore refill.
+    Invalid,
+    /// Valid read-only copy; other cells may also hold `Shared` copies.
+    Shared,
+    /// The only valid copy; read/write permitted.
+    Exclusive,
+    /// Exclusive plus the sub-page lock held via `get_sub_page`.
+    Atomic,
+}
+
+impl SubpageState {
+    /// Whether this copy can satisfy a read.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        matches!(self, Self::Shared | Self::Exclusive | Self::Atomic)
+    }
+
+    /// Whether this copy can satisfy a write without a coherence action.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        matches!(self, Self::Exclusive | Self::Atomic)
+    }
+
+    /// Whether this slot holds a place holder that snarfing/poststore can
+    /// refill.
+    #[must_use]
+    pub fn is_placeholder(self) -> bool {
+        matches!(self, Self::Invalid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permission_matrix() {
+        use SubpageState::*;
+        assert!(!Missing.readable() && !Missing.writable());
+        assert!(!Invalid.readable() && !Invalid.writable());
+        assert!(Shared.readable() && !Shared.writable());
+        assert!(Exclusive.readable() && Exclusive.writable());
+        assert!(Atomic.readable() && Atomic.writable());
+    }
+
+    #[test]
+    fn only_invalid_is_placeholder() {
+        use SubpageState::*;
+        assert!(Invalid.is_placeholder());
+        for s in [Missing, Shared, Exclusive, Atomic] {
+            assert!(!s.is_placeholder());
+        }
+    }
+
+    #[test]
+    fn default_is_missing() {
+        assert_eq!(SubpageState::default(), SubpageState::Missing);
+    }
+}

@@ -1,0 +1,130 @@
+//! System Virtual Address space — the data plane.
+//!
+//! In a real COMA machine data lives *only* in the caches; the ALLCACHE
+//! engine guarantees the last copy of a sub-page is never lost. The
+//! simulator gets the same guarantee more cheaply: a sparse page-granular
+//! backing store holds the authoritative bytes, while the caches hold only
+//! residency/coherence metadata. Because the coordinator serializes
+//! conflicting accesses in virtual-time order (sequential consistency, as
+//! the KSR-1 provides), a single authoritative value per address is exact.
+
+use std::collections::HashMap;
+
+use ksr_core::{Error, Result};
+
+use crate::geometry::PAGE_BYTES;
+
+/// Sparse byte store keyed by 16 KB page.
+#[derive(Debug, Clone, Default)]
+pub struct SvaStore {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SvaStore {
+    /// Empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&mut self, addr: u64) -> &mut [u8] {
+        let idx = addr / PAGE_BYTES;
+        self.pages
+            .entry(idx)
+            .or_insert_with(|| vec![0u8; PAGE_BYTES as usize].into_boxed_slice())
+    }
+
+    /// Read a `u64` (must not straddle a page boundary; the heap allocator
+    /// always aligns allocations, so this only fires on wild addresses).
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64> {
+        if addr % 8 != 0 {
+            return Err(Error::Misaligned { addr, required: 8 });
+        }
+        let off = (addr % PAGE_BYTES) as usize;
+        let p = self.page(addr);
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&p[off..off + 8]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) -> Result<()> {
+        if addr % 8 != 0 {
+            return Err(Error::Misaligned { addr, required: 8 });
+        }
+        let off = (addr % PAGE_BYTES) as usize;
+        let p = self.page(addr);
+        p[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Read an `f64` through its bit pattern.
+    pub fn read_f64(&mut self, addr: u64) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64(addr)?))
+    }
+
+    /// Write an `f64` through its bit pattern.
+    pub fn write_f64(&mut self, addr: u64, val: f64) -> Result<()> {
+        self.write_u64(addr, val.to_bits())
+    }
+
+    /// Number of materialized pages (diagnostics).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mut s = SvaStore::new();
+        assert_eq!(s.read_u64(0).unwrap(), 0);
+        assert_eq!(s.read_u64(8 * 1024 * 1024).unwrap(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut s = SvaStore::new();
+        s.write_u64(64, 0xDEAD_BEEF_0123_4567).unwrap();
+        assert_eq!(s.read_u64(64).unwrap(), 0xDEAD_BEEF_0123_4567);
+    }
+
+    #[test]
+    fn f64_roundtrip_preserves_bits() {
+        let mut s = SvaStore::new();
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::MIN_POSITIVE] {
+            s.write_f64(128, v).unwrap();
+            assert_eq!(s.read_f64(128).unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn misalignment_rejected() {
+        let mut s = SvaStore::new();
+        assert!(matches!(s.read_u64(4), Err(Error::Misaligned { .. })));
+        assert!(matches!(s.write_u64(9, 1), Err(Error::Misaligned { .. })));
+    }
+
+    #[test]
+    fn pages_materialize_lazily() {
+        let mut s = SvaStore::new();
+        assert_eq!(s.resident_pages(), 0);
+        s.write_u64(0, 1).unwrap();
+        s.write_u64(PAGE_BYTES, 1).unwrap();
+        s.write_u64(PAGE_BYTES + 8, 1).unwrap();
+        assert_eq!(s.resident_pages(), 2);
+    }
+
+    #[test]
+    fn adjacent_words_do_not_clobber() {
+        let mut s = SvaStore::new();
+        s.write_u64(0, u64::MAX).unwrap();
+        s.write_u64(8, 0x1111).unwrap();
+        assert_eq!(s.read_u64(0).unwrap(), u64::MAX);
+        assert_eq!(s.read_u64(8).unwrap(), 0x1111);
+    }
+}

@@ -1,0 +1,312 @@
+//! The Integer Sort (IS) kernel (§3.3.2, Table 2, Figures 8 and 9).
+//!
+//! A bucket sort: "each key is read and count of the bucket to which it
+//! belongs is incremented. A prefix sum operation is performed on the
+//! bucket counts. Lastly, the keys are read in again and assigned ranks
+//! using the prefix sums."
+//!
+//! The parallel algorithm follows Figure 9's seven phases exactly:
+//!
+//! 1. each processor counts its key block into its **replicated** local
+//!    bucket array `keyden_t` (replication avoids synchronization on a
+//!    global count — the design decision §3.3.2 discusses);
+//! 2. each processor accumulates its *portion* of the global `keyden`
+//!    from all processors' local counts (the all-to-all remote traffic
+//!    that saturates the ring at 32 processors);
+//! 3. each processor prefix-sums its portion; per-portion totals `m_i`;
+//! 4. **serial**: processor 0 prefix-sums `m_1..m_P` — the phase whose
+//!    cost *grows* with P and drives the rising serial fraction;
+//! 5. each processor adds `tmp_sum[i-1]` to its portion → global prefix
+//!    sums;
+//! 6. each processor atomically copies `keyden` into its `keyden_t` while
+//!    decrementing by its own counts — a chunk at a time, so access is
+//!    serialized per chunk but pipelined across chunks;
+//! 7. each processor ranks its keys from its private reservation.
+//!
+//! Between phases the system barrier is used, as in the paper.
+
+use ksr_core::{Result, XorShift64};
+use ksr_machine::{program, Cpu, Machine, Program, SharedU64};
+use ksr_sync::{BarrierAlg, Episode, HwLock, SystemBarrier};
+
+/// IS problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IsConfig {
+    /// Number of keys (paper: 2^23; scaled default 2^16).
+    pub keys: usize,
+    /// Key range / bucket count (scaled default 2^11).
+    pub max_key: usize,
+    /// Key-stream seed.
+    pub seed: u64,
+    /// Buckets per phase-6 lock chunk.
+    pub chunk: usize,
+}
+
+impl Default for IsConfig {
+    fn default() -> Self {
+        Self { keys: 1 << 16, max_key: 1 << 11, seed: 19_930_401, chunk: 128 }
+    }
+}
+
+/// Generate the key stream (deterministic in the seed).
+#[must_use]
+pub fn generate_keys(cfg: &IsConfig) -> Vec<u64> {
+    let mut rng = XorShift64::new(cfg.seed);
+    (0..cfg.keys).map(|_| rng.next_below(cfg.max_key as u64)).collect()
+}
+
+/// Sequential reference: returns 0-based ranks such that sorting keys by
+/// rank yields non-decreasing order (equal keys ranked by descending
+/// position, matching the parallel algorithm's decrement-from-the-top).
+#[must_use]
+pub fn is_sequential(cfg: &IsConfig) -> Vec<u64> {
+    let keys = generate_keys(cfg);
+    let mut counts = vec![0u64; cfg.max_key];
+    for &k in &keys {
+        counts[k as usize] += 1;
+    }
+    let mut cum = counts;
+    for b in 1..cfg.max_key {
+        cum[b] += cum[b - 1];
+    }
+    let mut ranks = vec![0u64; cfg.keys];
+    for (j, &k) in keys.iter().enumerate() {
+        let b = k as usize;
+        ranks[j] = cum[b] - 1;
+        cum[b] -= 1;
+    }
+    ranks
+}
+
+/// Check that `ranks` is a valid bucket-sort ranking of `keys`.
+#[must_use]
+pub fn ranks_are_valid(keys: &[u64], ranks: &[u64]) -> bool {
+    if keys.len() != ranks.len() {
+        return false;
+    }
+    let n = keys.len();
+    let mut sorted = vec![u64::MAX; n];
+    for (j, &r) in ranks.iter().enumerate() {
+        if r as usize >= n || sorted[r as usize] != u64::MAX {
+            return false; // out of range or not a permutation
+        }
+        sorted[r as usize] = keys[j];
+    }
+    sorted.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// IS wired onto a simulated machine.
+pub struct IsSetup {
+    cfg: IsConfig,
+    key: SharedU64,
+    rank: SharedU64,
+    keyden: SharedU64,
+    keyden_t: SharedU64,
+    msum: SharedU64,
+    tmp_sum: SharedU64,
+    locks: Vec<HwLock>,
+    barrier: SystemBarrier,
+    procs: usize,
+}
+
+impl IsSetup {
+    /// Allocate and initialise shared state for `procs` processors.
+    pub fn new(m: &mut Machine, cfg: IsConfig, procs: usize) -> Result<Self> {
+        assert!(cfg.max_key % cfg.chunk == 0, "chunk must divide the bucket count");
+        let key = SharedU64::alloc(m, cfg.keys)?;
+        let rank = SharedU64::alloc(m, cfg.keys)?;
+        let keyden = SharedU64::alloc(m, cfg.max_key)?;
+        let keyden_t = SharedU64::alloc(m, cfg.max_key * procs)?;
+        let msum = SharedU64::alloc(m, procs)?;
+        let tmp_sum = SharedU64::alloc(m, procs + 1)?;
+        let n_chunks = cfg.max_key / cfg.chunk;
+        let locks = (0..n_chunks).map(|_| HwLock::alloc(m)).collect::<Result<Vec<_>>>()?;
+        for (j, k) in generate_keys(&cfg).into_iter().enumerate() {
+            key.poke(m, j, k);
+        }
+        // NAS IS generates keys in parallel: each processor's block starts
+        // resident in its own local cache.
+        for p in 0..procs {
+            let (klo, khi) = (p * cfg.keys / procs, (p + 1) * cfg.keys / procs);
+            if khi > klo {
+                m.warm(p, key.addr(klo), (khi - klo) as u64 * 8);
+            }
+        }
+        let barrier = SystemBarrier::alloc(m, procs)?;
+        Ok(Self { cfg, key, rank, keyden, keyden_t, msum, tmp_sum, locks, barrier, procs })
+    }
+
+    /// One program per processor (the seven phases of Figure 9).
+    #[must_use]
+    pub fn programs(&self) -> Vec<Box<dyn Program>> {
+        let procs = self.procs;
+        let cfg = self.cfg;
+        let (key, rank, keyden, keyden_t) = (self.key, self.rank, self.keyden, self.keyden_t);
+        let (msum, tmp_sum, barrier) = (self.msum, self.tmp_sum, self.barrier);
+        let locks = self.locks.clone();
+        (0..procs)
+            .map(|pid| {
+                let locks = locks.clone();
+                program(move |cpu: &mut Cpu| {
+                    let n = cfg.keys;
+                    let nb = cfg.max_key;
+                    let (klo, khi) = (pid * n / procs, (pid + 1) * n / procs);
+                    let (blo, bhi) = (pid * nb / procs, (pid + 1) * nb / procs);
+                    let my_t = pid * nb; // base of my keyden_t region
+                    let mut ep = Episode::default();
+
+                    // Phase 1: local bucket counts over my key block.
+                    for j in klo..khi {
+                        let k = key.get(cpu, j) as usize;
+                        let c = keyden_t.get(cpu, my_t + k);
+                        keyden_t.set(cpu, my_t + k, c + 1);
+                        cpu.compute(3);
+                    }
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 2: accumulate my portion of the global counts
+                    // from every processor's local counts (remote reads).
+                    for b in blo..bhi {
+                        let mut total = 0;
+                        for q in 0..procs {
+                            total += keyden_t.get(cpu, q * nb + b);
+                            cpu.compute(1);
+                        }
+                        keyden.set(cpu, b, total);
+                    }
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 3: prefix sums within my portion.
+                    let mut running = 0;
+                    for b in blo..bhi {
+                        running += keyden.get(cpu, b);
+                        keyden.set(cpu, b, running);
+                        cpu.compute(1);
+                    }
+                    msum.set(cpu, pid, running);
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 4: serial prefix over the per-portion totals.
+                    if pid == 0 {
+                        let mut acc = 0;
+                        tmp_sum.set(cpu, 0, 0);
+                        for q in 0..procs {
+                            acc += msum.get(cpu, q);
+                            tmp_sum.set(cpu, q + 1, acc);
+                            cpu.compute(2);
+                        }
+                    }
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 5: shift my portion by the preceding total.
+                    let shift = tmp_sum.get(cpu, pid);
+                    if shift != 0 {
+                        for b in blo..bhi {
+                            let v = keyden.get(cpu, b);
+                            keyden.set(cpu, b, v + shift);
+                            cpu.compute(1);
+                        }
+                    }
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 6: atomically reserve my ranks chunk by chunk,
+                    // starting at my own portion so processors pipeline
+                    // around the chunk ring instead of convoying.
+                    let n_chunks = locks.len();
+                    let start_chunk = blo / cfg.chunk;
+                    for s in 0..n_chunks {
+                        let c = (start_chunk + s) % n_chunks;
+                        locks[c].acquire(cpu);
+                        for b in c * cfg.chunk..(c + 1) * cfg.chunk {
+                            let tot = keyden.get(cpu, b);
+                            let mine = keyden_t.get(cpu, my_t + b);
+                            keyden.set(cpu, b, tot - mine);
+                            keyden_t.set(cpu, my_t + b, tot);
+                            cpu.compute(2);
+                        }
+                        locks[c].release(cpu);
+                    }
+                    barrier.wait(cpu, &mut ep);
+
+                    // Phase 7: rank my keys from my private reservation.
+                    for j in klo..khi {
+                        let k = key.get(cpu, j) as usize;
+                        let r = keyden_t.get(cpu, my_t + k);
+                        keyden_t.set(cpu, my_t + k, r - 1);
+                        rank.set(cpu, j, r - 1);
+                        cpu.compute(3);
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Read back the rank array after a run.
+    pub fn ranks(&self, m: &mut Machine) -> Vec<u64> {
+        (0..self.cfg.keys).map(|j| self.rank.peek(m, j)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> IsConfig {
+        IsConfig { keys: 2_000, max_key: 256, seed: 5, chunk: 64 }
+    }
+
+    #[test]
+    fn sequential_ranks_are_valid() {
+        let cfg = tiny();
+        let keys = generate_keys(&cfg);
+        let ranks = is_sequential(&cfg);
+        assert!(ranks_are_valid(&keys, &ranks));
+    }
+
+    #[test]
+    fn validity_checker_rejects_garbage() {
+        let keys = vec![3, 1, 2];
+        assert!(!ranks_are_valid(&keys, &[0, 0, 1]), "not a permutation");
+        assert!(!ranks_are_valid(&keys, &[0, 1, 2]), "not sorted by rank");
+        assert!(ranks_are_valid(&keys, &[2, 0, 1]));
+    }
+
+    #[test]
+    fn parallel_ranks_are_valid_for_various_proc_counts() {
+        let cfg = tiny();
+        let keys = generate_keys(&cfg);
+        for procs in [1usize, 2, 4, 8] {
+            let mut m = Machine::ksr1_scaled(50, 64).unwrap();
+            let setup = IsSetup::new(&mut m, cfg, procs).unwrap();
+            m.run(setup.programs());
+            let ranks = setup.ranks(&mut m);
+            assert!(ranks_are_valid(&keys, &ranks), "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn single_proc_matches_sequential_exactly() {
+        let cfg = tiny();
+        let mut m = Machine::ksr1_scaled(51, 64).unwrap();
+        let setup = IsSetup::new(&mut m, cfg, 1).unwrap();
+        m.run(setup.programs());
+        assert_eq!(setup.ranks(&mut m), is_sequential(&cfg));
+    }
+
+    #[test]
+    fn keys_are_in_range_and_deterministic() {
+        let cfg = tiny();
+        let a = generate_keys(&cfg);
+        let b = generate_keys(&cfg);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| k < cfg.max_key as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must divide")]
+    fn bad_chunk_rejected() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let cfg = IsConfig { chunk: 100, ..tiny() };
+        let _ = IsSetup::new(&mut m, cfg, 2);
+    }
+}

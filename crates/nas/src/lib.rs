@@ -1,0 +1,29 @@
+//! # ksr-nas
+//!
+//! The NAS Parallel Benchmark kernels and application of §3.3 of
+//! *"Scalability Study of the KSR-1"*, each in two forms:
+//!
+//! * a **sequential reference** in plain Rust, used for speedup baselines
+//!   and functional verification;
+//! * a **simulated parallel implementation** running on `ksr-machine`,
+//!   structured exactly as the paper describes (row-partitioned CSR
+//!   mat-vec with a serial section for CG; the seven-phase replicated-
+//!   bucket sort for IS; three ADI sweeps with slab/column re-partitioning
+//!   for SP), with the paper's `prefetch`/`poststore` optimisation knobs.
+//!
+//! Parallel runs are bitwise identical to the sequential references for
+//! CG and SP (same arithmetic order), exactly rank-valid for IS, and
+//! count-exact for EP — so the performance experiments are always backed
+//! by verified computations.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod ep;
+pub mod is;
+pub mod sp;
+
+pub use cg::{cg_sequential, CgConfig, CgResult, CgSetup};
+pub use ep::{ep_sequential, EpConfig, EpResult, EpSetup};
+pub use is::{is_sequential, ranks_are_valid, IsConfig, IsSetup};
+pub use sp::{sp_sequential, SpConfig, SpLayout, SpSetup};

@@ -1,0 +1,437 @@
+//! The Scalar Pentadiagonal (SP) application (§3.3.3, Tables 3 and 4).
+//!
+//! "The SP code implements an iterative partial differential equation
+//! solver, that mimics the behavior of computational fluid dynamic codes
+//! used in aerodynamic simulation." Each iteration is "composed of three
+//! phases of computation" — an ADI-style sweep along each grid axis, every
+//! sweep solving an independent scalar pentadiagonal system along every
+//! grid line — and "communication between processors occurs at the
+//! beginning of each phase."
+//!
+//! The grid is partitioned in k-slabs for the x and y sweeps and re-
+//! partitioned in j-columns for the z sweep, so the z sweep (and the next
+//! iteration's x sweep) begin with the cross-processor traffic the paper
+//! describes. Three optimisation knobs reproduce Table 4's ladder:
+//!
+//! * [`SpLayout::Base`] aligns all six field arrays to the sub-cache way
+//!   span, so lock-step line walks collide in the 2-way first-level cache
+//!   and the random replacement policy thrashes — the behaviour the
+//!   authors found via the hardware performance monitor;
+//!   [`SpLayout::Padded`] staggers the arrays by one 2 KB block each
+//!   ("data padding and alignment", −15%);
+//! * `prefetch` issues non-blocking line prefetches at each phase start
+//!   ("prefetching appropriate data", a further −11%);
+//! * `poststore` broadcasts each written line — which the paper found
+//!   *hurts*, "because even though data might be copied into the caches
+//!   of the other processors that need the value, it is in a shared
+//!   state" and the next phase's writer pays the invalidation.
+
+pub mod penta;
+
+pub use penta::{random_dominant, solve_penta, PentaSystem};
+
+use ksr_core::{Result, XorShift64};
+use ksr_machine::{program, Cpu, Machine, Program, SharedF64};
+use ksr_sync::{BarrierAlg, Episode, SystemBarrier};
+
+/// Field-array layout policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpLayout {
+    /// All arrays aligned to the sub-cache way span (conflict-heavy, the
+    /// unoptimised original).
+    Base,
+    /// Arrays staggered by one 2 KB sub-cache block each.
+    Padded,
+}
+
+/// SP problem parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SpConfig {
+    /// Grid edge length (paper: 64; scaled default 16).
+    pub n: usize,
+    /// Solver iterations (the paper's benchmark runs 400; the shape of
+    /// the scaling table is identical from a handful).
+    pub iterations: usize,
+    /// Coefficient seed.
+    pub seed: u64,
+    /// Array layout policy.
+    pub layout: SpLayout,
+    /// Prefetch upcoming lines at phase starts.
+    pub prefetch: bool,
+    /// Poststore written lines (the counter-productive option).
+    pub poststore: bool,
+}
+
+impl Default for SpConfig {
+    fn default() -> Self {
+        Self {
+            n: 16,
+            iterations: 2,
+            seed: 64_64_64,
+            layout: SpLayout::Padded,
+            prefetch: true,
+            poststore: false,
+        }
+    }
+}
+
+/// The six grid fields: five pentadiagonal coefficient arrays + solution.
+const FIELDS: usize = 6;
+/// Sub-cache way span of the full-size KSR-1 geometry (64 sets × 2 KB).
+const WAY_SPAN: u64 = 128 * 1024;
+/// One sub-cache block.
+const BLOCK: u64 = 2 * 1024;
+
+/// Deterministic per-cell coefficients: five diagonals, dominant `d`.
+fn coefficients(n: usize, seed: u64) -> [Vec<f64>; 5] {
+    let mut rng = XorShift64::new(seed);
+    let cells = n * n * n;
+    let mut gen = |scale: f64| {
+        (0..cells).map(|_| (rng.next_f64() - 0.5) * scale).collect::<Vec<f64>>()
+    };
+    let e = gen(0.3);
+    let c = gen(0.5);
+    let a = gen(0.5);
+    let b = gen(0.3);
+    let mut rng2 = XorShift64::new(seed ^ 0xD1AB_0136);
+    let d = (0..cells)
+        .map(|i| 1.0 + e[i].abs() + c[i].abs() + a[i].abs() + b[i].abs() + rng2.next_f64())
+        .collect();
+    [e, c, d, a, b]
+}
+
+fn initial_u(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed ^ 0x5EED_0001);
+    (0..n * n * n).map(|_| rng.next_f64()).collect()
+}
+
+#[inline]
+fn idx(n: usize, i: usize, j: usize, k: usize) -> usize {
+    (k * n + j) * n + i
+}
+
+/// Solve one line in place given gathered coefficients; returns the
+/// solution in `rhs`.
+fn solve_gathered(
+    e: &mut [f64],
+    c: &mut [f64],
+    d: &mut [f64],
+    a: &mut [f64],
+    b: &mut [f64],
+    rhs: &mut [f64],
+) {
+    solve_penta(e, c, d, a, b, rhs);
+}
+
+/// Sequential reference. Returns the final `u` grid.
+#[must_use]
+pub fn sp_sequential(cfg: &SpConfig) -> Vec<f64> {
+    let n = cfg.n;
+    let [ce, cc, cd, ca, cb] = coefficients(n, cfg.seed);
+    let mut u = initial_u(n, cfg.seed);
+    let mut scratch = vec![0.0f64; 6 * n];
+    for _ in 0..cfg.iterations {
+        for dir in 0..3 {
+            for outer in 0..n {
+                for inner in 0..n {
+                    // Gather the line.
+                    let cell = |t: usize| match dir {
+                        0 => idx(n, t, inner, outer), // x-lines: (j,k) fixed
+                        1 => idx(n, inner, t, outer), // y-lines: (i,k) fixed
+                        _ => idx(n, inner, outer, t), // z-lines: (i,j) fixed
+                    };
+                    let (se, rest) = scratch.split_at_mut(n);
+                    let (sc, rest) = rest.split_at_mut(n);
+                    let (sd, rest) = rest.split_at_mut(n);
+                    let (sa, rest) = rest.split_at_mut(n);
+                    let (sb, sr) = rest.split_at_mut(n);
+                    for t in 0..n {
+                        let g = cell(t);
+                        se[t] = ce[g];
+                        sc[t] = cc[g];
+                        sd[t] = cd[g];
+                        sa[t] = ca[g];
+                        sb[t] = cb[g];
+                        sr[t] = u[g];
+                    }
+                    solve_gathered(se, sc, sd, sa, sb, sr);
+                    for t in 0..n {
+                        u[cell(t)] = sr[t];
+                    }
+                }
+            }
+        }
+    }
+    u
+}
+
+/// SP wired onto a simulated machine (full-size cache geometry — the
+/// Table-4 effects are *conflict* misses, not capacity misses).
+pub struct SpSetup {
+    cfg: SpConfig,
+    fields: [SharedF64; FIELDS], // e, c, d, a, b, u
+    barrier: SystemBarrier,
+    procs: usize,
+}
+
+impl SpSetup {
+    /// Allocate the six field arrays under the configured layout policy
+    /// and install the coefficients and the initial guess.
+    pub fn new(m: &mut Machine, cfg: SpConfig, procs: usize) -> Result<Self> {
+        let n = cfg.n;
+        let cells = n * n * n;
+        let bytes = cells as u64 * 8;
+        let mut fields = Vec::with_capacity(FIELDS);
+        for f in 0..FIELDS {
+            let arr = match cfg.layout {
+                SpLayout::Base => {
+                    // Same offset within the way span for every array.
+                    let raw = m.alloc(bytes + WAY_SPAN, WAY_SPAN)?;
+                    SharedF64::from_raw(raw, cells)
+                }
+                SpLayout::Padded => {
+                    // Stagger each array by one block.
+                    let raw = m.alloc(bytes + WAY_SPAN + FIELDS as u64 * BLOCK, WAY_SPAN)?;
+                    SharedF64::from_raw(raw + f as u64 * BLOCK, cells)
+                }
+            };
+            fields.push(arr);
+        }
+        let fields: [SharedF64; FIELDS] = fields.try_into().expect("six fields");
+        let [ce, cc, cd, ca, cb] = coefficients(n, cfg.seed);
+        let u0 = initial_u(n, cfg.seed);
+        for (arr, vals) in fields.iter().zip([&ce, &cc, &cd, &ca, &cb, &u0]) {
+            for (g, &v) in vals.iter().enumerate() {
+                arr.poke(m, g, v);
+            }
+            // Sequential initialisation ran on cell 0.
+            m.warm(0, arr.addr(0), bytes);
+        }
+        let barrier = SystemBarrier::alloc(m, procs)?;
+        Ok(Self { cfg, fields, barrier, procs })
+    }
+
+    /// One program per processor.
+    #[must_use]
+    pub fn programs(&self) -> Vec<Box<dyn Program>> {
+        let cfg = self.cfg;
+        let fields = self.fields;
+        let barrier = self.barrier;
+        let procs = self.procs;
+        (0..procs)
+            .map(|pid| {
+                program(move |cpu: &mut Cpu| {
+                    let n = cfg.n;
+                    let mut ep = Episode::default();
+                    let mut scratch = vec![0.0f64; 6 * n];
+                    for _ in 0..cfg.iterations {
+                        for dir in 0..3 {
+                            // Lines — not whole planes — are distributed,
+                            // so 31 processors load-balance a 32-plane
+                            // grid the way the paper's 31 processors did
+                            // on 64³. x/y sweeps keep lines within
+                            // k-planes; the z sweep regroups them by
+                            // j-plane (cross-partition communication at
+                            // the phase boundary).
+                            let lines = n * n;
+                            let (llo, lhi) =
+                                (pid * lines / procs, (pid + 1) * lines / procs);
+                            // "By using prefetches, at the beginning of
+                            // these phases": pull in the sub-pages of the
+                            // *solution* array my new partition covers,
+                            // software-pipelined one line ahead so the
+                            // fetches overlap the current line's solve.
+                            // In the x-sweep each line owns its sub-pages
+                            // outright (contiguous in i) and is fetched
+                            // exclusive; in the z-sweep a sub-page spans
+                            // sixteen i-lines, so one line per i-block
+                            // fetches the block's column — exclusive only
+                            // when the whole block is mine, shared at
+                            // partition boundaries so a neighbour's
+                            // ownership is not stolen. Only the sweeps
+                            // following a re-partition need this; the y
+                            // sweep reuses the x sweep's planes, and the
+                            // read-only coefficient arrays settle after
+                            // the first iteration.
+                            let prefetch_line = |cpu: &mut Cpu, l: usize, first: bool| {
+                                let (outer, inner) = (l / n, l % n);
+                                if dir == 0 {
+                                    let base = idx(n, 0, inner, outer);
+                                    let mut t = 0;
+                                    while t < n {
+                                        fields[5].prefetch(cpu, base + t, true);
+                                        t += 16; // one 128 B sub-page
+                                    }
+                                } else if inner % 16 == 0 || first {
+                                    let block = inner - inner % 16;
+                                    let block_lines =
+                                        outer * n + block..outer * n + (block + 16).min(n);
+                                    let exclusive =
+                                        llo <= block_lines.start && block_lines.end <= lhi;
+                                    for t in 0..n {
+                                        fields[5].prefetch(
+                                            cpu,
+                                            idx(n, block, outer, t),
+                                            exclusive,
+                                        );
+                                    }
+                                }
+                            };
+                            let do_prefetch = cfg.prefetch && dir != 1 && llo < lhi;
+                            if do_prefetch {
+                                prefetch_line(cpu, llo, true);
+                            }
+                            for l in llo..lhi {
+                                let (outer, inner) = (l / n, l % n);
+                                if do_prefetch && l + 1 < lhi {
+                                    prefetch_line(cpu, l + 1, false);
+                                }
+                                let cell = |t: usize| match dir {
+                                    0 => idx(n, t, inner, outer),
+                                    1 => idx(n, inner, t, outer),
+                                    _ => idx(n, inner, outer, t),
+                                };
+                                let (se, rest) = scratch.split_at_mut(n);
+                                let (sc, rest) = rest.split_at_mut(n);
+                                let (sd, rest) = rest.split_at_mut(n);
+                                let (sa, rest) = rest.split_at_mut(n);
+                                let (sb, sr) = rest.split_at_mut(n);
+                                for t in 0..n {
+                                    let g = cell(t);
+                                    se[t] = fields[0].get(cpu, g);
+                                    sc[t] = fields[1].get(cpu, g);
+                                    sd[t] = fields[2].get(cpu, g);
+                                    sa[t] = fields[3].get(cpu, g);
+                                    sb[t] = fields[4].get(cpu, g);
+                                    sr[t] = fields[5].get(cpu, g);
+                                    cpu.compute(4);
+                                }
+                                solve_gathered(se, sc, sd, sa, sb, sr);
+                                // Arithmetic weight per point: the real SP
+                                // forms the five lhs diagonals from the
+                                // flow state every sweep and eliminates —
+                                // on the order of 1.4 kflop per point —
+                                // which is what makes the application
+                                // compute-bound enough to scale to 31
+                                // processors (Table 3).
+                                cpu.flops(1_400 * n as u64);
+                                for t in 0..n {
+                                    let g = cell(t);
+                                    fields[5].set(cpu, g, sr[t]);
+                                    if cfg.poststore && t % 16 == 15 {
+                                        fields[5].poststore(cpu, g);
+                                    }
+                                }
+                                if cfg.poststore {
+                                    fields[5].poststore(cpu, cell(n - 1));
+                                }
+                            }
+                            barrier.wait(cpu, &mut ep);
+                        }
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Read back the solution grid after a run.
+    pub fn solution(&self, m: &mut Machine) -> Vec<f64> {
+        let cells = self.cfg.n * self.cfg.n * self.cfg.n;
+        (0..cells).map(|g| self.fields[5].peek(m, g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SpConfig {
+        SpConfig { n: 8, iterations: 1, ..SpConfig::default() }
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        assert_eq!(sp_sequential(&tiny()), sp_sequential(&tiny()));
+    }
+
+    #[test]
+    fn sweeps_actually_solve_lines() {
+        // After one x-sweep-only run (dir loop included, but verify via a
+        // single line): gather coefficients of line (j=2,k=3), apply the
+        // solved values, and check A·u_line == previous rhs.
+        let cfg = tiny();
+        let n = cfg.n;
+        let [ce, cc, cd, ca, cb] = coefficients(n, cfg.seed);
+        let u0 = initial_u(n, cfg.seed);
+        // Manually solve that one line the way the sweep does.
+        let line: Vec<usize> = (0..n).map(|i| idx(n, i, 2, 3)).collect();
+        let sys = PentaSystem {
+            e: line.iter().map(|&g| ce[g]).collect(),
+            c: line.iter().map(|&g| cc[g]).collect(),
+            d: line.iter().map(|&g| cd[g]).collect(),
+            a: line.iter().map(|&g| ca[g]).collect(),
+            b: line.iter().map(|&g| cb[g]).collect(),
+        };
+        let rhs: Vec<f64> = line.iter().map(|&g| u0[g]).collect();
+        let mut work = sys.clone();
+        let mut x = rhs.clone();
+        solve_penta(&mut work.e, &mut work.c, &mut work.d, &mut work.a, &mut work.b, &mut x);
+        let back = sys.multiply(&x);
+        for t in 0..n {
+            assert!((back[t] - rhs[t]).abs() < 1e-8, "residual at {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let cfg = tiny();
+        let reference = sp_sequential(&cfg);
+        for procs in [1usize, 2, 4] {
+            let mut m = Machine::ksr1(60).unwrap();
+            let setup = SpSetup::new(&mut m, cfg, procs).unwrap();
+            m.run(setup.programs());
+            let got = setup.solution(&mut m);
+            assert_eq!(got.len(), reference.len());
+            for (g, (a, b)) in got.iter().zip(&reference).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "procs={procs} cell {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_option_combinations_agree_numerically() {
+        let base = sp_sequential(&tiny());
+        for layout in [SpLayout::Base, SpLayout::Padded] {
+            for prefetch in [false, true] {
+                for poststore in [false, true] {
+                    let cfg = SpConfig { layout, prefetch, poststore, ..tiny() };
+                    let mut m = Machine::ksr1(61).unwrap();
+                    let setup = SpSetup::new(&mut m, cfg, 2).unwrap();
+                    m.run(setup.programs());
+                    let got = setup.solution(&mut m);
+                    for (a, b) in got.iter().zip(&base) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "options must not change the arithmetic"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_layout_aligns_arrays_identically() {
+        let mut m = Machine::ksr1(62).unwrap();
+        let s = SpSetup::new(&mut m, SpConfig { layout: SpLayout::Base, ..tiny() }, 1).unwrap();
+        let offsets: Vec<u64> = s.fields.iter().map(|f| f.addr(0) % WAY_SPAN).collect();
+        assert!(offsets.iter().all(|&o| o == offsets[0]), "{offsets:?}");
+        let mut m = Machine::ksr1(63).unwrap();
+        let s = SpSetup::new(&mut m, SpConfig { layout: SpLayout::Padded, ..tiny() }, 1).unwrap();
+        let offsets: Vec<u64> = s.fields.iter().map(|f| f.addr(0) % WAY_SPAN).collect();
+        let mut uniq = offsets.clone();
+        uniq.dedup();
+        assert_eq!(uniq.len(), FIELDS, "padded arrays must land in distinct blocks");
+    }
+}

@@ -1,0 +1,222 @@
+//! Scalar pentadiagonal line solver.
+//!
+//! SP's inner computation solves, along every grid line in each sweep
+//! direction, a linear system whose matrix has five diagonals
+//! (`e` at −2, `c` at −1, `d` on the main, `a` at +1, `b` at +2). This is
+//! the standard pentadiagonal forward-elimination / back-substitution in
+//! O(n), operating on caller-provided slices so both the sequential
+//! reference (native memory) and the simulated kernel (shared-memory
+//! reads funneled through the cache model) drive the same arithmetic.
+
+/// Coefficients of one pentadiagonal line system of size `n`:
+/// row `i` reads `e[i]·x[i-2] + c[i]·x[i-1] + d[i]·x[i] + a[i]·x[i+1] +
+/// b[i]·x[i+2] = rhs[i]` (out-of-range terms absent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PentaSystem {
+    /// Sub-sub-diagonal (−2).
+    pub e: Vec<f64>,
+    /// Sub-diagonal (−1).
+    pub c: Vec<f64>,
+    /// Main diagonal.
+    pub d: Vec<f64>,
+    /// Super-diagonal (+1).
+    pub a: Vec<f64>,
+    /// Super-super-diagonal (+2).
+    pub b: Vec<f64>,
+}
+
+impl PentaSystem {
+    /// System size.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Multiply: `y = A x` (used for verification).
+    #[must_use]
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.n();
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = self.d[i] * x[i];
+            if i >= 1 {
+                s += self.c[i] * x[i - 1];
+            }
+            if i >= 2 {
+                s += self.e[i] * x[i - 2];
+            }
+            if i + 1 < n {
+                s += self.a[i] * x[i + 1];
+            }
+            if i + 2 < n {
+                s += self.b[i] * x[i + 2];
+            }
+            y[i] = s;
+        }
+        y
+    }
+}
+
+/// Solve one pentadiagonal system in place.
+///
+/// Inputs are the five diagonals and the right-hand side as mutable
+/// working slices (the eliminations scribble over them, exactly like the
+/// Fortran original); on return `rhs` holds the solution. All slices must
+/// have equal length ≥ 1. The matrix must be non-singular after
+/// elimination (diagonally dominant systems, as SP's are, always are).
+///
+/// ~13 floating-point operations per point in the forward sweep and ~5 in
+/// the back substitution — the counts the simulated kernel charges.
+#[allow(clippy::many_single_char_names)]
+pub fn solve_penta(
+    e: &mut [f64],
+    c: &mut [f64],
+    d: &mut [f64],
+    a: &mut [f64],
+    b: &mut [f64],
+    rhs: &mut [f64],
+) {
+    let n = d.len();
+    assert!(
+        [e.len(), c.len(), a.len(), b.len(), rhs.len()].iter().all(|&l| l == n),
+        "diagonal lengths differ"
+    );
+    assert!(n >= 1, "empty system");
+    // Forward elimination of the two sub-diagonals.
+    for i in 0..n {
+        // Eliminate c[i+1] (row i+1) and e[i+2] (row i+2) using row i.
+        let piv = d[i];
+        assert!(piv != 0.0, "zero pivot at row {i}");
+        if i + 1 < n {
+            let m1 = c[i + 1] / piv;
+            d[i + 1] -= m1 * a[i];
+            a[i + 1] -= m1 * b[i];
+            rhs[i + 1] -= m1 * rhs[i];
+            c[i + 1] = 0.0;
+        }
+        if i + 2 < n {
+            let m2 = e[i + 2] / piv;
+            c[i + 2] -= m2 * a[i];
+            d[i + 2] -= m2 * b[i];
+            rhs[i + 2] -= m2 * rhs[i];
+            e[i + 2] = 0.0;
+        }
+    }
+    // Back substitution.
+    rhs[n - 1] /= d[n - 1];
+    if n >= 2 {
+        rhs[n - 2] = (rhs[n - 2] - a[n - 2] * rhs[n - 1]) / d[n - 2];
+    }
+    for i in (0..n.saturating_sub(2)).rev() {
+        rhs[i] = (rhs[i] - a[i] * rhs[i + 1] - b[i] * rhs[i + 2]) / d[i];
+    }
+}
+
+/// Generate a diagonally dominant pentadiagonal test system of size `n`,
+/// deterministic in `seed`.
+#[must_use]
+pub fn random_dominant(n: usize, seed: u64) -> PentaSystem {
+    let mut rng = ksr_core::XorShift64::new(seed);
+    let mut coef = |scale: f64| (0..n).map(|_| (rng.next_f64() - 0.5) * scale).collect::<Vec<_>>();
+    let e = coef(0.4);
+    let c = coef(0.6);
+    let a = coef(0.6);
+    let b = coef(0.4);
+    let d = (0..n)
+        .map(|i| {
+            let mut s = 1.0 + c[i].abs() + e[i].abs() + a[i].abs() + b[i].abs();
+            if i % 2 == 0 {
+                s = -s; // mixed signs keep the test honest
+            }
+            s
+        })
+        .collect();
+    PentaSystem { e, c, d, a, b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_system(sys: &PentaSystem, rhs: &[f64]) -> Vec<f64> {
+        let mut e = sys.e.clone();
+        let mut c = sys.c.clone();
+        let mut d = sys.d.clone();
+        let mut a = sys.a.clone();
+        let mut b = sys.b.clone();
+        let mut r = rhs.to_vec();
+        solve_penta(&mut e, &mut c, &mut d, &mut a, &mut b, &mut r);
+        r
+    }
+
+    #[test]
+    fn solves_identity() {
+        let n = 7;
+        let sys = PentaSystem {
+            e: vec![0.0; n],
+            c: vec![0.0; n],
+            d: vec![1.0; n],
+            a: vec![0.0; n],
+            b: vec![0.0; n],
+        };
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        assert_eq!(solve_system(&sys, &rhs), rhs);
+    }
+
+    #[test]
+    fn roundtrips_random_systems() {
+        for seed in [1u64, 2, 3, 9] {
+            for n in [1usize, 2, 3, 5, 16, 33] {
+                let sys = random_dominant(n, seed);
+                let x_true: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+                let rhs = sys.multiply(&x_true);
+                let x = solve_system(&sys, &rhs);
+                for i in 0..n {
+                    assert!(
+                        (x[i] - x_true[i]).abs() < 1e-8,
+                        "n={n} seed={seed} i={i}: {} vs {}",
+                        x[i],
+                        x_true[i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_matches_dense() {
+        let n = 6;
+        let sys = random_dominant(n, 4);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let y = sys.multiply(&x);
+        // Dense re-computation.
+        for i in 0..n {
+            let mut s = sys.d[i] * x[i];
+            if i >= 1 {
+                s += sys.c[i] * x[i - 1];
+            }
+            if i >= 2 {
+                s += sys.e[i] * x[i - 2];
+            }
+            if i + 1 < n {
+                s += sys.a[i] * x[i + 1];
+            }
+            if i + 2 < n {
+                s += sys.b[i] * x[i + 2];
+            }
+            assert!((y[i] - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mismatched_lengths_panic() {
+        let mut e = vec![0.0; 3];
+        let mut c = vec![0.0; 3];
+        let mut d = vec![1.0; 3];
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 2];
+        let mut r = vec![0.0; 3];
+        solve_penta(&mut e, &mut c, &mut d, &mut a, &mut b, &mut r);
+    }
+}

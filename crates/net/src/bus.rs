@@ -1,0 +1,155 @@
+//! A Sequent Symmetry-style shared snooping bus.
+//!
+//! §3.2.3 of the paper contrasts the KSR-1 with the Symmetry: "the bus
+//! serializes all the communication and hence algorithms which can benefit
+//! in the presence of parallel communication paths (such as dissemination,
+//! tournament, and MCS) do not perform well", while the naive counter
+//! barrier — whose problem on the KSR-1 is hot-spot serialization — is
+//! *already* serialized on a bus and therefore wins there.
+//!
+//! The model is a single FIFO resource: every coherence transaction
+//! arbitrates for the bus, holds it for a command or a command+data period,
+//! and releases it. There is no pipelining and no notion of distance.
+
+use ksr_core::time::Cycles;
+use ksr_core::{Error, Result};
+
+use crate::msg::PacketKind;
+use crate::ring::RingTiming;
+
+/// Bus timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Cycles to win arbitration when the bus is idle.
+    pub arbitration_cycles: Cycles,
+    /// Bus occupancy for an address-only (command) transaction.
+    pub cmd_cycles: Cycles,
+    /// Bus occupancy for a transaction carrying a cache line of data.
+    pub data_cycles: Cycles,
+}
+
+impl BusConfig {
+    /// A Symmetry-flavoured default: a cache-miss fill costs on the order
+    /// of tens of cycles and the bus is the only path.
+    #[must_use]
+    pub fn symmetry() -> Self {
+        Self { arbitration_cycles: 2, cmd_cycles: 6, data_cycles: 20 }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.cmd_cycles == 0 || self.data_cycles == 0 {
+            return Err(Error::Config("bus occupancy must be non-zero".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate bus counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Transactions carried.
+    pub transactions: u64,
+    /// Total cycles requesters spent waiting for the bus.
+    pub wait_cycles: u64,
+    /// Total cycles the bus was occupied.
+    pub busy_cycles: u64,
+}
+
+/// A single shared snooping bus.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    cfg: BusConfig,
+    free_at: Cycles,
+    stats: BusStats,
+}
+
+impl Bus {
+    /// Build a bus from a validated configuration.
+    pub fn new(cfg: BusConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Self { cfg, free_at: 0, stats: BusStats::default() })
+    }
+
+    /// The bus configuration.
+    #[must_use]
+    pub fn config(&self) -> &BusConfig {
+        &self.cfg
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Book one bus transaction requested at `now`. Strictly FIFO.
+    pub fn transact(&mut self, now: Cycles, kind: PacketKind) -> RingTiming {
+        let start = self.free_at.max(now) + self.cfg.arbitration_cycles;
+        let hold = if kind.carries_data() { self.cfg.data_cycles } else { self.cfg.cmd_cycles };
+        let response_at = start + hold;
+        self.free_at = response_at;
+        self.stats.transactions += 1;
+        self.stats.wait_cycles += start - now;
+        self.stats.busy_cycles += hold;
+        RingTiming { injected_at: start, response_at, slot_wait: start - now }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bus_costs_arbitration_plus_hold() {
+        let mut b = Bus::new(BusConfig::symmetry()).unwrap();
+        let t = b.transact(100, PacketKind::ReadData);
+        assert_eq!(t.injected_at, 102);
+        assert_eq!(t.response_at, 122);
+    }
+
+    #[test]
+    fn command_transactions_are_shorter() {
+        let mut b = Bus::new(BusConfig::symmetry()).unwrap();
+        let d = b.transact(0, PacketKind::ReadData).response_at;
+        let mut b2 = Bus::new(BusConfig::symmetry()).unwrap();
+        let c = b2.transact(0, PacketKind::Invalidate).response_at;
+        assert!(c < d);
+    }
+
+    #[test]
+    fn concurrent_requests_serialize() {
+        let mut b = Bus::new(BusConfig::symmetry()).unwrap();
+        let t1 = b.transact(0, PacketKind::ReadData);
+        let t2 = b.transact(0, PacketKind::ReadData);
+        let t3 = b.transact(0, PacketKind::ReadData);
+        assert!(t2.injected_at >= t1.response_at);
+        assert!(t3.injected_at >= t2.response_at);
+        // Serialization: total time for 3 = 3x one transfer (+arb).
+        assert_eq!(t3.response_at, 3 * 22);
+    }
+
+    #[test]
+    fn bus_frees_after_transaction() {
+        let mut b = Bus::new(BusConfig::symmetry()).unwrap();
+        b.transact(0, PacketKind::ReadData);
+        let t = b.transact(10_000, PacketKind::ReadData);
+        assert_eq!(t.slot_wait, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut b = Bus::new(BusConfig::symmetry()).unwrap();
+        b.transact(0, PacketKind::ReadData);
+        b.transact(0, PacketKind::Invalidate);
+        let s = b.stats();
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.busy_cycles, 26);
+        assert!(s.wait_cycles > 0);
+    }
+
+    #[test]
+    fn zero_occupancy_rejected() {
+        assert!(Bus::new(BusConfig { arbitration_cycles: 0, cmd_cycles: 0, data_cycles: 1 }).is_err());
+    }
+}

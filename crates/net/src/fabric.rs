@@ -1,0 +1,168 @@
+//! A uniform front door over the three interconnect models.
+//!
+//! The machine layer talks to a [`Fabric`]; which concrete network sits
+//! behind it is a preset choice (KSR ring hierarchy, Symmetry bus, or
+//! Butterfly MIN). An enum rather than a trait object keeps dispatch
+//! static-friendly and the whole simulator `Clone`-able and deterministic.
+
+use ksr_core::time::Cycles;
+use ksr_core::Result;
+
+use crate::bus::{Bus, BusConfig};
+use crate::butterfly::{Butterfly, ButterflyConfig};
+use crate::hierarchy::{RingHierarchy, RingHierarchyConfig};
+use crate::msg::{PacketKind, Transit};
+use crate::ring::RingTiming;
+
+/// Fabric-independent counters, normalized from whichever model is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Packets / transactions / requests carried.
+    pub packets: u64,
+    /// Total cycles requesters spent waiting to get onto the fabric
+    /// (slot wait, bus wait, or module-queue wait).
+    pub wait_cycles: u64,
+}
+
+/// One of the three interconnects of the study.
+#[derive(Debug, Clone)]
+pub enum Fabric {
+    /// KSR-1/KSR-2 slotted pipelined ring hierarchy.
+    Ring(RingHierarchy),
+    /// Sequent Symmetry shared snooping bus.
+    Bus(Bus),
+    /// BBN Butterfly dance-hall MIN (no coherent caches).
+    Butterfly(Butterfly),
+}
+
+impl Fabric {
+    /// A single-level 32-cell KSR-1 ring.
+    pub fn ksr1_32() -> Result<Self> {
+        Ok(Self::Ring(RingHierarchy::new(RingHierarchyConfig::ksr1_32())?))
+    }
+
+    /// A two-level 64-cell KSR system.
+    pub fn ksr_64() -> Result<Self> {
+        Ok(Self::Ring(RingHierarchy::new(RingHierarchyConfig::ksr_64())?))
+    }
+
+    /// A Symmetry-style bus.
+    pub fn symmetry() -> Result<Self> {
+        Ok(Self::Bus(Bus::new(BusConfig::symmetry())?))
+    }
+
+    /// A Butterfly-style MIN with `ports` processors/modules.
+    pub fn butterfly(ports: usize) -> Result<Self> {
+        Ok(Self::Butterfly(Butterfly::new(ButterflyConfig::bbn(ports))?))
+    }
+
+    /// Whether this machine has hardware-coherent caches. `false` only for
+    /// the Butterfly — the fact §3.2.3 hinges on (no global wakeup flag
+    /// possible; every spin is a network transaction).
+    #[must_use]
+    pub fn has_coherent_caches(&self) -> bool {
+        !matches!(self, Self::Butterfly(_))
+    }
+
+    /// Whether the fabric offers parallel communication paths (everything
+    /// except the bus).
+    #[must_use]
+    pub fn has_parallel_paths(&self) -> bool {
+        !matches!(self, Self::Bus(_))
+    }
+
+    /// Book a transaction.
+    ///
+    /// * `src_cell` — issuing processor.
+    /// * `transit` — how far the coherence layer says it travels (rings
+    ///   only).
+    /// * `interleave_key` — sub-page index, selects the sub-ring on rings
+    ///   and the memory module (`key % ports`) on the Butterfly.
+    pub fn transact(
+        &mut self,
+        now: Cycles,
+        src_cell: usize,
+        transit: Transit,
+        interleave_key: u64,
+        kind: PacketKind,
+    ) -> RingTiming {
+        match self {
+            Self::Ring(h) => h.transact(now, src_cell, transit, interleave_key, kind),
+            Self::Bus(b) => b.transact(now, kind),
+            Self::Butterfly(n) => {
+                let module = (interleave_key % n.config().ports as u64) as usize;
+                n.transact(now, module, kind)
+            }
+        }
+    }
+
+    /// Normalized counters.
+    #[must_use]
+    pub fn stats(&self) -> FabricStats {
+        match self {
+            Self::Ring(h) => {
+                let s = h.total_stats();
+                FabricStats { packets: s.packets, wait_cycles: s.slot_wait_cycles }
+            }
+            Self::Bus(b) => {
+                let s = b.stats();
+                FabricStats { packets: s.transactions, wait_cycles: s.wait_cycles }
+            }
+            Self::Butterfly(n) => {
+                let s = n.stats();
+                FabricStats { packets: s.requests, wait_cycles: s.module_wait_cycles }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        assert!(Fabric::ksr1_32().is_ok());
+        assert!(Fabric::ksr_64().is_ok());
+        assert!(Fabric::symmetry().is_ok());
+        assert!(Fabric::butterfly(32).is_ok());
+    }
+
+    #[test]
+    fn coherence_and_path_flags() {
+        assert!(Fabric::ksr1_32().unwrap().has_coherent_caches());
+        assert!(Fabric::ksr1_32().unwrap().has_parallel_paths());
+        assert!(Fabric::symmetry().unwrap().has_coherent_caches());
+        assert!(!Fabric::symmetry().unwrap().has_parallel_paths());
+        assert!(!Fabric::butterfly(16).unwrap().has_coherent_caches());
+        assert!(Fabric::butterfly(16).unwrap().has_parallel_paths());
+    }
+
+    #[test]
+    fn ring_vs_bus_concurrency_contrast() {
+        // Twelve simultaneous distinct transactions: roughly equal finish
+        // times on the ring, strictly staircased on the bus.
+        let mut ring = Fabric::ksr1_32().unwrap();
+        let ring_t: Vec<_> = (0..12)
+            .map(|i| ring.transact(0, i, Transit::Local, 0, PacketKind::ReadData).response_at)
+            .collect();
+        let spread = ring_t.iter().max().unwrap() - ring_t.iter().min().unwrap();
+        assert!(spread < 136, "ring transactions overlap within one rotation: spread {spread}");
+
+        let mut bus = Fabric::symmetry().unwrap();
+        let bus_t: Vec<_> = (0..12)
+            .map(|i| bus.transact(0, i, Transit::Local, 0, PacketKind::ReadData).response_at)
+            .collect();
+        assert!(bus_t.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn stats_normalize() {
+        let mut f = Fabric::butterfly(8).unwrap();
+        f.transact(0, 0, Transit::Local, 3, PacketKind::ReadData);
+        f.transact(0, 1, Transit::Local, 3, PacketKind::ReadData);
+        let s = f.stats();
+        assert_eq!(s.packets, 2);
+        assert!(s.wait_cycles > 0, "second request queued at module 3");
+    }
+}

@@ -1,0 +1,289 @@
+//! The two-level ring hierarchy of larger KSR systems.
+//!
+//! Up to 34 leaf rings (32 cells each) connect through ARD routing units to
+//! a higher-bandwidth level-1 ring, for a maximum of 1088 processors (§2).
+//! The 64-node KSR-2 used for the paper's Figure 5 is two fully-populated
+//! leaf rings joined by Ring:1. A transaction that must leave its leaf ring
+//! crosses: *leaf rotation → ARD → level-1 rotation → ARD → remote leaf
+//! rotation*, and the response rides the remaining arcs home — which is why
+//! the paper reports "a sudden jump in the execution time when the number
+//! of processors is increased beyond 32".
+
+use ksr_core::time::Cycles;
+use ksr_core::{Error, Result};
+
+use crate::msg::{PacketKind, Transit};
+use crate::ring::{RingConfig, RingStats, RingTiming, SlottedRing};
+
+/// Configuration of a ring hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingHierarchyConfig {
+    /// Geometry of every leaf ring.
+    pub leaf: RingConfig,
+    /// Number of leaf rings (1 for a plain KSR-1 32-cell system).
+    pub n_leaves: usize,
+    /// Processor cells per leaf ring (the remaining stations are routers).
+    pub cells_per_leaf: usize,
+    /// Geometry of the level-1 ring (ignored when `n_leaves == 1`).
+    pub top: RingConfig,
+    /// Latency through one ARD routing unit, each direction.
+    pub ard_cycles: Cycles,
+}
+
+impl RingHierarchyConfig {
+    /// Single-level 32-cell KSR-1 ring.
+    #[must_use]
+    pub fn ksr1_32() -> Self {
+        Self {
+            leaf: RingConfig::ksr1_leaf(),
+            n_leaves: 1,
+            cells_per_leaf: 32,
+            top: RingConfig::ksr1_top(2),
+            ard_cycles: 130,
+        }
+    }
+
+    /// Two-level 64-cell system (the KSR-2 of §3.2.4; clock differences are
+    /// applied by the machine layer, not the fabric).
+    #[must_use]
+    pub fn ksr_64() -> Self {
+        Self {
+            leaf: RingConfig::ksr1_leaf(),
+            n_leaves: 2,
+            cells_per_leaf: 32,
+            top: RingConfig::ksr1_top(2),
+            ard_cycles: 130,
+        }
+    }
+
+    /// Total processor cells.
+    #[must_use]
+    pub fn total_cells(&self) -> usize {
+        self.n_leaves * self.cells_per_leaf
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.leaf.validate()?;
+        if self.n_leaves == 0 {
+            return Err(Error::Config("hierarchy needs at least one leaf ring".into()));
+        }
+        if self.n_leaves > 34 {
+            return Err(Error::Config("at most 34 leaf rings connect to Ring:1".into()));
+        }
+        if self.cells_per_leaf == 0 || self.cells_per_leaf > self.leaf.stations {
+            return Err(Error::Config(format!(
+                "cells_per_leaf {} must be in 1..={}",
+                self.cells_per_leaf, self.leaf.stations
+            )));
+        }
+        if self.n_leaves > 1 {
+            self.top.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// A one- or two-level KSR ring hierarchy.
+#[derive(Debug, Clone)]
+pub struct RingHierarchy {
+    cfg: RingHierarchyConfig,
+    leaves: Vec<SlottedRing>,
+    top: SlottedRing,
+}
+
+impl RingHierarchy {
+    /// Build a hierarchy from a validated configuration.
+    pub fn new(cfg: RingHierarchyConfig) -> Result<Self> {
+        cfg.validate()?;
+        let leaves = (0..cfg.n_leaves)
+            .map(|_| SlottedRing::new(cfg.leaf))
+            .collect::<Result<Vec<_>>>()?;
+        let top = SlottedRing::new(cfg.top)?;
+        Ok(Self { cfg, leaves, top })
+    }
+
+    /// The hierarchy's configuration.
+    #[must_use]
+    pub fn config(&self) -> &RingHierarchyConfig {
+        &self.cfg
+    }
+
+    /// Which leaf ring a cell lives on.
+    #[must_use]
+    pub fn leaf_of(&self, cell: usize) -> usize {
+        assert!(cell < self.cfg.total_cells(), "cell index out of range");
+        cell / self.cfg.cells_per_leaf
+    }
+
+    /// Sub-ring an address-interleave key maps to (uniform across rings).
+    #[must_use]
+    pub fn subring_of(&self, interleave_key: u64) -> usize {
+        self.leaves[0].subring_of(interleave_key)
+    }
+
+    /// Book a transaction from `src_cell` at `now`.
+    ///
+    /// `transit` says how far the coherence engine determined the request
+    /// must travel. A [`Transit::CrossRing`] transaction books a slot on the
+    /// source leaf, the level-1 ring, and the destination leaf in sequence.
+    pub fn transact(
+        &mut self,
+        now: Cycles,
+        src_cell: usize,
+        transit: Transit,
+        interleave_key: u64,
+        kind: PacketKind,
+    ) -> RingTiming {
+        let src_leaf = self.leaf_of(src_cell);
+        let subring = self.subring_of(interleave_key);
+        match transit {
+            Transit::Local => self.leaves[src_leaf].transact(now, subring, kind),
+            Transit::CrossRing { dst_leaf } => {
+                assert!(dst_leaf < self.cfg.n_leaves, "destination leaf out of range");
+                if dst_leaf == src_leaf || self.cfg.n_leaves == 1 {
+                    return self.leaves[src_leaf].transact(now, subring, kind);
+                }
+                let first = self.leaves[src_leaf].transact(now, subring, kind);
+                let up = self
+                    .top
+                    .transact(first.response_at + self.cfg.ard_cycles, subring, kind);
+                let down = self.leaves[dst_leaf].transact(
+                    up.response_at + self.cfg.ard_cycles,
+                    subring,
+                    kind,
+                );
+                RingTiming {
+                    injected_at: first.injected_at,
+                    response_at: down.response_at,
+                    slot_wait: first.slot_wait + up.slot_wait + down.slot_wait,
+                }
+            }
+        }
+    }
+
+    /// Counters for one leaf ring.
+    #[must_use]
+    pub fn leaf_stats(&self, leaf: usize) -> RingStats {
+        self.leaves[leaf].stats()
+    }
+
+    /// Counters for the level-1 ring.
+    #[must_use]
+    pub fn top_stats(&self) -> RingStats {
+        self.top.stats()
+    }
+
+    /// Sum of all packet counters across every ring.
+    #[must_use]
+    pub fn total_stats(&self) -> RingStats {
+        let mut acc = self.top.stats();
+        for l in &self.leaves {
+            let s = l.stats();
+            acc.packets += s.packets;
+            acc.data_packets += s.data_packets;
+            acc.slot_wait_cycles += s.slot_wait_cycles;
+            acc.blocked_packets += s.blocked_packets;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ksr1_32_validates() {
+        RingHierarchyConfig::ksr1_32().validate().unwrap();
+        assert_eq!(RingHierarchyConfig::ksr1_32().total_cells(), 32);
+    }
+
+    #[test]
+    fn ksr_64_validates() {
+        RingHierarchyConfig::ksr_64().validate().unwrap();
+        assert_eq!(RingHierarchyConfig::ksr_64().total_cells(), 64);
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_leaves() {
+        let mut cfg = RingHierarchyConfig::ksr_64();
+        cfg.n_leaves = 0;
+        assert!(cfg.validate().is_err());
+        cfg.n_leaves = 35;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RingHierarchyConfig::ksr1_32();
+        cfg.cells_per_leaf = 40;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn leaf_of_partitions_cells() {
+        let h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        assert_eq!(h.leaf_of(0), 0);
+        assert_eq!(h.leaf_of(31), 0);
+        assert_eq!(h.leaf_of(32), 1);
+        assert_eq!(h.leaf_of(63), 1);
+    }
+
+    #[test]
+    fn local_transit_matches_single_ring() {
+        let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        let mut solo = SlottedRing::new(RingConfig::ksr1_leaf()).unwrap();
+        let a = h.transact(100, 5, Transit::Local, 0, PacketKind::ReadData);
+        let b = solo.transact(100, 0, PacketKind::ReadData);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_ring_costs_much_more_than_local() {
+        let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        let local = h.transact(0, 0, Transit::Local, 0, PacketKind::ReadData);
+        let cross = h.transact(
+            0,
+            0,
+            Transit::CrossRing { dst_leaf: 1 },
+            0,
+            PacketKind::ReadData,
+        );
+        let ll = local.latency(0);
+        let cl = cross.latency(0);
+        assert!(
+            cl > 2 * ll,
+            "cross-ring latency {cl} should dwarf local {ll} (the 'sudden jump' of §4)"
+        );
+    }
+
+    #[test]
+    fn cross_ring_to_own_leaf_degrades_to_local() {
+        let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        let a = h.transact(0, 0, Transit::CrossRing { dst_leaf: 0 }, 0, PacketKind::ReadData);
+        let mut h2 = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        let b = h2.transact(0, 0, Transit::Local, 0, PacketKind::ReadData);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cross_ring_books_all_three_rings() {
+        let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
+        h.transact(0, 0, Transit::CrossRing { dst_leaf: 1 }, 0, PacketKind::ReadData);
+        assert_eq!(h.leaf_stats(0).packets, 1);
+        assert_eq!(h.top_stats().packets, 1);
+        assert_eq!(h.leaf_stats(1).packets, 1);
+        assert_eq!(h.total_stats().packets, 3);
+    }
+
+    #[test]
+    fn single_level_treats_cross_as_local() {
+        let mut h = RingHierarchy::new(RingHierarchyConfig::ksr1_32()).unwrap();
+        let t = h.transact(0, 3, Transit::CrossRing { dst_leaf: 0 }, 1, PacketKind::ReadData);
+        assert_eq!(t.latency(0), 141);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_cell_panics() {
+        let h = RingHierarchy::new(RingHierarchyConfig::ksr1_32()).unwrap();
+        let _ = h.leaf_of(32);
+    }
+}

@@ -1,0 +1,41 @@
+//! # ksr-net
+//!
+//! Interconnection-network timing models for the KSR-1 scalability
+//! reproduction.
+//!
+//! The KSR-1's network is a **unidirectional slotted pipelined ring** with
+//! 24 slots in the lowest-level ring, organised as two address-interleaved
+//! sub-rings of 12 slots each (§2 of the paper). Because the ring is slotted
+//! and pipelined, *multiple packets are in flight simultaneously* — the
+//! property the paper repeatedly identifies as the reason tournament-style
+//! barriers win on this machine. Larger systems connect up to 34 leaf rings
+//! through ARD routers to a higher-bandwidth level-1 ring ([`hierarchy`]).
+//!
+//! For the §3.2.3 comparison the crate also models the two machines of
+//! Mellor-Crummey & Scott's study:
+//!
+//! * [`bus`] — a Sequent Symmetry-style shared snooping bus, which
+//!   serializes *all* communication;
+//! * [`butterfly`] — a BBN Butterfly-style dance-hall multistage network,
+//!   which has parallel paths but no coherent caches.
+//!
+//! All three are *timing* models: the coherence engine (in `ksr-mem`)
+//! decides **what** must travel; this crate decides **when** it arrives,
+//! accounting for slot/bus/switch contention. Models are fully
+//! deterministic; there is no randomness in the fabric itself.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod butterfly;
+pub mod fabric;
+pub mod hierarchy;
+pub mod msg;
+pub mod ring;
+
+pub use bus::{Bus, BusConfig};
+pub use butterfly::{Butterfly, ButterflyConfig};
+pub use fabric::{Fabric, FabricStats};
+pub use hierarchy::{RingHierarchy, RingHierarchyConfig};
+pub use msg::{PacketKind, Transit};
+pub use ring::{RingConfig, RingTiming, SlottedRing};

@@ -1,0 +1,65 @@
+//! Packet vocabulary shared by the fabric models.
+
+/// What a packet on the fabric is doing. Used for performance-monitor
+//  accounting and for fabrics that treat kinds differently (the bus holds
+//  the bus for longer on a data transfer than on an invalidation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// A read-miss request that will be answered with a 128-byte sub-page.
+    ReadData,
+    /// A read-exclusive / write-miss request: fetch + invalidate others.
+    ReadExclusive,
+    /// An ownership upgrade for a sub-page already held shared
+    /// (invalidates other copies, carries no data back).
+    Invalidate,
+    /// A `get_sub_page` atomic-state request.
+    GetSubPage,
+    /// A `release_sub_page` notification.
+    ReleaseSubPage,
+    /// A `poststore` update broadcast (carries the sub-page; every cell with
+    /// a place-holder picks it up in passing).
+    Poststore,
+    /// A `prefetch` request (same transit as `ReadData`, but the issuing
+    /// processor does not stall on it).
+    Prefetch,
+}
+
+impl PacketKind {
+    /// Whether the packet carries a full 128-byte sub-page payload.
+    #[must_use]
+    pub fn carries_data(self) -> bool {
+        matches!(
+            self,
+            Self::ReadData | Self::ReadExclusive | Self::GetSubPage | Self::Poststore | Self::Prefetch
+        )
+    }
+}
+
+/// How far a transaction has to travel, as determined by the coherence
+/// engine before it asks the fabric for timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transit {
+    /// Satisfied within the requester's leaf ring (or, for the bus and the
+    /// butterfly, the single fabric level they have).
+    Local,
+    /// Must cross the level-1 ring to another leaf ring.
+    /// Meaningless for single-level fabrics, which treat it as `Local`.
+    CrossRing {
+        /// The leaf ring that holds the responding copy.
+        dst_leaf: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_carrying_kinds() {
+        assert!(PacketKind::ReadData.carries_data());
+        assert!(PacketKind::Poststore.carries_data());
+        assert!(PacketKind::Prefetch.carries_data());
+        assert!(!PacketKind::Invalidate.carries_data());
+        assert!(!PacketKind::ReleaseSubPage.carries_data());
+    }
+}

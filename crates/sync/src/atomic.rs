@@ -1,0 +1,94 @@
+//! Atomic read-modify-write helpers built on `get_sub_page`.
+//!
+//! The KSR-1 has no fetch-and-Φ instruction; §3.2.2 notes that the
+//! counter and dynamic-tree barriers "assume an atomic fetch_and
+//! instruction, which is implemented using the get_sub_page primitive".
+//! These helpers are that implementation: acquire the sub-page atomically,
+//! read-modify-write, release.
+
+use ksr_machine::Cpu;
+
+/// Atomically add `delta` to the word at `addr`; returns the old value.
+pub fn fetch_add(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
+    cpu.acquire_sub_page(addr);
+    let old = cpu.read_u64(addr);
+    cpu.write_u64(addr, old.wrapping_add(delta));
+    cpu.release_sub_page(addr);
+    old
+}
+
+/// Atomically subtract `delta`; returns the old value.
+pub fn fetch_sub(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
+    fetch_add(cpu, addr, delta.wrapping_neg())
+}
+
+/// Atomically apply `f` to the word at `addr`; returns `(old, new)`.
+pub fn fetch_update(cpu: &mut Cpu, addr: u64, f: impl FnOnce(u64) -> u64) -> (u64, u64) {
+    cpu.acquire_sub_page(addr);
+    let old = cpu.read_u64(addr);
+    let new = f(old);
+    cpu.write_u64(addr, new);
+    cpu.release_sub_page(addr);
+    (old, new)
+}
+
+#[cfg(test)]
+mod tests {
+    use ksr_machine::{program, Cpu, Machine};
+
+    use super::*;
+
+    #[test]
+    fn fetch_add_returns_old_and_stores_new() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        m.poke_u64(a, 10);
+        m.run(vec![program(move |cpu: &mut Cpu| {
+            assert_eq!(fetch_add(cpu, a, 5), 10);
+            assert_eq!(cpu.read_u64(a), 15);
+        })]);
+    }
+
+    #[test]
+    fn fetch_sub_wraps_correctly() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        m.poke_u64(a, 3);
+        m.run(vec![program(move |cpu: &mut Cpu| {
+            assert_eq!(fetch_sub(cpu, a, 1), 3);
+            assert_eq!(cpu.read_u64(a), 2);
+        })]);
+    }
+
+    #[test]
+    fn concurrent_fetch_adds_do_not_lose_updates() {
+        let mut m = Machine::ksr1(2).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let procs = 12;
+        let iters = 20;
+        m.run(
+            (0..procs)
+                .map(|_| {
+                    program(move |cpu: &mut Cpu| {
+                        for _ in 0..iters {
+                            fetch_add(cpu, a, 1);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(m.peek_u64(a), (procs * iters) as u64);
+    }
+
+    #[test]
+    fn fetch_update_applies_arbitrary_function() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        m.poke_u64(a, 7);
+        m.run(vec![program(move |cpu: &mut Cpu| {
+            let (old, new) = fetch_update(cpu, a, |v| v * 3);
+            assert_eq!((old, new), (7, 21));
+        })]);
+        assert_eq!(m.peek_u64(a), 21);
+    }
+}

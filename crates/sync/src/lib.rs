@@ -1,0 +1,28 @@
+//! # ksr-sync
+//!
+//! Shared-memory synchronization on the simulated KSR-1, reproducing the
+//! §3.2 experiments of *"Scalability Study of the KSR-1"*:
+//!
+//! * [`atomic`] — fetch-and-Φ built from `get_sub_page`, exactly as the
+//!   paper's barrier implementations assume;
+//! * [`hwlock`] — the naive hardware exclusive lock (`get_sub_page` /
+//!   `release_sub_page`), which serializes all requests;
+//! * [`rwlock`] — the paper's software queue-based read/write ticket lock
+//!   (modified Anderson ticket lock) with read combining and strict FCFS;
+//! * [`barrier`] — the nine barrier algorithms of Figures 4 and 5:
+//!   counter, dynamic tree, dissemination, tournament, MCS, the three
+//!   global-wakeup-flag "(M)" variants, and the "System" library barrier.
+
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod barrier;
+pub mod hwlock;
+pub mod rwlock;
+
+pub use barrier::{
+    AnyBarrier, BarrierAlg, BarrierKind, CounterBarrier, DisseminationBarrier, Episode,
+    McsBarrier, SystemBarrier, TournamentBarrier, TreeBarrier,
+};
+pub use hwlock::HwLock;
+pub use rwlock::{LockMode, SwRwLock, Ticket};

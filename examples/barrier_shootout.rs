@@ -1,0 +1,48 @@
+//! Barrier shootout: measure the paper's nine barrier algorithms on the
+//! simulated KSR-1 at a chosen processor count and print the ranking —
+//! the single-column version of Figure 4.
+//!
+//! ```text
+//! cargo run --release --example barrier_shootout [procs]
+//! ```
+
+use ksr1_repro::core::time::cycles_to_seconds;
+use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
+
+fn episode_us(kind: BarrierKind, procs: usize, episodes: usize) -> f64 {
+    let mut m = Machine::ksr1(7).expect("machine");
+    let b = AnyBarrier::alloc(kind, &mut m, procs).expect("barrier");
+    let r = m.run(
+        (0..procs)
+            .map(|p| {
+                program(move |cpu: &mut Cpu| {
+                    let mut ep = Episode::default();
+                    for e in 0..episodes {
+                        cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
+                        b.wait(cpu, &mut ep);
+                    }
+                })
+            })
+            .collect(),
+    );
+    cycles_to_seconds(r.duration_cycles() / episodes as u64, m.config().clock_hz) * 1e6
+}
+
+fn main() {
+    let procs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    assert!((2..=32).contains(&procs), "procs must be 2..=32");
+    println!("barrier episode times on a 32-cell KSR-1, {procs} participating processors:\n");
+    let mut rows: Vec<(f64, &str)> = BarrierKind::ALL
+        .iter()
+        .map(|&k| (episode_us(k, procs, 12), k.label()))
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for (i, (t, label)) in rows.iter().enumerate() {
+        println!("{:>2}. {:<14} {:8.1} us", i + 1, label, t);
+    }
+    println!(
+        "\npaper (Figure 4): tournament(M) fastest, counter slowest, \
+         System ~ tree(M), MCS ~ tournament."
+    );
+}

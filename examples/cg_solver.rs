@@ -1,0 +1,54 @@
+//! Run the CG kernel on the simulated KSR-1: verify the parallel run is
+//! bitwise identical to the sequential reference, then show the speedup —
+//! a miniature of Table 1.
+//!
+//! ```text
+//! cargo run --release --example cg_solver
+//! ```
+
+use ksr1_repro::core::metrics::ScalingTable;
+use ksr1_repro::core::time::cycles_to_seconds;
+use ksr1_repro::machine::Machine;
+use ksr1_repro::nas::{cg_sequential, CgConfig, CgSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Density matters: the paper's matrix has ~145 entries per row, which
+    // keeps the serial vector operations small next to the mat-vec.
+    let cfg = CgConfig {
+        n: 700,
+        offdiag_per_row: 72,
+        iterations: 4,
+        seed: 7_000,
+        poststore: false,
+        uncache_matrix: false,
+    };
+    let reference = cg_sequential(&cfg);
+    println!(
+        "sequential reference: checksum {:.6}, residual^2 {:.3e}\n",
+        reference.x_checksum, reference.residual_sq
+    );
+
+    let mut rows = Vec::new();
+    for procs in [1usize, 2, 4, 8] {
+        // A fresh cache-scaled machine per configuration, like a fresh
+        // batch job on the real machine.
+        let mut m = Machine::ksr1_scaled(1, 64)?;
+        let setup = CgSetup::new(&mut m, cfg, procs)?;
+        let report = m.run(setup.programs());
+        let result = setup.result(&mut m);
+        assert_eq!(
+            result.x_checksum.to_bits(),
+            reference.x_checksum.to_bits(),
+            "parallel CG must match the sequential reference bitwise"
+        );
+        rows.push((procs, cycles_to_seconds(report.duration_cycles(), m.config().clock_hz)));
+        println!(
+            "{procs:>2} procs: {:>9.4}s simulated, ring transactions: {}",
+            rows.last().unwrap().1,
+            m.perfmon_total().ring_transactions
+        );
+    }
+    println!();
+    println!("{}", ScalingTable::from_times(&rows).render("CG scaling (verified bitwise)"));
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! `ksr-sim` — command-line front end for the KSR-1 simulator.
+//!
+//! ```text
+//! ksr-sim info                          # machine presets and calibration
+//! ksr-sim latency  [--procs N]          # §3.1-style latency probe
+//! ksr-sim barriers [--procs N] [--machine ksr1|ksr2|symmetry|butterfly]
+//! ksr-sim lock     [--procs N] [--read-pct P]
+//! ksr-sim ep|cg|is|sp [--procs N]       # one kernel run, verified
+//! ```
+
+use std::process::ExitCode;
+
+use ksr1_repro::core::time::cycles_to_seconds;
+use ksr1_repro::machine::{program, Cpu, Machine, SharedU64};
+use ksr1_repro::nas::is::generate_keys;
+use ksr1_repro::nas::{
+    cg_sequential, ranks_are_valid, CgConfig, CgSetup, EpConfig, EpSetup, IsConfig, IsSetup,
+    SpConfig, SpSetup,
+};
+use ksr1_repro::sync::{
+    AnyBarrier, BarrierAlg, BarrierKind, Episode, HwLock, LockMode, SwRwLock,
+};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!("usage: ksr-sim <info|latency|barriers|lock|ep|cg|is|sp> [options]");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "info" => info(),
+        "latency" => latency(&args),
+        "barriers" => barriers(&args),
+        "lock" => lock(&args),
+        "ep" => ep(&args),
+        "cg" => cg(&args),
+        "is" => is(&args),
+        "sp" => sp(&args),
+        other => {
+            eprintln!("unknown command: {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn info() {
+    println!("simulated machines:");
+    println!("  ksr1       32 cells, 20 MHz, 1-level slotted ring (24 slots, 2 sub-rings)");
+    println!("  ksr2       64 cells, 40 MHz, 2-level ring via ARD routers");
+    println!("  symmetry   bus-based snooping machine (16 MHz, native fetch-and-add)");
+    println!("  butterfly  dance-hall MIN, no coherent caches");
+    println!();
+    println!("KSR-1 calibration (published / modelled):");
+    println!("  sub-cache hit      2 / 2 cycles");
+    println!("  local-cache hit   18 / 18 cycles");
+    println!("  remote access    175 / ~176 cycles");
+    println!("  block-alloc stride  +50% / +50%");
+    println!("  page-alloc stride   +60% / +60%");
+}
+
+fn latency(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 1).clamp(1, 32);
+    let mut m = Machine::ksr1(1).expect("machine");
+    let arrays: Vec<u64> = (0..procs).map(|_| m.alloc(1 << 20, 16384).expect("alloc")).collect();
+    let results = SharedU64::alloc(&mut m, 2 * procs).expect("alloc");
+    for (p, &a) in arrays.iter().enumerate() {
+        m.warm((p + 1) % 32, a, 1 << 20);
+    }
+    m.run(
+        (0..procs)
+            .map(|p| {
+                let a = arrays[p];
+                program(move |cpu: &mut Cpu| {
+                    let samples = 512u64;
+                    let t0 = cpu.now();
+                    for i in 0..samples {
+                        let _ = cpu.read_u64(a + i * 128);
+                    }
+                    results.set(cpu, 2 * p, (cpu.now() - t0) / samples);
+                    let t0 = cpu.now();
+                    for i in 0..samples {
+                        cpu.write_u64(a + i * 128 + 65536 * 8, i);
+                    }
+                    results.set(cpu, 2 * p + 1, (cpu.now() - t0) / samples);
+                })
+            })
+            .collect(),
+    );
+    let rd: u64 = (0..procs).map(|p| results.peek(&mut m, 2 * p)).sum::<u64>() / procs as u64;
+    let wr: u64 =
+        (0..procs).map(|p| results.peek(&mut m, 2 * p + 1)).sum::<u64>() / procs as u64;
+    println!("{procs} procs hammering remote sub-pages:");
+    println!("  remote read  {rd} cycles   (published idle: 175)");
+    println!("  remote write {wr} cycles");
+}
+
+fn barriers(args: &[String]) {
+    let machine_name = flag(args, "--machine").unwrap_or_else(|| "ksr1".into());
+    let max = match machine_name.as_str() {
+        "ksr2" => 64,
+        _ => 32,
+    };
+    let procs = flag_usize(args, "--procs", 16).clamp(2, max);
+    println!("{machine_name}, {procs} processors, us per episode:");
+    let mut rows: Vec<(f64, &str)> = Vec::new();
+    for kind in BarrierKind::ALL {
+        let mut m = match machine_name.as_str() {
+            "ksr1" => Machine::ksr1(7),
+            "ksr2" => Machine::ksr2(7),
+            "symmetry" => Machine::symmetry(procs, 7),
+            "butterfly" => Machine::butterfly(procs, 7),
+            other => {
+                eprintln!("unknown machine: {other}");
+                return;
+            }
+        }
+        .expect("machine");
+        if !m.mem().fabric().has_coherent_caches() && kind.needs_coherent_caches() {
+            continue;
+        }
+        let b = AnyBarrier::alloc(kind, &mut m, procs).expect("alloc");
+        let eps = 10usize;
+        let r = m.run(
+            (0..procs)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        let mut ep = Episode::default();
+                        for e in 0..eps {
+                            cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
+                            b.wait(cpu, &mut ep);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        rows.push((
+            cycles_to_seconds(r.duration_cycles() / eps as u64, m.config().clock_hz) * 1e6,
+            kind.label(),
+        ));
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    for (t, label) in rows {
+        println!("  {label:<14} {t:8.1}");
+    }
+}
+
+fn lock(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
+    let read_pct = flag_usize(args, "--read-pct", 0).min(100) as u64;
+    let mut m = Machine::ksr1(9).expect("machine");
+    let hw = HwLock::alloc(&mut m).expect("alloc");
+    let sw = SwRwLock::alloc(&mut m).expect("alloc");
+    let ops = 200usize.div_ceil(procs);
+    for use_sw in [false, true] {
+        let r = m.run(
+            (0..procs)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        let mut rng = ksr1_repro::core::XorShift64::new(p as u64 + 1);
+                        for _ in 0..ops {
+                            if use_sw {
+                                let mode = if rng.next_below(100) < read_pct {
+                                    LockMode::Read
+                                } else {
+                                    LockMode::Write
+                                };
+                                let t = sw.acquire(cpu, mode);
+                                cpu.compute(3_000);
+                                sw.release(cpu, t);
+                            } else {
+                                hw.acquire(cpu);
+                                cpu.compute(3_000);
+                                hw.release(cpu);
+                            }
+                            cpu.compute(10_000);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        println!(
+            "{}: {:.4}s for {} total ops at {procs} procs",
+            if use_sw {
+                format!("software RW lock ({read_pct}% reads)")
+            } else {
+                "hardware exclusive lock".into()
+            },
+            cycles_to_seconds(r.duration_cycles(), m.config().clock_hz),
+            ops * procs,
+        );
+    }
+}
+
+fn ep(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
+    let cfg = EpConfig { pairs: 1 << 16, ..EpConfig::default() };
+    let mut m = Machine::ksr1(11).expect("machine");
+    let setup = EpSetup::new(&mut m, cfg, procs).expect("setup");
+    let r = m.run(setup.programs());
+    let res = setup.result(&mut m);
+    println!(
+        "EP 2^16 pairs on {procs} procs: {:.4}s, {:.1} MFLOPS total, counts {:?}",
+        r.seconds(),
+        r.mflops(),
+        res.counts
+    );
+}
+
+fn cg(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
+    let cfg = CgConfig { n: 700, offdiag_per_row: 72, iterations: 4, seed: 1, poststore: false, uncache_matrix: false };
+    let reference = cg_sequential(&cfg);
+    let mut m = Machine::ksr1_scaled(12, 64).expect("machine");
+    let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
+    let r = m.run(setup.programs());
+    let got = setup.result(&mut m);
+    assert_eq!(got.x_checksum.to_bits(), reference.x_checksum.to_bits(), "verification failed");
+    println!(
+        "CG n={} on {procs} procs: {:.4}s, residual^2 {:.3e} (bitwise-verified)",
+        cfg.n,
+        r.seconds(),
+        got.residual_sq
+    );
+}
+
+fn is(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
+    let cfg = IsConfig { keys: 1 << 14, max_key: 1 << 10, seed: 2, chunk: 128 };
+    let keys = generate_keys(&cfg);
+    let mut m = Machine::ksr1_scaled(13, 64).expect("machine");
+    let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
+    let r = m.run(setup.programs());
+    let ranks = setup.ranks(&mut m);
+    assert!(ranks_are_valid(&keys, &ranks), "verification failed");
+    println!(
+        "IS 2^14 keys on {procs} procs: {:.4}s, mean remote latency {:.1} cycles (verified)",
+        r.seconds(),
+        m.perfmon_total().mean_ring_latency()
+    );
+}
+
+fn sp(args: &[String]) {
+    let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
+    let cfg = SpConfig { n: 16, iterations: 2, ..SpConfig::default() };
+    let mut m = Machine::ksr1(14).expect("machine");
+    let setup = SpSetup::new(&mut m, cfg, procs).expect("setup");
+    let r = m.run(setup.programs());
+    println!(
+        "SP {n}^3 on {procs} procs: {:.4}s/iteration",
+        r.seconds() / cfg.iterations as f64,
+        n = cfg.n
+    );
+}

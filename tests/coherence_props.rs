@@ -1,0 +1,192 @@
+//! Property-based tests of the coherence protocol and the machine layer.
+//!
+//! These drive randomized operation soups through the full stack and check
+//! the invariants the ALLCACHE hardware guarantees:
+//!
+//! * at most one writable copy of any sub-page, never alongside readers;
+//! * sequential consistency of the committed values (an atomic counter
+//!   incremented under `get_sub_page` never loses updates);
+//! * barrier safety under arbitrary arrival skews;
+//! * determinism of the whole simulation for a fixed seed.
+
+use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::mem::{CacheTiming, MemGeometry, MemOp, MemorySystem, Outcome};
+use ksr1_repro::net::Fabric;
+use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
+use proptest::prelude::*;
+
+/// A compact encoding of a memory operation for the soup.
+#[derive(Debug, Clone, Copy)]
+enum SoupOp {
+    Read(u8),
+    Write(u8, u64),
+    Gsp(u8),
+    Release(u8),
+    Prefetch(u8, bool),
+    Poststore(u8),
+}
+
+fn soup_op() -> impl Strategy<Value = SoupOp> {
+    prop_oneof![
+        any::<u8>().prop_map(SoupOp::Read),
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| SoupOp::Write(a, v)),
+        any::<u8>().prop_map(SoupOp::Gsp),
+        any::<u8>().prop_map(SoupOp::Release),
+        (any::<u8>(), any::<bool>()).prop_map(|(a, e)| SoupOp::Prefetch(a, e)),
+        any::<u8>().prop_map(SoupOp::Poststore),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Direct protocol-level soup: no sequence of operations from any
+    /// interleaving of cells may ever violate the single-writer invariant
+    /// or wedge the directory.
+    #[test]
+    fn protocol_soup_never_violates_single_writer(
+        ops in proptest::collection::vec((0usize..4, soup_op()), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let mut mem = MemorySystem::new(
+            MemGeometry::scaled(64),
+            CacheTiming::ksr1(),
+            Fabric::ksr1_32().unwrap(),
+            4,
+            seed,
+        )
+        .unwrap();
+        let mut now = 0u64;
+        // Track which cell holds which sub-page atomically so the soup
+        // stays well-formed (release only what you hold).
+        let mut held: [Option<u64>; 4] = [None; 4];
+        for (cell, op) in ops {
+            let addr = |a: u8| 128 * u64::from(a) + 8;
+            now += 50;
+            match op {
+                SoupOp::Read(a) => {
+                    let _ = mem.access(cell, addr(a), MemOp::Read, now);
+                }
+                SoupOp::Write(a, _v) => {
+                    let _ = mem.access(cell, addr(a), MemOp::Write, now);
+                }
+                SoupOp::Gsp(a) => {
+                    if held[cell].is_none() {
+                        if let Outcome::Done { .. } =
+                            mem.access(cell, addr(a), MemOp::GetSubPage, now)
+                        {
+                            held[cell] = Some(addr(a));
+                        }
+                    }
+                }
+                SoupOp::Release(_) => {
+                    if let Some(h) = held[cell].take() {
+                        let _ = mem.access(cell, h, MemOp::ReleaseSubPage, now);
+                    }
+                }
+                SoupOp::Prefetch(a, e) => {
+                    let _ = mem.access(cell, addr(a), MemOp::Prefetch { exclusive: e }, now);
+                }
+                SoupOp::Poststore(a) => {
+                    let _ = mem.access(cell, addr(a), MemOp::Poststore, now);
+                }
+            }
+            prop_assert_eq!(mem.directory().find_violation(), None);
+        }
+    }
+
+    /// Machine-level: a shared counter incremented under `get_sub_page`
+    /// with arbitrary compute skews never loses an update.
+    #[test]
+    fn atomic_counter_exact_under_random_skews(
+        skews in proptest::collection::vec(0u64..2_000, 2..8),
+        iters in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut m = Machine::ksr1(seed).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let procs = skews.len();
+        m.run(
+            skews
+                .iter()
+                .map(|&skew| {
+                    program(move |cpu: &mut Cpu| {
+                        cpu.compute(skew + 1);
+                        for _ in 0..iters {
+                            cpu.acquire_sub_page(a);
+                            let v = cpu.read_u64(a);
+                            cpu.write_u64(a, v + 1);
+                            cpu.release_sub_page(a);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        prop_assert_eq!(m.peek_u64(a), (procs * iters) as u64);
+    }
+
+    /// Every barrier kind is safe under arbitrary arrival skews: nobody
+    /// leaves episode e before everyone entered episode e.
+    #[test]
+    fn barriers_safe_under_random_skews(
+        skews in proptest::collection::vec(0u64..3_000, 2..7),
+        kind_idx in 0usize..BarrierKind::ALL.len(),
+        seed in any::<u64>(),
+    ) {
+        let kind = BarrierKind::ALL[kind_idx];
+        let procs = skews.len();
+        let mut m = Machine::ksr1(seed).unwrap();
+        let b = AnyBarrier::alloc(kind, &mut m, procs).unwrap();
+        let marks: Vec<u64> = (0..procs).map(|_| m.alloc_subpage(8).unwrap()).collect();
+        let all = marks.clone();
+        m.run(
+            (0..procs)
+                .map(|p| {
+                    let my = marks[p];
+                    let all = all.clone();
+                    let skew = skews[p];
+                    program(move |cpu: &mut Cpu| {
+                        let mut ep = Episode::default();
+                        for e in 0..2u64 {
+                            cpu.compute(skew * (e + 1) + 1);
+                            cpu.write_u64(my, e + 1);
+                            b.wait(cpu, &mut ep);
+                            for &other in &all {
+                                let v = cpu.read_u64(other);
+                                assert!(v >= e + 1, "{} escaped early", kind_idx);
+                            }
+                        }
+                    })
+                })
+                .collect(),
+        );
+    }
+
+    /// Fixed seed => identical virtual-time history, independent of host
+    /// thread scheduling.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), procs in 2usize..6) {
+        let run = || {
+            let mut m = Machine::ksr1(seed).unwrap();
+            let a = m.alloc_subpage(16).unwrap();
+            let r = m.run(
+                (0..procs)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            for i in 0..10u64 {
+                                if (i + p as u64) % 3 == 0 {
+                                    cpu.fetch_add(a, 1);
+                                } else {
+                                    let _ = cpu.read_u64(a + 8);
+                                    cpu.compute(30);
+                                }
+                            }
+                        })
+                    })
+                    .collect(),
+            );
+            (r.finished_at, r.proc_end.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

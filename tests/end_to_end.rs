@@ -1,0 +1,173 @@
+//! Cross-crate integration tests: the full stack (ring → coherence →
+//! machine → synchronization → kernels) driven through the public API of
+//! the umbrella crate.
+
+use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::nas::{
+    cg_sequential, ep_sequential, is_sequential, ranks_are_valid, sp_sequential, CgConfig,
+    CgSetup, EpConfig, EpSetup, IsConfig, IsSetup, SpConfig, SpSetup,
+};
+use ksr1_repro::nas::is::generate_keys;
+use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode, LockMode, SwRwLock};
+
+#[test]
+fn all_four_machines_run_the_same_program() {
+    for mut m in [
+        Machine::ksr1(1).unwrap(),
+        Machine::ksr2(1).unwrap(),
+        Machine::symmetry(8, 1).unwrap(),
+        Machine::butterfly(8, 1).unwrap(),
+    ] {
+        let a = m.alloc_subpage(8).unwrap();
+        m.run(
+            (0..4)
+                .map(|_| {
+                    program(move |cpu: &mut Cpu| {
+                        for _ in 0..10 {
+                            let old = cpu.fetch_add(a, 1);
+                            let _ = old;
+                            cpu.compute(50);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        assert_eq!(m.peek_u64(a), 40);
+    }
+}
+
+#[test]
+fn kernels_verify_against_references_end_to_end() {
+    // EP
+    let ep_cfg = EpConfig { pairs: 2_000, ..EpConfig::default() };
+    let ep_ref = ep_sequential(&ep_cfg);
+    let mut m = Machine::ksr1(2).unwrap();
+    let ep = EpSetup::new(&mut m, ep_cfg, 4).unwrap();
+    m.run(ep.programs());
+    assert_eq!(ep.result(&mut m).counts, ep_ref.counts);
+
+    // CG
+    let cg_cfg =
+        CgConfig { n: 96, offdiag_per_row: 6, iterations: 3, seed: 5, poststore: true, uncache_matrix: false };
+    let cg_ref = cg_sequential(&cg_cfg);
+    let mut m = Machine::ksr1_scaled(3, 64).unwrap();
+    let cg = CgSetup::new(&mut m, cg_cfg, 3).unwrap();
+    m.run(cg.programs());
+    assert_eq!(cg.result(&mut m).x_checksum.to_bits(), cg_ref.x_checksum.to_bits());
+
+    // IS
+    let is_cfg = IsConfig { keys: 1_500, max_key: 128, seed: 4, chunk: 64 };
+    let keys = generate_keys(&is_cfg);
+    let mut m = Machine::ksr1_scaled(4, 64).unwrap();
+    let is = IsSetup::new(&mut m, is_cfg, 5).unwrap();
+    m.run(is.programs());
+    assert!(ranks_are_valid(&keys, &is.ranks(&mut m)));
+    assert_eq!(is_sequential(&is_cfg).len(), is_cfg.keys);
+
+    // SP
+    let sp_cfg = SpConfig { n: 8, iterations: 1, ..SpConfig::default() };
+    let sp_ref = sp_sequential(&sp_cfg);
+    let mut m = Machine::ksr1(5).unwrap();
+    let sp = SpSetup::new(&mut m, sp_cfg, 3).unwrap();
+    m.run(sp.programs());
+    let got = sp.solution(&mut m);
+    assert!(got.iter().zip(&sp_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut m = Machine::ksr1(99).unwrap();
+        let b = AnyBarrier::alloc(BarrierKind::TournamentFlag, &mut m, 6).unwrap();
+        let lock = SwRwLock::alloc(&mut m).unwrap();
+        let data = m.alloc_subpage(8).unwrap();
+        let r = m.run(
+            (0..6)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        let mut ep = Episode::default();
+                        for i in 0..5 {
+                            let mode =
+                                if (p + i) % 2 == 0 { LockMode::Read } else { LockMode::Write };
+                            let t = lock.acquire(cpu, mode);
+                            if mode == LockMode::Write {
+                                let v = cpu.read_u64(data);
+                                cpu.write_u64(data, v + 1);
+                            } else {
+                                let _ = cpu.read_u64(data);
+                            }
+                            lock.release(cpu, t);
+                            b.wait(cpu, &mut ep);
+                        }
+                    })
+                })
+                .collect(),
+        );
+        (r.duration_cycles(), r.proc_end.clone(), m.peek_u64(data))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must give identical virtual histories");
+    assert_eq!(a.2, 15, "6 procs x 5 rounds, write on (p+i) even: 15 writes");
+}
+
+#[test]
+fn perfmon_counters_are_consistent() {
+    let mut m = Machine::ksr1(7).unwrap();
+    let shared = m.alloc_subpage(1024).unwrap();
+    m.run(
+        (0..8)
+            .map(|p| {
+                program(move |cpu: &mut Cpu| {
+                    for i in 0..64u64 {
+                        let _ = cpu.read_u64(shared + (i % 128) * 8);
+                        cpu.write_u64(shared + 512 + ((p as u64 * 64 + i) % 64) * 8, i);
+                    }
+                })
+            })
+            .collect(),
+    );
+    let pm = m.perfmon_total();
+    assert_eq!(
+        pm.total_accesses(),
+        pm.subcache_hits + pm.subcache_misses,
+        "hit/miss accounting must add up"
+    );
+    assert!(pm.subcache_misses >= pm.localcache_hits + pm.localcache_misses);
+    let fabric = m.fabric_stats();
+    // Cold first-touch misses allocate locally without ring traffic, so
+    // fabric packets track ring transactions (not raw misses); cross-ring
+    // transactions may book several packets each.
+    assert!(fabric.packets >= pm.ring_transactions, "fabric accounting must cover transactions");
+    assert!(pm.ring_transactions > 0, "shared traffic must have used the ring");
+}
+
+#[test]
+fn ksr2_is_faster_on_compute_but_not_on_ring() {
+    // Same program: heavy compute (clock-bound) vs heavy remote traffic
+    // (ring-bound, identical absolute ring speed on the two machines).
+    let compute_seconds = |mut m: Machine| {
+        let r = m.run(vec![program(|cpu: &mut Cpu| cpu.compute(1_000_000))]);
+        r.seconds()
+    };
+    let c1 = compute_seconds(Machine::ksr1(1).unwrap());
+    let c2 = compute_seconds(Machine::ksr2(1).unwrap());
+    assert!((c1 / c2 - 2.0).abs() < 0.01, "KSR-2 computes 2x faster: {c1} vs {c2}");
+
+    let ring_seconds = |mut m: Machine| {
+        let a = m.alloc(256 * 1024, 16384).unwrap();
+        m.warm(1, a, 256 * 1024);
+        let r = m.run(vec![program(move |cpu: &mut Cpu| {
+            for i in 0..512u64 {
+                let _ = cpu.read_u64(a + i * 128);
+            }
+        })]);
+        r.seconds()
+    };
+    let r1 = ring_seconds(Machine::ksr1(1).unwrap());
+    let r2 = ring_seconds(Machine::ksr2(1).unwrap());
+    assert!(
+        (r1 / r2 - 1.0).abs() < 0.25,
+        "ring-bound work barely changes in absolute time: {r1} vs {r2}"
+    );
+}
