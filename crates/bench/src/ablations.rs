@@ -18,12 +18,18 @@
 //! * **poststore in kernels** — covered by TAB1 (CG) and TAB4 (SP).
 
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::{program, Cpu, Machine, MachineConfig, Program};
 use ksr_mem::ProtocolOptions;
 use ksr_net::RingHierarchyConfig;
 use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
+
+/// Registry id.
+pub const ID: &str = "ABL";
+/// Registry title.
+pub const TITLE: &str = "Ablations of the paper's explanatory mechanisms";
 
 /// Mean barrier episode seconds on a machine built from `cfg`.
 fn episode_secs<B, F>(cfg: MachineConfig, procs: usize, episodes: usize, alloc: F) -> f64
@@ -53,8 +59,9 @@ where
 /// custom ring geometry.
 fn hammer_latency(cfg: MachineConfig, procs: usize) -> f64 {
     let mut m = Machine::new(cfg).expect("machine");
-    let arrays: Vec<u64> =
-        (0..procs).map(|_| m.alloc(256 * 1024, 16384).expect("alloc")).collect();
+    let arrays: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(256 * 1024, 16384).expect("alloc"))
+        .collect();
     let results = ksr_machine::SharedU64::alloc(&mut m, procs).expect("alloc");
     for (p, &a) in arrays.iter().enumerate() {
         m.warm((p + 1) % m.config().cells, a, 256 * 1024);
@@ -74,13 +81,17 @@ fn hammer_latency(cfg: MachineConfig, procs: usize) -> f64 {
             })
             .collect(),
     );
-    (0..procs).map(|p| results.peek(&mut m, p) as f64).sum::<f64>() / procs as f64
+    (0..procs)
+        .map(|p| results.peek(&mut m, p) as f64)
+        .sum::<f64>()
+        / procs as f64
 }
 
 /// Run all ablations.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("ABL", "Ablations of the paper's explanatory mechanisms");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
     let procs = if quick { 8 } else { 16 };
     let episodes = if quick { 4 } else { 10 };
 
@@ -92,16 +103,21 @@ pub fn run(quick: bool) -> ExperimentOutput {
     // tremendously. Read-snarfing is further aided by the use of
     // poststore" (§3.2.2).
     let tournament_m = |protocol: ProtocolOptions| {
-        let mut cfg = MachineConfig::ksr1(1);
+        let mut cfg = MachineConfig::ksr1(opts.machine_seed(1));
         cfg.protocol = protocol;
         episode_secs(cfg, procs, episodes, |m| {
             TournamentBarrier::alloc(m, procs, true).expect("alloc")
         })
     };
     let full = tournament_m(ProtocolOptions::default());
-    let snarf_only =
-        tournament_m(ProtocolOptions { poststore: false, ..ProtocolOptions::default() });
-    let neither = tournament_m(ProtocolOptions { read_snarfing: false, poststore: false });
+    let snarf_only = tournament_m(ProtocolOptions {
+        poststore: false,
+        ..ProtocolOptions::default()
+    });
+    let neither = tournament_m(ProtocolOptions {
+        read_snarfing: false,
+        poststore: false,
+    });
     out.line(format_args!(
         "wake-up ladder, tournament(M) @{procs}p: poststore+snarf {:.1} us; snarf only {:.1} us          ({:+.0}%); neither {:.1} us ({:+.0}%)",
         full * 1e6,
@@ -110,10 +126,25 @@ pub fn run(quick: bool) -> ExperimentOutput {
         neither * 1e6,
         (neither / full - 1.0) * 100.0
     ));
+    for (variant, v) in [
+        ("poststore+snarf", full),
+        ("snarf only", snarf_only),
+        ("neither", neither),
+    ] {
+        out.row(
+            "wakeup_episode_seconds",
+            &[
+                ("variant", Json::from(variant)),
+                ("procs", Json::from(procs)),
+            ],
+            v,
+            "s",
+        );
+    }
 
     // 2. Sub-ring interleaving: one fat lane vs two interleaved lanes.
-    let two_lanes = hammer_latency(MachineConfig::ksr1(2), procs);
-    let mut cfg = MachineConfig::ksr1(2);
+    let two_lanes = hammer_latency(MachineConfig::ksr1(opts.machine_seed(2)), procs);
+    let mut cfg = MachineConfig::ksr1(opts.machine_seed(2));
     let mut ring = RingHierarchyConfig::ksr1_32();
     ring.leaf.subrings = 1;
     cfg.ring_override = Some(ring);
@@ -125,25 +156,51 @@ pub fn run(quick: bool) -> ExperimentOutput {
         one_lane,
         (one_lane / two_lanes - 1.0) * 100.0
     ));
+    for (subrings, v) in [(2u64, two_lanes), (1, one_lane)] {
+        out.row(
+            "hammer_latency_cycles",
+            &[
+                ("subrings", Json::from(subrings)),
+                ("procs", Json::from(procs)),
+            ],
+            v,
+            "cycles",
+        );
+    }
 
     // 3. Slot-count sweep: where does the saturation knee go?
     out.push_text("slot sweep (hammer latency, cycles):");
     for slots in [8usize, 16, 24, 32] {
-        let mut cfg = MachineConfig::ksr1(3);
+        let mut cfg = MachineConfig::ksr1(opts.machine_seed(3));
         let mut ring = RingHierarchyConfig::ksr1_32();
         ring.leaf.slots = slots;
         cfg.ring_override = Some(ring);
         let l = hammer_latency(cfg, procs);
         out.line(format_args!("  {slots:>2} slots: {l:>7.1}"));
+        out.row(
+            "hammer_latency_cycles",
+            &[("slots", Json::from(slots)), ("procs", Json::from(procs))],
+            l,
+            "cycles",
+        );
     }
 
     // 4. MCS arrival-arity sweep: tree height vs packed-word false sharing.
     out.push_text("MCS arrival arity sweep (us/episode; 4 is the paper's):");
     for arity in [2usize, 4, 8] {
-        let t = episode_secs(MachineConfig::ksr1(4), procs, episodes, |m| {
-            McsBarrier::alloc_with_arity(m, procs, false, arity).expect("alloc")
-        });
+        let t = episode_secs(
+            MachineConfig::ksr1(opts.machine_seed(4)),
+            procs,
+            episodes,
+            |m| McsBarrier::alloc_with_arity(m, procs, false, arity).expect("alloc"),
+        );
         out.line(format_args!("  arity {arity}: {:.1}", t * 1e6));
+        out.row(
+            "mcs_episode_seconds",
+            &[("arity", Json::from(arity)), ("procs", Json::from(procs))],
+            t,
+            "s",
+        );
     }
     out
 }
@@ -161,8 +218,14 @@ mod tests {
                 TournamentBarrier::alloc(m, 16, true).expect("alloc")
             })
         };
-        let snarf_only = run(ProtocolOptions { poststore: false, ..ProtocolOptions::default() });
-        let neither = run(ProtocolOptions { read_snarfing: false, poststore: false });
+        let snarf_only = run(ProtocolOptions {
+            poststore: false,
+            ..ProtocolOptions::default()
+        });
+        let neither = run(ProtocolOptions {
+            read_snarfing: false,
+            poststore: false,
+        });
         assert!(
             neither > snarf_only,
             "without snarfing every spinner re-fetches through the ring:              {snarf_only:.2e} vs {neither:.2e}"
@@ -180,7 +243,10 @@ mod tests {
         };
         let few = latency_at(8);
         let many = latency_at(32);
-        assert!(few > many, "8 slots must contend more than 32: {few:.1} vs {many:.1}");
+        assert!(
+            few > many,
+            "8 slots must contend more than 32: {few:.1} vs {many:.1}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Regenerates the ablation studies; see DESIGN.md. Pass KSR_QUICK=1 for
-//! a reduced sweep.
-fn main() {
-    let quick = ksr_bench::common::quick_mode();
-    ksr_bench::emit(&ksr_bench::ablations::run(quick));
+//! Regenerates one artifact of the paper (ABL); see DESIGN.md. Flags:
+//! `--quick`/`--full`, `--seed N`, `--results DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ksr_bench::cli::run_single_main("ABL")
 }

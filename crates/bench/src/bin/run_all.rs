@@ -1,8 +1,9 @@
-//! Regenerates every table and figure of the paper into `results/`.
-//! Pass KSR_QUICK=1 for reduced sweeps.
-fn main() {
-    let quick = ksr_bench::common::quick_mode();
-    for out in ksr_bench::run_all(quick) {
-        ksr_bench::emit(&out);
-    }
+//! Regenerates paper tables and figures into the results directory and
+//! indexes them in `summary.json`. Flags: `--list`, `--only ID,ID...`,
+//! `--quick`/`--full`, `--seed N`, `--results DIR` (env defaults:
+//! KSR_QUICK, KSR_SEED, KSR_RESULTS).
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ksr_bench::cli::run_all_main()
 }

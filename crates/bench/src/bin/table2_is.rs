@@ -1,6 +1,7 @@
-//! Regenerates one artifact of the paper; see DESIGN.md. Pass
-//! KSR_QUICK=1 for a reduced sweep.
-fn main() {
-    let quick = ksr_bench::common::quick_mode();
-    ksr_bench::emit(&ksr_bench::table2_is::run(quick));
+//! Regenerates one artifact of the paper (TAB2); see DESIGN.md. Flags:
+//! `--quick`/`--full`, `--seed N`, `--results DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ksr_bench::cli::run_single_main("TAB2")
 }

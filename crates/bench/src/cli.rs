@@ -1,0 +1,181 @@
+//! Command-line plumbing shared by `run_all` and the per-figure
+//! binaries.
+//!
+//! Every binary accepts the same flags, layered over the environment
+//! defaults (`KSR_QUICK`, `KSR_SEED`, `KSR_RESULTS`):
+//!
+//! * `--quick` / `--full` — force reduced or full sweeps;
+//! * `--seed N` — perturb every machine seed;
+//! * `--results DIR` — where result files go.
+//!
+//! `run_all` additionally understands `--list` (print the registry and
+//! exit) and `--only ID[,ID...]` (run a subset).
+
+use std::process::ExitCode;
+
+use crate::common::{write_summary, ExperimentOutput, RunOpts};
+use crate::registry::{find, Experiment, FnExperiment, REGISTRY};
+
+/// Parsed command line: run options plus `run_all`'s selection flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// Effective run options (environment defaults + flags).
+    pub opts: RunOpts,
+    /// `--list`: print the registry instead of running.
+    pub list: bool,
+    /// `--only`: ids to run (empty means all).
+    pub only: Vec<String>,
+}
+
+/// Parse `args` (not including the program name) over environment
+/// defaults. Returns an error message for unknown or malformed flags.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: RunOpts::from_env(),
+        list: false,
+        only: Vec::new(),
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.opts.quick = true,
+            "--full" => cli.opts.quick = false,
+            "--list" => cli.list = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                cli.opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+            }
+            "--results" => {
+                cli.opts.results_dir = args.next().ok_or("--results needs a directory")?.into();
+            }
+            "--only" => {
+                let v = args
+                    .next()
+                    .ok_or("--only needs a comma-separated id list")?;
+                cli.only.extend(
+                    v.split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_uppercase),
+                );
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn usage(program: &str) -> String {
+    format!(
+        "usage: {program} [--quick|--full] [--seed N] [--results DIR] [--list] [--only ID,ID...]\n\
+         ids: {}",
+        crate::registry::ids().join(", ")
+    )
+}
+
+/// Run one experiment and persist its artifacts; prints the rendering.
+pub fn emit(exp: &FnExperiment, opts: &RunOpts) -> ExperimentOutput {
+    let out = exp.run(opts);
+    println!("{}", out.render());
+    match out.write_to(&opts.results_dir) {
+        Ok(path) => eprintln!("[written: {}]", path.display()),
+        Err(e) => eprintln!("[warning: could not write results file: {e}]"),
+    }
+    out
+}
+
+/// Entry point for the `run_all` binary.
+#[must_use]
+pub fn run_all_main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage("run_all"));
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        for e in REGISTRY {
+            println!("{:<8} {}", e.id(), e.title());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&FnExperiment> = if cli.only.is_empty() {
+        REGISTRY.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &cli.only {
+            match find(id) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("error: unknown experiment id {id}\n{}", usage("run_all"));
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        sel
+    };
+    let outputs: Vec<ExperimentOutput> = selected.iter().map(|e| emit(e, &cli.opts)).collect();
+    match write_summary(&outputs, &cli.opts) {
+        Ok(path) => eprintln!("[summary: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Entry point for a single-experiment binary: run `id` with the shared
+/// flags (selection flags are rejected).
+#[must_use]
+pub fn run_single_main(id: &str) -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) if cli.list || !cli.only.is_empty() => {
+            eprintln!(
+                "error: --list/--only are run_all flags\n{}",
+                usage(&id.to_lowercase())
+            );
+            return ExitCode::from(2);
+        }
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage(&id.to_lowercase()));
+            return ExitCode::from(2);
+        }
+    };
+    let exp = find(id).unwrap_or_else(|| panic!("binary wired to unregistered id {id}"));
+    emit(exp, &cli.opts);
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_flags_layer_over_defaults() {
+        let cli = parse_args(
+            [
+                "--quick",
+                "--seed",
+                "9",
+                "--results",
+                "out",
+                "--only",
+                "fig4,tab1",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(cli.opts.quick);
+        assert_eq!(cli.opts.seed, 9);
+        assert_eq!(cli.opts.results_dir, std::path::PathBuf::from("out"));
+        assert_eq!(cli.only, ["FIG4", "TAB1"]);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse_args(["--bogus".to_string()]).is_err());
+        assert!(parse_args(["--seed".to_string(), "x".to_string()]).is_err());
+    }
+}

@@ -6,10 +6,16 @@
 
 use ksr_core::metrics::ScalingTable;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{EpConfig, EpSetup};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
+
+/// Registry id.
+pub const ID: &str = "EP";
+/// Registry title.
+pub const TITLE: &str = "Embarrassingly Parallel kernel (§3.3)";
 
 /// `(seconds, aggregate MFLOPS)` for one EP run.
 #[must_use]
@@ -17,31 +23,56 @@ pub fn ep_time(cfg: EpConfig, procs: usize, seed: u64) -> (f64, f64) {
     let mut m = Machine::ksr1(seed).expect("machine");
     let setup = EpSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());
-    (cycles_to_seconds(r.duration_cycles(), m.config().clock_hz), r.mflops())
+    (
+        cycles_to_seconds(r.duration_cycles(), m.config().clock_hz),
+        r.mflops(),
+    )
 }
 
 /// Run the EP scaling experiment.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("EP", "Embarrassingly Parallel kernel (§3.3)");
-    let cfg = EpConfig { pairs: if quick { 1 << 14 } else { 1 << 18 }, ..EpConfig::default() };
-    let procs: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 32] };
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
+    let cfg = EpConfig {
+        pairs: if quick { 1 << 14 } else { 1 << 18 },
+        ..EpConfig::default()
+    };
+    let procs: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
     let mut mflops_rows = Vec::new();
     let times: Vec<(usize, f64)> = procs
         .iter()
         .map(|&p| {
-            let (t, mf) = ep_time(cfg, p, 800);
+            let (t, mf) = ep_time(cfg, p, opts.machine_seed(800));
             mflops_rows.push((p, mf));
             (p, t)
         })
         .collect();
     let table = ScalingTable::from_times(&times);
-    out.push_text(&table.render(&format!("EP, 2^{} random pairs", cfg.pairs.trailing_zeros())));
+    out.push_text(&table.render(&format!(
+        "EP, 2^{} random pairs",
+        cfg.pairs.trailing_zeros()
+    )));
+    let t1 = times[0].1;
+    for &(p, t) in &times {
+        out.row("ep_run_seconds", &[("procs", Json::from(p))], t, "s");
+        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+    }
     for (p, mf) in mflops_rows {
         out.line(format_args!(
             "  {p:>2} procs: {:6.1} MFLOPS/proc (paper: ~11 sustained, 40 peak)",
             mf / p as f64
         ));
+        out.row(
+            "mflops_per_proc",
+            &[("procs", Json::from(p))],
+            mf / p as f64,
+            "MFLOPS",
+        );
     }
     out
 }
@@ -52,7 +83,10 @@ mod tests {
 
     #[test]
     fn ep_is_nearly_linear() {
-        let cfg = EpConfig { pairs: 1 << 13, ..EpConfig::default() };
+        let cfg = EpConfig {
+            pairs: 1 << 13,
+            ..EpConfig::default()
+        };
         let (t1, _) = ep_time(cfg, 1, 1);
         let (t4, _) = ep_time(cfg, 4, 1);
         assert!(t1 / t4 > 3.5, "EP speedup at 4 = {:.2}", t1 / t4);

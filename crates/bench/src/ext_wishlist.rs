@@ -17,14 +17,20 @@
 //!    local-cache-resident sweep with and without it.
 
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::{program, Cpu, Machine};
 use ksr_nas::{CgConfig, CgSetup};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
 use crate::table1_cg::SCALE;
 
+/// Registry id.
+pub const ID: &str = "EXT";
+/// Registry title.
+pub const TITLE: &str = "The §4 wish-list features, implemented and measured";
+
 /// CG run time with/without matrix sub-cache bypass.
-fn cg_seconds(uncache_matrix: bool, procs: usize, quick: bool) -> f64 {
+fn cg_seconds(uncache_matrix: bool, procs: usize, quick: bool, machine_seed: u64) -> f64 {
     let cfg = CgConfig {
         n: if quick { 280 } else { 1400 },
         offdiag_per_row: if quick { 36 } else { 144 },
@@ -33,7 +39,7 @@ fn cg_seconds(uncache_matrix: bool, procs: usize, quick: bool) -> f64 {
         poststore: false,
         uncache_matrix,
     };
-    let mut m = Machine::ksr1_scaled(900, SCALE).expect("machine");
+    let mut m = Machine::ksr1_scaled(machine_seed, SCALE).expect("machine");
     let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz)
@@ -41,8 +47,8 @@ fn cg_seconds(uncache_matrix: bool, procs: usize, quick: bool) -> f64 {
 
 /// Sweep a local-cache-resident array, optionally sub-cache-prefetching
 /// one sub-page ahead. Returns mean cycles per access.
-fn sweep_cycles(prefetch: bool) -> f64 {
-    let mut m = Machine::ksr1(901).expect("machine");
+fn sweep_cycles(prefetch: bool, machine_seed: u64) -> f64 {
+    let mut m = Machine::ksr1(machine_seed).expect("machine");
     let len: u64 = 512 * 1024; // fits the local cache, dwarfs the sub-cache
     let a = m.alloc(len, 16384).expect("alloc");
     m.warm(0, a, len);
@@ -53,7 +59,7 @@ fn sweep_cycles(prefetch: bool) -> f64 {
             if prefetch {
                 // Software-pipelined: pull the next sub-page up while
                 // consuming this one.
-                if off % 128 == 0 {
+                if off.is_multiple_of(128) {
                     cpu.prefetch_subcache(a + (off + 128) % len);
                 }
             }
@@ -66,12 +72,12 @@ fn sweep_cycles(prefetch: bool) -> f64 {
 
 /// Run both wish-list experiments.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out =
-        ExperimentOutput::new("EXT", "The §4 wish-list features, implemented and measured");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
     let procs = if quick { 2 } else { 4 };
-    let base = cg_seconds(false, procs, quick);
-    let bypass = cg_seconds(true, procs, quick);
+    let base = cg_seconds(false, procs, quick, opts.machine_seed(900));
+    let bypass = cg_seconds(true, procs, quick, opts.machine_seed(900));
     out.line(format_args!(
         "CG @{procs}p, matrix streams sub-cached:   {base:.4} s"
     ));
@@ -83,8 +89,19 @@ pub fn run(quick: bool) -> ExperimentOutput {
         "(§3.3.1: 'it is conceivable that this mechanism may have been useful to reduce \
          the overall data access latency' — the experiment the authors could not run.)",
     );
-    let plain = sweep_cycles(false);
-    let pf = sweep_cycles(true);
+    for (uncached, v) in [(false, base), (true, bypass)] {
+        out.row(
+            "cg_run_seconds",
+            &[
+                ("matrix_uncached", Json::from(uncached)),
+                ("procs", Json::from(procs)),
+            ],
+            v,
+            "s",
+        );
+    }
+    let plain = sweep_cycles(false, opts.machine_seed(901));
+    let pf = sweep_cycles(true, opts.machine_seed(901));
     out.line(format_args!(
         "local-cache sweep, no sub-cache prefetch: {plain:.1} cycles/access"
     ));
@@ -96,6 +113,14 @@ pub fn run(quick: bool) -> ExperimentOutput {
         "(§4: 'it would be beneficial to have some prefetching mechanism from the \
          local-cache to the sub-cache'.)",
     );
+    for (prefetch, v) in [(false, plain), (true, pf)] {
+        out.row(
+            "sweep_cycles_per_access",
+            &[("subcache_prefetch", Json::from(prefetch))],
+            v,
+            "cycles",
+        );
+    }
     out
 }
 
@@ -105,8 +130,8 @@ mod tests {
 
     #[test]
     fn subcache_prefetch_speeds_up_resident_sweeps() {
-        let plain = sweep_cycles(false);
-        let pf = sweep_cycles(true);
+        let plain = sweep_cycles(false, 901);
+        let pf = sweep_cycles(true, 901);
         assert!(
             pf < plain,
             "the wished-for prefetch must help: {plain:.1} vs {pf:.1} cycles/access"
@@ -115,8 +140,8 @@ mod tests {
 
     #[test]
     fn cg_bypass_experiment_runs() {
-        let base = cg_seconds(false, 2, true);
-        let bypass = cg_seconds(true, 2, true);
+        let base = cg_seconds(false, 2, true, 900);
+        let bypass = cg_seconds(true, 2, true, 900);
         assert!(base > 0.0 && bypass > 0.0);
         // Either direction is a legitimate finding; it must stay within a
         // plausible band rather than explode.

@@ -21,9 +21,19 @@
 
 use ksr_core::table::Series;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::{program, Cpu, Machine, Program, SharedU64};
 
-use crate::common::{proc_sweep_32, ExperimentOutput};
+use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+
+/// Registry id of the Figure 2 sweep.
+pub const ID_FIG2: &str = "FIG2";
+/// Registry title of the Figure 2 sweep.
+pub const TITLE_FIG2: &str = "Read/Write Latencies on the KSR (Figure 2)";
+/// Registry id of the §3.1 stride experiments.
+pub const ID_SEC31A: &str = "SEC31A";
+/// Registry title of the §3.1 stride experiments.
+pub const TITLE_SEC31A: &str = "Block/page allocation overheads at allocating strides (§3.1 text)";
 
 const MB: u64 = 1024 * 1024;
 
@@ -51,8 +61,12 @@ fn measure(target: Target, procs: usize, stride: u64, samples: u64, seed: u64) -
     // One private 1 MB array per processor; for remote targets the
     // "owner" is the next cell around the ring (warmed there even if that
     // cell runs no program, exactly like data placed by an earlier phase).
-    let arrays: Vec<u64> = (0..procs).map(|_| m.alloc(MB, 16384).expect("alloc")).collect();
-    let fill: Vec<u64> = (0..procs).map(|_| m.alloc(MB, 16384).expect("alloc")).collect();
+    let arrays: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(MB, 16384).expect("alloc"))
+        .collect();
+    let fill: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(MB, 16384).expect("alloc"))
+        .collect();
     let results = SharedU64::alloc(&mut m, procs).expect("alloc");
     let remote = matches!(target, Target::RemoteRead | Target::RemoteWrite);
     for (p, &a) in arrays.iter().enumerate() {
@@ -101,8 +115,9 @@ fn measure(target: Target, procs: usize, stride: u64, samples: u64, seed: u64) -
 
 /// Run the Figure 2 sweep.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("FIG2", "Read/Write Latencies on the KSR (Figure 2)");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_FIG2, TITLE_FIG2);
     let samples = if quick { 256 } else { 1024 };
     let sweep = {
         let mut s = vec![1usize];
@@ -116,10 +131,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
         Series::new("Local Cache Write"),
     ];
     for &p in &sweep {
-        let nr = measure(Target::RemoteRead, p, 128, samples, 100);
-        let nw = measure(Target::RemoteWrite, p, 128, samples, 101);
-        let lr = measure(Target::LocalRead, p, 64, samples, 102);
-        let lw = measure(Target::LocalWrite, p, 64, samples, 103);
+        let nr = measure(Target::RemoteRead, p, 128, samples, opts.machine_seed(100));
+        let nw = measure(Target::RemoteWrite, p, 128, samples, opts.machine_seed(101));
+        let lr = measure(Target::LocalRead, p, 64, samples, opts.machine_seed(102));
+        let lw = measure(Target::LocalWrite, p, 64, samples, opts.machine_seed(103));
         series[0].push(p as f64, nr);
         series[1].push(p as f64, nw);
         series[2].push(p as f64, lr);
@@ -150,21 +165,41 @@ pub fn run(quick: bool) -> ExperimentOutput {
         (series[1].points[0].1 / nr1 - 1.0) * 100.0
     ));
     out.series = series;
+    out.rows_from_series("mean_access_seconds", "procs", "s");
     out
 }
 
 /// Run the §3.1 stride experiments (SEC31A).
 #[must_use]
-pub fn run_strides(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(
-        "SEC31A",
-        "Block/page allocation overheads at allocating strides (§3.1 text)",
+pub fn run_strides(opts: &RunOpts) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(ID_SEC31A, TITLE_SEC31A);
+    let samples = if opts.quick { 128 } else { 512 };
+    let local_subblock = measure(Target::LocalRead, 1, 64, samples, opts.machine_seed(110));
+    let local_block = measure(Target::LocalRead, 1, 2048, samples, opts.machine_seed(111));
+    let remote_subpage = measure(Target::RemoteRead, 1, 128, samples, opts.machine_seed(112));
+    let remote_page = measure(
+        Target::RemoteRead,
+        1,
+        16384,
+        samples.min(60),
+        opts.machine_seed(113),
     );
-    let samples = if quick { 128 } else { 512 };
-    let local_subblock = measure(Target::LocalRead, 1, 64, samples, 110);
-    let local_block = measure(Target::LocalRead, 1, 2048, samples, 111);
-    let remote_subpage = measure(Target::RemoteRead, 1, 128, samples, 112);
-    let remote_page = measure(Target::RemoteRead, 1, 16384, samples.min(60), 113);
+    for (target, stride, v) in [
+        ("local", 64u64, local_subblock),
+        ("local", 2048, local_block),
+        ("remote", 128, remote_subpage),
+        ("remote", 16384, remote_page),
+    ] {
+        out.row(
+            "mean_access_seconds",
+            &[
+                ("target", Json::from(target)),
+                ("stride_bytes", Json::from(stride)),
+            ],
+            v,
+            "s",
+        );
+    }
     out.line(format_args!(
         "local-cache read, 64 B stride:   {:.3} us",
         local_subblock * 1e6
@@ -194,14 +229,20 @@ mod tests {
     fn local_read_is_about_18_cycles() {
         let s = measure(Target::LocalRead, 1, 64, 256, 1);
         let cycles = s * 20e6;
-        assert!((17.0..22.0).contains(&cycles), "local read {cycles:.1} cycles");
+        assert!(
+            (17.0..22.0).contains(&cycles),
+            "local read {cycles:.1} cycles"
+        );
     }
 
     #[test]
     fn remote_read_is_about_175_cycles() {
         let s = measure(Target::RemoteRead, 1, 128, 256, 2);
         let cycles = s * 20e6;
-        assert!((170.0..190.0).contains(&cycles), "remote read {cycles:.1} cycles");
+        assert!(
+            (170.0..190.0).contains(&cycles),
+            "remote read {cycles:.1} cycles"
+        );
     }
 
     #[test]
@@ -216,7 +257,10 @@ mod tests {
         let fine = measure(Target::LocalRead, 1, 64, 256, 4);
         let coarse = measure(Target::LocalRead, 1, 2048, 256, 4);
         let ratio = coarse / fine;
-        assert!((1.3..1.7).contains(&ratio), "block-alloc ratio {ratio:.2} (paper 1.5)");
+        assert!(
+            (1.3..1.7).contains(&ratio),
+            "block-alloc ratio {ratio:.2} (paper 1.5)"
+        );
     }
 
     #[test]
@@ -224,7 +268,10 @@ mod tests {
         let fine = measure(Target::RemoteRead, 1, 128, 256, 5);
         let coarse = measure(Target::RemoteRead, 1, 16384, 60, 5);
         let ratio = coarse / fine;
-        assert!((1.4..1.9).contains(&ratio), "page-alloc ratio {ratio:.2} (paper 1.6)");
+        assert!(
+            (1.4..1.9).contains(&ratio),
+            "page-alloc ratio {ratio:.2} (paper 1.6)"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@ use ksr_core::XorShift64;
 use ksr_machine::{program, Cpu, InterruptConfig, Machine, MachineConfig, Program};
 use ksr_sync::{HwLock, LockMode, SwRwLock};
 
-use crate::common::{proc_sweep_32, ExperimentOutput};
+use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+
+/// Registry id.
+pub const ID: &str = "FIG3";
+/// Registry title.
+pub const TITLE: &str = "Read/Write and Exclusive locks on the KSR (Figure 3)";
 
 const HOLD: u64 = 3_000;
 const DELAY: u64 = 10_000;
@@ -69,9 +74,9 @@ fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f64 {
 
 /// Run the Figure 3 sweep.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out =
-        ExperimentOutput::new("FIG3", "Read/Write and Exclusive locks on the KSR (Figure 3)");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
     let sweep = {
         let mut s = vec![1usize];
         s.extend(proc_sweep_32(quick));
@@ -95,7 +100,10 @@ pub fn run(quick: bool) -> ExperimentOutput {
             if quick && !(matches!(mix, None | Some(0) | Some(100))) {
                 continue;
             }
-            series[si].push(p as f64, run_workload(mix, p, 300 + si as u64));
+            series[si].push(
+                p as f64,
+                run_workload(mix, p, opts.machine_seed(300 + si as u64)),
+            );
         }
     }
     // Analysis rows the paper draws from this figure.
@@ -121,6 +129,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
          SW writers-only <= HW exclusive (unsynchronized timer interrupts).",
     );
     out.series = series;
+    out.rows_from_series("run_seconds", "procs", "s");
     out
 }
 
@@ -143,7 +152,10 @@ mod tests {
         // the processor count while writers-only keeps climbing.
         let writers16 = run_workload(Some(0), 16, 1);
         let readers16 = run_workload(Some(100), 16, 1);
-        assert!(readers16 < writers16 * 0.65, "{readers16:.3} vs {writers16:.3}");
+        assert!(
+            readers16 < writers16 * 0.65,
+            "{readers16:.3} vs {writers16:.3}"
+        );
     }
 
     #[test]

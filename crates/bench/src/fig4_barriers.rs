@@ -13,10 +13,25 @@
 
 use ksr_core::table::Series;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::{program, Cpu, Machine, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
-use crate::common::{proc_sweep_32, ExperimentOutput};
+use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+
+/// Registry id of the Figure 4 sweep.
+pub const ID_FIG4: &str = "FIG4";
+/// Registry title of the Figure 4 sweep.
+pub const TITLE_FIG4: &str = "Performance of the barriers on 32-node KSR-1 (Figure 4)";
+/// Registry id of the Figure 5 sweep.
+pub const ID_FIG5: &str = "FIG5";
+/// Registry title of the Figure 5 sweep.
+pub const TITLE_FIG5: &str = "Performance of the barriers on 64-node KSR-2 (Figure 5)";
+/// Registry id of the §3.2.3 comparison.
+pub const ID_SEC323: &str = "SEC323";
+/// Registry title of the §3.2.3 comparison.
+pub const TITLE_SEC323: &str =
+    "Barrier comparison with the Sequent Symmetry and the BBN Butterfly (§3.2.3)";
 
 /// Machines a barrier sweep can target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,13 +98,17 @@ fn sweep_series(
     kinds: &[BarrierKind],
     procs: &[usize],
     episodes: usize,
+    base_seed: u64,
 ) -> Vec<Series> {
     kinds
         .iter()
         .map(|&kind| {
             let mut s = Series::new(kind.label());
             for &p in procs {
-                s.push(p as f64, episode_time(machine, kind, p, episodes, 1000 + p as u64));
+                s.push(
+                    p as f64,
+                    episode_time(machine, kind, p, episodes, base_seed + p as u64),
+                );
             }
             s
         })
@@ -98,17 +117,27 @@ fn sweep_series(
 
 /// Figure 4: the nine barriers on the 32-node KSR-1.
 #[must_use]
-pub fn run_fig4(quick: bool) -> ExperimentOutput {
-    let mut out =
-        ExperimentOutput::new("FIG4", "Performance of the barriers on 32-node KSR-1 (Figure 4)");
+pub fn run_fig4(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_FIG4, TITLE_FIG4);
     let procs = proc_sweep_32(quick);
     let episodes = if quick { 6 } else { 16 };
     let kinds: Vec<BarrierKind> = if quick {
-        vec![BarrierKind::Counter, BarrierKind::TournamentFlag, BarrierKind::Mcs]
+        vec![
+            BarrierKind::Counter,
+            BarrierKind::TournamentFlag,
+            BarrierKind::Mcs,
+        ]
     } else {
         BarrierKind::ALL.to_vec()
     };
-    let series = sweep_series(BarrierMachine::Ksr1, &kinds, &procs, episodes);
+    let series = sweep_series(
+        BarrierMachine::Ksr1,
+        &kinds,
+        &procs,
+        episodes,
+        opts.machine_seed(1000),
+    );
     let at_max = |label: &str| {
         series
             .iter()
@@ -119,30 +148,48 @@ pub fn run_fig4(quick: bool) -> ExperimentOutput {
     let pmax = *procs.last().unwrap();
     out.line(format_args!("per-episode times at {pmax} procs (us):"));
     for s in &series {
-        out.line(format_args!("  {:<14} {:8.1}", s.label, at_max(&s.label) * 1e6));
+        out.line(format_args!(
+            "  {:<14} {:8.1}",
+            s.label,
+            at_max(&s.label) * 1e6
+        ));
     }
     out.push_text(
         "paper's ordering at 32 procs: counter slowest; dissemination and tree mid-pack; \
          tournament ~ MCS; global-flag variants fastest with tournament(M) best.",
     );
     out.series = series;
+    out.rows_from_series("barrier_episode_seconds", "procs", "s");
     out
 }
 
 /// Figure 5: the nine barriers on the 64-node KSR-2 (two-level ring).
 #[must_use]
-pub fn run_fig5(quick: bool) -> ExperimentOutput {
-    let mut out =
-        ExperimentOutput::new("FIG5", "Performance of the barriers on 64-node KSR-2 (Figure 5)");
-    let procs: Vec<usize> =
-        if quick { vec![16, 32, 40] } else { vec![16, 24, 32, 36, 40, 48, 56, 64] };
+pub fn run_fig5(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_FIG5, TITLE_FIG5);
+    let procs: Vec<usize> = if quick {
+        vec![16, 32, 40]
+    } else {
+        vec![16, 24, 32, 36, 40, 48, 56, 64]
+    };
     let episodes = if quick { 4 } else { 12 };
     let kinds: Vec<BarrierKind> = if quick {
-        vec![BarrierKind::TournamentFlag, BarrierKind::Mcs, BarrierKind::Tournament]
+        vec![
+            BarrierKind::TournamentFlag,
+            BarrierKind::Mcs,
+            BarrierKind::Tournament,
+        ]
     } else {
         BarrierKind::ALL.to_vec()
     };
-    let series = sweep_series(BarrierMachine::Ksr2, &kinds, &procs, episodes);
+    let series = sweep_series(
+        BarrierMachine::Ksr2,
+        &kinds,
+        &procs,
+        episodes,
+        opts.machine_seed(1000),
+    );
     // §3.2.4 analysis: the jump past one ring, and tournament vs MCS.
     for s in &series {
         let y32 = s.y_at(32.0);
@@ -170,27 +217,47 @@ pub fn run_fig5(quick: bool) -> ExperimentOutput {
          processor set spans both leaf rings; tournament(M) remains best.",
     );
     out.series = series;
+    out.rows_from_series("barrier_episode_seconds", "procs", "s");
     out
 }
 
 /// §3.2.3: the same barrier code on the Symmetry and the Butterfly.
 #[must_use]
-pub fn run_sec323(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(
-        "SEC323",
-        "Barrier comparison with the Sequent Symmetry and the BBN Butterfly (§3.2.3)",
-    );
+pub fn run_sec323(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_SEC323, TITLE_SEC323);
     let episodes = if quick { 4 } else { 12 };
     let procs = if quick { 8 } else { 16 };
     // Symmetry: all nine run (it has coherent caches).
     out.line(format_args!("Sequent Symmetry, {procs} procs, us/episode:"));
     let mut sym: Vec<(f64, &'static str)> = BarrierKind::ALL
         .iter()
-        .map(|&k| (episode_time(BarrierMachine::Symmetry, k, procs, episodes, 77), k.label()))
+        .map(|&k| {
+            (
+                episode_time(
+                    BarrierMachine::Symmetry,
+                    k,
+                    procs,
+                    episodes,
+                    opts.machine_seed(77),
+                ),
+                k.label(),
+            )
+        })
         .collect();
     sym.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     for (t, l) in &sym {
         out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
+        out.row(
+            "barrier_episode_seconds",
+            &[
+                ("machine", Json::from("symmetry")),
+                ("barrier", Json::from(*l)),
+                ("procs", Json::from(procs)),
+            ],
+            *t,
+            "s",
+        );
     }
     out.push_text("paper: the counter algorithm performs the best on the Symmetry.");
     // Butterfly: no coherent caches, so no global-flag variants.
@@ -198,11 +265,32 @@ pub fn run_sec323(quick: bool) -> ExperimentOutput {
     let mut bfly: Vec<(f64, &'static str)> = BarrierKind::ALL
         .iter()
         .filter(|k| !k.needs_coherent_caches())
-        .map(|&k| (episode_time(BarrierMachine::Butterfly, k, procs, episodes, 78), k.label()))
+        .map(|&k| {
+            (
+                episode_time(
+                    BarrierMachine::Butterfly,
+                    k,
+                    procs,
+                    episodes,
+                    opts.machine_seed(78),
+                ),
+                k.label(),
+            )
+        })
         .collect();
     bfly.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     for (t, l) in &bfly {
         out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
+        out.row(
+            "barrier_episode_seconds",
+            &[
+                ("machine", Json::from("butterfly")),
+                ("barrier", Json::from(*l)),
+                ("procs", Json::from(procs)),
+            ],
+            *t,
+            "s",
+        );
     }
     out.push_text(
         "paper: on the Butterfly dissemination does best, then tournament, then MCS \
@@ -226,13 +314,20 @@ mod tests {
     fn flag_wakeup_beats_tree_wakeup_for_tournament() {
         let plain = episode_time(BarrierMachine::Ksr1, BarrierKind::Tournament, 16, 6, 2);
         let flag = episode_time(BarrierMachine::Ksr1, BarrierKind::TournamentFlag, 16, 6, 2);
-        assert!(flag < plain, "flag {flag:.2e} must beat tree wake-up {plain:.2e}");
+        assert!(
+            flag < plain,
+            "flag {flag:.2e} must beat tree wake-up {plain:.2e}"
+        );
     }
 
     #[test]
     fn counter_wins_on_the_bus() {
         let counter = episode_time(BarrierMachine::Symmetry, BarrierKind::Counter, 8, 6, 3);
-        for kind in [BarrierKind::Dissemination, BarrierKind::Tournament, BarrierKind::Mcs] {
+        for kind in [
+            BarrierKind::Dissemination,
+            BarrierKind::Tournament,
+            BarrierKind::Mcs,
+        ] {
             let other = episode_time(BarrierMachine::Symmetry, kind, 8, 6, 3);
             assert!(
                 counter < other * 1.1,
@@ -244,10 +339,19 @@ mod tests {
 
     #[test]
     fn dissemination_wins_on_the_butterfly() {
-        let d = episode_time(BarrierMachine::Butterfly, BarrierKind::Dissemination, 16, 6, 4);
+        let d = episode_time(
+            BarrierMachine::Butterfly,
+            BarrierKind::Dissemination,
+            16,
+            6,
+            4,
+        );
         let t = episode_time(BarrierMachine::Butterfly, BarrierKind::Tournament, 16, 6, 4);
         let m = episode_time(BarrierMachine::Butterfly, BarrierKind::Mcs, 16, 6, 4);
-        assert!(d < t && t < m * 1.2, "butterfly ordering: diss {d:.2e} tour {t:.2e} mcs {m:.2e}");
+        assert!(
+            d < t && t < m * 1.2,
+            "butterfly ordering: diss {d:.2e} tour {t:.2e} mcs {m:.2e}"
+        );
     }
 
     #[test]

@@ -5,24 +5,42 @@
 
 use ksr_core::table::Series;
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
 use crate::table1_cg::{cg_time, paper_config as cg_config};
 use crate::table2_is::{is_time, paper_config as is_config};
 
+/// Registry id.
+pub const ID: &str = "FIG8";
+/// Registry title.
+pub const TITLE: &str = "Speedup for CG and IS (Figure 8)";
+
 /// Run the Figure 8 sweep.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("FIG8", "Speedup for CG and IS (Figure 8)");
-    let procs: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 24, 32] };
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
+    let procs: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 24, 32]
+    };
     let cg_cfg = cg_config(quick);
     let is_cfg = is_config(quick);
     let mut cg = Series::new("CG");
     let mut is = Series::new("IS");
-    let cg_t1 = cg_time(cg_cfg, 1, 900);
-    let (is_t1, _) = is_time(is_cfg, 1, 901);
+    let cg_t1 = cg_time(cg_cfg, 1, opts.machine_seed(900));
+    let (is_t1, _) = is_time(is_cfg, 1, opts.machine_seed(901));
     for &p in &procs {
-        let tc = if p == 1 { cg_t1 } else { cg_time(cg_cfg, p, 900) };
-        let (ti, _) = if p == 1 { (is_t1, 0.0) } else { is_time(is_cfg, p, 901) };
+        let tc = if p == 1 {
+            cg_t1
+        } else {
+            cg_time(cg_cfg, p, opts.machine_seed(900))
+        };
+        let (ti, _) = if p == 1 {
+            (is_t1, 0.0)
+        } else {
+            is_time(is_cfg, p, opts.machine_seed(901))
+        };
         cg.push(p as f64, cg_t1 / tc);
         is.push(p as f64, is_t1 / ti);
     }
@@ -33,6 +51,7 @@ pub fn run(quick: bool) -> ExperimentOutput {
         ));
     }
     out.series = vec![cg, is];
+    out.rows_from_series("speedup", "procs", "x");
     out
 }
 
@@ -42,11 +61,15 @@ mod tests {
 
     #[test]
     fn both_curves_rise_in_quick_mode() {
-        let out = run(true);
+        let out = run(&RunOpts::quick());
         for s in &out.series {
             let first = s.points.first().unwrap().1;
             let last = s.points.last().unwrap().1;
-            assert!(last > first, "{} speedup should grow: {first} -> {last}", s.label);
+            assert!(
+                last > first,
+                "{} speedup should grow: {first} -> {last}",
+                s.label
+            );
         }
     }
 }

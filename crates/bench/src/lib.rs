@@ -4,14 +4,20 @@
 //! Study of the KSR-1"*, each regenerating the same rows or curves the
 //! paper reports (see the per-experiment index in `DESIGN.md`).
 //!
-//! Every module exposes a `run(quick) -> ExperimentOutput`; the matching
-//! binaries in `src/bin/` print the output and write it under `results/`.
-//! Set `KSR_QUICK=1` for fast reduced sweeps. `run_all` regenerates
-//! everything.
+//! Experiments are [`registry::Experiment`]s: look them up in
+//! [`registry::REGISTRY`] and call `run(&RunOpts)`. Each run returns an
+//! [`ExperimentOutput`] carrying rendered text, figure series, and typed
+//! [`MetricRow`]s; `write_to` persists `<id>.txt` / `<id>.csv` /
+//! `<id>.json`, and [`common::write_summary`] indexes a whole run in
+//! `summary.json`. The `run_all` binary is the CLI front end
+//! (`--list`, `--only FIG4,TAB1`, `--quick`); the per-figure binaries
+//! route through the same registry. `KSR_QUICK=1`, `KSR_SEED`, and
+//! `KSR_RESULTS` provide the [`RunOpts`] defaults.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod common;
 pub mod ep_scaling;
 pub mod ext_wishlist;
@@ -19,37 +25,34 @@ pub mod fig2_latency;
 pub mod fig3_locks;
 pub mod fig4_barriers;
 pub mod fig8_speedup;
+pub mod registry;
 pub mod table1_cg;
 pub mod table2_is;
 pub mod table3_sp;
 
-use common::ExperimentOutput;
+pub use common::{ExperimentOutput, MetricRow, RunOpts};
+pub use registry::{Experiment, FnExperiment, REGISTRY};
 
-/// Run every experiment, in the DESIGN.md index order.
+/// Run every registered experiment, in the DESIGN.md index order.
 #[must_use]
-pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
-    vec![
-        fig2_latency::run(quick),
-        fig2_latency::run_strides(quick),
-        fig3_locks::run(quick),
-        fig4_barriers::run_fig4(quick),
-        fig4_barriers::run_fig5(quick),
-        fig4_barriers::run_sec323(quick),
-        table1_cg::run(quick),
-        table2_is::run(quick),
-        fig8_speedup::run(quick),
-        table3_sp::run_table3(quick),
-        table3_sp::run_table4(quick),
-        ep_scaling::run(quick),
-        ablations::run(quick),
-        ext_wishlist::run(quick),
-    ]
+pub fn run_all(opts: &RunOpts) -> Vec<ExperimentOutput> {
+    REGISTRY.iter().map(|e| e.run(opts)).collect()
+}
+
+/// Deprecated shim for the pre-registry API.
+#[deprecated(note = "use run_all(&RunOpts) or the registry directly")]
+#[must_use]
+pub fn run_all_quick(quick: bool) -> Vec<ExperimentOutput> {
+    run_all(&RunOpts {
+        quick,
+        ..RunOpts::default()
+    })
 }
 
 /// Print an experiment and persist it under the results directory.
-pub fn emit(out: &ExperimentOutput) {
+pub fn emit(out: &ExperimentOutput, opts: &RunOpts) {
     println!("{}", out.render());
-    match out.write_to(&common::results_dir()) {
+    match out.write_to(&opts.results_dir) {
         Ok(path) => eprintln!("[written: {}]", path.display()),
         Err(e) => eprintln!("[warning: could not write results file: {e}]"),
     }

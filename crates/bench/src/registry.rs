@@ -1,0 +1,176 @@
+//! The experiment registry.
+//!
+//! Every paper artifact the harness can regenerate is an
+//! [`Experiment`]: an id (the DESIGN.md index key), a human title, and a
+//! run function taking [`RunOpts`]. The built-in experiments are plain
+//! functions wrapped in [`FnExperiment`] and listed in [`REGISTRY`] in
+//! DESIGN.md index order; binaries and `run_all` resolve them through
+//! [`find`] rather than hard-coding call sites.
+
+use crate::common::{ExperimentOutput, RunOpts};
+
+/// One runnable paper artifact (a table, figure, or text measurement).
+pub trait Experiment {
+    /// Stable id from the DESIGN.md index (e.g. `"FIG4"`).
+    fn id(&self) -> &'static str;
+    /// Human title.
+    fn title(&self) -> &'static str;
+    /// Produce the artifact under the given options.
+    fn run(&self, opts: &RunOpts) -> ExperimentOutput;
+}
+
+/// An [`Experiment`] backed by a free function — the shape of every
+/// built-in experiment.
+#[derive(Clone, Copy)]
+pub struct FnExperiment {
+    id: &'static str,
+    title: &'static str,
+    runner: fn(&RunOpts) -> ExperimentOutput,
+}
+
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn run(&self, opts: &RunOpts) -> ExperimentOutput {
+        (self.runner)(opts)
+    }
+}
+
+impl std::fmt::Debug for FnExperiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnExperiment")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+macro_rules! entry {
+    ($id:expr, $title:expr, $runner:path) => {
+        FnExperiment {
+            id: $id,
+            title: $title,
+            runner: $runner,
+        }
+    };
+}
+
+/// Every built-in experiment, in DESIGN.md index order.
+pub const REGISTRY: &[FnExperiment] = &[
+    entry!(
+        crate::fig2_latency::ID_FIG2,
+        crate::fig2_latency::TITLE_FIG2,
+        crate::fig2_latency::run
+    ),
+    entry!(
+        crate::fig2_latency::ID_SEC31A,
+        crate::fig2_latency::TITLE_SEC31A,
+        crate::fig2_latency::run_strides
+    ),
+    entry!(
+        crate::fig3_locks::ID,
+        crate::fig3_locks::TITLE,
+        crate::fig3_locks::run
+    ),
+    entry!(
+        crate::fig4_barriers::ID_FIG4,
+        crate::fig4_barriers::TITLE_FIG4,
+        crate::fig4_barriers::run_fig4
+    ),
+    entry!(
+        crate::fig4_barriers::ID_FIG5,
+        crate::fig4_barriers::TITLE_FIG5,
+        crate::fig4_barriers::run_fig5
+    ),
+    entry!(
+        crate::fig4_barriers::ID_SEC323,
+        crate::fig4_barriers::TITLE_SEC323,
+        crate::fig4_barriers::run_sec323
+    ),
+    entry!(
+        crate::table1_cg::ID,
+        crate::table1_cg::TITLE,
+        crate::table1_cg::run
+    ),
+    entry!(
+        crate::table2_is::ID,
+        crate::table2_is::TITLE,
+        crate::table2_is::run
+    ),
+    entry!(
+        crate::fig8_speedup::ID,
+        crate::fig8_speedup::TITLE,
+        crate::fig8_speedup::run
+    ),
+    entry!(
+        crate::table3_sp::ID_TAB3,
+        crate::table3_sp::TITLE_TAB3,
+        crate::table3_sp::run_table3
+    ),
+    entry!(
+        crate::table3_sp::ID_TAB4,
+        crate::table3_sp::TITLE_TAB4,
+        crate::table3_sp::run_table4
+    ),
+    entry!(
+        crate::ep_scaling::ID,
+        crate::ep_scaling::TITLE,
+        crate::ep_scaling::run
+    ),
+    entry!(
+        crate::ablations::ID,
+        crate::ablations::TITLE,
+        crate::ablations::run
+    ),
+    entry!(
+        crate::ext_wishlist::ID,
+        crate::ext_wishlist::TITLE,
+        crate::ext_wishlist::run
+    ),
+];
+
+/// Look an experiment up by id, case-insensitively.
+#[must_use]
+pub fn find(id: &str) -> Option<&'static FnExperiment> {
+    REGISTRY.iter().find(|e| e.id.eq_ignore_ascii_case(id))
+}
+
+/// All registered ids, in index order.
+#[must_use]
+pub fn ids() -> Vec<&'static str> {
+    REGISTRY.iter().map(|e| e.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_design_index() {
+        let expect = [
+            "FIG2", "SEC31A", "FIG3", "FIG4", "FIG5", "SEC323", "TAB1", "TAB2", "FIG8", "TAB3",
+            "TAB4", "EP", "ABL", "EXT",
+        ];
+        assert_eq!(ids(), expect);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+        }
+    }
+
+    #[test]
+    fn find_is_case_insensitive() {
+        assert_eq!(find("fig4").map(Experiment::id), Some("FIG4"));
+        assert_eq!(find("Tab1").map(Experiment::id), Some("TAB1"));
+        assert!(find("NOPE").is_none());
+    }
+}

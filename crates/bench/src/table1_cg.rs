@@ -9,10 +9,16 @@
 
 use ksr_core::metrics::ScalingTable;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{CgConfig, CgSetup};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
+
+/// Registry id.
+pub const ID: &str = "TAB1";
+/// Registry title.
+pub const TITLE: &str = "Conjugate Gradient (Table 1, Figure 8)";
 
 /// Cache scale factor used for the kernel experiments.
 pub const SCALE: u64 = 64;
@@ -45,29 +51,53 @@ pub fn paper_config(quick: bool) -> CgConfig {
 
 /// Run Table 1 (and the poststore note).
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("TAB1", "Conjugate Gradient (Table 1, Figure 8)");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
     let cfg = paper_config(quick);
-    let procs: Vec<usize> =
-        if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 32] };
-    let times: Vec<(usize, f64)> =
-        procs.iter().map(|&p| (p, cg_time(cfg, p, 500))).collect();
+    let procs: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
+    let times: Vec<(usize, f64)> = procs
+        .iter()
+        .map(|&p| (p, cg_time(cfg, p, opts.machine_seed(500))))
+        .collect();
     let table = ScalingTable::from_times(&times);
     out.push_text(&table.render(&format!(
         "Conjugate Gradient, datasize n = {}, nonzeros ~ {} (scaled 1/{SCALE})",
         cfg.n,
         cfg.n * (cfg.offdiag_per_row + 1)
     )));
+    let t1 = times[0].1;
+    for &(p, t) in &times {
+        out.row("cg_run_seconds", &[("procs", Json::from(p))], t, "s");
+        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+    }
     // Poststore comparison (paper: ~+3% at 16 procs, less at 32 where the
     // ring nears saturation).
     if !quick {
         for &p in &[8usize, 16, 32] {
             let plain = times.iter().find(|&&(q, _)| q == p).unwrap().1;
-            let ps = cg_time(CgConfig { poststore: true, ..cfg }, p, 500);
+            let ps = cg_time(
+                CgConfig {
+                    poststore: true,
+                    ..cfg
+                },
+                p,
+                opts.machine_seed(500),
+            );
             out.line(format_args!(
                 "poststore at {p:>2} procs: {:+.1}% (paper: +3% at 16, less at 32)",
                 (plain / ps - 1.0) * 100.0
             ));
+            out.row(
+                "cg_run_seconds",
+                &[("procs", Json::from(p)), ("poststore", Json::from(true))],
+                ps,
+                "s",
+            );
         }
     }
     out
@@ -88,8 +118,9 @@ mod tests {
 
     #[test]
     fn quick_table_is_well_formed() {
-        let out = run(true);
+        let out = run(&RunOpts::quick());
         assert!(out.text.contains("Speedup"));
         assert!(out.text.lines().count() >= 5);
+        assert!(out.rows.iter().any(|r| r.metric == "cg_run_seconds"));
     }
 }

@@ -8,11 +8,17 @@
 
 use ksr_core::metrics::ScalingTable;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{IsConfig, IsSetup};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
 use crate::table1_cg::SCALE;
+
+/// Registry id.
+pub const ID: &str = "TAB2";
+/// Registry title.
+pub const TITLE: &str = "Integer Sort (Table 2, Figure 8)";
 
 /// Seconds for one IS run at `procs` processors. Also returns the mean
 /// remote-access latency observed by the performance monitor — the
@@ -23,7 +29,10 @@ pub fn is_time(cfg: IsConfig, procs: usize, seed: u64) -> (f64, f64) {
     let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());
     let lat = m.perfmon_total().mean_ring_latency();
-    (cycles_to_seconds(r.duration_cycles(), m.config().clock_hz), lat)
+    (
+        cycles_to_seconds(r.duration_cycles(), m.config().clock_hz),
+        lat,
+    )
 }
 
 /// The scaled Table-2 configuration.
@@ -39,16 +48,20 @@ pub fn paper_config(quick: bool) -> IsConfig {
 
 /// Run Table 2.
 #[must_use]
-pub fn run(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("TAB2", "Integer Sort (Table 2, Figure 8)");
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID, TITLE);
     let cfg = paper_config(quick);
-    let procs: Vec<usize> =
-        if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 30, 32] };
+    let procs: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 30, 32]
+    };
     let mut lat_rows = Vec::new();
     let times: Vec<(usize, f64)> = procs
         .iter()
         .map(|&p| {
-            let (t, lat) = is_time(cfg, p, 600);
+            let (t, lat) = is_time(cfg, p, opts.machine_seed(600));
             lat_rows.push((p, lat));
             (p, t)
         })
@@ -63,9 +76,20 @@ pub fn run(quick: bool) -> ExperimentOutput {
          not the architecture)",
         table.serial_fraction_monotonic_up()
     ));
+    let t1 = times[0].1;
+    for &(p, t) in &times {
+        out.row("is_run_seconds", &[("procs", Json::from(p))], t, "s");
+        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+    }
     out.push_text("perfmon mean remote latency (cycles) — the 30→32 rise is the ring:");
     for (p, lat) in lat_rows {
         out.line(format_args!("  {p:>2} procs: {lat:8.1}"));
+        out.row(
+            "mean_ring_latency_cycles",
+            &[("procs", Json::from(p))],
+            lat,
+            "cycles",
+        );
     }
     out
 }
@@ -85,7 +109,11 @@ mod tests {
 
     #[test]
     fn serial_fraction_rises_in_quick_table() {
-        let out = run(true);
+        let out = run(&RunOpts::quick());
         assert!(out.text.contains("Serial Fraction"));
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.metric == "mean_ring_latency_cycles"));
     }
 }

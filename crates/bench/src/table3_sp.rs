@@ -8,10 +8,21 @@
 
 use ksr_core::table::TextTable;
 use ksr_core::time::cycles_to_seconds;
+use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{SpConfig, SpLayout, SpSetup};
 
-use crate::common::ExperimentOutput;
+use crate::common::{ExperimentOutput, RunOpts};
+
+/// Registry id of the Table 3 scaling run.
+pub const ID_TAB3: &str = "TAB3";
+/// Registry title of the Table 3 scaling run.
+pub const TITLE_TAB3: &str =
+    "Scalar Pentadiagonal performance (Table 3), data-size 32x32x32 (scaled from 64^3)";
+/// Registry id of the Table 4 optimisation ladder.
+pub const ID_TAB4: &str = "TAB4";
+/// Registry title of the Table 4 optimisation ladder.
+pub const TITLE_TAB4: &str = "Scalar Pentadiagonal optimisation ladder (Table 4), 30 processors";
 
 /// Seconds **per iteration** for one SP run.
 #[must_use]
@@ -39,18 +50,31 @@ pub fn paper_config(quick: bool) -> SpConfig {
 
 /// Run Table 3 (scaling of the optimised version).
 #[must_use]
-pub fn run_table3(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(
-        "TAB3",
-        "Scalar Pentadiagonal performance (Table 3), data-size 32x32x32 (scaled from 64^3)",
-    );
+pub fn run_table3(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_TAB3, TITLE_TAB3);
     let cfg = paper_config(quick);
-    let procs: Vec<usize> = if quick { vec![1, 2, 4] } else { vec![1, 2, 4, 8, 16, 31] };
-    let t1 = sp_time_per_iter(cfg, 1, 700);
+    let procs: Vec<usize> = if quick {
+        vec![1, 2, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 31]
+    };
+    let t1 = sp_time_per_iter(cfg, 1, opts.machine_seed(700));
     let mut table = TextTable::new(&["Processors", "Time per iteration (s)", "Speedup"]);
     for &p in &procs {
-        let t = if p == 1 { t1 } else { sp_time_per_iter(cfg, p, 700) };
+        let t = if p == 1 {
+            t1
+        } else {
+            sp_time_per_iter(cfg, p, opts.machine_seed(700))
+        };
         table.row(&[p.to_string(), format!("{t:.5}"), format!("{:.1}", t1 / t)]);
+        out.row(
+            "sp_seconds_per_iteration",
+            &[("procs", Json::from(p))],
+            t,
+            "s",
+        );
+        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
     }
     out.push_text(&table.render());
     out.push_text("paper speedups: 2.0 / 3.9 / 7.7 / 15.3 / 27.8 at 2/4/8/16/31 procs.");
@@ -59,11 +83,9 @@ pub fn run_table3(quick: bool) -> ExperimentOutput {
 
 /// Run Table 4 (the optimisation ladder at 30 processors).
 #[must_use]
-pub fn run_table4(quick: bool) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(
-        "TAB4",
-        "Scalar Pentadiagonal optimisation ladder (Table 4), 30 processors",
-    );
+pub fn run_table4(opts: &RunOpts) -> ExperimentOutput {
+    let quick = opts.quick;
+    let mut out = ExperimentOutput::new(ID_TAB4, TITLE_TAB4);
     let procs = if quick { 4 } else { 30 };
     let base_cfg = SpConfig {
         layout: SpLayout::Base,
@@ -71,21 +93,42 @@ pub fn run_table4(quick: bool) -> ExperimentOutput {
         poststore: false,
         ..paper_config(quick)
     };
-    let padded_cfg = SpConfig { layout: SpLayout::Padded, ..base_cfg };
-    let prefetch_cfg = SpConfig { prefetch: true, ..padded_cfg };
-    let poststore_cfg = SpConfig { poststore: true, ..prefetch_cfg };
-    let base = sp_time_per_iter(base_cfg, procs, 701);
-    let padded = sp_time_per_iter(padded_cfg, procs, 701);
-    let prefetch = sp_time_per_iter(prefetch_cfg, procs, 701);
-    let poststore = sp_time_per_iter(poststore_cfg, procs, 701);
-    let mut table = TextTable::new(&["Optimizations", "Time per iteration (s)", "vs base"]);
-    let mut row = |label: &str, t: f64| {
-        table.row(&[label.to_string(), format!("{t:.5}"), format!("{:+.1}%", (t / base - 1.0) * 100.0)]);
+    let padded_cfg = SpConfig {
+        layout: SpLayout::Padded,
+        ..base_cfg
     };
-    row("Base version", base);
-    row("Data padding and alignment", padded);
-    row("Prefetching appropriate data", prefetch);
-    row("(anti-opt) adding poststore", poststore);
+    let prefetch_cfg = SpConfig {
+        prefetch: true,
+        ..padded_cfg
+    };
+    let poststore_cfg = SpConfig {
+        poststore: true,
+        ..prefetch_cfg
+    };
+    let seed = opts.machine_seed(701);
+    let base = sp_time_per_iter(base_cfg, procs, seed);
+    let padded = sp_time_per_iter(padded_cfg, procs, seed);
+    let prefetch = sp_time_per_iter(prefetch_cfg, procs, seed);
+    let poststore = sp_time_per_iter(poststore_cfg, procs, seed);
+    let mut table = TextTable::new(&["Optimizations", "Time per iteration (s)", "vs base"]);
+    for (label, t) in [
+        ("Base version", base),
+        ("Data padding and alignment", padded),
+        ("Prefetching appropriate data", prefetch),
+        ("(anti-opt) adding poststore", poststore),
+    ] {
+        table.row(&[
+            label.to_string(),
+            format!("{t:.5}"),
+            format!("{:+.1}%", (t / base - 1.0) * 100.0),
+        ]);
+        out.row(
+            "sp_seconds_per_iteration",
+            &[("variant", Json::from(label)), ("procs", Json::from(procs))],
+            t,
+            "s",
+        );
+    }
     out.push_text(&table.render());
     out.push_text(
         "paper ladder: 2.54 -> 2.14 (-15%) -> 1.89 (-11%) s/iteration; poststore caused \
@@ -119,10 +162,16 @@ mod tests {
             poststore: false,
             ..paper_config(quick)
         };
-        let padded_cfg = SpConfig { layout: SpLayout::Padded, ..base_cfg };
+        let padded_cfg = SpConfig {
+            layout: SpLayout::Padded,
+            ..base_cfg
+        };
         let base = sp_time_per_iter(base_cfg, 4, 2);
         let padded = sp_time_per_iter(padded_cfg, 4, 2);
-        assert!(padded < base, "padding must help: base {base:.5} padded {padded:.5}");
+        assert!(
+            padded < base,
+            "padding must help: base {base:.5} padded {padded:.5}"
+        );
     }
 
     #[test]
@@ -134,12 +183,24 @@ mod tests {
             poststore: false,
             ..paper_config(quick)
         };
-        let prefetch_cfg = SpConfig { prefetch: true, ..padded_cfg };
-        let poststore_cfg = SpConfig { poststore: true, ..prefetch_cfg };
+        let prefetch_cfg = SpConfig {
+            prefetch: true,
+            ..padded_cfg
+        };
+        let poststore_cfg = SpConfig {
+            poststore: true,
+            ..prefetch_cfg
+        };
         let padded = sp_time_per_iter(padded_cfg, 4, 3);
         let prefetch = sp_time_per_iter(prefetch_cfg, 4, 3);
         let poststore = sp_time_per_iter(poststore_cfg, 4, 3);
-        assert!(prefetch < padded, "prefetch must help: {padded:.5} -> {prefetch:.5}");
-        assert!(poststore > prefetch, "poststore must hurt: {prefetch:.5} -> {poststore:.5}");
+        assert!(
+            prefetch < padded,
+            "prefetch must help: {padded:.5} -> {prefetch:.5}"
+        );
+        assert!(
+            poststore > prefetch,
+            "poststore must hurt: {prefetch:.5} -> {poststore:.5}"
+        );
     }
 }

@@ -54,11 +54,22 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(Error::Config("x".into()).to_string().contains("configuration"));
+        assert!(Error::Config("x".into())
+            .to_string()
+            .contains("configuration"));
         assert!(Error::BadAddress(0x1000).to_string().contains("0x1000"));
-        assert!(Error::Misaligned { addr: 3, required: 8 }.to_string().contains("8"));
-        assert!(Error::OutOfMemory { requested: 64 }.to_string().contains("64"));
-        assert!(Error::Protocol("p".into()).to_string().contains("invariant"));
+        assert!(Error::Misaligned {
+            addr: 3,
+            required: 8
+        }
+        .to_string()
+        .contains("8"));
+        assert!(Error::OutOfMemory { requested: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(Error::Protocol("p".into())
+            .to_string()
+            .contains("invariant"));
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! A minimal hand-rolled JSON value and writer.
+//!
+//! The experiment harness writes machine-readable results
+//! (`results/<id>.json`, `results/summary.json`) so downstream tooling
+//! can ingest perf trajectories without scraping text tables. The
+//! workspace builds offline with no external crates, so this module
+//! provides the small subset of JSON we need: construction, escaping,
+//! and deterministic rendering (object keys keep insertion order, so a
+//! fixed run produces byte-identical files).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer rendered exactly (cycle counts exceed f64's 2^53
+    /// mantissa in long simulations).
+    Int(i64),
+    /// An unsigned integer rendered exactly.
+    UInt(u64),
+    /// A finite double; non-finite values render as `null` (JSON has no
+    /// NaN/Infinity).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Keys keep insertion order for reproducible output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Self::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Self::UInt(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Self::UInt(v as u64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Self::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Self::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Self {
+        Self::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    #[must_use]
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Self {
+        Self::Arr(items.into_iter().collect())
+    }
+
+    /// Append a key to an object (panics on non-objects).
+    pub fn push_field(&mut self, key: impl Into<String>, value: Json) {
+        match self {
+            Self::Obj(pairs) => pairs.push((key.into(), value)),
+            _ => panic!("push_field on a non-object Json value"),
+        }
+    }
+
+    /// Compact rendering (no whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Self::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Self::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Self::Str(s) => write_escaped(out, s),
+            Self::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Self::Obj(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+/// Escape and quote a string per RFC 8259: `"`, `\`, and all control
+/// characters below 0x20 (the common ones with short escapes, the rest as
+/// `\u00XX`).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(false).render(), "false");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::from(-7i64).render(), "-7");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn exact_large_integers() {
+        // 2^53 + 1 is not representable as f64; UInt must render exactly.
+        let v = (1u64 << 53) + 1;
+        assert_eq!(Json::from(v).render(), v.to_string());
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Json::from(f64::NAN).render(), "null");
+        assert_eq!(Json::from(f64::INFINITY).render(), "null");
+        assert_eq!(Json::from(f64::NEG_INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = "quote\" back\\ nl\n cr\r tab\t bell\u{07} fe\u{0C} bs\u{08} unicode é";
+        let r = Json::from(s).render();
+        assert_eq!(
+            r,
+            "\"quote\\\" back\\\\ nl\\n cr\\r tab\\t bell\\u0007 fe\\f bs\\b unicode é\""
+        );
+    }
+
+    #[test]
+    fn nested_compact() {
+        let v = Json::obj([
+            ("id", Json::from("FIG4")),
+            (
+                "rows",
+                Json::arr([Json::obj([("procs", Json::from(32usize))])]),
+            ),
+            ("empty_arr", Json::arr([])),
+            ("empty_obj", Json::obj(Vec::<(String, Json)>::new())),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"id":"FIG4","rows":[{"procs":32}],"empty_arr":[],"empty_obj":{}}"#
+        );
+    }
+
+    #[test]
+    fn nested_pretty_round_trips_structure() {
+        let v = Json::obj([
+            ("a", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("b", Json::obj([("c", Json::Null)])),
+        ]);
+        let pretty = v.render_pretty();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": null\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn push_field_extends_objects() {
+        let mut v = Json::obj(Vec::<(String, Json)>::new());
+        v.push_field("k", Json::from(1u64));
+        assert_eq!(v.render(), r#"{"k":1}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_field_rejects_arrays() {
+        Json::arr([]).push_field("k", Json::Null);
+    }
+}

@@ -21,20 +21,34 @@
 //! * [`table`] — plain-text table and series rendering so each experiment
 //!   binary can print the same rows/columns the paper's tables and figures
 //!   contain.
+//! * [`trace`] — cycle-stamped event tracing: the [`trace::TraceEvent`]
+//!   vocabulary (ring slots, coherence transitions, snarfs,
+//!   invalidations, atomic rejections, barrier episodes, lock handoffs),
+//!   the [`trace::TraceSink`] consumer trait, and the zero-cost-when-off
+//!   [`trace::Tracer`] handle every instrumented layer holds.
+//! * [`json`] — a dependency-free JSON value/writer for the
+//!   machine-readable results pipeline (`results/<id>.json`,
+//!   `results/summary.json`).
 //! * [`error`] — the shared error type.
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
+pub mod trace;
 
 pub use error::{Error, Result};
+pub use json::Json;
 pub use metrics::{efficiency, karp_flatt, speedup, ScalingRow, ScalingTable};
 pub use rng::XorShift64;
 pub use stats::{linear_fit, Summary};
 pub use table::{Series, TextTable};
 pub use time::{Cycles, Hz, VirtualTime, KSR1_CLOCK_HZ, KSR2_CLOCK_HZ};
+pub use trace::{
+    CountingSink, NullSink, RingBufferSink, TraceEvent, TraceKind, TraceSink, TraceState, Tracer,
+};

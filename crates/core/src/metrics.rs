@@ -83,7 +83,10 @@ impl ScalingTable {
     #[must_use]
     pub fn from_times(measurements: &[(usize, f64)]) -> Self {
         assert!(!measurements.is_empty(), "no measurements");
-        assert_eq!(measurements[0].0, 1, "first row must be the 1-processor baseline");
+        assert_eq!(
+            measurements[0].0, 1,
+            "first row must be the 1-processor baseline"
+        );
         let t1 = measurements[0].1;
         assert!(t1 > 0.0, "baseline time must be positive");
         let rows = measurements

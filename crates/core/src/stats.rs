@@ -32,7 +32,11 @@ impl Summary {
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1) as f64
         } else {
             0.0
         };
@@ -106,7 +110,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (slope, intercept, r2)
 }
 
@@ -185,7 +193,17 @@ mod tests {
     #[test]
     fn fit_noisy_line_has_reasonable_r2() {
         let xs: Vec<f64> = (0..20).map(f64::from).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| 3.0 * x + if x as u32 % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                3.0 * x
+                    + if (x as u32).is_multiple_of(2) {
+                        0.5
+                    } else {
+                        -0.5
+                    }
+            })
+            .collect();
         let (m, _, r2) = linear_fit(&xs, &ys);
         assert!((m - 3.0).abs() < 0.05);
         assert!(r2 > 0.99);

@@ -21,7 +21,10 @@ impl Series {
     /// Create an empty series with a label.
     #[must_use]
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point.

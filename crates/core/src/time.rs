@@ -38,7 +38,10 @@ impl VirtualTime {
     #[must_use]
     pub fn new(clock_hz: Hz) -> Self {
         assert!(clock_hz > 0, "clock rate must be positive");
-        Self { cycles: 0, clock_hz }
+        Self {
+            cycles: 0,
+            clock_hz,
+        }
     }
 
     /// The number of elapsed cycles.

@@ -1,0 +1,460 @@
+//! Cycle-stamped event tracing.
+//!
+//! The paper's method is observability: the authors attributed slowdowns
+//! to cache capacity vs. ring saturation with the KSR-1's hardware
+//! performance monitor (§2, §3.3.2). The aggregate counters live in
+//! `ksr-mem`'s `PerfMon`; this module adds the *event* layer beneath
+//! them — every ring slot acquisition, coherence transition, snarf,
+//! invalidation, atomic rejection, barrier episode, and lock handoff can
+//! be observed as it happens, stamped with the virtual cycle at which it
+//! committed.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Sinks only *observe*; nothing they do can feed
+//!    back into simulated time. A run produces identical cycle counts
+//!    with tracing enabled or disabled (asserted by the
+//!    `tracing_preserves_determinism` integration test).
+//! 2. **Zero cost when disabled.** A [`Tracer`] is an `Option` around a
+//!    shared sink; the disabled path is one branch, and event
+//!    construction is deferred into a closure that never runs
+//!    ([`Tracer::emit_with`]).
+//! 3. **No new dependencies.** Sharing is `Arc<Mutex<_>>` from `std`, so
+//!    machines stay `Send` and clones of one machine share one sink.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::time::Cycles;
+
+/// Coherence states as the tracer sees them — a mirror of `ksr-mem`'s
+/// `SubpageState`, defined here so the net/mem/machine crates share one
+/// event vocabulary without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceState {
+    /// No copy and no place holder in this cell.
+    Missing,
+    /// Invalid place holder (allocated, no data).
+    Invalid,
+    /// Valid read-only copy.
+    Shared,
+    /// The sole writable copy.
+    Exclusive,
+    /// Held atomic by `get_sub_page`.
+    Atomic,
+}
+
+impl TraceState {
+    /// Short label for rendering.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Missing => "missing",
+            Self::Invalid => "invalid",
+            Self::Shared => "shared",
+            Self::Exclusive => "exclusive",
+            Self::Atomic => "atomic",
+        }
+    }
+}
+
+/// One cycle-stamped simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet won a slot on a ring (or admission to a bus/switch): the
+    /// "ring slot acquire/wait" pair the hardware monitor aggregates into
+    /// `ring_wait_cycles`.
+    RingSlot {
+        /// When the packet entered the fabric.
+        at: Cycles,
+        /// Cycles spent waiting for admission.
+        wait: Cycles,
+        /// Whether every slot of the sub-ring was in flight (saturation).
+        blocked: bool,
+    },
+    /// A sub-page changed coherence state in one cell.
+    Coherence {
+        /// When the new state became visible.
+        at: Cycles,
+        /// The cell whose state changed.
+        cell: usize,
+        /// The sub-page index.
+        subpage: u64,
+        /// State before the transition.
+        from: TraceState,
+        /// State after the transition.
+        to: TraceState,
+    },
+    /// A read response refilled an invalid place holder in passing.
+    Snarf {
+        /// When the refill landed.
+        at: Cycles,
+        /// The cell whose place holder was refilled.
+        cell: usize,
+        /// The sub-page index.
+        subpage: u64,
+    },
+    /// A cell's copy was demoted to a place holder by a remote writer.
+    Invalidation {
+        /// When the invalidation took effect.
+        at: Cycles,
+        /// The cell that lost its copy.
+        cell: usize,
+        /// The sub-page index.
+        subpage: u64,
+    },
+    /// A `get_sub_page` lost to an existing atomic holder.
+    AtomicRejection {
+        /// When the rejection returned to the requester.
+        at: Cycles,
+        /// The rejected cell.
+        cell: usize,
+        /// The contested sub-page.
+        subpage: u64,
+    },
+    /// One processor completed one barrier episode.
+    BarrierEpisode {
+        /// When the processor left the barrier.
+        at: Cycles,
+        /// The processor.
+        cell: usize,
+        /// Episodes completed so far (1-based after the first).
+        episode: u64,
+    },
+    /// A parked processor was woken by a visibility event on the sub-page
+    /// it was blocked on — the moment a lock or flag handoff lands.
+    LockHandoff {
+        /// When the woken processor resumes.
+        at: Cycles,
+        /// The woken processor.
+        cell: usize,
+        /// The sub-page whose release/update woke it.
+        subpage: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual cycle at which the event committed.
+    #[must_use]
+    pub fn at(&self) -> Cycles {
+        match *self {
+            Self::RingSlot { at, .. }
+            | Self::Coherence { at, .. }
+            | Self::Snarf { at, .. }
+            | Self::Invalidation { at, .. }
+            | Self::AtomicRejection { at, .. }
+            | Self::BarrierEpisode { at, .. }
+            | Self::LockHandoff { at, .. } => at,
+        }
+    }
+
+    /// The event's kind tag.
+    #[must_use]
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            Self::RingSlot { .. } => TraceKind::RingSlot,
+            Self::Coherence { .. } => TraceKind::Coherence,
+            Self::Snarf { .. } => TraceKind::Snarf,
+            Self::Invalidation { .. } => TraceKind::Invalidation,
+            Self::AtomicRejection { .. } => TraceKind::AtomicRejection,
+            Self::BarrierEpisode { .. } => TraceKind::BarrierEpisode,
+            Self::LockHandoff { .. } => TraceKind::LockHandoff,
+        }
+    }
+}
+
+/// Kind tags for [`TraceEvent`], used by counting sinks and filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Ring/bus/switch slot acquisition.
+    RingSlot,
+    /// Coherence state transition.
+    Coherence,
+    /// Read-snarf refill.
+    Snarf,
+    /// Invalidation received.
+    Invalidation,
+    /// Atomic (`get_sub_page`) rejection.
+    AtomicRejection,
+    /// Barrier episode completion.
+    BarrierEpisode,
+    /// Lock/flag handoff wake-up.
+    LockHandoff,
+}
+
+impl TraceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [Self; 7] = [
+        Self::RingSlot,
+        Self::Coherence,
+        Self::Snarf,
+        Self::Invalidation,
+        Self::AtomicRejection,
+        Self::BarrierEpisode,
+        Self::LockHandoff,
+    ];
+
+    /// Stable snake_case label (used in JSON results).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::RingSlot => "ring_slot",
+            Self::Coherence => "coherence",
+            Self::Snarf => "snarf",
+            Self::Invalidation => "invalidation",
+            Self::AtomicRejection => "atomic_rejection",
+            Self::BarrierEpisode => "barrier_episode",
+            Self::LockHandoff => "lock_handoff",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Self::RingSlot => 0,
+            Self::Coherence => 1,
+            Self::Snarf => 2,
+            Self::Invalidation => 3,
+            Self::AtomicRejection => 4,
+            Self::BarrierEpisode => 5,
+            Self::LockHandoff => 6,
+        }
+    }
+}
+
+/// Consumer of trace events. Implementations must be cheap and must not
+/// have observable side effects on the simulation (the tracer guarantees
+/// they never can: they only see immutable event values).
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// A sink that discards everything (useful to measure tracing overhead
+/// itself, or as an explicit "on but ignored" placeholder).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// A sink that counts events per [`TraceKind`] — the cheapest useful
+/// observer, mirroring what a hardware event-counting monitor does.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    counts: [u64; TraceKind::ALL.len()],
+}
+
+impl CountingSink {
+    /// Events of one kind seen so far.
+    #[must_use]
+    pub fn count(&self, kind: TraceKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events of all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.counts[event.kind().index()] += 1;
+    }
+}
+
+/// A bounded sink keeping the most recent `capacity` events (a flight
+/// recorder: cheap to leave attached, inspect after the interesting
+/// phase).
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// A buffer holding at most `capacity` events (`capacity >= 1`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted to make room (total seen = `len() + dropped()`).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*event);
+    }
+}
+
+/// A cloneable handle the instrumented layers hold. Disabled by default
+/// ([`Tracer::disabled`]); cloning shares the sink, so one sink observes
+/// every layer of one machine.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The zero-cost disabled tracer.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { sink: None }
+    }
+
+    /// Attach a sink, returning the tracer handle plus a shared reference
+    /// for reading the sink back after (or during) a run.
+    #[must_use]
+    pub fn attach<S: TraceSink + 'static>(sink: S) -> (Self, Arc<Mutex<S>>) {
+        let shared = Arc::new(Mutex::new(sink));
+        (
+            Self {
+                sink: Some(shared.clone()),
+            },
+            shared,
+        )
+    }
+
+    /// Convenience: a tracer counting events per kind.
+    #[must_use]
+    pub fn counting() -> (Self, Arc<Mutex<CountingSink>>) {
+        Self::attach(CountingSink::default())
+    }
+
+    /// Convenience: a tracer keeping the last `capacity` events.
+    #[must_use]
+    pub fn ring_buffer(capacity: usize) -> (Self, Arc<Mutex<RingBufferSink>>) {
+        Self::attach(RingBufferSink::new(capacity))
+    }
+
+    /// Whether a sink is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record the event produced by `make` — which is only invoked when a
+    /// sink is attached, so the disabled path costs one branch.
+    #[inline]
+    pub fn emit_with(&self, make: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            let event = make();
+            sink.lock().expect("trace sink poisoned").record(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: Cycles) -> TraceEvent {
+        TraceEvent::Snarf {
+            at,
+            cell: 1,
+            subpage: 7,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_builds_events() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit_with(|| panic!("must not be called"));
+    }
+
+    #[test]
+    fn counting_sink_counts_per_kind() {
+        let (t, counts) = Tracer::counting();
+        assert!(t.is_enabled());
+        t.emit_with(|| ev(10));
+        t.emit_with(|| ev(20));
+        t.emit_with(|| TraceEvent::RingSlot {
+            at: 5,
+            wait: 2,
+            blocked: false,
+        });
+        let c = counts.lock().unwrap();
+        assert_eq!(c.count(TraceKind::Snarf), 2);
+        assert_eq!(c.count(TraceKind::RingSlot), 1);
+        assert_eq!(c.count(TraceKind::Invalidation), 0);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let (t, buf) = Tracer::ring_buffer(2);
+        for i in 0..5 {
+            t.emit_with(|| ev(i));
+        }
+        let b = buf.lock().unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 3);
+        let ats: Vec<Cycles> = b.events().map(TraceEvent::at).collect();
+        assert_eq!(ats, vec![3, 4]);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let (t, counts) = Tracer::counting();
+        let t2 = t.clone();
+        t.emit_with(|| ev(1));
+        t2.emit_with(|| ev(2));
+        assert_eq!(counts.lock().unwrap().total(), 2);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::LockHandoff {
+            at: 99,
+            cell: 3,
+            subpage: 12,
+        };
+        assert_eq!(e.at(), 99);
+        assert_eq!(e.kind(), TraceKind::LockHandoff);
+        assert_eq!(e.kind().label(), "lock_handoff");
+        assert_eq!(TraceKind::ALL.len(), 7);
+        assert_eq!(TraceState::Atomic.label(), "atomic");
+    }
+}

@@ -37,7 +37,10 @@ impl InterruptConfig {
     /// what matters for the lock experiment.
     #[must_use]
     pub fn ksr_os() -> Self {
-        Self { quantum_cycles: 200_000, duration_cycles: 1_000 }
+        Self {
+            quantum_cycles: 200_000,
+            duration_cycles: 1_000,
+        }
     }
 }
 
@@ -98,7 +101,10 @@ impl MachineConfig {
     /// scaled by the same factor; see DESIGN.md).
     #[must_use]
     pub fn ksr1_scaled(seed: u64, factor: u64) -> Self {
-        Self { geometry: MemGeometry::scaled(factor), ..Self::ksr1(seed) }
+        Self {
+            geometry: MemGeometry::scaled(factor),
+            ..Self::ksr1(seed)
+        }
     }
 
     /// The 64-cell two-level KSR-2 of §3.2.4.
@@ -166,17 +172,23 @@ impl MachineConfig {
     pub fn build_fabric(&self) -> Result<Fabric> {
         if let Some(ring_cfg) = self.ring_override {
             if !matches!(self.kind, MachineKind::Ksr1 | MachineKind::Ksr2) {
-                return Err(Error::Config("ring_override applies to ring machines only".into()));
+                return Err(Error::Config(
+                    "ring_override applies to ring machines only".into(),
+                ));
             }
             if self.cells > ring_cfg.total_cells() {
-                return Err(Error::Config("ring_override too small for cell count".into()));
+                return Err(Error::Config(
+                    "ring_override too small for cell count".into(),
+                ));
             }
             return Ok(Fabric::Ring(RingHierarchy::new(ring_cfg)?));
         }
         match self.kind {
             MachineKind::Ksr1 => {
                 if self.cells > 32 {
-                    return Err(Error::Config("a single-level KSR-1 ring holds 32 cells".into()));
+                    return Err(Error::Config(
+                        "a single-level KSR-1 ring holds 32 cells".into(),
+                    ));
                 }
                 Fabric::ksr1_32()
             }
@@ -211,7 +223,9 @@ impl MachineConfig {
         }
         if let Some(i) = &self.interrupts {
             if i.quantum_cycles == 0 || i.duration_cycles >= i.quantum_cycles {
-                return Err(Error::Config("interrupt duration must be well below quantum".into()));
+                return Err(Error::Config(
+                    "interrupt duration must be well below quantum".into(),
+                ));
             }
         }
         self.build_fabric().map(drop)
@@ -245,7 +259,11 @@ mod tests {
         assert_eq!(c.clock_hz, 40_000_000);
         match c.build_fabric().unwrap() {
             Fabric::Ring(h) => {
-                assert_eq!(h.config().leaf.hop_cycles, 8, "ring absolute speed unchanged");
+                assert_eq!(
+                    h.config().leaf.hop_cycles,
+                    8,
+                    "ring absolute speed unchanged"
+                );
                 assert_eq!(h.config().n_leaves, 2);
             }
             _ => panic!("KSR-2 is a ring machine"),
@@ -264,8 +282,10 @@ mod tests {
 
     #[test]
     fn bad_interrupts_rejected() {
-        let c = MachineConfig::ksr1(0)
-            .with_interrupts(InterruptConfig { quantum_cycles: 100, duration_cycles: 100 });
+        let c = MachineConfig::ksr1(0).with_interrupts(InterruptConfig {
+            quantum_cycles: 100,
+            duration_cycles: 100,
+        });
         assert!(c.validate().is_err());
     }
 }

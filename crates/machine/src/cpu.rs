@@ -11,6 +11,7 @@
 use std::sync::mpsc::{Receiver, Sender};
 
 use ksr_core::time::{Cycles, Hz};
+use ksr_core::trace::{TraceEvent, Tracer};
 
 use crate::config::InterruptConfig;
 
@@ -117,6 +118,7 @@ pub struct Cpu {
     flops: u64,
     interrupts: Option<(InterruptConfig, Cycles)>,
     native_fetch_op: bool,
+    tracer: Tracer,
     tx: Sender<Envelope>,
     rx: Receiver<Reply>,
 }
@@ -131,6 +133,7 @@ impl Cpu {
         flops_per_cycle: u64,
         interrupts: Option<InterruptConfig>,
         native_fetch_op: bool,
+        tracer: Tracer,
         tx: Sender<Envelope>,
         rx: Receiver<Reply>,
     ) -> Self {
@@ -149,9 +152,19 @@ impl Cpu {
             flops: 0,
             interrupts,
             native_fetch_op,
+            tracer,
             tx,
             rx,
         }
+    }
+
+    /// Record the completion of one barrier episode by this processor
+    /// (called by the synchronization library; a no-op when the machine
+    /// has no tracer attached).
+    pub fn trace_barrier_episode(&self, episode: u64) {
+        let (at, cell) = (self.local, self.id);
+        self.tracer
+            .emit_with(|| TraceEvent::BarrierEpisode { at, cell, episode });
     }
 
     /// This processor's index (0-based).
@@ -202,7 +215,15 @@ impl Cpu {
     }
 
     fn roundtrip(&mut self, req: Request) -> Reply {
-        if self.tx.send(Envelope { proc: self.id, at: self.local, req }).is_err() {
+        if self
+            .tx
+            .send(Envelope {
+                proc: self.id,
+                at: self.local,
+                req,
+            })
+            .is_err()
+        {
             std::panic::panic_any(CoordinatorGone);
         }
         let Ok(reply) = self.rx.recv() else {
@@ -313,7 +334,10 @@ impl Cpu {
     /// wake-up is a fully costed re-read — but fast-forwarded so the
     /// simulator spends O(updates), not O(spin iterations).
     pub fn spin_until(&mut self, addr: u64, pred: impl FnMut(u64) -> bool + Send + 'static) -> u64 {
-        match self.roundtrip(Request::Spin { addr, pred: Box::new(pred) }) {
+        match self.roundtrip(Request::Spin {
+            addr,
+            pred: Box::new(pred),
+        }) {
             Reply::Value { value, .. } => value,
             _ => unreachable!("spin must yield a value"),
         }

@@ -32,7 +32,9 @@ impl Heap {
     /// serve as a sentinel in simulated programs.
     #[must_use]
     pub fn new() -> Self {
-        Self { next: SUBPAGE_BYTES }
+        Self {
+            next: SUBPAGE_BYTES,
+        }
     }
 
     /// Allocate `bytes` with the given power-of-two alignment.
@@ -41,7 +43,9 @@ impl Heap {
             return Err(Error::Config("zero-sized allocation".into()));
         }
         if !align.is_power_of_two() {
-            return Err(Error::Config(format!("alignment {align} is not a power of two")));
+            return Err(Error::Config(format!(
+                "alignment {align} is not a power of two"
+            )));
         }
         let base = self.next.next_multiple_of(align);
         let end = base

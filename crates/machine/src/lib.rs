@@ -19,6 +19,9 @@
 //! * [`heap`] — the SVA bump allocator with the paper's
 //!   false-sharing-avoiding sub-page alignment discipline.
 //! * [`report`] — run timing and FLOP reports.
+//! * [`snapshot`] — point-in-time [`PerfSnapshot`]s of every hardware
+//!   counter, with delta arithmetic for per-phase attribution (the way
+//!   the paper's authors used the hardware monitor).
 
 #![warn(missing_docs)]
 
@@ -29,6 +32,7 @@ pub mod heap;
 pub mod machine;
 pub mod program;
 pub mod report;
+pub mod snapshot;
 
 pub use arrays::{SharedF64, SharedU64};
 pub use config::{InterruptConfig, MachineConfig, MachineKind};
@@ -37,3 +41,4 @@ pub use heap::Heap;
 pub use machine::Machine;
 pub use program::{program, Program};
 pub use report::RunReport;
+pub use snapshot::PerfSnapshot;

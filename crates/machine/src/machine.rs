@@ -23,6 +23,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::mpsc::{self, Receiver, Sender};
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::{TraceEvent, Tracer};
 use ksr_core::Result;
 use ksr_mem::{MemOp, MemorySystem, Outcome, PerfMon};
 use ksr_net::FabricStats;
@@ -32,6 +33,7 @@ use crate::cpu::{Cpu, Envelope, Reply, Request};
 use crate::heap::Heap;
 use crate::program::Program;
 use crate::report::RunReport;
+use crate::snapshot::PerfSnapshot;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ProcState {
@@ -47,6 +49,7 @@ pub struct Machine {
     mem: MemorySystem,
     heap: Heap,
     epoch: Cycles,
+    tracer: Tracer,
 }
 
 impl Machine {
@@ -62,7 +65,24 @@ impl Machine {
             cfg.seed,
             cfg.protocol,
         )?;
-        Ok(Self { cfg, mem, heap: Heap::new(), epoch: 0 })
+        Ok(Self {
+            cfg,
+            mem,
+            heap: Heap::new(),
+            epoch: 0,
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// Attach a tracer to every instrumented layer of this machine: the
+    /// interconnect (slot grants), the memory system (coherence
+    /// transitions, snarfs, invalidations, atomic rejections), the
+    /// coordinator (lock/flag handoffs), and the processors (barrier
+    /// episodes). Sinks observe only — cycle counts are identical with
+    /// tracing on or off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.mem.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The paper's 32-cell KSR-1.
@@ -118,6 +138,20 @@ impl Machine {
     #[must_use]
     pub fn fabric_stats(&self) -> FabricStats {
         self.mem.fabric().stats()
+    }
+
+    /// Freeze every hardware counter at the current virtual time. Take
+    /// one snapshot before and one after a phase and
+    /// [`PerfSnapshot::delta_since`] attributes the counters to it —
+    /// exactly how the paper's authors used the hardware monitor.
+    #[must_use]
+    pub fn perfmon_snapshot(&self) -> PerfSnapshot {
+        PerfSnapshot {
+            at: self.epoch,
+            per_cell: (0..self.cfg.cells).map(|c| *self.mem.perfmon(c)).collect(),
+            total: self.mem.perfmon_total(),
+            fabric: self.mem.fabric().stats(),
+        }
     }
 
     /// Allocate `bytes` of shared memory with the given alignment.
@@ -200,6 +234,7 @@ impl Machine {
                 self.cfg.flops_per_cycle,
                 self.cfg.interrupts,
                 self.cfg.native_fetch_op,
+                self.tracer.clone(),
                 req_tx.clone(),
                 rrx,
             ));
@@ -207,6 +242,7 @@ impl Machine {
         drop(req_tx);
 
         let mem = &mut self.mem;
+        let tracer = &self.tracer;
         let (proc_end, proc_flops) = std::thread::scope(|s| {
             for (prog, cpu) in programs.iter_mut().zip(cpus) {
                 s.spawn(move || {
@@ -236,7 +272,7 @@ impl Machine {
             // `coordinate` owns the reply senders: if it unwinds, they
             // drop, the program threads wake and exit, and the scope join
             // completes instead of hanging.
-            coordinate(mem, n, &req_rx, reply_txs)
+            coordinate(mem, tracer, n, &req_rx, reply_txs)
         });
 
         let finished_at = proc_end.iter().copied().max().unwrap_or(start);
@@ -254,6 +290,7 @@ impl Machine {
 /// The coordinator loop: strict smallest-timestamp-first processing.
 fn coordinate(
     mem: &mut MemorySystem,
+    tracer: &Tracer,
     n: usize,
     req_rx: &Receiver<Envelope>,
     reply_txs: Vec<Sender<Reply>>,
@@ -338,33 +375,53 @@ fn coordinate(
                 Outcome::AtomicFailed { .. } => unreachable!("writes cannot fail atomically"),
             },
             Request::GetSubPage { addr } => match mem.access(p, addr, MemOp::GetSubPage, t) {
-                Outcome::Done { done_at } => reply!(p, Reply::Flag { ok: true, at: done_at }),
+                Outcome::Done { done_at } => reply!(
+                    p,
+                    Reply::Flag {
+                        ok: true,
+                        at: done_at
+                    }
+                ),
                 Outcome::AtomicFailed { done_at } => {
-                    reply!(p, Reply::Flag { ok: false, at: done_at });
+                    reply!(
+                        p,
+                        Reply::Flag {
+                            ok: false,
+                            at: done_at
+                        }
+                    );
                 }
                 Outcome::BlockedOnAtomic { .. } => {
                     unreachable!("get_sub_page reports failure, not blockage")
                 }
             },
-            Request::FetchAdd { addr, delta } => {
-                match mem.access(p, addr, MemOp::AtomicRmw, t) {
-                    Outcome::Done { done_at } => {
-                        let old = mem.data_mut().read_u64(addr).expect("rmw read");
-                        mem.data_mut().write_u64(addr, old.wrapping_add(delta)).expect("rmw");
-                        reply!(p, Reply::Value { value: old, at: done_at });
-                    }
-                    Outcome::BlockedOnAtomic { subpage } => {
-                        park!(p, subpage, t, Request::FetchAdd { addr, delta });
-                    }
-                    Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
+            Request::FetchAdd { addr, delta } => match mem.access(p, addr, MemOp::AtomicRmw, t) {
+                Outcome::Done { done_at } => {
+                    let old = mem.data_mut().read_u64(addr).expect("rmw read");
+                    mem.data_mut()
+                        .write_u64(addr, old.wrapping_add(delta))
+                        .expect("rmw");
+                    reply!(
+                        p,
+                        Reply::Value {
+                            value: old,
+                            at: done_at
+                        }
+                    );
                 }
-            }
+                Outcome::BlockedOnAtomic { subpage } => {
+                    park!(p, subpage, t, Request::FetchAdd { addr, delta });
+                }
+                Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
+            },
             Request::ReleaseSubPage { addr } => {
                 let done_at = mem.access(p, addr, MemOp::ReleaseSubPage, t).done_at();
                 reply!(p, Reply::Unit { at: done_at });
             }
             Request::Prefetch { addr, exclusive } => {
-                let done_at = mem.access(p, addr, MemOp::Prefetch { exclusive }, t).done_at();
+                let done_at = mem
+                    .access(p, addr, MemOp::Prefetch { exclusive }, t)
+                    .done_at();
                 reply!(p, Reply::Unit { at: done_at });
             }
             Request::Poststore { addr } => {
@@ -398,7 +455,13 @@ fn coordinate(
             if let Some(waiters) = parked.remove(&ev.subpage) {
                 for (proc, parked_at) in waiters {
                     mem.unwatch(ev.subpage);
-                    heap.push(Reverse((parked_at.max(ev.at), proc)));
+                    let wake_at = parked_at.max(ev.at);
+                    tracer.emit_with(|| TraceEvent::LockHandoff {
+                        at: wake_at,
+                        cell: proc,
+                        subpage: ev.subpage,
+                    });
+                    heap.push(Reverse((wake_at, proc)));
                     state[proc] = ProcState::Waiting;
                 }
             }
@@ -559,8 +622,10 @@ mod tests {
     #[test]
     fn timer_interrupts_stretch_compute() {
         use crate::config::InterruptConfig;
-        let cfg = MachineConfig::ksr1(1)
-            .with_interrupts(InterruptConfig { quantum_cycles: 1_000, duration_cycles: 100 });
+        let cfg = MachineConfig::ksr1(1).with_interrupts(InterruptConfig {
+            quantum_cycles: 1_000,
+            duration_cycles: 100,
+        });
         let mut m = Machine::new(cfg).unwrap();
         let r = m.run(vec![program(|cpu: &mut Cpu| cpu.compute(10_000))]);
         // ~10 interrupts of 100 cycles land inside 10k cycles of work.

@@ -1,0 +1,98 @@
+//! Point-in-time performance-monitor snapshots.
+//!
+//! The paper's authors read the KSR-1's hardware monitor before and
+//! after a phase and attributed the difference to it (the §3.3.2 IS
+//! analysis separates ranking from counting this way). A
+//! [`PerfSnapshot`] captures every cell's [`PerfMon`] block plus the
+//! fabric counters at one virtual time; [`PerfSnapshot::delta_since`]
+//! yields the counters attributable to the interval between two
+//! snapshots.
+
+use ksr_core::time::Cycles;
+use ksr_mem::PerfMon;
+use ksr_net::FabricStats;
+
+/// Every hardware counter of one machine, frozen at one virtual time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Virtual time of the capture (the machine's current epoch).
+    pub at: Cycles,
+    /// One counter block per cell.
+    pub per_cell: Vec<PerfMon>,
+    /// Machine-wide sum of `per_cell`.
+    pub total: PerfMon,
+    /// Interconnect counters.
+    pub fabric: FabricStats,
+}
+
+impl PerfSnapshot {
+    /// Counters accumulated between `earlier` and this snapshot: the
+    /// per-phase attribution the paper's measurement method relies on.
+    /// Cell counts must match (snapshots of the same machine).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        assert_eq!(
+            self.per_cell.len(),
+            earlier.per_cell.len(),
+            "snapshots come from machines with different cell counts"
+        );
+        Self {
+            at: self.at,
+            per_cell: self
+                .per_cell
+                .iter()
+                .zip(&earlier.per_cell)
+                .map(|(now, then)| now.delta(*then))
+                .collect(),
+            total: self.total.delta(earlier.total),
+            fabric: self.fabric.delta(earlier.fabric),
+        }
+    }
+
+    /// Virtual cycles spanned since `earlier`.
+    #[must_use]
+    pub fn cycles_since(&self, earlier: &Self) -> Cycles {
+        self.at.saturating_sub(earlier.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at: Cycles, ring_transactions: u64) -> PerfSnapshot {
+        let cell = PerfMon {
+            ring_transactions,
+            ..Default::default()
+        };
+        PerfSnapshot {
+            at,
+            per_cell: vec![cell; 2],
+            total: cell.merged(cell),
+            fabric: FabricStats {
+                packets: ring_transactions * 2,
+                wait_cycles: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn delta_attributes_the_interval() {
+        let before = snap(100, 10);
+        let after = snap(900, 35);
+        let d = after.delta_since(&before);
+        assert_eq!(d.at, 900);
+        assert_eq!(d.per_cell[0].ring_transactions, 25);
+        assert_eq!(d.total.ring_transactions, 50);
+        assert_eq!(d.fabric.packets, 50);
+        assert_eq!(after.cycles_since(&before), 800);
+    }
+
+    #[test]
+    #[should_panic(expected = "different cell counts")]
+    fn mismatched_snapshots_rejected() {
+        let mut a = snap(0, 0);
+        a.per_cell.pop();
+        let _ = snap(1, 1).delta_since(&a);
+    }
+}

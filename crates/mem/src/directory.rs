@@ -47,15 +47,16 @@ impl Holders {
     }
 
     /// All `(cell, state)` entries.
-    #[must_use]
     pub fn iter(&self) -> impl Iterator<Item = (usize, SubpageState)> + '_ {
         self.entries.iter().copied()
     }
 
     /// Cells holding a readable copy.
-    #[must_use]
     pub fn readable_cells(&self) -> impl Iterator<Item = usize> + '_ {
-        self.entries.iter().filter(|(_, s)| s.readable()).map(|&(c, _)| c)
+        self.entries
+            .iter()
+            .filter(|(_, s)| s.readable())
+            .map(|&(c, _)| c)
     }
 
     /// The cell holding the sub-page in `Atomic` state, if any.
@@ -197,7 +198,11 @@ mod tests {
         assert_eq!(d.find_violation(), Some(1));
         d.set(1, 0, SubpageState::Missing);
         d.set(1, 1, SubpageState::Invalid);
-        assert_eq!(d.find_violation(), None, "placeholders may coexist with a writer");
+        assert_eq!(
+            d.find_violation(),
+            None,
+            "placeholders may coexist with a writer"
+        );
     }
 
     #[test]

@@ -92,16 +92,16 @@ impl MemGeometry {
         if self.subcache_ways == 0 || self.localcache_ways == 0 {
             return Err(Error::Config("associativity must be non-zero".into()));
         }
-        if self.subcache_bytes % BLOCK_BYTES != 0
-            || (self.subcache_bytes / BLOCK_BYTES) as usize % self.subcache_ways != 0
+        if !self.subcache_bytes.is_multiple_of(BLOCK_BYTES)
+            || !((self.subcache_bytes / BLOCK_BYTES) as usize).is_multiple_of(self.subcache_ways)
         {
             return Err(Error::Config(format!(
                 "sub-cache size {} must be a multiple of {} x {} bytes",
                 self.subcache_bytes, self.subcache_ways, BLOCK_BYTES
             )));
         }
-        if self.localcache_bytes % PAGE_BYTES != 0
-            || (self.localcache_bytes / PAGE_BYTES) as usize % self.localcache_ways != 0
+        if !self.localcache_bytes.is_multiple_of(PAGE_BYTES)
+            || !((self.localcache_bytes / PAGE_BYTES) as usize).is_multiple_of(self.localcache_ways)
         {
             return Err(Error::Config(format!(
                 "local-cache size {} must be a multiple of {} x {} bytes",

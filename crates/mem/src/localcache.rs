@@ -41,7 +41,12 @@ impl LocalCache {
     pub fn new(geom: &MemGeometry, rng: XorShift64) -> Self {
         let sets = geom.localcache_sets();
         let ways = geom.localcache_ways;
-        Self { sets, ways, tags: vec![EMPTY_TAG; sets * ways], rng }
+        Self {
+            sets,
+            ways,
+            tags: vec![EMPTY_TAG; sets * ways],
+            rng,
+        }
     }
 
     fn set_of(&self, page: u64) -> usize {
@@ -77,7 +82,10 @@ impl LocalCache {
         if self.tags[lane..lane + self.ways].contains(&page) {
             return PageAlloc::AlreadyPresent;
         }
-        let way = match self.tags[lane..lane + self.ways].iter().position(|&t| t == EMPTY_TAG) {
+        let way = match self.tags[lane..lane + self.ways]
+            .iter()
+            .position(|&t| t == EMPTY_TAG)
+        {
             Some(i) => i,
             None => {
                 // Random replacement over the evictable ways.
@@ -149,7 +157,10 @@ mod tests {
         let sets = MemGeometry::ksr1().localcache_sets() as u64;
         // 16 ways + 1 conflicting page.
         for i in 0..16u64 {
-            assert_eq!(c.ensure_page(i * sets * PAGE_BYTES), PageAlloc::Allocated { evicted: None });
+            assert_eq!(
+                c.ensure_page(i * sets * PAGE_BYTES),
+                PageAlloc::Allocated { evicted: None }
+            );
         }
         match c.ensure_page(16 * sets * PAGE_BYTES) {
             PageAlloc::Allocated { evicted: Some(_) } => {}
@@ -191,7 +202,9 @@ mod tests {
         }
         // Pin page 0; the conflicting allocation must evict someone else.
         match c.ensure_page_with(16 * sets * PAGE_BYTES, |p| p != 0) {
-            PageAlloc::Allocated { evicted: Some(victim) } => assert_ne!(victim, 0),
+            PageAlloc::Allocated {
+                evicted: Some(victim),
+            } => assert_ne!(victim, 0),
             other => panic!("expected eviction, got {other:?}"),
         }
         assert!(c.page_present(0));

@@ -70,6 +70,46 @@ impl PerfMon {
         }
     }
 
+    /// Element-wise difference since an `earlier` reading — the counters
+    /// attributable to whatever ran between the two snapshots (the
+    /// counters are cumulative and monotonic, so a plain subtraction;
+    /// saturating guards against comparing unrelated machines).
+    #[must_use]
+    pub fn delta(self, earlier: Self) -> Self {
+        Self {
+            subcache_hits: self.subcache_hits.saturating_sub(earlier.subcache_hits),
+            subcache_misses: self.subcache_misses.saturating_sub(earlier.subcache_misses),
+            localcache_hits: self.localcache_hits.saturating_sub(earlier.localcache_hits),
+            localcache_misses: self
+                .localcache_misses
+                .saturating_sub(earlier.localcache_misses),
+            ring_transactions: self
+                .ring_transactions
+                .saturating_sub(earlier.ring_transactions),
+            ring_wait_cycles: self
+                .ring_wait_cycles
+                .saturating_sub(earlier.ring_wait_cycles),
+            ring_latency_cycles: self
+                .ring_latency_cycles
+                .saturating_sub(earlier.ring_latency_cycles),
+            page_allocations: self
+                .page_allocations
+                .saturating_sub(earlier.page_allocations),
+            block_allocations: self
+                .block_allocations
+                .saturating_sub(earlier.block_allocations),
+            invalidations_received: self
+                .invalidations_received
+                .saturating_sub(earlier.invalidations_received),
+            snarfs: self.snarfs.saturating_sub(earlier.snarfs),
+            poststores: self.poststores.saturating_sub(earlier.poststores),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
+            atomic_rejections: self
+                .atomic_rejections
+                .saturating_sub(earlier.atomic_rejections),
+        }
+    }
+
     /// Element-wise sum, for machine-wide aggregation.
     #[must_use]
     pub fn merged(self, o: Self) -> Self {
@@ -105,7 +145,11 @@ mod tests {
 
     #[test]
     fn miss_ratio() {
-        let p = PerfMon { subcache_hits: 3, subcache_misses: 1, ..Default::default() };
+        let p = PerfMon {
+            subcache_hits: 3,
+            subcache_misses: 1,
+            ..Default::default()
+        };
         assert_eq!(p.total_accesses(), 4);
         assert!((p.subcache_miss_ratio() - 0.25).abs() < 1e-12);
     }
@@ -121,9 +165,36 @@ mod tests {
     }
 
     #[test]
+    fn delta_subtracts_fields() {
+        let earlier = PerfMon {
+            snarfs: 3,
+            ring_transactions: 10,
+            ..Default::default()
+        };
+        let later = PerfMon {
+            snarfs: 8,
+            ring_transactions: 25,
+            ..Default::default()
+        };
+        let d = later.delta(earlier);
+        assert_eq!(d.snarfs, 5);
+        assert_eq!(d.ring_transactions, 15);
+        // Mismatched snapshots saturate instead of wrapping.
+        assert_eq!(earlier.delta(later).snarfs, 0);
+    }
+
+    #[test]
     fn merged_adds_fields() {
-        let a = PerfMon { subcache_hits: 1, poststores: 2, ..Default::default() };
-        let b = PerfMon { subcache_hits: 10, snarfs: 5, ..Default::default() };
+        let a = PerfMon {
+            subcache_hits: 1,
+            poststores: 2,
+            ..Default::default()
+        };
+        let b = PerfMon {
+            subcache_hits: 10,
+            snarfs: 5,
+            ..Default::default()
+        };
         let m = a.merged(b);
         assert_eq!(m.subcache_hits, 11);
         assert_eq!(m.poststores, 2);

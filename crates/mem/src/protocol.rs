@@ -35,6 +35,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::{TraceEvent, TraceState, Tracer};
 use ksr_core::{Result, XorShift64};
 use ksr_net::{Fabric, PacketKind, Transit};
 
@@ -145,7 +146,10 @@ pub struct ProtocolOptions {
 
 impl Default for ProtocolOptions {
     fn default() -> Self {
-        Self { read_snarfing: true, poststore: true }
+        Self {
+            read_snarfing: true,
+            poststore: true,
+        }
     }
 }
 
@@ -177,6 +181,18 @@ pub struct MemorySystem {
     events: Vec<MemEvent>,
     coherent: bool,
     n_cells: usize,
+    tracer: Tracer,
+}
+
+/// Mirror a directory state into the fabric-agnostic trace vocabulary.
+fn trace_state(s: SubpageState) -> TraceState {
+    match s {
+        SubpageState::Missing => TraceState::Missing,
+        SubpageState::Invalid => TraceState::Invalid,
+        SubpageState::Shared => TraceState::Shared,
+        SubpageState::Exclusive => TraceState::Exclusive,
+        SubpageState::Atomic => TraceState::Atomic,
+    }
 }
 
 impl MemorySystem {
@@ -189,7 +205,14 @@ impl MemorySystem {
         n_cells: usize,
         seed: u64,
     ) -> Result<Self> {
-        Self::with_options(geom, timing, fabric, n_cells, seed, ProtocolOptions::default())
+        Self::with_options(
+            geom,
+            timing,
+            fabric,
+            n_cells,
+            seed,
+            ProtocolOptions::default(),
+        )
     }
 
     /// Like [`Self::new`] with explicit [`ProtocolOptions`] (ablations).
@@ -225,7 +248,34 @@ impl MemorySystem {
             events: Vec::new(),
             coherent,
             n_cells,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a tracer to the memory system *and* its fabric. Coherence
+    /// transitions, snarfs, invalidations, and atomic rejections emit
+    /// from here; slot grants emit from the fabric.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.fabric.set_tracer(&tracer);
+        self.tracer = tracer;
+    }
+
+    /// Set a sub-page's directory state in one cell, emitting a
+    /// [`TraceEvent::Coherence`] when the state actually changes.
+    /// Untimed bookkeeping (warm-up, evictions) bypasses this and calls
+    /// `dir.set` directly.
+    fn set_state(&mut self, sp: u64, cell: usize, to: SubpageState, at: Cycles) {
+        let from = self.dir.state_of(sp, cell);
+        if from != to {
+            self.tracer.emit_with(|| TraceEvent::Coherence {
+                at,
+                cell,
+                subpage: sp,
+                from: trace_state(from),
+                to: trace_state(to),
+            });
+        }
+        self.dir.set(sp, cell, to);
     }
 
     /// Number of processor cells.
@@ -248,7 +298,9 @@ impl MemorySystem {
     /// Machine-wide sum of all performance monitors.
     #[must_use]
     pub fn perfmon_total(&self) -> PerfMon {
-        self.perf.iter().fold(PerfMon::default(), |acc, p| acc.merged(*p))
+        self.perf
+            .iter()
+            .fold(PerfMon::default(), |acc, p| acc.merged(*p))
     }
 
     /// The interconnect (for its counters).
@@ -299,7 +351,7 @@ impl MemorySystem {
             return;
         }
         let first = subpage_of(addr);
-        let last = subpage_of(addr + len.saturating_sub(1).max(0));
+        let last = subpage_of(addr + len.saturating_sub(1));
         for sp in first..=last {
             self.ensure_page_costed(cell, sp * SUBPAGE_BYTES);
             // Steal the sub-page from whoever holds it.
@@ -346,7 +398,9 @@ impl MemorySystem {
     }
 
     fn is_uncached(&self, addr: u64) -> bool {
-        self.uncached.iter().any(|&(lo, hi)| addr >= lo && addr < hi)
+        self.uncached
+            .iter()
+            .any(|&(lo, hi)| addr >= lo && addr < hi)
     }
 
     /// §4-extension instruction: pull a locally readable sub-page's
@@ -383,13 +437,21 @@ impl MemorySystem {
             }
         }
         let st = self.dir.state_of(sp, cell);
-        let perm = if is_write { st.writable() } else { st.readable() };
+        let perm = if is_write {
+            st.writable()
+        } else {
+            st.readable()
+        };
         let uncached = self.is_uncached(addr);
 
         // Fast path: sub-cache hit with sufficient permission.
         if perm && !uncached && self.subcaches[cell].contains(addr) {
             self.perf[cell].subcache_hits += 1;
-            let cost = if is_write { self.timing.subcache_write } else { self.timing.subcache_read };
+            let cost = if is_write {
+                self.timing.subcache_write
+            } else {
+                self.timing.subcache_read
+            };
             let done_at = now + cost;
             if is_write {
                 self.emit(sp, done_at);
@@ -406,10 +468,18 @@ impl MemorySystem {
 
         if perm {
             self.perf[cell].localcache_hits += 1;
-            t += if is_write { self.timing.localcache_write } else { self.timing.localcache_read };
+            t += if is_write {
+                self.timing.localcache_write
+            } else {
+                self.timing.localcache_read
+            };
         } else {
             self.perf[cell].localcache_misses += 1;
-            let want = if is_write { Want::Exclusive } else { Want::Shared };
+            let want = if is_write {
+                Want::Exclusive
+            } else {
+                Want::Shared
+            };
             t = self.coherence_fetch(cell, sp, t, want);
         }
 
@@ -447,7 +517,8 @@ impl MemorySystem {
                 // holds it in some other cell's cache, a full ring fetch
                 // away.
                 let timing =
-                    self.fabric.transact(t0, cell, Transit::Local, sp, PacketKind::ReadData);
+                    self.fabric
+                        .transact(t0, cell, Transit::Local, sp, PacketKind::ReadData);
                 self.perf[cell].ring_transactions += 1;
                 self.perf[cell].ring_wait_cycles += timing.slot_wait;
                 let done = timing.response_at + self.timing.remote_overhead;
@@ -467,7 +538,7 @@ impl MemorySystem {
                 Want::Exclusive => SubpageState::Exclusive,
                 Want::Atomic => SubpageState::Atomic,
             };
-            self.dir.set(sp, cell, final_state);
+            self.set_state(sp, cell, final_state, t);
             t
         } else {
             let transit = self.transit_for(cell, &holders);
@@ -496,23 +567,37 @@ impl MemorySystem {
                     for (c, s) in &holders {
                         match s {
                             // The old owner demotes to Shared.
-                            SubpageState::Exclusive => self.dir.set(sp, *c, SubpageState::Shared),
+                            SubpageState::Exclusive => {
+                                self.set_state(sp, *c, SubpageState::Shared, t);
+                            }
                             // Read-snarfing: place holders refill for free.
                             SubpageState::Invalid if self.options.read_snarfing => {
-                                self.dir.set(sp, *c, SubpageState::Shared);
+                                self.set_state(sp, *c, SubpageState::Shared, t);
                                 self.perf[*c].snarfs += 1;
+                                let c = *c;
+                                self.tracer.emit_with(|| TraceEvent::Snarf {
+                                    at: t,
+                                    cell: c,
+                                    subpage: sp,
+                                });
                             }
                             _ => {}
                         }
                     }
-                    self.dir.set(sp, cell, SubpageState::Shared);
+                    self.set_state(sp, cell, SubpageState::Shared, t);
                 }
                 Want::Exclusive | Want::Atomic => {
                     for (c, s) in &holders {
                         if *c != cell && *s != SubpageState::Missing {
-                            self.dir.set(sp, *c, SubpageState::Invalid);
+                            self.set_state(sp, *c, SubpageState::Invalid, t);
                             self.subcaches[*c].invalidate_subpage(sp);
                             self.perf[*c].invalidations_received += 1;
+                            let c = *c;
+                            self.tracer.emit_with(|| TraceEvent::Invalidation {
+                                at: t,
+                                cell: c,
+                                subpage: sp,
+                            });
                         }
                     }
                     let st = if want == Want::Atomic {
@@ -520,7 +605,7 @@ impl MemorySystem {
                     } else {
                         SubpageState::Exclusive
                     };
-                    self.dir.set(sp, cell, st);
+                    self.set_state(sp, cell, st, t);
                 }
             }
             t
@@ -595,7 +680,9 @@ impl MemorySystem {
         if let Some(owner) = self.dir.holders(sp).and_then(|h| h.atomic_holder()) {
             if owner == cell {
                 // Re-acquire by the holder is a cheap local test.
-                return Outcome::Done { done_at: now + self.timing.subcache_read };
+                return Outcome::Done {
+                    done_at: now + self.timing.subcache_read,
+                };
             }
             // Rejected: the request still circulates the ring and still
             // serializes against other same-sub-page traffic.
@@ -608,12 +695,19 @@ impl MemorySystem {
                     .unwrap_or_default();
                 self.transit_for(cell, &holders)
             };
-            let timing = self.fabric.transact(t0, cell, transit, sp, PacketKind::GetSubPage);
+            let timing = self
+                .fabric
+                .transact(t0, cell, transit, sp, PacketKind::GetSubPage);
             self.perf[cell].ring_transactions += 1;
             self.perf[cell].ring_wait_cycles += timing.slot_wait;
             self.perf[cell].atomic_rejections += 1;
             let done_at = timing.response_at + self.timing.remote_overhead;
             self.perf[cell].ring_latency_cycles += done_at - now;
+            self.tracer.emit_with(|| TraceEvent::AtomicRejection {
+                at: done_at,
+                cell,
+                subpage: sp,
+            });
             // A rejection transfers nothing — the holder answers "busy"
             // in passing — so it does NOT extend the sub-page busy time:
             // simultaneous rejected requests pipeline on the slotted ring
@@ -624,8 +718,9 @@ impl MemorySystem {
         let st = self.dir.state_of(sp, cell);
         if st.writable() {
             // Already exclusive here: flip to atomic locally.
-            self.dir.set(sp, cell, SubpageState::Atomic);
-            return Outcome::Done { done_at: now + self.timing.atomic_overhead };
+            let done_at = now + self.timing.atomic_overhead;
+            self.set_state(sp, cell, SubpageState::Atomic, done_at);
+            return Outcome::Done { done_at };
         }
         let done = self.coherence_fetch(cell, sp, now, Want::Atomic) + self.timing.atomic_overhead;
         Outcome::Done { done_at: done }
@@ -633,10 +728,14 @@ impl MemorySystem {
 
     fn release_sub_page(&mut self, cell: usize, sp: u64, now: Cycles) -> Outcome {
         let st = self.dir.state_of(sp, cell);
-        debug_assert_eq!(st, SubpageState::Atomic, "release of a sub-page not held atomic");
+        debug_assert_eq!(
+            st,
+            SubpageState::Atomic,
+            "release of a sub-page not held atomic"
+        );
         let done_at = now + self.timing.localcache_write;
         if st == SubpageState::Atomic {
-            self.dir.set(sp, cell, SubpageState::Exclusive);
+            self.set_state(sp, cell, SubpageState::Exclusive, done_at);
             self.emit(sp, done_at);
         }
         Outcome::Done { done_at }
@@ -649,19 +748,33 @@ impl MemorySystem {
         if let Some(owner) = self.dir.holders(sp).and_then(|h| h.atomic_holder()) {
             if owner != cell {
                 // Prefetching a locked sub-page quietly does nothing.
-                return Outcome::Done { done_at: issue_done };
+                return Outcome::Done {
+                    done_at: issue_done,
+                };
             }
         }
         let st = self.dir.state_of(sp, cell);
-        let satisfied = if exclusive { st.writable() } else { st.readable() };
+        let satisfied = if exclusive {
+            st.writable()
+        } else {
+            st.readable()
+        };
         if satisfied || self.pending_fill.contains_key(&(cell, sp)) {
-            return Outcome::Done { done_at: issue_done };
+            return Outcome::Done {
+                done_at: issue_done,
+            };
         }
         self.perf[cell].prefetches += 1;
-        let want = if exclusive { Want::Exclusive } else { Want::Shared };
+        let want = if exclusive {
+            Want::Exclusive
+        } else {
+            Want::Shared
+        };
         let ready = self.coherence_fetch(cell, sp, now, want);
         self.pending_fill.insert((cell, sp), ready);
-        Outcome::Done { done_at: issue_done }
+        Outcome::Done {
+            done_at: issue_done,
+        }
     }
 
     fn poststore(&mut self, cell: usize, sp: u64, now: Cycles) -> Outcome {
@@ -673,7 +786,9 @@ impl MemorySystem {
             // Nothing modified to broadcast — and a sub-page held *atomic*
             // must keep its lock: broadcasting it shared would silently
             // release `get_sub_page` (the hardware forbids this).
-            return Outcome::Done { done_at: now + self.timing.poststore_issue };
+            return Outcome::Done {
+                done_at: now + self.timing.poststore_issue,
+            };
         }
         self.perf[cell].poststores += 1;
         let t0 = now.max(self.subpage_busy.get(&sp).copied().unwrap_or(0));
@@ -690,24 +805,30 @@ impl MemorySystem {
                 holders
                     .iter()
                     .find(|(c, s)| s.is_placeholder() && h.leaf_of(*c) != my_leaf)
-                    .map_or(Transit::Local, |(c, _)| Transit::CrossRing { dst_leaf: h.leaf_of(*c) })
+                    .map_or(Transit::Local, |(c, _)| Transit::CrossRing {
+                        dst_leaf: h.leaf_of(*c),
+                    })
             }
             _ => Transit::Local,
         };
-        let timing = self.fabric.transact(t0, cell, transit, sp, PacketKind::Poststore);
+        let timing = self
+            .fabric
+            .transact(t0, cell, transit, sp, PacketKind::Poststore);
         self.perf[cell].ring_transactions += 1;
         self.perf[cell].ring_wait_cycles += timing.slot_wait;
         for (c, s) in &holders {
             if s.is_placeholder() {
-                self.dir.set(sp, *c, SubpageState::Shared);
+                self.set_state(sp, *c, SubpageState::Shared, timing.response_at);
             }
         }
         // The writer's copy is no longer exclusive after the broadcast.
-        self.dir.set(sp, cell, SubpageState::Shared);
+        self.set_state(sp, cell, SubpageState::Shared, timing.response_at);
         self.subpage_busy.insert(sp, timing.response_at);
         self.emit(sp, timing.response_at);
         // The issuing processor stalls only until the packet is launched.
-        Outcome::Done { done_at: now + self.timing.poststore_issue + timing.slot_wait }
+        Outcome::Done {
+            done_at: now + self.timing.poststore_issue + timing.slot_wait,
+        }
     }
 
     // ----- cache-less (Butterfly) path ------------------------------------------
@@ -722,7 +843,11 @@ impl MemorySystem {
                         return Outcome::BlockedOnAtomic { subpage: sp };
                     }
                 }
-                let kind = if is_write { PacketKind::ReadExclusive } else { PacketKind::ReadData };
+                let kind = if is_write {
+                    PacketKind::ReadExclusive
+                } else {
+                    PacketKind::ReadData
+                };
                 let timing = self.fabric.transact(now, cell, Transit::Local, sp, kind);
                 self.perf[cell].localcache_misses += 1;
                 self.perf[cell].ring_transactions += 1;
@@ -740,35 +865,45 @@ impl MemorySystem {
             MemOp::GetSubPage => {
                 if let Some(owner) = self.dir.holders(sp).and_then(|h| h.atomic_holder()) {
                     let timing =
-                        self.fabric.transact(now, cell, Transit::Local, sp, PacketKind::GetSubPage);
+                        self.fabric
+                            .transact(now, cell, Transit::Local, sp, PacketKind::GetSubPage);
                     self.perf[cell].ring_transactions += 1;
                     let done_at = timing.response_at + self.timing.atomic_overhead;
                     if owner == cell {
                         return Outcome::Done { done_at };
                     }
                     self.perf[cell].atomic_rejections += 1;
+                    self.tracer.emit_with(|| TraceEvent::AtomicRejection {
+                        at: done_at,
+                        cell,
+                        subpage: sp,
+                    });
                     return Outcome::AtomicFailed { done_at };
                 }
                 let timing =
-                    self.fabric.transact(now, cell, Transit::Local, sp, PacketKind::GetSubPage);
+                    self.fabric
+                        .transact(now, cell, Transit::Local, sp, PacketKind::GetSubPage);
                 self.perf[cell].ring_transactions += 1;
-                self.dir.set(sp, cell, SubpageState::Atomic);
-                Outcome::Done { done_at: timing.response_at + self.timing.atomic_overhead }
+                let done_at = timing.response_at + self.timing.atomic_overhead;
+                self.set_state(sp, cell, SubpageState::Atomic, done_at);
+                Outcome::Done { done_at }
             }
             MemOp::ReleaseSubPage => {
                 debug_assert_eq!(self.dir.state_of(sp, cell), SubpageState::Atomic);
-                let timing = self
-                    .fabric
-                    .transact(now, cell, Transit::Local, sp, PacketKind::ReleaseSubPage);
+                let timing =
+                    self.fabric
+                        .transact(now, cell, Transit::Local, sp, PacketKind::ReleaseSubPage);
                 self.perf[cell].ring_transactions += 1;
-                self.dir.set(sp, cell, SubpageState::Missing);
                 let done_at = timing.response_at;
+                self.set_state(sp, cell, SubpageState::Missing, done_at);
                 self.emit(sp, done_at);
                 Outcome::Done { done_at }
             }
             MemOp::Prefetch { .. } | MemOp::SubcachePrefetch => {
                 // No caches to prefetch into.
-                Outcome::Done { done_at: now + self.timing.prefetch_issue }
+                Outcome::Done {
+                    done_at: now + self.timing.prefetch_issue,
+                }
             }
         }
     }
@@ -827,7 +962,11 @@ mod tests {
         // Cell 0 reads data exclusively held by cell 1: full ring trip.
         // An extra block+page allocation lands at the requester.
         let t = done(m.access(0, 0, MemOp::Read, 0));
-        assert_eq!(t, 175 + 105 + 9, "published 175 + page alloc 105 + block alloc 9");
+        assert_eq!(
+            t,
+            175 + 105 + 9,
+            "published 175 + page alloc 105 + block alloc 9"
+        );
         // Second sub-page of the same page: no page allocation.
         let t2 = done(m.access(0, 128, MemOp::Read, t)) - t;
         assert_eq!(t2, 175);
@@ -852,7 +991,11 @@ mod tests {
         let o = m.access(1, 0, MemOp::Write, 10_000);
         assert!(done(o) > 10_100, "upgrade pays a ring transaction");
         assert_eq!(m.directory().state_of(0, 1), SubpageState::Exclusive);
-        assert_eq!(m.directory().state_of(0, 0), SubpageState::Invalid, "place holder");
+        assert_eq!(
+            m.directory().state_of(0, 0),
+            SubpageState::Invalid,
+            "place holder"
+        );
         assert_eq!(m.directory().state_of(0, 2), SubpageState::Invalid);
         assert_eq!(m.perfmon(0).invalidations_received, 1);
     }
@@ -864,7 +1007,7 @@ mod tests {
         m.access(0, 0, MemOp::Read, 0);
         m.access(2, 0, MemOp::Read, 0);
         m.access(1, 0, MemOp::Write, 10_000); // invalidate 0 and 2
-        // One re-read by cell 0 snarf-refills cell 2 as well.
+                                              // One re-read by cell 0 snarf-refills cell 2 as well.
         m.access(0, 0, MemOp::Read, 20_000);
         assert_eq!(m.directory().state_of(0, 2), SubpageState::Shared);
         assert_eq!(m.perfmon(2).snarfs, 1);
@@ -895,7 +1038,10 @@ mod tests {
         // nothing like the serialization of a same-sub-page conflict).
         let a = done(m.access(0, 0, MemOp::Read, 0));
         let b = done(m.access(1, 256, MemOp::Read, 0));
-        assert!(b - a <= 2, "pipelined ring serves distinct sub-pages in parallel: {a} vs {b}");
+        assert!(
+            b - a <= 2,
+            "pipelined ring serves distinct sub-pages in parallel: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -915,7 +1061,10 @@ mod tests {
             Outcome::BlockedOnAtomic { subpage: 0 }
         ));
         // The holder itself may access freely.
-        assert!(matches!(m.access(0, 0, MemOp::Write, t), Outcome::Done { .. }));
+        assert!(matches!(
+            m.access(0, 0, MemOp::Write, t),
+            Outcome::Done { .. }
+        ));
     }
 
     #[test]
@@ -943,7 +1092,10 @@ mod tests {
         m.unwatch(0);
         m.access(0, 0, MemOp::GetSubPage, 1000);
         m.access(0, 0, MemOp::ReleaseSubPage, 2000);
-        assert!(m.take_events().is_empty(), "unwatched sub-pages stay silent");
+        assert!(
+            m.take_events().is_empty(),
+            "unwatched sub-pages stay silent"
+        );
     }
 
     #[test]
@@ -974,7 +1126,10 @@ mod tests {
         m.access(0, 0, MemOp::Prefetch { exclusive: false }, 0);
         let t = done(m.access(0, 0, MemOp::Read, 10));
         assert!(t > 100, "must wait for the in-flight fill: {t}");
-        assert!(t < 175 + 105 + 50, "but cheaper than a fresh ring trip: {t}");
+        assert!(
+            t < 175 + 105 + 50,
+            "but cheaper than a fresh ring trip: {t}"
+        );
     }
 
     #[test]
@@ -989,7 +1144,11 @@ mod tests {
         assert!(issue - 20_000 < 100, "issuing processor continues quickly");
         assert_eq!(m.directory().state_of(0, 1), SubpageState::Shared);
         assert_eq!(m.directory().state_of(0, 2), SubpageState::Shared);
-        assert_eq!(m.directory().state_of(0, 0), SubpageState::Shared, "writer demoted");
+        assert_eq!(
+            m.directory().state_of(0, 0),
+            SubpageState::Shared,
+            "writer demoted"
+        );
         // The writer's next write pays an upgrade — the SP pathology.
         let before = m.perfmon(0).ring_transactions;
         m.access(0, 0, MemOp::Write, 30_000);
@@ -1045,9 +1204,15 @@ mod tests {
         )
         .unwrap();
         let t = done(m.access(0, 0, MemOp::GetSubPage, 0));
-        assert!(matches!(m.access(1, 0, MemOp::GetSubPage, t), Outcome::AtomicFailed { .. }));
+        assert!(matches!(
+            m.access(1, 0, MemOp::GetSubPage, t),
+            Outcome::AtomicFailed { .. }
+        ));
         let t2 = done(m.access(0, 0, MemOp::ReleaseSubPage, t));
-        assert!(matches!(m.access(1, 0, MemOp::GetSubPage, t2), Outcome::Done { .. }));
+        assert!(matches!(
+            m.access(1, 0, MemOp::GetSubPage, t2),
+            Outcome::Done { .. }
+        ));
     }
 
     #[test]

@@ -10,9 +10,7 @@
 
 use ksr_core::XorShift64;
 
-use crate::geometry::{
-    block_of, subblock_slot_in_block, MemGeometry, BLOCK_BYTES, SUBPAGE_BYTES,
-};
+use crate::geometry::{block_of, subblock_slot_in_block, MemGeometry, BLOCK_BYTES, SUBPAGE_BYTES};
 
 const EMPTY_TAG: u64 = u64::MAX;
 
@@ -59,7 +57,13 @@ impl SubCache {
         Self {
             sets,
             ways,
-            entries: vec![BlockWay { tag: EMPTY_TAG, present: 0 }; sets * ways],
+            entries: vec![
+                BlockWay {
+                    tag: EMPTY_TAG,
+                    present: 0
+                };
+                sets * ways
+            ],
             rng,
         }
     }
@@ -114,7 +118,10 @@ impl SubCache {
         };
         let w = &mut self.entries[lane + victim_way];
         let evicted = (w.tag != EMPTY_TAG).then_some(w.tag);
-        *w = BlockWay { tag: block, present: 1 << slot };
+        *w = BlockWay {
+            tag: block,
+            present: 1 << slot,
+        };
         SubCacheFill::AllocatedBlock { evicted }
     }
 
@@ -155,7 +162,10 @@ impl SubCache {
     /// flushes by re-reading, exactly like the paper).
     pub fn flush(&mut self) {
         for w in &mut self.entries {
-            *w = BlockWay { tag: EMPTY_TAG, present: 0 };
+            *w = BlockWay {
+                tag: EMPTY_TAG,
+                present: 0,
+            };
         }
     }
 
@@ -178,7 +188,10 @@ mod tests {
     fn cold_access_allocates_then_hits() {
         let mut c = cache();
         assert!(!c.contains(0x1234));
-        assert_eq!(c.touch(0x1234), SubCacheFill::AllocatedBlock { evicted: None });
+        assert_eq!(
+            c.touch(0x1234),
+            SubCacheFill::AllocatedBlock { evicted: None }
+        );
         assert!(c.contains(0x1234));
         assert_eq!(c.touch(0x1234), SubCacheFill::Hit);
     }
@@ -214,7 +227,9 @@ mod tests {
         c.touch(b0);
         c.touch(b1);
         match c.touch(b2) {
-            SubCacheFill::AllocatedBlock { evicted: Some(victim) } => {
+            SubCacheFill::AllocatedBlock {
+                evicted: Some(victim),
+            } => {
                 assert!(victim == block_of(b0) || victim == block_of(b1));
             }
             other => panic!("expected eviction, got {other:?}"),
@@ -233,7 +248,9 @@ mod tests {
             for k in 0..64u64 {
                 c.touch(k * sets * BLOCK_BYTES);
             }
-            (0..64u64).filter(|&k| c.contains(k * sets * BLOCK_BYTES)).collect::<Vec<_>>()
+            (0..64u64)
+                .filter(|&k| c.contains(k * sets * BLOCK_BYTES))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
     }

@@ -37,7 +37,7 @@ impl SvaStore {
     /// Read a `u64` (must not straddle a page boundary; the heap allocator
     /// always aligns allocations, so this only fires on wild addresses).
     pub fn read_u64(&mut self, addr: u64) -> Result<u64> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(Error::Misaligned { addr, required: 8 });
         }
         let off = (addr % PAGE_BYTES) as usize;
@@ -49,7 +49,7 @@ impl SvaStore {
 
     /// Write a `u64`.
     pub fn write_u64(&mut self, addr: u64, val: u64) -> Result<()> {
-        if addr % 8 != 0 {
+        if !addr.is_multiple_of(8) {
             return Err(Error::Misaligned { addr, required: 8 });
         }
         let off = (addr % PAGE_BYTES) as usize;

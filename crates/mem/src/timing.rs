@@ -125,7 +125,8 @@ mod tests {
 
     #[test]
     fn writes_cost_more_than_reads() {
-        for t in [CacheTiming::ksr1()] {
+        {
+            let t = CacheTiming::ksr1();
             assert!(t.subcache_write > t.subcache_read);
             assert!(t.localcache_write > t.localcache_read);
             assert!(t.remote_write_extra > 0);

@@ -52,12 +52,12 @@ impl CsrMatrix {
     pub fn matvec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut sum = 0.0;
             for k in self.row_start[i]..self.row_start[i + 1] {
                 sum += self.values[k] * x[self.col_idx[k]];
             }
-            y[i] = sum;
+            *yi = sum;
         }
     }
 
@@ -83,7 +83,12 @@ impl CsrMatrix {
                 values[dst] = self.values[k];
             }
         }
-        CscMatrix { n: self.n, col_start: col_counts, row_idx, values }
+        CscMatrix {
+            n: self.n,
+            col_start: col_counts,
+            row_idx,
+            values,
+        }
     }
 }
 
@@ -94,8 +99,7 @@ impl CscMatrix {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         y.fill(0.0);
-        for j in 0..self.n {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             for k in self.col_start[j]..self.col_start[j + 1] {
                 y[self.row_idx[k]] += self.values[k] * xj;
             }
@@ -146,7 +150,12 @@ pub fn random_spd(n: usize, offdiag_per_row: usize, seed: u64) -> CsrMatrix {
         }
         row_start.push(col_idx.len());
     }
-    CsrMatrix { n, row_start, col_idx, values }
+    CsrMatrix {
+        n,
+        row_start,
+        col_idx,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -155,9 +164,9 @@ mod tests {
 
     fn dense(a: &CsrMatrix) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; a.n]; a.n];
-        for i in 0..a.n {
+        for (i, row) in d.iter_mut().enumerate() {
             for k in a.row_start[i]..a.row_start[i + 1] {
-                d[i][a.col_idx[k]] += a.values[k];
+                row[a.col_idx[k]] += a.values[k];
             }
         }
         d
@@ -172,9 +181,9 @@ mod tests {
     fn generated_matrix_is_symmetric() {
         let a = random_spd(40, 8, 3);
         let d = dense(&a);
-        for i in 0..a.n {
-            for j in 0..a.n {
-                assert!((d[i][j] - d[j][i]).abs() < 1e-12, "asymmetry at ({i},{j})");
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - d[j][i]).abs() < 1e-12, "asymmetry at ({i},{j})");
             }
         }
     }
@@ -183,9 +192,14 @@ mod tests {
     fn generated_matrix_is_diagonally_dominant() {
         let a = random_spd(60, 10, 4);
         let d = dense(&a);
-        for i in 0..a.n {
-            let off: f64 = (0..a.n).filter(|&j| j != i).map(|j| d[i][j].abs()).sum();
-            assert!(d[i][i] > off, "row {i} not dominant");
+        for (i, row) in d.iter().enumerate() {
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            assert!(row[i] > off, "row {i} not dominant");
         }
     }
 
@@ -196,7 +210,10 @@ mod tests {
         assert_eq!(*a.row_start.last().unwrap(), a.nnz());
         for i in 0..a.n {
             let cols = &a.col_idx[a.row_start[i]..a.row_start[i + 1]];
-            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {i} unsorted or dup");
+            assert!(
+                cols.windows(2).all(|w| w[0] < w[1]),
+                "row {i} unsorted or dup"
+            );
         }
     }
 
@@ -222,8 +239,11 @@ mod tests {
         let x = vec![2.0; 10];
         let mut y = vec![0.0; 10];
         a.matvec(&x, &mut y);
-        for i in 0..10 {
-            assert!((y[i] - 2.0).abs() < 1e-12, "diag must be 1.0 with no off-diag");
+        for &yi in &y {
+            assert!(
+                (yi - 2.0).abs() < 1e-12,
+                "diag must be 1.0 with no off-diag"
+            );
         }
     }
 }

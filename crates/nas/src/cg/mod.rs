@@ -101,7 +101,10 @@ pub fn cg_sequential(cfg: &CgConfig) -> CgResult {
             p[i] = r[i] + beta * p[i];
         }
     }
-    CgResult { x_checksum: x.iter().sum(), residual_sq: rho }
+    CgResult {
+        x_checksum: x.iter().sum(),
+        residual_sq: rho,
+    }
 }
 
 /// CG wired onto a simulated machine.
@@ -151,12 +154,12 @@ impl CgSetup {
         let mut b = vec![0.0; n];
         a.matvec(&ones, &mut b);
         let mut rho = 0.0;
-        for i in 0..n {
+        for (i, &bi) in b.iter().enumerate() {
             x.poke(m, i, 0.0);
-            r.poke(m, i, b[i]);
-            p.poke(m, i, b[i]);
+            r.poke(m, i, bi);
+            p.poke(m, i, bi);
             q.poke(m, i, 0.0);
-            rho += b[i] * b[i];
+            rho += bi * bi;
         }
         scalars.poke(m, 0, rho);
         // The sequential setup ran on cell 0.
@@ -171,7 +174,19 @@ impl CgSetup {
             m.set_uncached(col_idx.addr(0), nnz as u64 * 8);
         }
         let barrier = SystemBarrier::alloc(m, procs)?;
-        Ok(Self { cfg, values, col_idx, row_start, x, r, p, q, scalars, barrier, procs })
+        Ok(Self {
+            cfg,
+            values,
+            col_idx,
+            row_start,
+            x,
+            r,
+            p,
+            q,
+            scalars,
+            barrier,
+            procs,
+        })
     }
 
     /// One program per processor.
@@ -262,7 +277,10 @@ impl CgSetup {
 
     /// Read back the result after a run.
     pub fn result(&self, m: &mut Machine) -> CgResult {
-        CgResult { x_checksum: self.scalars.peek(m, 1), residual_sq: self.scalars.peek(m, 2) }
+        CgResult {
+            x_checksum: self.scalars.peek(m, 1),
+            residual_sq: self.scalars.peek(m, 2),
+        }
     }
 }
 
@@ -271,21 +289,42 @@ mod tests {
     use super::*;
 
     fn tiny() -> CgConfig {
-        CgConfig { n: 120, offdiag_per_row: 6, iterations: 4, seed: 77, poststore: false, uncache_matrix: false }
+        CgConfig {
+            n: 120,
+            offdiag_per_row: 6,
+            iterations: 4,
+            seed: 77,
+            poststore: false,
+            uncache_matrix: false,
+        }
     }
 
     #[test]
     fn sequential_residual_shrinks() {
         let cfg = tiny();
-        let r1 = cg_sequential(&CgConfig { iterations: 1, ..cfg });
-        let r4 = cg_sequential(&CgConfig { iterations: 4, ..cfg });
-        assert!(r4.residual_sq < r1.residual_sq / 10.0, "{} vs {}", r4.residual_sq, r1.residual_sq);
+        let r1 = cg_sequential(&CgConfig {
+            iterations: 1,
+            ..cfg
+        });
+        let r4 = cg_sequential(&CgConfig {
+            iterations: 4,
+            ..cfg
+        });
+        assert!(
+            r4.residual_sq < r1.residual_sq / 10.0,
+            "{} vs {}",
+            r4.residual_sq,
+            r1.residual_sq
+        );
     }
 
     #[test]
     fn sequential_converges_to_ones() {
         // b = A·1, so x -> 1 and the checksum -> n.
-        let cfg = CgConfig { iterations: 30, ..tiny() };
+        let cfg = CgConfig {
+            iterations: 30,
+            ..tiny()
+        };
         let r = cg_sequential(&cfg);
         assert!(
             (r.x_checksum - cfg.n as f64).abs() < 0.1,
@@ -318,9 +357,20 @@ mod tests {
         let cfg = tiny();
         let plain = cg_sequential(&cfg);
         let mut m = Machine::ksr1_scaled(43, 64).unwrap();
-        let setup = CgSetup::new(&mut m, CgConfig { poststore: true, ..cfg }, 4).unwrap();
+        let setup = CgSetup::new(
+            &mut m,
+            CgConfig {
+                poststore: true,
+                ..cfg
+            },
+            4,
+        )
+        .unwrap();
         m.run(setup.programs());
-        assert_eq!(setup.result(&mut m).x_checksum.to_bits(), plain.x_checksum.to_bits());
+        assert_eq!(
+            setup.result(&mut m).x_checksum.to_bits(),
+            plain.x_checksum.to_bits()
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub struct EpConfig {
 
 impl Default for EpConfig {
     fn default() -> Self {
-        Self { pairs: 1 << 18, seed: DEFAULT_SEED }
+        Self {
+            pairs: 1 << 18,
+            seed: DEFAULT_SEED,
+        }
     }
 }
 
@@ -92,7 +95,11 @@ fn to_unit(x: u64) -> f64 {
 /// shared by the sequential reference and each simulated processor.
 fn ep_chunk(cfg: &EpConfig, first: u64, count: u64, mut per_pair: impl FnMut(u64)) -> EpResult {
     let mut state = lcg_skip(cfg.seed, 2 * first);
-    let mut r = EpResult { sx: 0.0, sy: 0.0, counts: [0; ANNULI] };
+    let mut r = EpResult {
+        sx: 0.0,
+        sy: 0.0,
+        counts: [0; ANNULI],
+    };
     for _ in 0..count {
         state = lcg_next(state);
         let x = to_unit(state);
@@ -161,8 +168,11 @@ impl EpSetup {
                 program(move |cpu: &mut Cpu| {
                     let per_proc = s.cfg.pairs / s.procs as u64;
                     let first = p as u64 * per_proc;
-                    let count =
-                        if p == s.procs - 1 { s.cfg.pairs - first } else { per_proc };
+                    let count = if p == s.procs - 1 {
+                        s.cfg.pairs - first
+                    } else {
+                        per_proc
+                    };
                     // The compute phase: private data only. The flops/
                     // compute split reproduces the ~11-of-40 MFLOPS
                     // sustained rate the paper measured.
@@ -208,7 +218,11 @@ impl EpSetup {
         for (l, c) in counts.iter_mut().enumerate() {
             *c = self.global.peek(m, 2 + l) as u64;
         }
-        EpResult { sx: self.global.peek(m, 0), sy: self.global.peek(m, 1), counts }
+        EpResult {
+            sx: self.global.peek(m, 0),
+            sy: self.global.peek(m, 1),
+            counts,
+        }
     }
 }
 
@@ -217,7 +231,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> EpConfig {
-        EpConfig { pairs: 4_000, seed: DEFAULT_SEED }
+        EpConfig {
+            pairs: 4_000,
+            seed: DEFAULT_SEED,
+        }
     }
 
     #[test]
@@ -253,8 +270,8 @@ mod tests {
             let r = ep_chunk(&cfg, first, count, |_| {});
             sx += r.sx;
             sy += r.sy;
-            for l in 0..ANNULI {
-                counts[l] += r.counts[l];
+            for (c, rc) in counts.iter_mut().zip(r.counts) {
+                *c += rc;
             }
         }
         assert_eq!(counts, whole.counts, "stream decomposition must be exact");
@@ -287,7 +304,10 @@ mod tests {
         let t1 = time(1);
         let t4 = time(4);
         let s = t1 as f64 / t4 as f64;
-        assert!(s > 3.6, "EP must scale almost linearly: speedup(4) = {s:.2}");
+        assert!(
+            s > 3.6,
+            "EP must scale almost linearly: speedup(4) = {s:.2}"
+        );
     }
 
     #[test]

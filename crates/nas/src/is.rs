@@ -44,7 +44,12 @@ pub struct IsConfig {
 
 impl Default for IsConfig {
     fn default() -> Self {
-        Self { keys: 1 << 16, max_key: 1 << 11, seed: 19_930_401, chunk: 128 }
+        Self {
+            keys: 1 << 16,
+            max_key: 1 << 11,
+            seed: 19_930_401,
+            chunk: 128,
+        }
     }
 }
 
@@ -52,7 +57,9 @@ impl Default for IsConfig {
 #[must_use]
 pub fn generate_keys(cfg: &IsConfig) -> Vec<u64> {
     let mut rng = XorShift64::new(cfg.seed);
-    (0..cfg.keys).map(|_| rng.next_below(cfg.max_key as u64)).collect()
+    (0..cfg.keys)
+        .map(|_| rng.next_below(cfg.max_key as u64))
+        .collect()
 }
 
 /// Sequential reference: returns 0-based ranks such that sorting keys by
@@ -112,7 +119,10 @@ pub struct IsSetup {
 impl IsSetup {
     /// Allocate and initialise shared state for `procs` processors.
     pub fn new(m: &mut Machine, cfg: IsConfig, procs: usize) -> Result<Self> {
-        assert!(cfg.max_key % cfg.chunk == 0, "chunk must divide the bucket count");
+        assert!(
+            cfg.max_key.is_multiple_of(cfg.chunk),
+            "chunk must divide the bucket count"
+        );
         let key = SharedU64::alloc(m, cfg.keys)?;
         let rank = SharedU64::alloc(m, cfg.keys)?;
         let keyden = SharedU64::alloc(m, cfg.max_key)?;
@@ -120,7 +130,9 @@ impl IsSetup {
         let msum = SharedU64::alloc(m, procs)?;
         let tmp_sum = SharedU64::alloc(m, procs + 1)?;
         let n_chunks = cfg.max_key / cfg.chunk;
-        let locks = (0..n_chunks).map(|_| HwLock::alloc(m)).collect::<Result<Vec<_>>>()?;
+        let locks = (0..n_chunks)
+            .map(|_| HwLock::alloc(m))
+            .collect::<Result<Vec<_>>>()?;
         for (j, k) in generate_keys(&cfg).into_iter().enumerate() {
             key.poke(m, j, k);
         }
@@ -133,7 +145,18 @@ impl IsSetup {
             }
         }
         let barrier = SystemBarrier::alloc(m, procs)?;
-        Ok(Self { cfg, key, rank, keyden, keyden_t, msum, tmp_sum, locks, barrier, procs })
+        Ok(Self {
+            cfg,
+            key,
+            rank,
+            keyden,
+            keyden_t,
+            msum,
+            tmp_sum,
+            locks,
+            barrier,
+            procs,
+        })
     }
 
     /// One program per processor (the seven phases of Figure 9).
@@ -252,7 +275,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> IsConfig {
-        IsConfig { keys: 2_000, max_key: 256, seed: 5, chunk: 64 }
+        IsConfig {
+            keys: 2_000,
+            max_key: 256,
+            seed: 5,
+            chunk: 64,
+        }
     }
 
     #[test]
@@ -306,7 +334,10 @@ mod tests {
     #[should_panic(expected = "chunk must divide")]
     fn bad_chunk_rejected() {
         let mut m = Machine::ksr1(1).unwrap();
-        let cfg = IsConfig { chunk: 100, ..tiny() };
+        let cfg = IsConfig {
+            chunk: 100,
+            ..tiny()
+        };
         let _ = IsSetup::new(&mut m, cfg, 2);
     }
 }

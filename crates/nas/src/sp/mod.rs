@@ -67,7 +67,7 @@ impl Default for SpConfig {
         Self {
             n: 16,
             iterations: 2,
-            seed: 64_64_64,
+            seed: 646_464,
             layout: SpLayout::Padded,
             prefetch: true,
             poststore: false,
@@ -87,7 +87,9 @@ fn coefficients(n: usize, seed: u64) -> [Vec<f64>; 5] {
     let mut rng = XorShift64::new(seed);
     let cells = n * n * n;
     let mut gen = |scale: f64| {
-        (0..cells).map(|_| (rng.next_f64() - 0.5) * scale).collect::<Vec<f64>>()
+        (0..cells)
+            .map(|_| (rng.next_f64() - 0.5) * scale)
+            .collect::<Vec<f64>>()
     };
     let e = gen(0.3);
     let c = gen(0.5);
@@ -208,7 +210,12 @@ impl SpSetup {
             m.warm(0, arr.addr(0), bytes);
         }
         let barrier = SystemBarrier::alloc(m, procs)?;
-        Ok(Self { cfg, fields, barrier, procs })
+        Ok(Self {
+            cfg,
+            fields,
+            barrier,
+            procs,
+        })
     }
 
     /// One program per processor.
@@ -234,8 +241,7 @@ impl SpSetup {
                             // j-plane (cross-partition communication at
                             // the phase boundary).
                             let lines = n * n;
-                            let (llo, lhi) =
-                                (pid * lines / procs, (pid + 1) * lines / procs);
+                            let (llo, lhi) = (pid * lines / procs, (pid + 1) * lines / procs);
                             // "By using prefetches, at the beginning of
                             // these phases": pull in the sub-pages of the
                             // *solution* array my new partition covers,
@@ -269,11 +275,7 @@ impl SpSetup {
                                     let exclusive =
                                         llo <= block_lines.start && block_lines.end <= lhi;
                                     for t in 0..n {
-                                        fields[5].prefetch(
-                                            cpu,
-                                            idx(n, block, outer, t),
-                                            exclusive,
-                                        );
+                                        fields[5].prefetch(cpu, idx(n, block, outer, t), exclusive);
                                     }
                                 }
                             };
@@ -315,9 +317,9 @@ impl SpSetup {
                                 // compute-bound enough to scale to 31
                                 // processors (Table 3).
                                 cpu.flops(1_400 * n as u64);
-                                for t in 0..n {
+                                for (t, &srt) in sr.iter().enumerate().take(n) {
                                     let g = cell(t);
-                                    fields[5].set(cpu, g, sr[t]);
+                                    fields[5].set(cpu, g, srt);
                                     if cfg.poststore && t % 16 == 15 {
                                         fields[5].poststore(cpu, g);
                                     }
@@ -346,7 +348,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> SpConfig {
-        SpConfig { n: 8, iterations: 1, ..SpConfig::default() }
+        SpConfig {
+            n: 8,
+            iterations: 1,
+            ..SpConfig::default()
+        }
     }
 
     #[test]
@@ -375,7 +381,14 @@ mod tests {
         let rhs: Vec<f64> = line.iter().map(|&g| u0[g]).collect();
         let mut work = sys.clone();
         let mut x = rhs.clone();
-        solve_penta(&mut work.e, &mut work.c, &mut work.d, &mut work.a, &mut work.b, &mut x);
+        solve_penta(
+            &mut work.e,
+            &mut work.c,
+            &mut work.d,
+            &mut work.a,
+            &mut work.b,
+            &mut x,
+        );
         let back = sys.multiply(&x);
         for t in 0..n {
             assert!((back[t] - rhs[t]).abs() < 1e-8, "residual at {t}");
@@ -404,7 +417,12 @@ mod tests {
         for layout in [SpLayout::Base, SpLayout::Padded] {
             for prefetch in [false, true] {
                 for poststore in [false, true] {
-                    let cfg = SpConfig { layout, prefetch, poststore, ..tiny() };
+                    let cfg = SpConfig {
+                        layout,
+                        prefetch,
+                        poststore,
+                        ..tiny()
+                    };
                     let mut m = Machine::ksr1(61).unwrap();
                     let setup = SpSetup::new(&mut m, cfg, 2).unwrap();
                     m.run(setup.programs());
@@ -424,14 +442,34 @@ mod tests {
     #[test]
     fn base_layout_aligns_arrays_identically() {
         let mut m = Machine::ksr1(62).unwrap();
-        let s = SpSetup::new(&mut m, SpConfig { layout: SpLayout::Base, ..tiny() }, 1).unwrap();
+        let s = SpSetup::new(
+            &mut m,
+            SpConfig {
+                layout: SpLayout::Base,
+                ..tiny()
+            },
+            1,
+        )
+        .unwrap();
         let offsets: Vec<u64> = s.fields.iter().map(|f| f.addr(0) % WAY_SPAN).collect();
         assert!(offsets.iter().all(|&o| o == offsets[0]), "{offsets:?}");
         let mut m = Machine::ksr1(63).unwrap();
-        let s = SpSetup::new(&mut m, SpConfig { layout: SpLayout::Padded, ..tiny() }, 1).unwrap();
+        let s = SpSetup::new(
+            &mut m,
+            SpConfig {
+                layout: SpLayout::Padded,
+                ..tiny()
+            },
+            1,
+        )
+        .unwrap();
         let offsets: Vec<u64> = s.fields.iter().map(|f| f.addr(0) % WAY_SPAN).collect();
         let mut uniq = offsets.clone();
         uniq.dedup();
-        assert_eq!(uniq.len(), FIELDS, "padded arrays must land in distinct blocks");
+        assert_eq!(
+            uniq.len(),
+            FIELDS,
+            "padded arrays must land in distinct blocks"
+        );
     }
 }

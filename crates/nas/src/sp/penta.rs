@@ -78,7 +78,9 @@ pub fn solve_penta(
 ) {
     let n = d.len();
     assert!(
-        [e.len(), c.len(), a.len(), b.len(), rhs.len()].iter().all(|&l| l == n),
+        [e.len(), c.len(), a.len(), b.len(), rhs.len()]
+            .iter()
+            .all(|&l| l == n),
         "diagonal lengths differ"
     );
     assert!(n >= 1, "empty system");
@@ -117,7 +119,11 @@ pub fn solve_penta(
 #[must_use]
 pub fn random_dominant(n: usize, seed: u64) -> PentaSystem {
     let mut rng = ksr_core::XorShift64::new(seed);
-    let mut coef = |scale: f64| (0..n).map(|_| (rng.next_f64() - 0.5) * scale).collect::<Vec<_>>();
+    let mut coef = |scale: f64| {
+        (0..n)
+            .map(|_| (rng.next_f64() - 0.5) * scale)
+            .collect::<Vec<_>>()
+    };
     let e = coef(0.4);
     let c = coef(0.6);
     let a = coef(0.6);

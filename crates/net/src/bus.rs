@@ -12,6 +12,7 @@
 //! and releases it. There is no pipelining and no notion of distance.
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::{TraceEvent, Tracer};
 use ksr_core::{Error, Result};
 
 use crate::msg::PacketKind;
@@ -33,7 +34,11 @@ impl BusConfig {
     /// of tens of cycles and the bus is the only path.
     #[must_use]
     pub fn symmetry() -> Self {
-        Self { arbitration_cycles: 2, cmd_cycles: 6, data_cycles: 20 }
+        Self {
+            arbitration_cycles: 2,
+            cmd_cycles: 6,
+            data_cycles: 20,
+        }
     }
 
     /// Validate the configuration.
@@ -62,13 +67,25 @@ pub struct Bus {
     cfg: BusConfig,
     free_at: Cycles,
     stats: BusStats,
+    tracer: Tracer,
 }
 
 impl Bus {
     /// Build a bus from a validated configuration.
     pub fn new(cfg: BusConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(Self { cfg, free_at: 0, stats: BusStats::default() })
+        Ok(Self {
+            cfg,
+            free_at: 0,
+            stats: BusStats::default(),
+            tracer: Tracer::disabled(),
+        })
+    }
+
+    /// Attach a tracer; every bus grant emits a [`TraceEvent::RingSlot`]
+    /// (the event is fabric-agnostic: "admission won after `wait`").
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The bus configuration.
@@ -85,14 +102,28 @@ impl Bus {
 
     /// Book one bus transaction requested at `now`. Strictly FIFO.
     pub fn transact(&mut self, now: Cycles, kind: PacketKind) -> RingTiming {
+        let blocked = self.free_at > now;
         let start = self.free_at.max(now) + self.cfg.arbitration_cycles;
-        let hold = if kind.carries_data() { self.cfg.data_cycles } else { self.cfg.cmd_cycles };
+        let hold = if kind.carries_data() {
+            self.cfg.data_cycles
+        } else {
+            self.cfg.cmd_cycles
+        };
         let response_at = start + hold;
         self.free_at = response_at;
         self.stats.transactions += 1;
         self.stats.wait_cycles += start - now;
         self.stats.busy_cycles += hold;
-        RingTiming { injected_at: start, response_at, slot_wait: start - now }
+        self.tracer.emit_with(|| TraceEvent::RingSlot {
+            at: start,
+            wait: start - now,
+            blocked,
+        });
+        RingTiming {
+            injected_at: start,
+            response_at,
+            slot_wait: start - now,
+        }
     }
 }
 
@@ -150,6 +181,11 @@ mod tests {
 
     #[test]
     fn zero_occupancy_rejected() {
-        assert!(Bus::new(BusConfig { arbitration_cycles: 0, cmd_cycles: 0, data_cycles: 1 }).is_err());
+        assert!(Bus::new(BusConfig {
+            arbitration_cycles: 0,
+            cmd_cycles: 0,
+            data_cycles: 1
+        })
+        .is_err());
     }
 }

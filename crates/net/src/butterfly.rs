@@ -13,6 +13,7 @@
 //! into the per-hop constant.
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::{TraceEvent, Tracer};
 use ksr_core::{Error, Result};
 
 use crate::msg::PacketKind;
@@ -35,7 +36,12 @@ impl ButterflyConfig {
     /// A BBN Butterfly-flavoured default for `ports` processors.
     #[must_use]
     pub fn bbn(ports: usize) -> Self {
-        Self { ports, switch_arity: 4, hop_cycles: 4, memory_cycles: 10 }
+        Self {
+            ports,
+            switch_arity: 4,
+            hop_cycles: 4,
+            memory_cycles: 10,
+        }
     }
 
     /// Number of switch stages between a processor and a memory module.
@@ -86,6 +92,7 @@ pub struct Butterfly {
     cfg: ButterflyConfig,
     module_free_at: Vec<Cycles>,
     stats: ButterflyStats,
+    tracer: Tracer,
 }
 
 impl Butterfly {
@@ -96,7 +103,14 @@ impl Butterfly {
             module_free_at: vec![0; cfg.ports],
             cfg,
             stats: ButterflyStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a tracer; every module grant emits a
+    /// [`TraceEvent::RingSlot`] whose wait is the module-queue wait.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The network configuration.
@@ -123,6 +137,11 @@ impl Butterfly {
         self.module_free_at[module] = done;
         self.stats.requests += 1;
         self.stats.module_wait_cycles += start - arrive;
+        self.tracer.emit_with(|| TraceEvent::RingSlot {
+            at: start,
+            wait: start - arrive,
+            blocked: start > arrive,
+        });
         RingTiming {
             injected_at: now,
             response_at: done + transit,
@@ -162,9 +181,15 @@ mod tests {
     #[test]
     fn hot_module_serializes() {
         let mut n = Butterfly::new(ButterflyConfig::bbn(16)).unwrap();
-        let t: Vec<_> = (0..8).map(|_| n.transact(0, 5, PacketKind::ReadData)).collect();
+        let t: Vec<_> = (0..8)
+            .map(|_| n.transact(0, 5, PacketKind::ReadData))
+            .collect();
         for w in t.windows(2) {
-            assert_eq!(w[1].response_at - w[0].response_at, 10, "module service serializes");
+            assert_eq!(
+                w[1].response_at - w[0].response_at,
+                10,
+                "module service serializes"
+            );
         }
         assert!(n.stats().module_wait_cycles > 0);
     }
@@ -179,9 +204,24 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(ButterflyConfig { ports: 0, ..ButterflyConfig::bbn(4) }.validate().is_err());
-        assert!(ButterflyConfig { switch_arity: 1, ..ButterflyConfig::bbn(4) }.validate().is_err());
-        assert!(ButterflyConfig { memory_cycles: 0, ..ButterflyConfig::bbn(4) }.validate().is_err());
+        assert!(ButterflyConfig {
+            ports: 0,
+            ..ButterflyConfig::bbn(4)
+        }
+        .validate()
+        .is_err());
+        assert!(ButterflyConfig {
+            switch_arity: 1,
+            ..ButterflyConfig::bbn(4)
+        }
+        .validate()
+        .is_err());
+        assert!(ButterflyConfig {
+            memory_cycles: 0,
+            ..ButterflyConfig::bbn(4)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

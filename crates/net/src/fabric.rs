@@ -6,6 +6,7 @@
 //! static-friendly and the whole simulator `Clone`-able and deterministic.
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::Tracer;
 use ksr_core::Result;
 
 use crate::bus::{Bus, BusConfig};
@@ -24,6 +25,18 @@ pub struct FabricStats {
     pub wait_cycles: u64,
 }
 
+impl FabricStats {
+    /// Counters accumulated since an `earlier` reading (saturating, for
+    /// per-phase attribution).
+    #[must_use]
+    pub fn delta(self, earlier: Self) -> Self {
+        Self {
+            packets: self.packets.saturating_sub(earlier.packets),
+            wait_cycles: self.wait_cycles.saturating_sub(earlier.wait_cycles),
+        }
+    }
+}
+
 /// One of the three interconnects of the study.
 #[derive(Debug, Clone)]
 pub enum Fabric {
@@ -38,12 +51,16 @@ pub enum Fabric {
 impl Fabric {
     /// A single-level 32-cell KSR-1 ring.
     pub fn ksr1_32() -> Result<Self> {
-        Ok(Self::Ring(RingHierarchy::new(RingHierarchyConfig::ksr1_32())?))
+        Ok(Self::Ring(RingHierarchy::new(
+            RingHierarchyConfig::ksr1_32(),
+        )?))
     }
 
     /// A two-level 64-cell KSR system.
     pub fn ksr_64() -> Result<Self> {
-        Ok(Self::Ring(RingHierarchy::new(RingHierarchyConfig::ksr_64())?))
+        Ok(Self::Ring(RingHierarchy::new(
+            RingHierarchyConfig::ksr_64(),
+        )?))
     }
 
     /// A Symmetry-style bus.
@@ -53,7 +70,19 @@ impl Fabric {
 
     /// A Butterfly-style MIN with `ports` processors/modules.
     pub fn butterfly(ports: usize) -> Result<Self> {
-        Ok(Self::Butterfly(Butterfly::new(ButterflyConfig::bbn(ports))?))
+        Ok(Self::Butterfly(Butterfly::new(ButterflyConfig::bbn(
+            ports,
+        ))?))
+    }
+
+    /// Attach one shared tracer to whichever interconnect is active; every
+    /// admission grant then emits a `RingSlot` event.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        match self {
+            Self::Ring(h) => h.set_tracer(tracer),
+            Self::Bus(b) => b.set_tracer(tracer.clone()),
+            Self::Butterfly(n) => n.set_tracer(tracer.clone()),
+        }
     }
 
     /// Whether this machine has hardware-coherent caches. `false` only for
@@ -102,15 +131,24 @@ impl Fabric {
         match self {
             Self::Ring(h) => {
                 let s = h.total_stats();
-                FabricStats { packets: s.packets, wait_cycles: s.slot_wait_cycles }
+                FabricStats {
+                    packets: s.packets,
+                    wait_cycles: s.slot_wait_cycles,
+                }
             }
             Self::Bus(b) => {
                 let s = b.stats();
-                FabricStats { packets: s.transactions, wait_cycles: s.wait_cycles }
+                FabricStats {
+                    packets: s.transactions,
+                    wait_cycles: s.wait_cycles,
+                }
             }
             Self::Butterfly(n) => {
                 let s = n.stats();
-                FabricStats { packets: s.requests, wait_cycles: s.module_wait_cycles }
+                FabricStats {
+                    packets: s.requests,
+                    wait_cycles: s.module_wait_cycles,
+                }
             }
         }
     }
@@ -144,14 +182,23 @@ mod tests {
         // times on the ring, strictly staircased on the bus.
         let mut ring = Fabric::ksr1_32().unwrap();
         let ring_t: Vec<_> = (0..12)
-            .map(|i| ring.transact(0, i, Transit::Local, 0, PacketKind::ReadData).response_at)
+            .map(|i| {
+                ring.transact(0, i, Transit::Local, 0, PacketKind::ReadData)
+                    .response_at
+            })
             .collect();
         let spread = ring_t.iter().max().unwrap() - ring_t.iter().min().unwrap();
-        assert!(spread < 136, "ring transactions overlap within one rotation: spread {spread}");
+        assert!(
+            spread < 136,
+            "ring transactions overlap within one rotation: spread {spread}"
+        );
 
         let mut bus = Fabric::symmetry().unwrap();
         let bus_t: Vec<_> = (0..12)
-            .map(|i| bus.transact(0, i, Transit::Local, 0, PacketKind::ReadData).response_at)
+            .map(|i| {
+                bus.transact(0, i, Transit::Local, 0, PacketKind::ReadData)
+                    .response_at
+            })
             .collect();
         assert!(bus_t.windows(2).all(|w| w[1] > w[0]));
     }

@@ -10,6 +10,7 @@
 //! of processors is increased beyond 32".
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::Tracer;
 use ksr_core::{Error, Result};
 
 use crate::msg::{PacketKind, Transit};
@@ -66,10 +67,14 @@ impl RingHierarchyConfig {
     pub fn validate(&self) -> Result<()> {
         self.leaf.validate()?;
         if self.n_leaves == 0 {
-            return Err(Error::Config("hierarchy needs at least one leaf ring".into()));
+            return Err(Error::Config(
+                "hierarchy needs at least one leaf ring".into(),
+            ));
         }
         if self.n_leaves > 34 {
-            return Err(Error::Config("at most 34 leaf rings connect to Ring:1".into()));
+            return Err(Error::Config(
+                "at most 34 leaf rings connect to Ring:1".into(),
+            ));
         }
         if self.cells_per_leaf == 0 || self.cells_per_leaf > self.leaf.stations {
             return Err(Error::Config(format!(
@@ -109,6 +114,15 @@ impl RingHierarchy {
         &self.cfg
     }
 
+    /// Attach one shared tracer to every ring of the hierarchy (a
+    /// cross-ring transaction emits one slot event per ring it books).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        for leaf in &mut self.leaves {
+            leaf.set_tracer(tracer.clone());
+        }
+        self.top.set_tracer(tracer.clone());
+    }
+
     /// Which leaf ring a cell lives on.
     #[must_use]
     pub fn leaf_of(&self, cell: usize) -> usize {
@@ -140,7 +154,10 @@ impl RingHierarchy {
         match transit {
             Transit::Local => self.leaves[src_leaf].transact(now, subring, kind),
             Transit::CrossRing { dst_leaf } => {
-                assert!(dst_leaf < self.cfg.n_leaves, "destination leaf out of range");
+                assert!(
+                    dst_leaf < self.cfg.n_leaves,
+                    "destination leaf out of range"
+                );
                 if dst_leaf == src_leaf || self.cfg.n_leaves == 1 {
                     return self.leaves[src_leaf].transact(now, subring, kind);
                 }
@@ -257,7 +274,13 @@ mod tests {
     #[test]
     fn cross_ring_to_own_leaf_degrades_to_local() {
         let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
-        let a = h.transact(0, 0, Transit::CrossRing { dst_leaf: 0 }, 0, PacketKind::ReadData);
+        let a = h.transact(
+            0,
+            0,
+            Transit::CrossRing { dst_leaf: 0 },
+            0,
+            PacketKind::ReadData,
+        );
         let mut h2 = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
         let b = h2.transact(0, 0, Transit::Local, 0, PacketKind::ReadData);
         assert_eq!(a, b);
@@ -266,7 +289,13 @@ mod tests {
     #[test]
     fn cross_ring_books_all_three_rings() {
         let mut h = RingHierarchy::new(RingHierarchyConfig::ksr_64()).unwrap();
-        h.transact(0, 0, Transit::CrossRing { dst_leaf: 1 }, 0, PacketKind::ReadData);
+        h.transact(
+            0,
+            0,
+            Transit::CrossRing { dst_leaf: 1 },
+            0,
+            PacketKind::ReadData,
+        );
         assert_eq!(h.leaf_stats(0).packets, 1);
         assert_eq!(h.top_stats().packets, 1);
         assert_eq!(h.leaf_stats(1).packets, 1);
@@ -276,7 +305,13 @@ mod tests {
     #[test]
     fn single_level_treats_cross_as_local() {
         let mut h = RingHierarchy::new(RingHierarchyConfig::ksr1_32()).unwrap();
-        let t = h.transact(0, 3, Transit::CrossRing { dst_leaf: 0 }, 1, PacketKind::ReadData);
+        let t = h.transact(
+            0,
+            3,
+            Transit::CrossRing { dst_leaf: 0 },
+            1,
+            PacketKind::ReadData,
+        );
         assert_eq!(t.latency(0), 141);
     }
 

@@ -30,7 +30,11 @@ impl PacketKind {
     pub fn carries_data(self) -> bool {
         matches!(
             self,
-            Self::ReadData | Self::ReadExclusive | Self::GetSubPage | Self::Poststore | Self::Prefetch
+            Self::ReadData
+                | Self::ReadExclusive
+                | Self::GetSubPage
+                | Self::Poststore
+                | Self::Prefetch
         )
     }
 }

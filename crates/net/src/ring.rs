@@ -27,6 +27,7 @@
 //!   the ring protocol's fairness/forward-progress guarantee.
 
 use ksr_core::time::Cycles;
+use ksr_core::trace::{TraceEvent, Tracer};
 use ksr_core::{Error, Result};
 
 use crate::msg::PacketKind;
@@ -52,7 +53,12 @@ impl RingConfig {
     /// `ksr-mem` lands on the published 175-cycle remote access.
     #[must_use]
     pub fn ksr1_leaf() -> Self {
-        Self { stations: 34, slots: 24, subrings: 2, hop_cycles: 4 }
+        Self {
+            stations: 34,
+            slots: 24,
+            subrings: 2,
+            hop_cycles: 4,
+        }
     }
 
     /// The level-1 ring joining leaf rings: modelled with the same slot
@@ -61,7 +67,12 @@ impl RingConfig {
     /// Georgia Tech machine had), i.e. a quarter of the per-hop delay.
     #[must_use]
     pub fn ksr1_top(leaves: usize) -> Self {
-        Self { stations: leaves.max(2), slots: 24, subrings: 2, hop_cycles: 1 }
+        Self {
+            stations: leaves.max(2),
+            slots: 24,
+            subrings: 2,
+            hop_cycles: 1,
+        }
     }
 
     /// Full rotation time of the ring in cycles.
@@ -89,16 +100,20 @@ impl RingConfig {
             return Err(Error::Config("ring needs at least 2 stations".into()));
         }
         if self.subrings == 0 || self.slots == 0 || self.hop_cycles == 0 {
-            return Err(Error::Config("ring slots/subrings/hop_cycles must be non-zero".into()));
+            return Err(Error::Config(
+                "ring slots/subrings/hop_cycles must be non-zero".into(),
+            ));
         }
-        if self.slots % self.subrings != 0 {
+        if !self.slots.is_multiple_of(self.subrings) {
             return Err(Error::Config(format!(
                 "slots ({}) must divide evenly into {} sub-rings",
                 self.slots, self.subrings
             )));
         }
         if self.slots_per_subring() == 0 {
-            return Err(Error::Config("each sub-ring needs at least one slot".into()));
+            return Err(Error::Config(
+                "each sub-ring needs at least one slot".into(),
+            ));
         }
         Ok(())
     }
@@ -146,6 +161,7 @@ pub struct SlottedRing {
     /// slot frees (when the packet returns to its injection station).
     busy_until: Vec<Vec<Cycles>>,
     stats: RingStats,
+    tracer: Tracer,
 }
 
 impl SlottedRing {
@@ -156,7 +172,14 @@ impl SlottedRing {
             busy_until: vec![Vec::with_capacity(cfg.slots_per_subring()); cfg.subrings],
             cfg,
             stats: RingStats::default(),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a tracer; every slot grant emits a
+    /// [`TraceEvent::RingSlot`].
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The ring's configuration.
@@ -204,11 +227,7 @@ impl SlottedRing {
             // All slots of this sub-ring are in flight: the earliest one to
             // come home is re-used; it frees at its owner's station and
             // reaches ours after half a rotation on average.
-            let earliest = lane
-                .iter()
-                .copied()
-                .min()
-                .expect("full lane is non-empty");
+            let earliest = lane.iter().copied().min().expect("full lane is non-empty");
             // Remove the booking we are about to re-use.
             let idx = lane
                 .iter()
@@ -232,14 +251,26 @@ impl SlottedRing {
         if blocked {
             self.stats.blocked_packets += 1;
         }
-        RingTiming { injected_at, response_at, slot_wait }
+        self.tracer.emit_with(|| TraceEvent::RingSlot {
+            at: injected_at,
+            wait: slot_wait,
+            blocked,
+        });
+        RingTiming {
+            injected_at,
+            response_at,
+            slot_wait,
+        }
     }
 
     /// Slots currently in flight on a sub-ring at time `now` (for tests and
     /// diagnostics).
     #[must_use]
     pub fn in_flight(&self, subring: usize, now: Cycles) -> usize {
-        self.busy_until[subring].iter().filter(|&&t| t > now).count()
+        self.busy_until[subring]
+            .iter()
+            .filter(|&&t| t > now)
+            .count()
     }
 }
 
@@ -262,11 +293,36 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(RingConfig { stations: 1, ..RingConfig::ksr1_leaf() }.validate().is_err());
-        assert!(RingConfig { slots: 0, ..RingConfig::ksr1_leaf() }.validate().is_err());
-        assert!(RingConfig { slots: 23, ..RingConfig::ksr1_leaf() }.validate().is_err());
-        assert!(RingConfig { hop_cycles: 0, ..RingConfig::ksr1_leaf() }.validate().is_err());
-        assert!(RingConfig { subrings: 0, ..RingConfig::ksr1_leaf() }.validate().is_err());
+        assert!(RingConfig {
+            stations: 1,
+            ..RingConfig::ksr1_leaf()
+        }
+        .validate()
+        .is_err());
+        assert!(RingConfig {
+            slots: 0,
+            ..RingConfig::ksr1_leaf()
+        }
+        .validate()
+        .is_err());
+        assert!(RingConfig {
+            slots: 23,
+            ..RingConfig::ksr1_leaf()
+        }
+        .validate()
+        .is_err());
+        assert!(RingConfig {
+            hop_cycles: 0,
+            ..RingConfig::ksr1_leaf()
+        }
+        .validate()
+        .is_err());
+        assert!(RingConfig {
+            subrings: 0,
+            ..RingConfig::ksr1_leaf()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -283,12 +339,17 @@ mod tests {
         let mut r = ring();
         // 12 simultaneous transactions fill one sub-ring without blocking;
         // slot-entry waits grow with occupancy but stay below a rotation.
-        let timings: Vec<RingTiming> =
-            (0..12).map(|_| r.transact(0, 0, PacketKind::ReadData)).collect();
+        let timings: Vec<RingTiming> = (0..12)
+            .map(|_| r.transact(0, 0, PacketKind::ReadData))
+            .collect();
         let lat0 = timings[0].latency(0);
         assert_eq!(lat0, 141, "idle latency: rotation + half slot spacing");
         for t in &timings {
-            assert!(t.slot_wait < 136, "entry wait below one rotation: {}", t.slot_wait);
+            assert!(
+                t.slot_wait < 136,
+                "entry wait below one rotation: {}",
+                t.slot_wait
+            );
         }
         assert!(
             timings.windows(2).all(|w| w[1].slot_wait >= w[0].slot_wait),
@@ -306,7 +367,11 @@ mod tests {
         }
         let t = r.transact(0, 0, PacketKind::ReadData);
         // Must wait for the first slot to come home (~one rotation).
-        assert!(t.slot_wait >= 136, "wait {} should be at least a rotation", t.slot_wait);
+        assert!(
+            t.slot_wait >= 136,
+            "wait {} should be at least a rotation",
+            t.slot_wait
+        );
         assert_eq!(r.stats().blocked_packets, 1);
     }
 
@@ -357,7 +422,10 @@ mod tests {
             .unwrap();
         let rotations_needed = (200f64 / 12f64).ceil();
         let lower = (rotations_needed as u64 - 1) * 136;
-        assert!(last >= lower, "last completion {last} vs lower bound {lower}");
+        assert!(
+            last >= lower,
+            "last completion {last} vs lower bound {lower}"
+        );
         assert!(last <= (rotations_needed as u64 + 2) * 136 + 200);
     }
 

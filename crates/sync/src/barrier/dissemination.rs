@@ -27,7 +27,11 @@ pub struct DisseminationBarrier {
 impl DisseminationBarrier {
     /// Allocate for `n` processors.
     pub fn alloc(m: &mut Machine, n: usize) -> Result<Self> {
-        let rounds = if n <= 1 { 0 } else { (usize::BITS - (n - 1).leading_zeros()) as usize };
+        let rounds = if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
         let flags = FlagArray::alloc(m, rounds.max(1) * n)?;
         Ok(Self { flags, n, rounds })
     }

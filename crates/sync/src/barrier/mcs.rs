@@ -52,7 +52,10 @@ impl McsBarrier {
         use_global_flag: bool,
         arity: usize,
     ) -> Result<Self> {
-        assert!((2..=16).contains(&arity), "arity must fit one sub-page of 8-byte slots");
+        assert!(
+            (2..=16).contains(&arity),
+            "arity must fit one sub-page of 8-byte slots"
+        );
         // One 128 B sub-page per parent holding its child slots.
         let arrival_base = m.alloc(128 * n as u64, 128)?;
         Ok(Self {
@@ -152,7 +155,10 @@ mod tests {
                     .collect(),
             );
             for p in 0..9 {
-                assert!(r.proc_end[p] >= 70_000, "flag={flag} proc {p} escaped early");
+                assert!(
+                    r.proc_end[p] >= 70_000,
+                    "flag={flag} proc {p} escaped early"
+                );
             }
         }
     }

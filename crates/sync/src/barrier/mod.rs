@@ -67,7 +67,9 @@ pub(crate) struct FlagArray {
 
 impl FlagArray {
     pub(crate) fn alloc(m: &mut Machine, n: usize) -> Result<Self> {
-        Ok(Self { base: m.alloc(128 * n as u64, 128)? })
+        Ok(Self {
+            base: m.alloc(128 * n as u64, 128)?,
+        })
     }
 
     pub(crate) fn addr(&self, i: usize) -> u64 {
@@ -134,7 +136,10 @@ impl BarrierKind {
     /// §3.2.3).
     #[must_use]
     pub fn needs_coherent_caches(&self) -> bool {
-        matches!(self, Self::TreeFlag | Self::TournamentFlag | Self::McsFlag | Self::System)
+        matches!(
+            self,
+            Self::TreeFlag | Self::TournamentFlag | Self::McsFlag | Self::System
+        )
     }
 }
 
@@ -163,13 +168,9 @@ impl AnyBarrier {
             BarrierKind::Counter => Self::Counter(CounterBarrier::alloc(m, n)?),
             BarrierKind::Tree => Self::Tree(TreeBarrier::alloc(m, n, false)?),
             BarrierKind::TreeFlag => Self::Tree(TreeBarrier::alloc(m, n, true)?),
-            BarrierKind::Dissemination => {
-                Self::Dissemination(DisseminationBarrier::alloc(m, n)?)
-            }
+            BarrierKind::Dissemination => Self::Dissemination(DisseminationBarrier::alloc(m, n)?),
             BarrierKind::Tournament => Self::Tournament(TournamentBarrier::alloc(m, n, false)?),
-            BarrierKind::TournamentFlag => {
-                Self::Tournament(TournamentBarrier::alloc(m, n, true)?)
-            }
+            BarrierKind::TournamentFlag => Self::Tournament(TournamentBarrier::alloc(m, n, true)?),
             BarrierKind::Mcs => Self::Mcs(McsBarrier::alloc(m, n, false)?),
             BarrierKind::McsFlag => Self::Mcs(McsBarrier::alloc(m, n, true)?),
         })
@@ -197,6 +198,9 @@ impl BarrierAlg for AnyBarrier {
             Self::Tournament(b) => b.wait(cpu, ep),
             Self::Mcs(b) => b.wait(cpu, ep),
         }
+        // One cycle-stamped event per processor per episode (a no-op
+        // unless the machine has a tracer attached).
+        cpu.trace_barrier_episode(ep.ep);
     }
 }
 
@@ -209,7 +213,12 @@ pub(crate) mod testutil {
     /// Run `episodes` barrier episodes on `procs` processors, asserting
     /// the fundamental safety property: no processor enters episode k+1
     /// before every processor has entered episode k. Returns the report.
-    pub(crate) fn check_barrier(m: &mut Machine, b: AnyBarrier, procs: usize, episodes: usize) -> RunReport {
+    pub(crate) fn check_barrier(
+        m: &mut Machine,
+        b: AnyBarrier,
+        procs: usize,
+        episodes: usize,
+    ) -> RunReport {
         // Shared arrival counters per episode, updated with plain
         // (racy-free: distinct slots) writes.
         let marks = (0..procs)
@@ -295,7 +304,11 @@ mod tests {
 
     #[test]
     fn tree_barriers_work_at_32_procs() {
-        for kind in [BarrierKind::Tree, BarrierKind::TournamentFlag, BarrierKind::Mcs] {
+        for kind in [
+            BarrierKind::Tree,
+            BarrierKind::TournamentFlag,
+            BarrierKind::Mcs,
+        ] {
             let mut m = Machine::ksr1(35).unwrap();
             let b = AnyBarrier::alloc(kind, &mut m, 32).unwrap();
             testutil::check_barrier(&mut m, b, 32, 2);
@@ -316,7 +329,11 @@ mod tests {
 
     #[test]
     fn barriers_run_on_symmetry() {
-        for kind in [BarrierKind::Counter, BarrierKind::Mcs, BarrierKind::TournamentFlag] {
+        for kind in [
+            BarrierKind::Counter,
+            BarrierKind::Mcs,
+            BarrierKind::TournamentFlag,
+        ] {
             let mut m = Machine::symmetry(8, 39).unwrap();
             let b = AnyBarrier::alloc(kind, &mut m, 8).unwrap();
             testutil::check_barrier(&mut m, b, 8, 2);

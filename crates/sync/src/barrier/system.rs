@@ -31,7 +31,10 @@ pub struct SystemBarrier {
 impl SystemBarrier {
     /// Allocate and initialise for `n` processors.
     pub fn alloc(m: &mut Machine, n: usize) -> Result<Self> {
-        Ok(Self { inner: TreeBarrier::alloc(m, n, true)?, n })
+        Ok(Self {
+            inner: TreeBarrier::alloc(m, n, true)?,
+            n,
+        })
     }
 }
 
@@ -123,6 +126,9 @@ mod tests {
         let sys = episode(true);
         let tree = episode(false);
         assert!(sys > tree, "library overhead must show: {sys} vs {tree}");
-        assert!(sys < tree * 2, "but stay in the same family: {sys} vs {tree}");
+        assert!(
+            sys < tree * 2,
+            "but stay in the same family: {sys} vs {tree}"
+        );
     }
 }

@@ -38,7 +38,11 @@ impl TournamentBarrier {
     /// Allocate for `n` processors; `use_global_flag` selects
     /// `tournament(M)`.
     pub fn alloc(m: &mut Machine, n: usize, use_global_flag: bool) -> Result<Self> {
-        let rounds = if n <= 1 { 0 } else { (usize::BITS - (n - 1).leading_zeros()) as usize };
+        let rounds = if n <= 1 {
+            0
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
         Ok(Self {
             arrivals: FlagArray::alloc(m, rounds.max(1) * n)?,
             wakeups: FlagArray::alloc(m, n)?,
@@ -138,7 +142,10 @@ mod tests {
                     .collect(),
             );
             for p in 0..8 {
-                assert!(r.proc_end[p] >= 60_000, "flag={flag} proc {p} escaped early");
+                assert!(
+                    r.proc_end[p] >= 60_000,
+                    "flag={flag} proc {p} escaped early"
+                );
             }
         }
     }

@@ -49,7 +49,11 @@ fn width_at(n: usize, level: usize) -> usize {
 impl TreeBarrier {
     /// Allocate for `n` processors; `use_global_flag` selects `tree(M)`.
     pub fn alloc(m: &mut Machine, n: usize, use_global_flag: bool) -> Result<Self> {
-        let levels = if n <= 1 { 1 } else { (usize::BITS - (n - 1).leading_zeros()) as usize };
+        let levels = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        };
         // Flattened node grid: level l gets width_at(n, l + 1) nodes; we
         // over-allocate a rectangular grid for simplicity of addressing.
         let per_level = width_at(n, 1).max(1);
@@ -102,7 +106,7 @@ impl BarrierAlg for TreeBarrier {
             // Accumulating pairwise counter: even parity = first arrival.
             // fetch_add is the get_sub_page synthesis on the KSR and a
             // native instruction on the comparison machines.
-            let first = cpu.fetch_add(caddr, 1) % 2 == 0;
+            let first = cpu.fetch_add(caddr, 1).is_multiple_of(2);
             if first {
                 // Wait here for completion.
                 if self.use_global_flag {
@@ -181,7 +185,10 @@ mod tests {
                     .collect(),
             );
             for p in 0..6 {
-                assert!(r.proc_end[p] >= 50_000, "flag={flag} proc {p} escaped early");
+                assert!(
+                    r.proc_end[p] >= 50_000,
+                    "flag={flag} proc {p} escaped early"
+                );
             }
         }
     }

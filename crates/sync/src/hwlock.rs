@@ -22,7 +22,9 @@ pub struct HwLock {
 impl HwLock {
     /// Allocate the lock's sub-page.
     pub fn alloc(m: &mut Machine) -> Result<Self> {
-        Ok(Self { addr: m.alloc_subpage(8)? })
+        Ok(Self {
+            addr: m.alloc_subpage(8)?,
+        })
     }
 
     /// Sub-page address (diagnostics).

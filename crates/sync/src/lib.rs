@@ -21,8 +21,8 @@ pub mod hwlock;
 pub mod rwlock;
 
 pub use barrier::{
-    AnyBarrier, BarrierAlg, BarrierKind, CounterBarrier, DisseminationBarrier, Episode,
-    McsBarrier, SystemBarrier, TournamentBarrier, TreeBarrier,
+    AnyBarrier, BarrierAlg, BarrierKind, CounterBarrier, DisseminationBarrier, Episode, McsBarrier,
+    SystemBarrier, TournamentBarrier, TreeBarrier,
 };
 pub use hwlock::HwLock;
 pub use rwlock::{LockMode, SwRwLock, Ticket};

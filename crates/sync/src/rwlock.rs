@@ -116,7 +116,10 @@ impl SwRwLock {
         } else {
             let t = cpu.read_u64(self.q + NEXT);
             cpu.write_u64(self.q + NEXT, t + 1);
-            debug_assert!(t - serving < SLOTS, "more in-flight tickets than table slots");
+            debug_assert!(
+                t - serving < SLOTS,
+                "more in-flight tickets than table slots"
+            );
             cpu.write_u64(self.q + LAST_IS_READ, 1);
             cpu.write_u64(self.q + LAST_TICKET, t);
             cpu.write_u64(self.readers_addr(t), 1);
@@ -127,7 +130,10 @@ impl SwRwLock {
         if serving != ticket {
             cpu.spin_until(self.q + SERVING, move |v| v == ticket);
         }
-        Ticket { number: ticket, mode: LockMode::Read }
+        Ticket {
+            number: ticket,
+            mode: LockMode::Read,
+        }
     }
 
     fn acquire_write(&self, cpu: &mut Cpu) -> Ticket {
@@ -135,7 +141,10 @@ impl SwRwLock {
         let ticket = cpu.read_u64(self.q + NEXT);
         cpu.write_u64(self.q + NEXT, ticket + 1);
         let serving = cpu.read_u64(self.q + SERVING);
-        debug_assert!(ticket - serving < SLOTS, "more in-flight tickets than table slots");
+        debug_assert!(
+            ticket - serving < SLOTS,
+            "more in-flight tickets than table slots"
+        );
         // If the head of the queue is a fully-drained read ticket, nobody
         // is left to advance it: step over it now.
         if cpu.read_u64(self.q + LAST_IS_READ) == 1
@@ -154,7 +163,10 @@ impl SwRwLock {
         if !at_head {
             cpu.spin_until(self.q + SERVING, move |v| v == ticket);
         }
-        Ticket { number: ticket, mode: LockMode::Write }
+        Ticket {
+            number: ticket,
+            mode: LockMode::Write,
+        }
     }
 
     /// Release a previously acquired ticket.
@@ -271,7 +283,10 @@ mod tests {
             }),
         ]);
         assert_eq!(m.peek_u64(data), 2);
-        assert!(r.proc_end[2] > 30_000, "writer finished only after the long reader");
+        assert!(
+            r.proc_end[2] > 30_000,
+            "writer finished only after the long reader"
+        );
     }
 
     #[test]
@@ -305,7 +320,11 @@ mod tests {
                 lock.release(cpu, t);
             }),
         ]);
-        assert_eq!(m.peek_u64(log), 100, "writer entered before the later reader");
+        assert_eq!(
+            m.peek_u64(log),
+            100,
+            "writer entered before the later reader"
+        );
         assert_eq!(m.peek_u64(log + 8), 200);
     }
 
@@ -327,7 +346,11 @@ mod tests {
                 lock.release(cpu, t);
             }),
         ]);
-        assert_eq!(m.peek_u64(data), 1, "writer must not deadlock behind a drained ticket");
+        assert_eq!(
+            m.peek_u64(data),
+            1,
+            "writer must not deadlock behind a drained ticket"
+        );
     }
 
     #[test]

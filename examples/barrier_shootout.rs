@@ -30,7 +30,10 @@ fn episode_us(kind: BarrierKind, procs: usize, episodes: usize) -> f64 {
 }
 
 fn main() {
-    let procs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    let procs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
     assert!((2..=32).contains(&procs), "procs must be 2..=32");
     println!("barrier episode times on a 32-cell KSR-1, {procs} participating processors:\n");
     let mut rows: Vec<(f64, &str)> = BarrierKind::ALL

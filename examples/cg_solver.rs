@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             reference.x_checksum.to_bits(),
             "parallel CG must match the sequential reference bitwise"
         );
-        rows.push((procs, cycles_to_seconds(report.duration_cycles(), m.config().clock_hz)));
+        rows.push((
+            procs,
+            cycles_to_seconds(report.duration_cycles(), m.config().clock_hz),
+        ));
         println!(
             "{procs:>2} procs: {:>9.4}s simulated, ring transactions: {}",
             rows.last().unwrap().1,
@@ -49,6 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!("{}", ScalingTable::from_times(&rows).render("CG scaling (verified bitwise)"));
+    println!(
+        "{}",
+        ScalingTable::from_times(&rows).render("CG scaling (verified bitwise)")
+    );
     Ok(())
 }

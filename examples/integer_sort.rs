@@ -7,13 +7,22 @@
 
 use ksr1_repro::core::time::cycles_to_seconds;
 use ksr1_repro::machine::Machine;
-use ksr1_repro::nas::{ranks_are_valid, IsConfig, IsSetup};
 use ksr1_repro::nas::is::generate_keys;
+use ksr1_repro::nas::{ranks_are_valid, IsConfig, IsSetup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = IsConfig { keys: 1 << 14, max_key: 1 << 10, seed: 9, chunk: 128 };
+    let cfg = IsConfig {
+        keys: 1 << 14,
+        max_key: 1 << 10,
+        seed: 9,
+        chunk: 128,
+    };
     let keys = generate_keys(&cfg);
-    println!("sorting 2^{} keys over 2^{} buckets\n", cfg.keys.trailing_zeros(), cfg.max_key.trailing_zeros());
+    println!(
+        "sorting 2^{} keys over 2^{} buckets\n",
+        cfg.keys.trailing_zeros(),
+        cfg.max_key.trailing_zeros()
+    );
 
     let mut t1 = None;
     for procs in [1usize, 2, 4, 8, 16] {
@@ -21,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let setup = IsSetup::new(&mut m, cfg, procs)?;
         let report = m.run(setup.programs());
         let ranks = setup.ranks(&mut m);
-        assert!(ranks_are_valid(&keys, &ranks), "rank array must be a bucket-sorted permutation");
+        assert!(
+            ranks_are_valid(&keys, &ranks),
+            "rank array must be a bucket-sorted permutation"
+        );
         let secs = cycles_to_seconds(report.duration_cycles(), m.config().clock_hz);
         let t1v = *t1.get_or_insert(secs);
         println!(

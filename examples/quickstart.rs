@@ -45,11 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("final counter     : {}", m.peek_u64(counter));
-    println!("virtual time      : {} cycles = {:.3} ms", report.duration_cycles(), report.seconds() * 1e3);
+    println!(
+        "virtual time      : {} cycles = {:.3} ms",
+        report.duration_cycles(),
+        report.seconds() * 1e3
+    );
     let pm = m.perfmon_total();
     println!("sub-cache hits    : {}", pm.subcache_hits);
     println!("local-cache hits  : {}", pm.localcache_hits);
     println!("ring transactions : {}", pm.ring_transactions);
-    println!("mean ring latency : {:.1} cycles (published remote access: 175)", pm.mean_ring_latency());
+    println!(
+        "mean ring latency : {:.1} cycles (published remote access: 175)",
+        pm.mean_ring_latency()
+    );
     Ok(())
 }

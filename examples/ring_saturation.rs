@@ -17,8 +17,9 @@ use ksr1_repro::machine::{program, Cpu, Machine, SharedU64};
 
 fn mean_remote_latency(procs: usize) -> f64 {
     let mut m = Machine::ksr1(3).expect("machine");
-    let arrays: Vec<u64> =
-        (0..procs).map(|_| m.alloc(512 * 1024, 16384).expect("alloc")).collect();
+    let arrays: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(512 * 1024, 16384).expect("alloc"))
+        .collect();
     let results = SharedU64::alloc(&mut m, procs).expect("alloc");
     for (p, &a) in arrays.iter().enumerate() {
         m.warm((p + 1) % 32, a, 512 * 1024); // data lives at the neighbour
@@ -38,7 +39,10 @@ fn mean_remote_latency(procs: usize) -> f64 {
             })
             .collect(),
     );
-    (0..procs).map(|p| results.peek(&mut m, p) as f64).sum::<f64>() / procs as f64
+    (0..procs)
+        .map(|p| results.peek(&mut m, p) as f64)
+        .sum::<f64>()
+        / procs as f64
 }
 
 fn main() {
@@ -48,7 +52,10 @@ fn main() {
     for procs in [1usize, 4, 8, 12, 16, 20, 24, 28, 32] {
         let l = mean_remote_latency(procs);
         let bar = "#".repeat(((l - 170.0) / 4.0).max(1.0) as usize);
-        println!("{procs:>6} {l:>12.1} {:>+7.1}%  {bar}", (l / base - 1.0) * 100.0);
+        println!(
+            "{procs:>6} {l:>12.1} {:>+7.1}%  {bar}",
+            (l / base - 1.0) * 100.0
+        );
     }
     println!(
         "\npublished idle remote latency: 175 cycles; the paper observed ~+8% at a \

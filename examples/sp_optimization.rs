@@ -18,7 +18,10 @@ fn per_iter(cfg: SpConfig, procs: usize) -> f64 {
 }
 
 fn main() {
-    let procs: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let procs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     assert!((1..=32).contains(&procs), "procs must be 1..=32");
     let base = SpConfig {
         n: 16,
@@ -36,20 +39,34 @@ fn main() {
     m.run(setup.programs());
     let got = setup.solution(&mut m);
     assert!(
-        got.iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits()),
+        got.iter()
+            .zip(&reference)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
         "parallel SP must match the sequential reference bitwise"
     );
 
     println!("SP 16^3, {procs} processors — the Table 4 ladder:\n");
     let t_base = per_iter(base, procs);
-    let padded = SpConfig { layout: SpLayout::Padded, ..base };
+    let padded = SpConfig {
+        layout: SpLayout::Padded,
+        ..base
+    };
     let t_padded = per_iter(padded, procs);
-    let prefetch = SpConfig { prefetch: true, ..padded };
+    let prefetch = SpConfig {
+        prefetch: true,
+        ..padded
+    };
     let t_prefetch = per_iter(prefetch, procs);
-    let poststore = SpConfig { poststore: true, ..prefetch };
+    let poststore = SpConfig {
+        poststore: true,
+        ..prefetch
+    };
     let t_poststore = per_iter(poststore, procs);
     let row = |label: &str, t: f64| {
-        println!("  {label:<30} {t:>9.5} s/iter   {:>+6.1}% vs base", (t / t_base - 1.0) * 100.0);
+        println!(
+            "  {label:<30} {t:>9.5} s/iter   {:>+6.1}% vs base",
+            (t / t_base - 1.0) * 100.0
+        );
     };
     row("base (way-span aligned)", t_base);
     row("+ data padding/alignment", t_padded);

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo-wide gate: formatting, lints, tests, and a quick end-to-end run of
+# every registered experiment. Run from the repo root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace --release"
+cargo test --workspace --release --quiet
+
+echo "==> KSR_QUICK=1 run_all (end-to-end pipeline)"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all
+
+echo "==> all checks passed"

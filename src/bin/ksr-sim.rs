@@ -17,16 +17,18 @@ use ksr1_repro::nas::{
     cg_sequential, ranks_are_valid, CgConfig, CgSetup, EpConfig, EpSetup, IsConfig, IsSetup,
     SpConfig, SpSetup,
 };
-use ksr1_repro::sync::{
-    AnyBarrier, BarrierAlg, BarrierKind, Episode, HwLock, LockMode, SwRwLock,
-};
+use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode, HwLock, LockMode, SwRwLock};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn flag_usize(args: &[String], name: &str, default: usize) -> usize {
-    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() -> ExitCode {
@@ -70,7 +72,9 @@ fn info() {
 fn latency(args: &[String]) {
     let procs = flag_usize(args, "--procs", 1).clamp(1, 32);
     let mut m = Machine::ksr1(1).expect("machine");
-    let arrays: Vec<u64> = (0..procs).map(|_| m.alloc(1 << 20, 16384).expect("alloc")).collect();
+    let arrays: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(1 << 20, 16384).expect("alloc"))
+        .collect();
     let results = SharedU64::alloc(&mut m, 2 * procs).expect("alloc");
     for (p, &a) in arrays.iter().enumerate() {
         m.warm((p + 1) % 32, a, 1 << 20);
@@ -96,8 +100,10 @@ fn latency(args: &[String]) {
             .collect(),
     );
     let rd: u64 = (0..procs).map(|p| results.peek(&mut m, 2 * p)).sum::<u64>() / procs as u64;
-    let wr: u64 =
-        (0..procs).map(|p| results.peek(&mut m, 2 * p + 1)).sum::<u64>() / procs as u64;
+    let wr: u64 = (0..procs)
+        .map(|p| results.peek(&mut m, 2 * p + 1))
+        .sum::<u64>()
+        / procs as u64;
     println!("{procs} procs hammering remote sub-pages:");
     println!("  remote read  {rd} cycles   (published idle: 175)");
     println!("  remote write {wr} cycles");
@@ -202,7 +208,10 @@ fn lock(args: &[String]) {
 
 fn ep(args: &[String]) {
     let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
-    let cfg = EpConfig { pairs: 1 << 16, ..EpConfig::default() };
+    let cfg = EpConfig {
+        pairs: 1 << 16,
+        ..EpConfig::default()
+    };
     let mut m = Machine::ksr1(11).expect("machine");
     let setup = EpSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());
@@ -217,13 +226,24 @@ fn ep(args: &[String]) {
 
 fn cg(args: &[String]) {
     let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
-    let cfg = CgConfig { n: 700, offdiag_per_row: 72, iterations: 4, seed: 1, poststore: false, uncache_matrix: false };
+    let cfg = CgConfig {
+        n: 700,
+        offdiag_per_row: 72,
+        iterations: 4,
+        seed: 1,
+        poststore: false,
+        uncache_matrix: false,
+    };
     let reference = cg_sequential(&cfg);
     let mut m = Machine::ksr1_scaled(12, 64).expect("machine");
     let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());
     let got = setup.result(&mut m);
-    assert_eq!(got.x_checksum.to_bits(), reference.x_checksum.to_bits(), "verification failed");
+    assert_eq!(
+        got.x_checksum.to_bits(),
+        reference.x_checksum.to_bits(),
+        "verification failed"
+    );
     println!(
         "CG n={} on {procs} procs: {:.4}s, residual^2 {:.3e} (bitwise-verified)",
         cfg.n,
@@ -234,7 +254,12 @@ fn cg(args: &[String]) {
 
 fn is(args: &[String]) {
     let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
-    let cfg = IsConfig { keys: 1 << 14, max_key: 1 << 10, seed: 2, chunk: 128 };
+    let cfg = IsConfig {
+        keys: 1 << 14,
+        max_key: 1 << 10,
+        seed: 2,
+        chunk: 128,
+    };
     let keys = generate_keys(&cfg);
     let mut m = Machine::ksr1_scaled(13, 64).expect("machine");
     let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
@@ -250,7 +275,11 @@ fn is(args: &[String]) {
 
 fn sp(args: &[String]) {
     let procs = flag_usize(args, "--procs", 8).clamp(1, 32);
-    let cfg = SpConfig { n: 16, iterations: 2, ..SpConfig::default() };
+    let cfg = SpConfig {
+        n: 16,
+        iterations: 2,
+        ..SpConfig::default()
+    };
     let mut m = Machine::ksr1(14).expect("machine");
     let setup = SpSetup::new(&mut m, cfg, procs).expect("setup");
     let r = m.run(setup.programs());

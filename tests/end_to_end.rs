@@ -3,11 +3,11 @@
 //! the umbrella crate.
 
 use ksr1_repro::machine::{program, Cpu, Machine};
-use ksr1_repro::nas::{
-    cg_sequential, ep_sequential, is_sequential, ranks_are_valid, sp_sequential, CgConfig,
-    CgSetup, EpConfig, EpSetup, IsConfig, IsSetup, SpConfig, SpSetup,
-};
 use ksr1_repro::nas::is::generate_keys;
+use ksr1_repro::nas::{
+    cg_sequential, ep_sequential, is_sequential, ranks_are_valid, sp_sequential, CgConfig, CgSetup,
+    EpConfig, EpSetup, IsConfig, IsSetup, SpConfig, SpSetup,
+};
 use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode, LockMode, SwRwLock};
 
 #[test]
@@ -39,7 +39,10 @@ fn all_four_machines_run_the_same_program() {
 #[test]
 fn kernels_verify_against_references_end_to_end() {
     // EP
-    let ep_cfg = EpConfig { pairs: 2_000, ..EpConfig::default() };
+    let ep_cfg = EpConfig {
+        pairs: 2_000,
+        ..EpConfig::default()
+    };
     let ep_ref = ep_sequential(&ep_cfg);
     let mut m = Machine::ksr1(2).unwrap();
     let ep = EpSetup::new(&mut m, ep_cfg, 4).unwrap();
@@ -47,16 +50,30 @@ fn kernels_verify_against_references_end_to_end() {
     assert_eq!(ep.result(&mut m).counts, ep_ref.counts);
 
     // CG
-    let cg_cfg =
-        CgConfig { n: 96, offdiag_per_row: 6, iterations: 3, seed: 5, poststore: true, uncache_matrix: false };
+    let cg_cfg = CgConfig {
+        n: 96,
+        offdiag_per_row: 6,
+        iterations: 3,
+        seed: 5,
+        poststore: true,
+        uncache_matrix: false,
+    };
     let cg_ref = cg_sequential(&cg_cfg);
     let mut m = Machine::ksr1_scaled(3, 64).unwrap();
     let cg = CgSetup::new(&mut m, cg_cfg, 3).unwrap();
     m.run(cg.programs());
-    assert_eq!(cg.result(&mut m).x_checksum.to_bits(), cg_ref.x_checksum.to_bits());
+    assert_eq!(
+        cg.result(&mut m).x_checksum.to_bits(),
+        cg_ref.x_checksum.to_bits()
+    );
 
     // IS
-    let is_cfg = IsConfig { keys: 1_500, max_key: 128, seed: 4, chunk: 64 };
+    let is_cfg = IsConfig {
+        keys: 1_500,
+        max_key: 128,
+        seed: 4,
+        chunk: 64,
+    };
     let keys = generate_keys(&is_cfg);
     let mut m = Machine::ksr1_scaled(4, 64).unwrap();
     let is = IsSetup::new(&mut m, is_cfg, 5).unwrap();
@@ -65,13 +82,20 @@ fn kernels_verify_against_references_end_to_end() {
     assert_eq!(is_sequential(&is_cfg).len(), is_cfg.keys);
 
     // SP
-    let sp_cfg = SpConfig { n: 8, iterations: 1, ..SpConfig::default() };
+    let sp_cfg = SpConfig {
+        n: 8,
+        iterations: 1,
+        ..SpConfig::default()
+    };
     let sp_ref = sp_sequential(&sp_cfg);
     let mut m = Machine::ksr1(5).unwrap();
     let sp = SpSetup::new(&mut m, sp_cfg, 3).unwrap();
     m.run(sp.programs());
     let got = sp.solution(&mut m);
-    assert!(got.iter().zip(&sp_ref).all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert!(got
+        .iter()
+        .zip(&sp_ref)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
 }
 
 #[test]
@@ -87,8 +111,11 @@ fn whole_stack_is_deterministic() {
                     program(move |cpu: &mut Cpu| {
                         let mut ep = Episode::default();
                         for i in 0..5 {
-                            let mode =
-                                if (p + i) % 2 == 0 { LockMode::Read } else { LockMode::Write };
+                            let mode = if (p + i) % 2 == 0 {
+                                LockMode::Read
+                            } else {
+                                LockMode::Write
+                            };
                             let t = lock.acquire(cpu, mode);
                             if mode == LockMode::Write {
                                 let v = cpu.read_u64(data);
@@ -107,8 +134,14 @@ fn whole_stack_is_deterministic() {
     };
     let a = run();
     let b = run();
-    assert_eq!(a, b, "identical seeds must give identical virtual histories");
-    assert_eq!(a.2, 15, "6 procs x 5 rounds, write on (p+i) even: 15 writes");
+    assert_eq!(
+        a, b,
+        "identical seeds must give identical virtual histories"
+    );
+    assert_eq!(
+        a.2, 15,
+        "6 procs x 5 rounds, write on (p+i) even: 15 writes"
+    );
 }
 
 #[test]
@@ -138,8 +171,14 @@ fn perfmon_counters_are_consistent() {
     // Cold first-touch misses allocate locally without ring traffic, so
     // fabric packets track ring transactions (not raw misses); cross-ring
     // transactions may book several packets each.
-    assert!(fabric.packets >= pm.ring_transactions, "fabric accounting must cover transactions");
-    assert!(pm.ring_transactions > 0, "shared traffic must have used the ring");
+    assert!(
+        fabric.packets >= pm.ring_transactions,
+        "fabric accounting must cover transactions"
+    );
+    assert!(
+        pm.ring_transactions > 0,
+        "shared traffic must have used the ring"
+    );
 }
 
 #[test]
@@ -152,7 +191,10 @@ fn ksr2_is_faster_on_compute_but_not_on_ring() {
     };
     let c1 = compute_seconds(Machine::ksr1(1).unwrap());
     let c2 = compute_seconds(Machine::ksr2(1).unwrap());
-    assert!((c1 / c2 - 2.0).abs() < 0.01, "KSR-2 computes 2x faster: {c1} vs {c2}");
+    assert!(
+        (c1 / c2 - 2.0).abs() < 0.01,
+        "KSR-2 computes 2x faster: {c1} vs {c2}"
+    );
 
     let ring_seconds = |mut m: Machine| {
         let a = m.alloc(256 * 1024, 16384).unwrap();

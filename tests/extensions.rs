@@ -82,7 +82,10 @@ fn subcache_prefetch_of_remote_data_is_noop() {
         let t0 = cpu.now();
         let _ = cpu.read_u64(a);
         let latency = cpu.now() - t0;
-        assert!(latency > 100, "the read must still go out on the ring: {latency}");
+        assert!(
+            latency > 100,
+            "the read must still go out on the ring: {latency}"
+        );
     })]);
 }
 

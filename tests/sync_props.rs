@@ -1,25 +1,24 @@
-//! Property-based tests of the synchronization library: mutual exclusion,
-//! FCFS fairness, and reader/writer correctness under randomized
-//! schedules.
+//! Randomized (but fully deterministic) tests of the synchronization
+//! library: mutual exclusion, FCFS fairness, and reader/writer
+//! correctness under seeded schedules generated with the in-tree
+//! [`XorShift64`] generator.
 
+use ksr1_repro::core::XorShift64;
 use ksr1_repro::machine::{program, Cpu, Machine};
 use ksr1_repro::sync::{HwLock, LockMode, SwRwLock};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// The hardware exclusive lock never admits two holders, for any mix
-    /// of hold times and inter-arrival skews.
-    #[test]
-    fn hw_lock_mutual_exclusion(
-        holds in proptest::collection::vec(1u64..500, 2..6),
-        seed in any::<u64>(),
-    ) {
+/// The hardware exclusive lock never admits two holders, for any mix of
+/// hold times and inter-arrival skews.
+#[test]
+fn hw_lock_mutual_exclusion() {
+    for case in 0..10u64 {
+        let mut rng = XorShift64::new(0x10C4 ^ case);
+        let seed = rng.next_u64();
+        let procs = 2 + rng.next_index(4);
+        let holds: Vec<u64> = (0..procs).map(|_| 1 + rng.next_below(499)).collect();
         let mut m = Machine::ksr1(seed).unwrap();
         let lock = HwLock::alloc(&mut m).unwrap();
         let in_cs = m.alloc_subpage(8).unwrap();
-        let procs = holds.len();
         m.run(
             holds
                 .iter()
@@ -39,18 +38,25 @@ proptest! {
                 })
                 .collect(),
         );
-        prop_assert_eq!(m.peek_u64(in_cs), 0);
-        let _ = procs;
+        assert_eq!(m.peek_u64(in_cs), 0, "case {case}");
     }
+}
 
-    /// The software RW lock: writers exclusive, readers shared, nothing
-    /// lost, for any randomized mode schedule.
-    #[test]
-    fn rw_lock_invariants(
-        schedule in proptest::collection::vec(
-            proptest::collection::vec(any::<bool>(), 1..5), 2..6),
-        seed in any::<u64>(),
-    ) {
+/// The software RW lock: writers exclusive, readers shared, nothing
+/// lost, for any randomized mode schedule.
+#[test]
+fn rw_lock_invariants() {
+    for case in 0..10u64 {
+        let mut rng = XorShift64::new(0x5711 ^ (case << 4));
+        let seed = rng.next_u64();
+        let procs = 2 + rng.next_index(4);
+        let schedule: Vec<Vec<bool>> = (0..procs)
+            .map(|_| {
+                (0..1 + rng.next_index(4))
+                    .map(|_| rng.next_bool(0.5))
+                    .collect()
+            })
+            .collect();
         let mut m = Machine::ksr1(seed).unwrap();
         let lock = SwRwLock::alloc(&mut m).unwrap();
         // state: word0 = active writers, word1 = active readers,
@@ -96,14 +102,18 @@ proptest! {
                 })
                 .collect(),
         );
-        prop_assert_eq!(m.peek_u64(state), 0);
-        prop_assert_eq!(m.peek_u64(state + 8), 0);
-        prop_assert_eq!(m.peek_u64(state + 16), expected_writes, "every write accounted");
+        assert_eq!(m.peek_u64(state), 0, "case {case}");
+        assert_eq!(m.peek_u64(state + 8), 0, "case {case}");
+        assert_eq!(
+            m.peek_u64(state + 16),
+            expected_writes,
+            "every write accounted (case {case})"
+        );
     }
 }
 
-/// Deterministic FCFS check (not a proptest: it needs controlled arrival
-/// times): three writers arriving in a known order are served in it.
+/// Deterministic FCFS check (needs controlled arrival times): three
+/// writers arriving in a known order are served in it.
 #[test]
 fn sw_lock_is_fifo_for_writers() {
     let mut m = Machine::ksr1(5).unwrap();
