@@ -117,6 +117,7 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
     let neither = tournament_m(ProtocolOptions {
         read_snarfing: false,
         poststore: false,
+        ..ProtocolOptions::default()
     });
     out.line(format_args!(
         "wake-up ladder, tournament(M) @{procs}p: poststore+snarf {:.1} us; snarf only {:.1} us          ({:+.0}%); neither {:.1} us ({:+.0}%)",
@@ -225,6 +226,7 @@ mod tests {
         let neither = run(ProtocolOptions {
             read_snarfing: false,
             poststore: false,
+            ..ProtocolOptions::default()
         });
         assert!(
             neither > snarf_only,

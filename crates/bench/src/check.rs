@@ -1,0 +1,334 @@
+//! `--check` / `KSR_CHECK=1` verification mode for the experiment
+//! harness.
+//!
+//! Three passes from `ksr-verify`, all consuming the trace stream and
+//! never feeding back into virtual time (a checked run's result files
+//! are bit-identical to an unchecked run's):
+//!
+//! 1. **Coherence invariants** — a [`CheckingSink`] is attached (via the
+//!    [`ksr_machine::set_machine_observer`] hook) to *every* machine an
+//!    experiment builds, shadowing each sub-page's global state and
+//!    flagging protocol violations with the offending cycle, processor,
+//!    and a short event-window replay.
+//! 2. **Happens-before races** — the IS kernel runs under a
+//!    [`CollectingSink`] and its access stream goes through the
+//!    vector-clock [`RaceDetector`]; the properly locked kernel must be
+//!    race-free, and the detector must catch the deliberately racy
+//!    phase-6 variant (a checker self-test: failing to find the seeded
+//!    race is itself a violation).
+//! 3. **Schedule lints** — the declarative schedule of the IS kernel is
+//!    linted ([`lint_schedules`]), and a deliberately broken schedule
+//!    must produce findings (another self-test).
+//!
+//! Everything lands in `<results>/violations.json`; any violation makes
+//! the run exit non-zero, which is how `scripts/check.sh` gates CI.
+
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use ksr_core::trace::Tracer;
+use ksr_core::Json;
+use ksr_machine::{set_machine_observer, Machine, MachineObserver};
+use ksr_nas::{IsConfig, IsSetup};
+use ksr_verify::report::{lint_to_json, race_to_json, violation_to_json};
+use ksr_verify::{
+    lint_schedules, CheckingSink, CollectingSink, LintFinding, ProcSchedule, RaceDetector,
+    RaceReport, SchedOp, Violation,
+};
+
+use crate::cli::emit;
+use crate::common::{write_summary, RunOpts};
+use crate::registry::{Experiment, FnExperiment};
+
+/// A scope during which every [`Machine::new`] gets a fresh
+/// [`CheckingSink`] attached as its tracer. Dropping the session
+/// uninstalls the observer.
+struct CheckSession {
+    sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>>,
+}
+
+impl CheckSession {
+    fn install() -> Self {
+        let sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>> = Arc::default();
+        let registry = Arc::clone(&sinks);
+        let observer: Arc<MachineObserver> = Arc::new(move |m: &mut Machine| {
+            let (tracer, sink) = Tracer::attach(CheckingSink::default());
+            m.set_tracer(tracer);
+            registry
+                .lock()
+                .expect("checker registry poisoned")
+                .push(sink);
+        });
+        let _previous = set_machine_observer(Some(observer));
+        Self { sinks }
+    }
+
+    /// Number of machines observed so far (a drain high-water mark).
+    fn machines_seen(&self) -> usize {
+        self.sinks.lock().expect("checker registry poisoned").len()
+    }
+
+    /// Collect results from every sink attached since `start`:
+    /// (machines, events, violations, violations past the retention cap).
+    fn drain_from(&self, start: usize) -> (usize, u64, Vec<Violation>, u64) {
+        let sinks = self.sinks.lock().expect("checker registry poisoned");
+        let mut events = 0;
+        let mut truncated = 0;
+        let mut violations = Vec::new();
+        for sink in &sinks[start..] {
+            let s = sink.lock().expect("checking sink poisoned");
+            events += s.events_seen();
+            truncated += s.truncated();
+            violations.extend(s.violations().iter().cloned());
+        }
+        (sinks.len() - start, events, violations, truncated)
+    }
+}
+
+impl Drop for CheckSession {
+    fn drop(&mut self) {
+        let _ = set_machine_observer(None);
+    }
+}
+
+/// Run `selected` with checking enabled, then the race and lint suites;
+/// write `violations.json`; exit non-zero on any violation.
+pub fn run_checked(selected: &[&FnExperiment], opts: &RunOpts) -> ExitCode {
+    let session = CheckSession::install();
+    let mut outputs = Vec::new();
+    let mut coherence_entries = Vec::new();
+    let mut coherence_violations: u64 = 0;
+    for exp in selected {
+        let mark = session.machines_seen();
+        outputs.push(emit(exp, opts));
+        let (machines, events, violations, truncated) = session.drain_from(mark);
+        coherence_violations += violations.len() as u64 + truncated;
+        eprintln!(
+            "[check: {}: {machines} machine(s), {events} coherence event(s), {} violation(s)]",
+            exp.id(),
+            violations.len() as u64 + truncated,
+        );
+        coherence_entries.push(Json::obj([
+            ("id", Json::from(exp.id())),
+            ("machines", Json::from(machines)),
+            ("events", Json::from(events)),
+            ("truncated", Json::from(truncated)),
+            (
+                "violations",
+                Json::arr(violations.iter().map(violation_to_json)),
+            ),
+        ]));
+    }
+    // The race/lint suites attach their own sinks; stop shadowing first.
+    drop(session);
+
+    match write_summary(&outputs, opts) {
+        Ok(path) => eprintln!("[summary: {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write summary: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let (race_json, races_clean) = race_suite(opts);
+    let (lint_json, lints_clean) = lint_suite();
+
+    let clean = coherence_violations == 0 && races_clean && lints_clean;
+    let doc = Json::obj([
+        ("quick", Json::from(opts.quick)),
+        ("seed", Json::from(opts.seed)),
+        ("clean", Json::from(clean)),
+        (
+            "coherence",
+            Json::obj([
+                ("total_violations", Json::from(coherence_violations)),
+                ("experiments", Json::Arr(coherence_entries)),
+            ]),
+        ),
+        ("races", race_json),
+        ("lints", lint_json),
+    ]);
+    let path = opts.results_dir.join("violations.json");
+    if let Err(e) = std::fs::create_dir_all(&opts.results_dir)
+        .and_then(|()| std::fs::write(&path, doc.render_pretty()))
+    {
+        eprintln!("error: could not write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[violations: {}]", path.display());
+    if clean {
+        eprintln!("[check: PASS — no coherence violations, no races, no lint findings]");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "[check: FAIL — {coherence_violations} coherence violation(s), races clean: \
+             {races_clean}, lints clean: {lints_clean}]"
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// IS configuration for the verification suites: small enough to run on
+/// every `--check` invocation, large enough that phase 6 overlaps across
+/// processors.
+fn suite_is_config() -> (IsConfig, usize) {
+    (
+        IsConfig {
+            keys: 1 << 12,
+            max_key: 256,
+            seed: 19_930_401,
+            chunk: 64,
+        },
+        4,
+    )
+}
+
+/// Run IS under a collecting tracer and analyze its access stream.
+fn is_races(opts: &RunOpts, racy: bool) -> Vec<RaceReport> {
+    let (cfg, procs) = suite_is_config();
+    let mut m = Machine::ksr1_scaled(opts.machine_seed(50), 64).expect("machine");
+    let (tracer, sink) = Tracer::attach(CollectingSink::new());
+    m.set_tracer(tracer);
+    let setup = IsSetup::new(&mut m, cfg, procs).expect("IS setup");
+    m.run(if racy {
+        setup.programs_racy_phase6()
+    } else {
+        setup.programs()
+    });
+    let events = sink.lock().expect("collector poisoned").take();
+    RaceDetector::new(procs).analyze(&events)
+}
+
+/// The race pass: the locked IS kernel must be race-free, and the
+/// deliberately racy phase-6 variant must be caught (with at least one
+/// cross-processor pair involving a write).
+fn race_suite(opts: &RunOpts) -> (Json, bool) {
+    let clean_reports = is_races(opts, false);
+    let racy_reports = is_races(opts, true);
+    let clean_is_clean = clean_reports.is_empty();
+    let seeded_race_caught = racy_reports
+        .iter()
+        .any(|r| r.first.cell != r.second.cell && (r.first.write || r.second.write));
+    eprintln!(
+        "[check: races: locked IS {} ({} report(s)); racy IS self-test {} ({} report(s))]",
+        if clean_is_clean { "clean" } else { "RACY" },
+        clean_reports.len(),
+        if seeded_race_caught {
+            "caught"
+        } else {
+            "MISSED"
+        },
+        racy_reports.len(),
+    );
+    let json = Json::obj([
+        (
+            "clean_is_reports",
+            Json::arr(clean_reports.iter().map(race_to_json)),
+        ),
+        (
+            "racy_is_selfcheck",
+            Json::obj([
+                ("seeded_race_caught", Json::from(seeded_race_caught)),
+                ("reports", Json::arr(racy_reports.iter().map(race_to_json))),
+            ]),
+        ),
+    ]);
+    (json, clean_is_clean && seeded_race_caught)
+}
+
+/// The declarative schedule of the IS kernel (Figure 9): six barrier
+/// waits separating the phases, and phase 6's per-chunk lock/
+/// update/unlock loop. This is what the schedule linter sees.
+fn is_schedules(procs: usize, n_chunks: usize) -> Vec<ProcSchedule> {
+    (0..procs)
+        .map(|p| {
+            let mut ops = Vec::new();
+            let barrier = SchedOp::Barrier {
+                id: 0,
+                arity: procs,
+            };
+            // Phases 1–5 end in barrier waits (the data accesses are
+            // untyped at this level; the linter checks sync shape).
+            for _ in 0..5 {
+                ops.push(barrier);
+            }
+            // Phase 6: rotate over every chunk under its lock.
+            for s in 0..n_chunks {
+                let c = ((p * n_chunks / procs) + s) % n_chunks;
+                ops.push(SchedOp::Acquire { lock: c as u64 });
+                ops.push(SchedOp::Write { subpage: c as u64 });
+                ops.push(SchedOp::Release { lock: c as u64 });
+            }
+            ops.push(barrier);
+            ProcSchedule::new(p, ops)
+        })
+        .collect()
+}
+
+/// A deliberately broken schedule set for the lint self-test: mismatched
+/// barrier arity, an unreleased lock, and a useless prefetch.
+fn broken_schedules() -> Vec<ProcSchedule> {
+    vec![
+        ProcSchedule::new(
+            0,
+            vec![
+                SchedOp::Prefetch { subpage: 40 },
+                SchedOp::Acquire { lock: 1 },
+                SchedOp::Barrier { id: 9, arity: 2 },
+            ],
+        ),
+        ProcSchedule::new(1, vec![SchedOp::Barrier { id: 9, arity: 3 }]),
+    ]
+}
+
+/// The lint pass: the real IS schedule must lint clean, and the broken
+/// fixture must produce findings.
+fn lint_suite() -> (Json, bool) {
+    let (cfg, procs) = suite_is_config();
+    let findings = lint_schedules(&is_schedules(procs, cfg.max_key / cfg.chunk));
+    let self_test = lint_schedules(&broken_schedules());
+    let schedules_clean = findings.is_empty();
+    let self_test_fires = !self_test.is_empty();
+    eprintln!(
+        "[check: lints: IS schedule {} ({} finding(s)); broken-schedule self-test {}]",
+        if schedules_clean { "clean" } else { "DIRTY" },
+        findings.len(),
+        if self_test_fires { "caught" } else { "MISSED" },
+    );
+    let to_arr = |fs: &[LintFinding]| Json::arr(fs.iter().map(lint_to_json));
+    let json = Json::obj([
+        ("is_schedule_findings", to_arr(&findings)),
+        (
+            "broken_schedule_selfcheck",
+            Json::obj([
+                ("findings_expected", Json::from(true)),
+                ("findings", to_arr(&self_test)),
+            ]),
+        ),
+    ]);
+    (json, schedules_clean && self_test_fires)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_schedule_lints_clean_and_broken_fixture_fires() {
+        assert!(lint_schedules(&is_schedules(4, 4)).is_empty());
+        let findings = lint_schedules(&broken_schedules());
+        assert!(findings.len() >= 3, "{findings:?}");
+    }
+
+    #[test]
+    fn check_session_attaches_a_sink_per_machine() {
+        let session = CheckSession::install();
+        let before = session.machines_seen();
+        let _m = Machine::ksr1_scaled(1, 64).expect("machine");
+        let _m2 = Machine::ksr1_scaled(2, 64).expect("machine");
+        assert_eq!(session.machines_seen(), before + 2);
+        let (machines, _, violations, truncated) = session.drain_from(before);
+        assert_eq!(machines, 2);
+        assert!(violations.is_empty() && truncated == 0);
+    }
+}

@@ -6,7 +6,11 @@
 //!
 //! * `--quick` / `--full` — force reduced or full sweeps;
 //! * `--seed N` — perturb every machine seed;
-//! * `--results DIR` — where result files go.
+//! * `--results DIR` — where result files go;
+//! * `--check` — verification mode (`KSR_CHECK=1`): every machine gets a
+//!   `ksr-verify` coherence-checking sink, the race-detector and
+//!   schedule-lint suites run afterwards, and `violations.json` lands
+//!   next to the results (non-zero exit on any violation).
 //!
 //! `run_all` additionally understands `--list` (print the registry and
 //! exit) and `--only ID[,ID...]` (run a subset).
@@ -40,6 +44,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         match arg.as_str() {
             "--quick" => cli.opts.quick = true,
             "--full" => cli.opts.quick = false,
+            "--check" => cli.opts.check = true,
             "--list" => cli.list = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -66,10 +71,20 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
 
 fn usage(program: &str) -> String {
     format!(
-        "usage: {program} [--quick|--full] [--seed N] [--results DIR] [--list] [--only ID,ID...]\n\
+        "usage: {program} [--quick|--full] [--check] [--seed N] [--results DIR] [--list] \
+         [--only ID,ID...]\n\
          ids: {}",
         crate::registry::ids().join(", ")
     )
+}
+
+/// Print the full registry (id + title per line) to stderr — shown when
+/// a selection names an unknown experiment.
+fn print_registry_to_stderr() {
+    eprintln!("registered experiments:");
+    for e in REGISTRY {
+        eprintln!("  {:<8} {}", e.id(), e.title());
+    }
 }
 
 /// Run one experiment and persist its artifacts; prints the rendering.
@@ -107,13 +122,17 @@ pub fn run_all_main() -> ExitCode {
             match find(id) {
                 Some(e) => sel.push(e),
                 None => {
-                    eprintln!("error: unknown experiment id {id}\n{}", usage("run_all"));
+                    eprintln!("error: unknown experiment id {id}");
+                    print_registry_to_stderr();
                     return ExitCode::from(2);
                 }
             }
         }
         sel
     };
+    if cli.opts.check {
+        return crate::check::run_checked(&selected, &cli.opts);
+    }
     let outputs: Vec<ExperimentOutput> = selected.iter().map(|e| emit(e, &cli.opts)).collect();
     match write_summary(&outputs, &cli.opts) {
         Ok(path) => eprintln!("[summary: {}]", path.display()),
@@ -143,7 +162,16 @@ pub fn run_single_main(id: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let exp = find(id).unwrap_or_else(|| panic!("binary wired to unregistered id {id}"));
+    let Some(exp) = find(id) else {
+        // A build/registry mismatch, not a user error: say which binary
+        // is mis-wired and what actually exists, then fail cleanly.
+        eprintln!("error: this binary is wired to unregistered experiment id {id}");
+        print_registry_to_stderr();
+        return ExitCode::FAILURE;
+    };
+    if cli.opts.check {
+        return crate::check::run_checked(&[exp], &cli.opts);
+    }
     emit(exp, &cli.opts);
     ExitCode::SUCCESS
 }

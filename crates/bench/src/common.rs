@@ -24,6 +24,12 @@ pub struct RunOpts {
     /// Directory result files are written under (`KSR_RESULTS`,
     /// default `results/`).
     pub results_dir: PathBuf,
+    /// Verification mode (`KSR_CHECK=1` or `--check`): attach a
+    /// `ksr-verify` coherence-checking sink to every machine built, run
+    /// the race-detector and schedule-lint suites afterwards, and write
+    /// `violations.json`. Checking observes the trace only — cycle
+    /// counts and result files are bit-identical with it on or off.
+    pub check: bool,
 }
 
 impl Default for RunOpts {
@@ -32,13 +38,14 @@ impl Default for RunOpts {
             quick: false,
             seed: 0,
             results_dir: PathBuf::from("results"),
+            check: false,
         }
     }
 }
 
 impl RunOpts {
     /// Options taken entirely from the environment: `KSR_QUICK`,
-    /// `KSR_SEED`, `KSR_RESULTS`.
+    /// `KSR_SEED`, `KSR_RESULTS`, `KSR_CHECK`.
     #[must_use]
     pub fn from_env() -> Self {
         let seed = std::env::var("KSR_SEED")
@@ -49,6 +56,7 @@ impl RunOpts {
             quick: quick_mode(),
             seed,
             results_dir: results_dir(),
+            check: check_mode(),
         }
     }
 
@@ -273,6 +281,13 @@ pub fn quick_mode() -> bool {
     std::env::var_os("KSR_QUICK").is_some_and(|v| v != "0")
 }
 
+/// Whether verification mode is active (see [`RunOpts::check`]). Set
+/// with `KSR_CHECK=1`.
+#[must_use]
+pub fn check_mode() -> bool {
+    std::env::var_os("KSR_CHECK").is_some_and(|v| v != "0")
+}
+
 /// Default results directory: `results/` under the workspace root (or the
 /// current directory when run elsewhere).
 #[must_use]
@@ -347,6 +362,7 @@ mod tests {
             quick: true,
             seed: 7,
             results_dir: dir.clone(),
+            ..RunOpts::default()
         };
         let outs = [
             ExperimentOutput::new("A1", "a"),

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod check;
 pub mod cli;
 pub mod common;
 pub mod ep_scaling;

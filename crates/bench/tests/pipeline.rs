@@ -19,6 +19,7 @@ fn summary_names_every_registered_experiment() {
         quick: true,
         seed: 0,
         results_dir: dir.clone(),
+        ..RunOpts::default()
     };
     // Summary metadata comes from the outputs' id/title fields, which the
     // registry provides without running the (slow) sweeps.
@@ -48,6 +49,7 @@ fn quick_run_writes_typed_json_results() {
         quick: true,
         seed: 0,
         results_dir: dir.clone(),
+        ..RunOpts::default()
     };
     let exp = find("SEC31A").expect("registered");
     let out = exp.run(&opts);

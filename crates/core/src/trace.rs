@@ -131,6 +131,64 @@ pub enum TraceEvent {
         /// The sub-page whose release/update woke it.
         subpage: u64,
     },
+    /// A program-level shared-memory load committed.
+    DataRead {
+        /// When the load's value became architecturally visible.
+        at: Cycles,
+        /// The loading processor.
+        cell: usize,
+        /// The loaded address.
+        addr: u64,
+    },
+    /// A program-level shared-memory store committed.
+    DataWrite {
+        /// When the store became architecturally visible.
+        at: Cycles,
+        /// The storing processor.
+        cell: usize,
+        /// The stored address.
+        addr: u64,
+    },
+    /// A fast-forwarded spin loop observed a value satisfying its
+    /// predicate — the acquire side of a flag/lock handoff.
+    SpinRead {
+        /// When the satisfying load committed.
+        at: Cycles,
+        /// The spinning processor.
+        cell: usize,
+        /// The spun-on address.
+        addr: u64,
+    },
+    /// A cell took atomic ownership of a sub-page: a successful
+    /// `get_sub_page`, or the acquire half of a native atomic RMW.
+    SyncAcquire {
+        /// When ownership was granted.
+        at: Cycles,
+        /// The acquiring processor.
+        cell: usize,
+        /// The acquired sub-page.
+        subpage: u64,
+        /// True for the acquire half of a native atomic RMW (one fabric
+        /// transaction, no `Atomic` directory state); false for a real
+        /// `get_sub_page`.
+        rmw: bool,
+    },
+    /// A cell gave up atomic ownership of a sub-page:
+    /// `release_sub_page`, or the release half of a native atomic RMW.
+    /// A real release is stamped at the moment it was *issued* (while
+    /// the holder still owns the sub-page), so checkers can validate the
+    /// release-only-from-Atomic invariant.
+    SyncRelease {
+        /// When the release was issued.
+        at: Cycles,
+        /// The releasing processor.
+        cell: usize,
+        /// The released sub-page.
+        subpage: u64,
+        /// True for the release half of a native atomic RMW; false for a
+        /// real `release_sub_page`.
+        rmw: bool,
+    },
 }
 
 impl TraceEvent {
@@ -144,7 +202,12 @@ impl TraceEvent {
             | Self::Invalidation { at, .. }
             | Self::AtomicRejection { at, .. }
             | Self::BarrierEpisode { at, .. }
-            | Self::LockHandoff { at, .. } => at,
+            | Self::LockHandoff { at, .. }
+            | Self::DataRead { at, .. }
+            | Self::DataWrite { at, .. }
+            | Self::SpinRead { at, .. }
+            | Self::SyncAcquire { at, .. }
+            | Self::SyncRelease { at, .. } => at,
         }
     }
 
@@ -159,6 +222,11 @@ impl TraceEvent {
             Self::AtomicRejection { .. } => TraceKind::AtomicRejection,
             Self::BarrierEpisode { .. } => TraceKind::BarrierEpisode,
             Self::LockHandoff { .. } => TraceKind::LockHandoff,
+            Self::DataRead { .. } => TraceKind::DataRead,
+            Self::DataWrite { .. } => TraceKind::DataWrite,
+            Self::SpinRead { .. } => TraceKind::SpinRead,
+            Self::SyncAcquire { .. } => TraceKind::SyncAcquire,
+            Self::SyncRelease { .. } => TraceKind::SyncRelease,
         }
     }
 }
@@ -180,11 +248,21 @@ pub enum TraceKind {
     BarrierEpisode,
     /// Lock/flag handoff wake-up.
     LockHandoff,
+    /// Program-level load commit.
+    DataRead,
+    /// Program-level store commit.
+    DataWrite,
+    /// Spin-loop satisfying load.
+    SpinRead,
+    /// Atomic sub-page ownership acquired.
+    SyncAcquire,
+    /// Atomic sub-page ownership released.
+    SyncRelease,
 }
 
 impl TraceKind {
     /// Every kind, in declaration order.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 12] = [
         Self::RingSlot,
         Self::Coherence,
         Self::Snarf,
@@ -192,6 +270,11 @@ impl TraceKind {
         Self::AtomicRejection,
         Self::BarrierEpisode,
         Self::LockHandoff,
+        Self::DataRead,
+        Self::DataWrite,
+        Self::SpinRead,
+        Self::SyncAcquire,
+        Self::SyncRelease,
     ];
 
     /// Stable snake_case label (used in JSON results).
@@ -205,6 +288,11 @@ impl TraceKind {
             Self::AtomicRejection => "atomic_rejection",
             Self::BarrierEpisode => "barrier_episode",
             Self::LockHandoff => "lock_handoff",
+            Self::DataRead => "data_read",
+            Self::DataWrite => "data_write",
+            Self::SpinRead => "spin_read",
+            Self::SyncAcquire => "sync_acquire",
+            Self::SyncRelease => "sync_release",
         }
     }
 
@@ -217,6 +305,11 @@ impl TraceKind {
             Self::AtomicRejection => 4,
             Self::BarrierEpisode => 5,
             Self::LockHandoff => 6,
+            Self::DataRead => 7,
+            Self::DataWrite => 8,
+            Self::SpinRead => 9,
+            Self::SyncAcquire => 10,
+            Self::SyncRelease => 11,
         }
     }
 }
@@ -454,7 +547,135 @@ mod tests {
         assert_eq!(e.at(), 99);
         assert_eq!(e.kind(), TraceKind::LockHandoff);
         assert_eq!(e.kind().label(), "lock_handoff");
-        assert_eq!(TraceKind::ALL.len(), 7);
+        assert_eq!(TraceKind::ALL.len(), 12);
         assert_eq!(TraceState::Atomic.label(), "atomic");
+    }
+
+    /// One event of every kind, with distinguishable `at` stamps.
+    fn one_of_each(base: Cycles) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RingSlot {
+                at: base,
+                wait: 1,
+                blocked: false,
+            },
+            TraceEvent::Coherence {
+                at: base + 1,
+                cell: 0,
+                subpage: 4,
+                from: TraceState::Missing,
+                to: TraceState::Exclusive,
+            },
+            TraceEvent::Snarf {
+                at: base + 2,
+                cell: 1,
+                subpage: 4,
+            },
+            TraceEvent::Invalidation {
+                at: base + 3,
+                cell: 1,
+                subpage: 4,
+            },
+            TraceEvent::AtomicRejection {
+                at: base + 4,
+                cell: 2,
+                subpage: 4,
+            },
+            TraceEvent::BarrierEpisode {
+                at: base + 5,
+                cell: 0,
+                episode: 1,
+            },
+            TraceEvent::LockHandoff {
+                at: base + 6,
+                cell: 1,
+                subpage: 4,
+            },
+            TraceEvent::DataRead {
+                at: base + 7,
+                cell: 0,
+                addr: 512,
+            },
+            TraceEvent::DataWrite {
+                at: base + 8,
+                cell: 0,
+                addr: 512,
+            },
+            TraceEvent::SpinRead {
+                at: base + 9,
+                cell: 1,
+                addr: 640,
+            },
+            TraceEvent::SyncAcquire {
+                at: base + 10,
+                cell: 2,
+                subpage: 5,
+                rmw: false,
+            },
+            TraceEvent::SyncRelease {
+                at: base + 11,
+                cell: 2,
+                subpage: 5,
+                rmw: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn kind_index_matches_declaration_order() {
+        for (i, kind) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i, "{} out of order", kind.label());
+        }
+        let events = one_of_each(0);
+        assert_eq!(events.len(), TraceKind::ALL.len());
+        for (event, kind) in events.iter().zip(TraceKind::ALL) {
+            assert_eq!(event.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn counting_sink_totals_cover_every_kind() {
+        let (t, counts) = Tracer::counting();
+        // Emit each kind a distinct number of times: kind i fires i+1
+        // times, so any cross-kind misattribution shows up as a wrong
+        // per-kind total.
+        for (i, event) in one_of_each(100).into_iter().enumerate() {
+            for _ in 0..=i {
+                t.emit_with(|| event);
+            }
+        }
+        let c = counts.lock().unwrap();
+        for (i, kind) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(c.count(*kind), (i + 1) as u64, "kind {}", kind.label());
+        }
+        let n = TraceKind::ALL.len() as u64;
+        assert_eq!(c.total(), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn ring_buffer_wraparound_preserves_arrival_order() {
+        let mut sink = RingBufferSink::new(4);
+        // 11 events across several wraps of a capacity-4 buffer.
+        for at in 0..11 {
+            sink.record(&ev(at));
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 7);
+        let ats: Vec<Cycles> = sink.events().map(TraceEvent::at).collect();
+        assert_eq!(ats, vec![7, 8, 9, 10], "oldest-first order after wrap");
+        // One more event pushes out exactly the oldest survivor.
+        sink.record(&ev(11));
+        let ats: Vec<Cycles> = sink.events().map(TraceEvent::at).collect();
+        assert_eq!(ats, vec![8, 9, 10, 11]);
+        assert_eq!(sink.dropped(), 8);
+    }
+
+    #[test]
+    fn ring_buffer_capacity_floor_is_one() {
+        let mut sink = RingBufferSink::new(0);
+        sink.record(&ev(1));
+        sink.record(&ev(2));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events().next().map(TraceEvent::at), Some(2));
     }
 }

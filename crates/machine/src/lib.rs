@@ -38,7 +38,7 @@ pub use arrays::{SharedF64, SharedU64};
 pub use config::{InterruptConfig, MachineConfig, MachineKind};
 pub use cpu::Cpu;
 pub use heap::Heap;
-pub use machine::Machine;
+pub use machine::{set_machine_observer, Machine, MachineObserver};
 pub use program::{program, Program};
 pub use report::RunReport;
 pub use snapshot::PerfSnapshot;

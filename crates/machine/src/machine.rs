@@ -21,6 +21,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, Tracer};
@@ -41,6 +42,25 @@ enum ProcState {
     Waiting,
     Parked,
     Done,
+}
+
+/// A hook invoked on every freshly built [`Machine`] (see
+/// [`set_machine_observer`]).
+pub type MachineObserver = dyn Fn(&mut Machine) + Send + Sync;
+
+static OBSERVER: Mutex<Option<Arc<MachineObserver>>> = Mutex::new(None);
+
+/// Install (or, with `None`, clear) a process-global hook invoked on
+/// every [`Machine`] the moment it is constructed. Verification
+/// harnesses use this to attach checking sinks to machines built deep
+/// inside experiment code they do not control; the hook runs before the
+/// machine executes anything, so an attached sink observes the complete
+/// event stream. The previous hook (if any) is returned.
+pub fn set_machine_observer(
+    observer: Option<Arc<MachineObserver>>,
+) -> Option<Arc<MachineObserver>> {
+    let mut slot = OBSERVER.lock().expect("machine observer poisoned");
+    std::mem::replace(&mut *slot, observer)
 }
 
 /// A simulated multiprocessor.
@@ -65,13 +85,20 @@ impl Machine {
             cfg.seed,
             cfg.protocol,
         )?;
-        Ok(Self {
+        let mut machine = Self {
             cfg,
             mem,
             heap: Heap::new(),
             epoch: 0,
             tracer: Tracer::disabled(),
-        })
+        };
+        // Clone the hook out before invoking it so a hook that builds
+        // another machine cannot deadlock on the registry lock.
+        let observer = OBSERVER.lock().expect("machine observer poisoned").clone();
+        if let Some(observer) = observer {
+            observer(&mut machine);
+        }
+        Ok(machine)
     }
 
     /// Attach a tracer to every instrumented layer of this machine: the
@@ -357,6 +384,11 @@ fn coordinate(
             Request::Read { addr } => match mem.access(p, addr, MemOp::Read, t) {
                 Outcome::Done { done_at } => {
                     let value = mem.data_mut().read_u64(addr).expect("read");
+                    tracer.emit_with(|| TraceEvent::DataRead {
+                        at: done_at,
+                        cell: p,
+                        addr,
+                    });
                     reply!(p, Reply::Value { value, at: done_at });
                 }
                 Outcome::BlockedOnAtomic { subpage } => {
@@ -367,6 +399,11 @@ fn coordinate(
             Request::Write { addr, value } => match mem.access(p, addr, MemOp::Write, t) {
                 Outcome::Done { done_at } => {
                     mem.data_mut().write_u64(addr, value).expect("write");
+                    tracer.emit_with(|| TraceEvent::DataWrite {
+                        at: done_at,
+                        cell: p,
+                        addr,
+                    });
                     reply!(p, Reply::Unit { at: done_at });
                 }
                 Outcome::BlockedOnAtomic { subpage } => {
@@ -375,13 +412,21 @@ fn coordinate(
                 Outcome::AtomicFailed { .. } => unreachable!("writes cannot fail atomically"),
             },
             Request::GetSubPage { addr } => match mem.access(p, addr, MemOp::GetSubPage, t) {
-                Outcome::Done { done_at } => reply!(
-                    p,
-                    Reply::Flag {
-                        ok: true,
-                        at: done_at
-                    }
-                ),
+                Outcome::Done { done_at } => {
+                    tracer.emit_with(|| TraceEvent::SyncAcquire {
+                        at: done_at,
+                        cell: p,
+                        subpage: ksr_mem::subpage_of(addr),
+                        rmw: false,
+                    });
+                    reply!(
+                        p,
+                        Reply::Flag {
+                            ok: true,
+                            at: done_at
+                        }
+                    );
+                }
                 Outcome::AtomicFailed { done_at } => {
                     reply!(
                         p,
@@ -401,6 +446,22 @@ fn coordinate(
                     mem.data_mut()
                         .write_u64(addr, old.wrapping_add(delta))
                         .expect("rmw");
+                    // A native RMW is one indivisible acquire+release on
+                    // its sub-page: race detectors get a synchronization
+                    // edge without any `Atomic` directory state existing.
+                    let sp = ksr_mem::subpage_of(addr);
+                    tracer.emit_with(|| TraceEvent::SyncAcquire {
+                        at: done_at,
+                        cell: p,
+                        subpage: sp,
+                        rmw: true,
+                    });
+                    tracer.emit_with(|| TraceEvent::SyncRelease {
+                        at: done_at,
+                        cell: p,
+                        subpage: sp,
+                        rmw: true,
+                    });
                     reply!(
                         p,
                         Reply::Value {
@@ -415,6 +476,15 @@ fn coordinate(
                 Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
             },
             Request::ReleaseSubPage { addr } => {
+                // Stamped at issue time, before the memory system applies
+                // the transition: the holder must still be `Atomic` here,
+                // which is exactly what a checking sink verifies.
+                tracer.emit_with(|| TraceEvent::SyncRelease {
+                    at: t,
+                    cell: p,
+                    subpage: ksr_mem::subpage_of(addr),
+                    rmw: false,
+                });
                 let done_at = mem.access(p, addr, MemOp::ReleaseSubPage, t).done_at();
                 reply!(p, Reply::Unit { at: done_at });
             }
@@ -436,6 +506,11 @@ fn coordinate(
                 Outcome::Done { done_at } => {
                     let value = mem.data_mut().read_u64(addr).expect("spin read");
                     if pred(value) {
+                        tracer.emit_with(|| TraceEvent::SpinRead {
+                            at: done_at,
+                            cell: p,
+                            addr,
+                        });
                         reply!(p, Reply::Value { value, at: done_at });
                     } else {
                         let sp = ksr_mem::subpage_of(addr);

@@ -7,7 +7,7 @@
 //! (snarfing/poststore refill eligibility) and what a page eviction
 //! destroys.
 
-use ksr_core::XorShift64;
+use ksr_core::{Error, Result, XorShift64};
 
 use crate::geometry::{page_of, MemGeometry};
 
@@ -72,15 +72,29 @@ impl LocalCache {
     /// cannot be silently dropped).
     ///
     /// # Panics
-    /// Panics if the set is full and *no* way is evictable: 16 pinned pages
-    /// in one set means the simulated program holds more sub-page locks
-    /// than the hardware could.
+    /// Panics where [`Self::try_ensure_page_with`] reports an error: the
+    /// set is full and *no* way is evictable, meaning the simulated
+    /// program holds more sub-page locks than the hardware could.
     pub fn ensure_page_with(&mut self, addr: u64, evictable: impl Fn(u64) -> bool) -> PageAlloc {
+        self.try_ensure_page_with(addr, evictable)
+            .unwrap_or_else(|e| {
+                panic!("replacement invariant (every full set keeps one evictable way) broken: {e}")
+            })
+    }
+
+    /// Fallible form of [`Self::ensure_page_with`]: returns a typed
+    /// [`Error::Protocol`] instead of panicking when every way of the
+    /// target set is pinned by an atomic sub-page.
+    pub fn try_ensure_page_with(
+        &mut self,
+        addr: u64,
+        evictable: impl Fn(u64) -> bool,
+    ) -> Result<PageAlloc> {
         let page = page_of(addr);
         let set = self.set_of(page);
         let lane = set * self.ways;
         if self.tags[lane..lane + self.ways].contains(&page) {
-            return PageAlloc::AlreadyPresent;
+            return Ok(PageAlloc::AlreadyPresent);
         }
         let way = match self.tags[lane..lane + self.ways]
             .iter()
@@ -92,18 +106,20 @@ impl LocalCache {
                 let candidates: Vec<usize> = (0..self.ways)
                     .filter(|&i| evictable(self.tags[lane + i]))
                     .collect();
-                assert!(
-                    !candidates.is_empty(),
-                    "all {} ways of local-cache set {set} are pinned by atomic sub-pages",
-                    self.ways
-                );
+                if candidates.is_empty() {
+                    return Err(Error::Protocol(format!(
+                        "all {} ways of local-cache set {set} are pinned by \
+                         atomic sub-pages",
+                        self.ways
+                    )));
+                }
                 candidates[self.rng.next_index(candidates.len())]
             }
         };
         let ways = &mut self.tags[lane..lane + self.ways];
         let evicted = (ways[way] != EMPTY_TAG).then_some(ways[way]);
         ways[way] = page;
-        PageAlloc::Allocated { evicted }
+        Ok(PageAlloc::Allocated { evicted })
     }
 
     /// Drop a page frame (used when the protocol migrates the last copy
@@ -219,6 +235,24 @@ mod tests {
             c.ensure_page(i * sets * PAGE_BYTES);
         }
         let _ = c.ensure_page_with(16 * sets * PAGE_BYTES, |_| false);
+    }
+
+    #[test]
+    fn all_ways_pinned_is_a_typed_error() {
+        let mut c = cache();
+        let sets = MemGeometry::ksr1().localcache_sets() as u64;
+        for i in 0..16u64 {
+            c.ensure_page(i * sets * PAGE_BYTES);
+        }
+        let err = c
+            .try_ensure_page_with(16 * sets * PAGE_BYTES, |_| false)
+            .unwrap_err();
+        assert!(matches!(err, Error::Protocol(_)), "{err:?}");
+        // An evictable way keeps the fallible path identical to the
+        // panicking one.
+        assert!(c
+            .try_ensure_page_with(16 * sets * PAGE_BYTES, |_| true)
+            .is_ok());
     }
 
     #[test]

@@ -103,12 +103,26 @@ impl Outcome {
     /// Completion time of a finished (or failed) operation.
     ///
     /// # Panics
-    /// Panics on [`Outcome::BlockedOnAtomic`].
+    /// Panics on [`Outcome::BlockedOnAtomic`] — callers that can receive
+    /// that outcome must use [`Outcome::try_done_at`] (or park and retry,
+    /// as the machine coordinator does) instead of asserting.
     #[must_use]
     pub fn done_at(&self) -> Cycles {
+        self.try_done_at().unwrap_or_else(|e| {
+            panic!("invariant (operation cannot block on an atomic sub-page) broken: {e}")
+        })
+    }
+
+    /// Completion time of a finished (or failed) operation, or a typed
+    /// [`ksr_core::Error::Protocol`] for an access blocked on a sub-page
+    /// another cell holds atomic.
+    pub fn try_done_at(&self) -> Result<Cycles> {
         match self {
-            Self::Done { done_at } | Self::AtomicFailed { done_at } => *done_at,
-            Self::BlockedOnAtomic { .. } => panic!("blocked operation has no completion time"),
+            Self::Done { done_at } | Self::AtomicFailed { done_at } => Ok(*done_at),
+            Self::BlockedOnAtomic { subpage } => Err(ksr_core::Error::Protocol(format!(
+                "access blocked on sub-page {subpage} held atomic by another cell: \
+                 no completion time exists until release_sub_page"
+            ))),
         }
     }
 }
@@ -131,6 +145,19 @@ enum Want {
     Atomic,
 }
 
+/// A deliberately seeded protocol bug, used to validate that the
+/// `ksr-verify` coherence checker actually catches broken protocols.
+/// Never enabled on a measurement machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFault {
+    /// Exclusive/atomic fetches skip invalidating the other copies, so
+    /// two writable copies of one sub-page can coexist.
+    MissedInvalidation,
+    /// Read fetches skip demoting the `Exclusive` owner, so a `Shared`
+    /// copy coexists with an `Exclusive` one.
+    MissedDemotion,
+}
+
 /// Protocol feature toggles for ablation studies (everything on matches
 /// the real KSR-1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +169,9 @@ pub struct ProtocolOptions {
     /// a cheap no-op, so algorithms fall back to invalidate-and-refetch
     /// and read-snarfing carries the wake-up alone).
     pub poststore: bool,
+    /// Seeded protocol bug for checker validation (`None` = the correct
+    /// protocol).
+    pub fault: Option<ProtocolFault>,
 }
 
 impl Default for ProtocolOptions {
@@ -149,6 +179,7 @@ impl Default for ProtocolOptions {
         Self {
             read_snarfing: true,
             poststore: true,
+            fault: None,
         }
     }
 }
@@ -261,9 +292,10 @@ impl MemorySystem {
     }
 
     /// Set a sub-page's directory state in one cell, emitting a
-    /// [`TraceEvent::Coherence`] when the state actually changes.
-    /// Untimed bookkeeping (warm-up, evictions) bypasses this and calls
-    /// `dir.set` directly.
+    /// [`TraceEvent::Coherence`] when the state actually changes. *Every*
+    /// transition routes through here — including warm-up (stamped at
+    /// cycle 0) and evictions — so a checking sink shadowing the event
+    /// stream reconstructs the directory exactly.
     fn set_state(&mut self, sp: u64, cell: usize, to: SubpageState, at: Cycles) {
         let from = self.dir.state_of(sp, cell);
         if from != to {
@@ -353,7 +385,7 @@ impl MemorySystem {
         let first = subpage_of(addr);
         let last = subpage_of(addr + len.saturating_sub(1));
         for sp in first..=last {
-            self.ensure_page_costed(cell, sp * SUBPAGE_BYTES);
+            self.ensure_page_costed(cell, sp * SUBPAGE_BYTES, 0);
             // Steal the sub-page from whoever holds it.
             let holders: Vec<(usize, SubpageState)> = self
                 .dir
@@ -362,11 +394,11 @@ impl MemorySystem {
                 .unwrap_or_default();
             for (c, s) in holders {
                 if c != cell && s != SubpageState::Missing {
-                    self.dir.set(sp, c, SubpageState::Missing);
+                    self.set_state(sp, c, SubpageState::Missing, 0);
                     self.subcaches[c].invalidate_subpage(sp);
                 }
             }
-            self.dir.set(sp, cell, SubpageState::Exclusive);
+            self.set_state(sp, cell, SubpageState::Exclusive, 0);
             self.spilled.remove(&sp);
         }
     }
@@ -494,7 +526,14 @@ impl MemorySystem {
         if is_write {
             self.emit(sp, t);
         }
-        debug_assert_eq!(self.dir.find_violation(), None);
+        // Single-writer invariant — suspended when a fault is seeded on
+        // purpose, so the checker (not this assert) is what reports it.
+        debug_assert!(
+            self.options.fault.is_some() || self.dir.find_violation().is_none(),
+            "ALLCACHE invariant (at most one writable copy, no Shared beside \
+             Exclusive) broken: {:?}",
+            self.dir.find_violation()
+        );
         Outcome::Done { done_at: t }
     }
 
@@ -529,7 +568,7 @@ impl MemorySystem {
                 // requester, no ring traffic.
                 t0 + self.timing.localcache_write
             };
-            if self.ensure_page_costed(cell, sp * SUBPAGE_BYTES) {
+            if self.ensure_page_costed(cell, sp * SUBPAGE_BYTES, t) {
                 t += self.timing.page_alloc_penalty;
                 self.perf[cell].page_allocations += 1;
             }
@@ -556,39 +595,46 @@ impl MemorySystem {
             if want != Want::Shared {
                 t += self.timing.remote_write_extra;
             }
-            if self.ensure_page_costed(cell, sp * SUBPAGE_BYTES) {
+            if self.ensure_page_costed(cell, sp * SUBPAGE_BYTES, t) {
                 t += self.timing.page_alloc_penalty;
                 self.perf[cell].page_allocations += 1;
             }
             self.perf[cell].ring_latency_cycles += t - t_req;
+            let fault = self.options.fault;
 
             match want {
                 Want::Shared => {
+                    // The old owner demotes *first*: no point in the event
+                    // stream may show a Shared copy beside a writable one.
                     for (c, s) in &holders {
-                        match s {
-                            // The old owner demotes to Shared.
-                            SubpageState::Exclusive => {
-                                self.set_state(sp, *c, SubpageState::Shared, t);
-                            }
-                            // Read-snarfing: place holders refill for free.
-                            SubpageState::Invalid if self.options.read_snarfing => {
-                                self.set_state(sp, *c, SubpageState::Shared, t);
-                                self.perf[*c].snarfs += 1;
-                                let c = *c;
-                                self.tracer.emit_with(|| TraceEvent::Snarf {
-                                    at: t,
-                                    cell: c,
-                                    subpage: sp,
-                                });
-                            }
-                            _ => {}
+                        if *s == SubpageState::Exclusive
+                            && fault != Some(ProtocolFault::MissedDemotion)
+                        {
+                            self.set_state(sp, *c, SubpageState::Shared, t);
+                        }
+                    }
+                    // Read-snarfing: place holders refill for free.
+                    for (c, s) in &holders {
+                        if *s == SubpageState::Invalid && self.options.read_snarfing {
+                            self.set_state(sp, *c, SubpageState::Shared, t);
+                            self.perf[*c].snarfs += 1;
+                            let c = *c;
+                            self.tracer.emit_with(|| TraceEvent::Snarf {
+                                at: t,
+                                cell: c,
+                                subpage: sp,
+                            });
                         }
                     }
                     self.set_state(sp, cell, SubpageState::Shared, t);
                 }
                 Want::Exclusive | Want::Atomic => {
+                    // The seeded MissedInvalidation fault leaves every
+                    // other copy valid — the two-writable-copies bug the
+                    // ksr-verify checker must catch.
+                    let skip = fault == Some(ProtocolFault::MissedInvalidation);
                     for (c, s) in &holders {
-                        if *c != cell && *s != SubpageState::Missing {
+                        if !skip && *c != cell && *s != SubpageState::Missing {
                             self.set_state(sp, *c, SubpageState::Invalid, t);
                             self.subcaches[*c].invalidate_subpage(sp);
                             self.perf[*c].invalidations_received += 1;
@@ -636,8 +682,9 @@ impl MemorySystem {
     }
 
     /// Allocate the page frame for `addr` in `cell` if needed; purge any
-    /// victim. Returns whether an allocation happened.
-    fn ensure_page_costed(&mut self, cell: usize, addr: u64) -> bool {
+    /// victim (eviction transitions are stamped `at`). Returns whether an
+    /// allocation happened.
+    fn ensure_page_costed(&mut self, cell: usize, addr: u64, at: Cycles) -> bool {
         let dir = &self.dir;
         let alloc = self.localcaches[cell].ensure_page_with(addr, |page| {
             let first = page * SUBPAGES_PER_PAGE as u64;
@@ -648,7 +695,7 @@ impl MemorySystem {
             PageAlloc::AlreadyPresent => false,
             PageAlloc::Allocated { evicted } => {
                 if let Some(victim) = evicted {
-                    self.purge_page(cell, victim);
+                    self.purge_page(cell, victim, at);
                 }
                 true
             }
@@ -660,12 +707,12 @@ impl MemorySystem {
     /// ALLCACHE guarantee that the last copy of a sub-page is never lost;
     /// sub-pages whose last copy this eviction removed are marked
     /// *spilled*, and cost a ring fetch to get back.
-    fn purge_page(&mut self, cell: usize, page: u64) {
+    fn purge_page(&mut self, cell: usize, page: u64, at: Cycles) {
         let first = page * SUBPAGES_PER_PAGE as u64;
         for sp in first..first + SUBPAGES_PER_PAGE as u64 {
             if self.dir.state_of(sp, cell) != SubpageState::Missing {
                 let had_data = self.dir.state_of(sp, cell).readable();
-                self.dir.set(sp, cell, SubpageState::Missing);
+                self.set_state(sp, cell, SubpageState::Missing, at);
                 if had_data && !self.dir.holders(sp).is_some_and(|h| h.any_valid()) {
                     self.spilled.insert(sp);
                 }
@@ -731,7 +778,9 @@ impl MemorySystem {
         debug_assert_eq!(
             st,
             SubpageState::Atomic,
-            "release of a sub-page not held atomic"
+            "get_sub_page invariant (release_sub_page is only legal while the \
+             releasing cell holds the sub-page Atomic) broken: cell {cell}, \
+             sub-page {sp}"
         );
         let done_at = now + self.timing.localcache_write;
         if st == SubpageState::Atomic {
@@ -816,13 +865,15 @@ impl MemorySystem {
             .transact(t0, cell, transit, sp, PacketKind::Poststore);
         self.perf[cell].ring_transactions += 1;
         self.perf[cell].ring_wait_cycles += timing.slot_wait;
+        // The writer's copy stops being exclusive as the broadcast
+        // launches — demote it before any place holder refills, so the
+        // event stream never shows a Shared copy beside a writable one.
+        self.set_state(sp, cell, SubpageState::Shared, timing.response_at);
         for (c, s) in &holders {
             if s.is_placeholder() {
                 self.set_state(sp, *c, SubpageState::Shared, timing.response_at);
             }
         }
-        // The writer's copy is no longer exclusive after the broadcast.
-        self.set_state(sp, cell, SubpageState::Shared, timing.response_at);
         self.subpage_busy.insert(sp, timing.response_at);
         self.emit(sp, timing.response_at);
         // The issuing processor stalls only until the packet is launched.
@@ -889,7 +940,13 @@ impl MemorySystem {
                 Outcome::Done { done_at }
             }
             MemOp::ReleaseSubPage => {
-                debug_assert_eq!(self.dir.state_of(sp, cell), SubpageState::Atomic);
+                debug_assert_eq!(
+                    self.dir.state_of(sp, cell),
+                    SubpageState::Atomic,
+                    "get_sub_page invariant (release_sub_page is only legal while \
+                     the releasing cell holds the sub-page Atomic) broken: \
+                     cell {cell}, sub-page {sp}"
+                );
                 let timing =
                     self.fabric
                         .transact(now, cell, Transit::Local, sp, PacketKind::ReleaseSubPage);

@@ -162,6 +162,22 @@ impl IsSetup {
     /// One program per processor (the seven phases of Figure 9).
     #[must_use]
     pub fn programs(&self) -> Vec<Box<dyn Program>> {
+        self.programs_impl(true)
+    }
+
+    /// Like [`programs`](Self::programs), but with the phase-6 chunk
+    /// locks deliberately omitted: every processor runs its
+    /// reserve-and-decrement loop over the shared `keyden` array
+    /// completely unsynchronized. This is a *seeded-bug fixture* for the
+    /// `ksr-verify` race detector — it is never registered as an
+    /// experiment, and its ranks are garbage whenever two processors'
+    /// phase-6 windows overlap.
+    #[must_use]
+    pub fn programs_racy_phase6(&self) -> Vec<Box<dyn Program>> {
+        self.programs_impl(false)
+    }
+
+    fn programs_impl(&self, phase6_locked: bool) -> Vec<Box<dyn Program>> {
         let procs = self.procs;
         let cfg = self.cfg;
         let (key, rank, keyden, keyden_t) = (self.key, self.rank, self.keyden, self.keyden_t);
@@ -239,7 +255,9 @@ impl IsSetup {
                     let start_chunk = blo / cfg.chunk;
                     for s in 0..n_chunks {
                         let c = (start_chunk + s) % n_chunks;
-                        locks[c].acquire(cpu);
+                        if phase6_locked {
+                            locks[c].acquire(cpu);
+                        }
                         for b in c * cfg.chunk..(c + 1) * cfg.chunk {
                             let tot = keyden.get(cpu, b);
                             let mine = keyden_t.get(cpu, my_t + b);
@@ -247,7 +265,9 @@ impl IsSetup {
                             keyden_t.set(cpu, my_t + b, tot);
                             cpu.compute(2);
                         }
-                        locks[c].release(cpu);
+                        if phase6_locked {
+                            locks[c].release(cpu);
+                        }
                     }
                     barrier.wait(cpu, &mut ep);
 

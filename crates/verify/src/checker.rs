@@ -1,0 +1,666 @@
+//! The ALLCACHE coherence-invariant checker.
+//!
+//! A [`CheckingSink`] shadows the *global* coherence state of every
+//! sub-page by replaying [`TraceEvent`]s, and asserts the protocol
+//! invariants the paper's results rest on (§2):
+//!
+//! * at most one `Exclusive`/`Atomic` copy of a sub-page at any time;
+//! * no `Shared` copy coexisting with a writable copy (every
+//!   invalidation must be acknowledged before a write commits);
+//! * the per-cell transition emitted by the protocol must agree with the
+//!   state the event stream itself implies (directory ⇔ cached copies);
+//! * transitions must come from the protocol's legal transition table
+//!   (e.g. an `Atomic` copy can only leave through a release);
+//! * `get_sub_page` lands in `Atomic`, and `release_sub_page` is only
+//!   issued while the releasing cell holds the sub-page `Atomic`;
+//! * a snarf refill lands on a `Shared` copy, an invalidation leaves an
+//!   `Invalid` place holder, an atomic rejection implies a live holder;
+//! * a data write only commits on a cell holding write permission.
+//!
+//! Because `ksr-mem` routes *every* directory transition (including
+//! warm-up and evictions) through one traced choke point, the shadow is
+//! exact: any disagreement is a protocol bug, not checker drift. Each
+//! violation is reported with the offending cycle, processor, and a
+//! short event-window replay from an internal [`RingBufferSink`].
+
+use std::collections::HashMap;
+
+use ksr_core::time::Cycles;
+use ksr_core::trace::{RingBufferSink, TraceEvent, TraceSink, TraceState};
+use ksr_mem::subpage_of;
+
+/// Which invariant a [`Violation`] broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Two or more cells hold writable (`Exclusive`/`Atomic`) copies.
+    MultipleWriters,
+    /// A `Shared` copy coexists with a writable copy — an invalidation
+    /// was not acknowledged before the write side committed.
+    SharedWithWriter,
+    /// A transition's `from` state disagrees with the state the event
+    /// stream itself implies for that cell.
+    StaleTransition,
+    /// A transition outside the protocol's legal transition table.
+    IllegalTransition,
+    /// An `Atomic` copy left through something other than a release.
+    AtomicLost,
+    /// A snarf refill on a cell not holding a fresh `Shared` copy.
+    SnarfState,
+    /// An invalidation event on a cell not left `Invalid`.
+    InvalidationState,
+    /// A `get_sub_page` rejection while no cell holds the sub-page
+    /// atomic.
+    RejectionWithoutHolder,
+    /// A `get_sub_page` that did not land in the state it promises
+    /// (`Atomic` for the real instruction, write permission for a native
+    /// RMW).
+    AcquireWithoutOwnership,
+    /// A `release_sub_page` issued by a cell not holding the sub-page
+    /// `Atomic`.
+    ReleaseWithoutAtomic,
+    /// A data write committed on a cell without write permission.
+    WriteWithoutOwnership,
+}
+
+impl Rule {
+    /// Stable snake_case label (used in `violations.json`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::MultipleWriters => "multiple_writers",
+            Self::SharedWithWriter => "shared_with_writer",
+            Self::StaleTransition => "stale_transition",
+            Self::IllegalTransition => "illegal_transition",
+            Self::AtomicLost => "atomic_lost",
+            Self::SnarfState => "snarf_state",
+            Self::InvalidationState => "invalidation_state",
+            Self::RejectionWithoutHolder => "rejection_without_holder",
+            Self::AcquireWithoutOwnership => "acquire_without_ownership",
+            Self::ReleaseWithoutAtomic => "release_without_atomic",
+            Self::WriteWithoutOwnership => "write_without_ownership",
+        }
+    }
+}
+
+/// One detected invariant violation, with enough context to debug it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The virtual cycle at which the offending event committed.
+    pub at: Cycles,
+    /// The processor/cell the offending event belongs to.
+    pub cell: usize,
+    /// The sub-page involved.
+    pub subpage: u64,
+    /// The invariant broken.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+    /// A short replay of the most recent events (oldest first, offending
+    /// event last).
+    pub window: Vec<TraceEvent>,
+}
+
+/// Checker tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckerConfig {
+    /// Events of replay context kept per violation.
+    pub window: usize,
+    /// Hard cap on retained violations (a seeded protocol bug cascades;
+    /// the count past the cap is still tracked in
+    /// [`CheckingSink::truncated`]).
+    pub max_violations: usize,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        Self {
+            window: 24,
+            max_violations: 64,
+        }
+    }
+}
+
+/// A [`TraceSink`] asserting the ALLCACHE invariants online.
+#[derive(Debug)]
+pub struct CheckingSink {
+    cfg: CheckerConfig,
+    /// Per-sub-page non-`Missing` holder states.
+    shadow: HashMap<u64, Vec<(usize, TraceState)>>,
+    recent: RingBufferSink,
+    violations: Vec<Violation>,
+    truncated: u64,
+    events_seen: u64,
+}
+
+fn writable(s: TraceState) -> bool {
+    matches!(s, TraceState::Exclusive | TraceState::Atomic)
+}
+
+/// Legal per-cell transitions of the ALLCACHE protocol. `Missing` never
+/// degrades straight to a place holder, and an `Atomic` copy only leaves
+/// through a release (`→ Exclusive` locally, `→ Missing` on the
+/// cache-less machines, where the release drops the copy).
+fn legal_transition(from: TraceState, to: TraceState) -> bool {
+    use TraceState::{Atomic, Exclusive, Invalid, Missing, Shared};
+    match (from, to) {
+        (Missing, Invalid) => false,
+        (Atomic, Shared | Invalid) => false,
+        (f, t) if f == t => false, // no-op transitions are never emitted
+        (Missing | Invalid | Shared | Exclusive | Atomic, _) => true,
+    }
+}
+
+impl Default for CheckingSink {
+    fn default() -> Self {
+        Self::new(CheckerConfig::default())
+    }
+}
+
+impl CheckingSink {
+    /// A checker with the given tuning.
+    #[must_use]
+    pub fn new(cfg: CheckerConfig) -> Self {
+        Self {
+            cfg,
+            shadow: HashMap::new(),
+            recent: RingBufferSink::new(cfg.window),
+            violations: Vec::new(),
+            truncated: 0,
+            events_seen: 0,
+        }
+    }
+
+    /// Violations detected so far (capped at
+    /// [`CheckerConfig::max_violations`]).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether no invariant has been violated.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.truncated == 0
+    }
+
+    /// Violations dropped past the retention cap.
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Total events observed (checked or not).
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The shadow state of `subpage` in `cell` implied by the event
+    /// stream so far.
+    #[must_use]
+    pub fn shadow_state(&self, subpage: u64, cell: usize) -> TraceState {
+        self.holder_state(subpage, cell)
+    }
+
+    fn holder_state(&self, sp: u64, cell: usize) -> TraceState {
+        self.shadow
+            .get(&sp)
+            .and_then(|h| h.iter().find(|(c, _)| *c == cell))
+            .map_or(TraceState::Missing, |(_, s)| *s)
+    }
+
+    fn set_holder(&mut self, sp: u64, cell: usize, to: TraceState) {
+        let holders = self.shadow.entry(sp).or_default();
+        holders.retain(|(c, _)| *c != cell);
+        if to != TraceState::Missing {
+            holders.push((cell, to));
+        } else if holders.is_empty() {
+            self.shadow.remove(&sp);
+        }
+    }
+
+    fn report(&mut self, at: Cycles, cell: usize, subpage: u64, rule: Rule, message: String) {
+        if self.violations.len() >= self.cfg.max_violations {
+            self.truncated += 1;
+            return;
+        }
+        self.violations.push(Violation {
+            at,
+            cell,
+            subpage,
+            rule,
+            message,
+            window: self.recent.events().copied().collect(),
+        });
+    }
+
+    fn check_coherence(
+        &mut self,
+        at: Cycles,
+        cell: usize,
+        sp: u64,
+        from: TraceState,
+        to: TraceState,
+    ) {
+        let shadowed = self.holder_state(sp, cell);
+        if shadowed != from {
+            self.report(
+                at,
+                cell,
+                sp,
+                Rule::StaleTransition,
+                format!(
+                    "cell {cell} reports transition {} -> {} on sub-page {sp}, but the \
+                     event stream implies it held {}",
+                    from.label(),
+                    to.label(),
+                    shadowed.label()
+                ),
+            );
+        }
+        if !legal_transition(from, to) {
+            let rule = if from == TraceState::Atomic {
+                Rule::AtomicLost
+            } else {
+                Rule::IllegalTransition
+            };
+            self.report(
+                at,
+                cell,
+                sp,
+                rule,
+                format!(
+                    "illegal transition {} -> {} on sub-page {sp} in cell {cell}",
+                    from.label(),
+                    to.label()
+                ),
+            );
+        }
+        self.set_holder(sp, cell, to);
+
+        // Global invariants over the holder set after the transition.
+        let holders = self.shadow.get(&sp).cloned().unwrap_or_default();
+        let writers: Vec<usize> = holders
+            .iter()
+            .filter(|(_, s)| writable(*s))
+            .map(|(c, _)| *c)
+            .collect();
+        if writers.len() > 1 {
+            self.report(
+                at,
+                cell,
+                sp,
+                Rule::MultipleWriters,
+                format!(
+                    "sub-page {sp} has {} writable copies: cells {writers:?}",
+                    writers.len()
+                ),
+            );
+        } else if writers.len() == 1 {
+            let sharers: Vec<usize> = holders
+                .iter()
+                .filter(|(_, s)| *s == TraceState::Shared)
+                .map(|(c, _)| *c)
+                .collect();
+            if !sharers.is_empty() {
+                self.report(
+                    at,
+                    cell,
+                    sp,
+                    Rule::SharedWithWriter,
+                    format!(
+                        "sub-page {sp}: cell {} holds a writable copy while cells \
+                         {sharers:?} still hold Shared copies (invalidation not \
+                         acknowledged before the write side committed)",
+                        writers[0]
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Coherence {
+                at,
+                cell,
+                subpage,
+                from,
+                to,
+            } => self.check_coherence(at, cell, subpage, from, to),
+            TraceEvent::Snarf { at, cell, subpage } => {
+                let st = self.holder_state(subpage, cell);
+                if st != TraceState::Shared {
+                    self.report(
+                        at,
+                        cell,
+                        subpage,
+                        Rule::SnarfState,
+                        format!(
+                            "snarf refill on sub-page {subpage} left cell {cell} in {}, \
+                             not Shared",
+                            st.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::Invalidation { at, cell, subpage } => {
+                let st = self.holder_state(subpage, cell);
+                if st != TraceState::Invalid {
+                    self.report(
+                        at,
+                        cell,
+                        subpage,
+                        Rule::InvalidationState,
+                        format!(
+                            "invalidation of sub-page {subpage} left cell {cell} in {}, \
+                             not Invalid",
+                            st.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::AtomicRejection { at, cell, subpage } => {
+                let holder_exists = self
+                    .shadow
+                    .get(&subpage)
+                    .is_some_and(|h| h.iter().any(|(_, s)| *s == TraceState::Atomic));
+                if !holder_exists {
+                    self.report(
+                        at,
+                        cell,
+                        subpage,
+                        Rule::RejectionWithoutHolder,
+                        format!(
+                            "cell {cell} was rejected from sub-page {subpage} but no \
+                             cell holds it Atomic"
+                        ),
+                    );
+                }
+            }
+            TraceEvent::SyncAcquire {
+                at,
+                cell,
+                subpage,
+                rmw,
+            } => {
+                let st = self.holder_state(subpage, cell);
+                if rmw {
+                    // A native RMW needs write permission, but only where
+                    // caches exist at all (the cache-less machines leave
+                    // no holder entries to check against).
+                    let any_holder = self.shadow.contains_key(&subpage);
+                    if any_holder && !writable(st) {
+                        self.report(
+                            at,
+                            cell,
+                            subpage,
+                            Rule::AcquireWithoutOwnership,
+                            format!(
+                                "native RMW on sub-page {subpage} committed while cell \
+                                 {cell} held {}",
+                                st.label()
+                            ),
+                        );
+                    }
+                } else if st != TraceState::Atomic {
+                    self.report(
+                        at,
+                        cell,
+                        subpage,
+                        Rule::AcquireWithoutOwnership,
+                        format!(
+                            "get_sub_page granted sub-page {subpage} to cell {cell} but \
+                             left it in {}",
+                            st.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::SyncRelease {
+                at,
+                cell,
+                subpage,
+                rmw,
+            } => {
+                // Real releases are stamped at issue time, while the
+                // holder must still be Atomic. RMW "releases" carry no
+                // Atomic state and share the acquire-side check.
+                let st = self.holder_state(subpage, cell);
+                if !rmw && st != TraceState::Atomic {
+                    self.report(
+                        at,
+                        cell,
+                        subpage,
+                        Rule::ReleaseWithoutAtomic,
+                        format!(
+                            "cell {cell} released sub-page {subpage} while holding {} \
+                             (release_sub_page is only legal from Atomic)",
+                            st.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::DataWrite { at, cell, addr } => {
+                let sp = subpage_of(addr);
+                // Only checkable where caches exist: the cache-less
+                // machines never register holders for plain accesses.
+                let any_holder = self.shadow.contains_key(&sp);
+                let st = self.holder_state(sp, cell);
+                if any_holder && !writable(st) {
+                    self.report(
+                        at,
+                        cell,
+                        sp,
+                        Rule::WriteWithoutOwnership,
+                        format!(
+                            "write to {addr:#x} committed while cell {cell} held \
+                             sub-page {sp} in {}",
+                            st.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::RingSlot { .. }
+            | TraceEvent::BarrierEpisode { .. }
+            | TraceEvent::LockHandoff { .. }
+            | TraceEvent::DataRead { .. }
+            | TraceEvent::SpinRead { .. } => {}
+        }
+    }
+}
+
+impl TraceSink for CheckingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events_seen += 1;
+        self.recent.record(event);
+        self.check(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coh(at: Cycles, cell: usize, sp: u64, from: TraceState, to: TraceState) -> TraceEvent {
+        TraceEvent::Coherence {
+            at,
+            cell,
+            subpage: sp,
+            from,
+            to,
+        }
+    }
+
+    fn checked(events: &[TraceEvent]) -> CheckingSink {
+        let mut sink = CheckingSink::default();
+        for e in events {
+            sink.record(e);
+        }
+        sink
+    }
+
+    #[test]
+    fn clean_handoff_sequence_passes() {
+        use TraceState::{Atomic, Exclusive, Invalid, Missing, Shared};
+        // Demotions/invalidations are emitted before the requester's
+        // grant, exactly as `coherence_fetch` orders its set_state calls.
+        let sink = checked(&[
+            coh(10, 0, 5, Missing, Exclusive), // first touch
+            coh(20, 0, 5, Exclusive, Shared),  // owner demotes...
+            coh(20, 1, 5, Missing, Shared),    // ...then read miss fills
+            coh(30, 0, 5, Shared, Invalid),    // invalidate first...
+            coh(30, 1, 5, Shared, Exclusive),  // ...then upgrade
+            TraceEvent::Invalidation {
+                at: 30,
+                cell: 0,
+                subpage: 5,
+            },
+            TraceEvent::DataWrite {
+                at: 31,
+                cell: 1,
+                addr: 5 * 128,
+            },
+            coh(40, 1, 5, Exclusive, Atomic), // get_sub_page local flip
+            TraceEvent::SyncAcquire {
+                at: 40,
+                cell: 1,
+                subpage: 5,
+                rmw: false,
+            },
+            TraceEvent::AtomicRejection {
+                at: 45,
+                cell: 0,
+                subpage: 5,
+            },
+            TraceEvent::SyncRelease {
+                at: 50,
+                cell: 1,
+                subpage: 5,
+                rmw: false,
+            },
+            coh(51, 1, 5, Atomic, Exclusive),  // release applied
+            coh(60, 1, 5, Exclusive, Missing), // eviction
+        ]);
+        assert!(sink.is_clean(), "{:?}", sink.violations());
+        assert_eq!(sink.events_seen(), 13);
+    }
+
+    #[test]
+    fn two_writable_copies_detected() {
+        use TraceState::{Exclusive, Missing};
+        let sink = checked(&[
+            coh(10, 0, 7, Missing, Exclusive),
+            coh(90, 1, 7, Missing, Exclusive), // second writer: protocol bug
+        ]);
+        let v = &sink.violations()[0];
+        assert_eq!(v.rule, Rule::MultipleWriters);
+        assert_eq!(v.at, 90);
+        assert_eq!(v.subpage, 7);
+        assert_eq!(v.window.len(), 2, "window replays the offending events");
+    }
+
+    #[test]
+    fn shared_beside_exclusive_detected() {
+        use TraceState::{Exclusive, Missing, Shared};
+        let sink = checked(&[
+            coh(10, 0, 3, Missing, Shared),
+            coh(20, 1, 3, Missing, Exclusive), // demotion/invalidation missed
+        ]);
+        assert!(sink
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::SharedWithWriter && v.at == 20));
+    }
+
+    #[test]
+    fn stale_from_state_detected() {
+        use TraceState::{Exclusive, Missing, Shared};
+        let sink = checked(&[
+            coh(10, 0, 2, Missing, Exclusive),
+            coh(20, 0, 2, Shared, Missing), // emitter thinks Shared; stream says Exclusive
+        ]);
+        assert_eq!(sink.violations()[0].rule, Rule::StaleTransition);
+    }
+
+    #[test]
+    fn atomic_cannot_leave_without_release() {
+        use TraceState::{Atomic, Invalid, Missing};
+        let sink = checked(&[
+            coh(10, 0, 9, Missing, Atomic),
+            coh(20, 0, 9, Atomic, Invalid), // a locked copy silently dropped
+        ]);
+        assert_eq!(sink.violations()[0].rule, Rule::AtomicLost);
+    }
+
+    #[test]
+    fn release_without_atomic_detected() {
+        use TraceState::{Exclusive, Missing};
+        let sink = checked(&[
+            coh(10, 0, 4, Missing, Exclusive),
+            TraceEvent::SyncRelease {
+                at: 20,
+                cell: 0,
+                subpage: 4,
+                rmw: false,
+            },
+        ]);
+        let v = &sink.violations()[0];
+        assert_eq!(v.rule, Rule::ReleaseWithoutAtomic);
+        assert!(v.message.contains("exclusive"));
+    }
+
+    #[test]
+    fn write_without_ownership_detected() {
+        use TraceState::{Missing, Shared};
+        let sink = checked(&[
+            coh(10, 0, 4, Missing, Shared),
+            TraceEvent::DataWrite {
+                at: 20,
+                cell: 0,
+                addr: 4 * 128 + 8,
+            },
+        ]);
+        assert_eq!(sink.violations()[0].rule, Rule::WriteWithoutOwnership);
+    }
+
+    #[test]
+    fn cacheless_writes_are_not_flagged() {
+        // No Coherence events ever seen for the sub-page (Butterfly-style
+        // plain accesses): the write-permission rule must stay silent.
+        let sink = checked(&[TraceEvent::DataWrite {
+            at: 20,
+            cell: 0,
+            addr: 4 * 128,
+        }]);
+        assert!(sink.is_clean());
+    }
+
+    #[test]
+    fn rejection_needs_a_holder() {
+        let sink = checked(&[TraceEvent::AtomicRejection {
+            at: 5,
+            cell: 2,
+            subpage: 1,
+        }]);
+        assert_eq!(sink.violations()[0].rule, Rule::RejectionWithoutHolder);
+    }
+
+    #[test]
+    fn violation_cap_counts_overflow() {
+        use TraceState::{Exclusive, Missing};
+        let mut sink = CheckingSink::new(CheckerConfig {
+            window: 4,
+            max_violations: 2,
+        });
+        sink.record(&coh(1, 0, 1, Missing, Exclusive));
+        for i in 0..5 {
+            // Same illegal pattern repeatedly: a second writable copy.
+            sink.record(&coh(10 + i, 1, 1, Missing, Exclusive));
+            sink.record(&coh(20 + i, 1, 1, Exclusive, Missing));
+        }
+        assert_eq!(sink.violations().len(), 2);
+        assert!(sink.truncated() > 0);
+        assert!(!sink.is_clean());
+    }
+}

@@ -1,0 +1,37 @@
+//! # ksr-verify
+//!
+//! Analysis passes over the `ksr_core::trace` event stream. Everything
+//! in this crate *consumes* events and never feeds back into the
+//! simulator, so attaching any of these checkers cannot perturb virtual
+//! time — a checked run produces bit-identical results to an unchecked
+//! one (asserted by the `tracing_preserves_determinism` suite).
+//!
+//! Three passes:
+//!
+//! * [`checker`] — a [`checker::CheckingSink`] that shadows every
+//!   sub-page's global coherence state from the event stream and asserts
+//!   the ALLCACHE protocol invariants (single writable copy, no `Shared`
+//!   beside `Exclusive`, invalidations acknowledged before writes
+//!   commit, `release_sub_page` only from `Atomic`, transition-table
+//!   legality). Violations carry the offending cycle, processor, and a
+//!   short event-window replay from an internal
+//!   [`ksr_core::trace::RingBufferSink`].
+//! * [`race`] — a FastTrack-style vector-clock happens-before race
+//!   detector over per-processor data accesses, with synchronization
+//!   edges derived from `get_sub_page`/`release_sub_page`, native atomic
+//!   RMWs, and flag handoffs (write → poststore/snarf → spin).
+//! * [`lint`] — static checks over program *schedules* before any
+//!   simulation runs: mismatched barrier arity, lock acquire without
+//!   release, prefetch of a sub-page that is never read.
+//!
+//! The bench harness wires all three into `run_all --check` (or
+//! `KSR_CHECK=1`) and writes a machine-readable `violations.json`.
+
+pub mod checker;
+pub mod lint;
+pub mod race;
+pub mod report;
+
+pub use checker::{CheckerConfig, CheckingSink, Rule, Violation};
+pub use lint::{lint_schedules, LintFinding, LintRule, ProcSchedule, SchedOp};
+pub use race::{Access, CollectingSink, RaceDetector, RaceReport};

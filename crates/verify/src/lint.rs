@@ -1,0 +1,394 @@
+//! Static lints over program *schedules* — checks that run before any
+//! simulation does.
+//!
+//! A [`ProcSchedule`] is a declarative summary of the synchronization
+//! and data-movement shape of one processor's program: which barriers it
+//! joins (and with what arity), which locks it takes and drops, which
+//! sub-pages it prefetches and later touches. Kernels that build their
+//! programs from a schedule (or can derive one) get these mistakes
+//! caught at zero simulation cost:
+//!
+//! * a barrier declared with different arities on different processors,
+//!   joined by a different number of processors than its arity, or
+//!   joined a different number of times by different participants
+//!   (guaranteed deadlock or silent episode skew);
+//! * a lock acquired twice without an intervening release, released
+//!   while not held, or still held when the schedule ends;
+//! * a prefetch of a sub-page the processor never reads or writes
+//!   afterwards (pure ring traffic — the §4 prefetch extension only pays
+//!   off when the data is actually consumed).
+
+use std::collections::{HashMap, HashSet};
+
+/// One step of a processor's schedule, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedOp {
+    /// Acquire the lock identified by `lock`.
+    Acquire {
+        /// Opaque lock identity (e.g. its sub-page).
+        lock: u64,
+    },
+    /// Release the lock identified by `lock`.
+    Release {
+        /// Opaque lock identity (e.g. its sub-page).
+        lock: u64,
+    },
+    /// Join barrier `id`, which the program believes has `arity`
+    /// participants.
+    Barrier {
+        /// Opaque barrier identity.
+        id: u64,
+        /// Number of participants this processor believes the barrier
+        /// has.
+        arity: usize,
+    },
+    /// Prefetch `subpage` into the local cache.
+    Prefetch {
+        /// Sub-page index.
+        subpage: u64,
+    },
+    /// Read somewhere in `subpage`.
+    Read {
+        /// Sub-page index.
+        subpage: u64,
+    },
+    /// Write somewhere in `subpage`.
+    Write {
+        /// Sub-page index.
+        subpage: u64,
+    },
+}
+
+/// One processor's schedule.
+#[derive(Debug, Clone)]
+pub struct ProcSchedule {
+    /// Processor index.
+    pub proc: usize,
+    /// Its steps, in program order.
+    pub ops: Vec<SchedOp>,
+}
+
+impl ProcSchedule {
+    /// A schedule for processor `proc`.
+    #[must_use]
+    pub fn new(proc: usize, ops: Vec<SchedOp>) -> Self {
+        Self { proc, ops }
+    }
+}
+
+/// Which lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    /// Participants disagree on a barrier's arity.
+    BarrierArityMismatch,
+    /// The number of processors joining a barrier differs from its
+    /// declared arity.
+    BarrierParticipantCount,
+    /// Participants join a barrier a different number of times.
+    BarrierEpisodeSkew,
+    /// A lock acquired while already held by the same processor.
+    DoubleAcquire,
+    /// A lock released while not held.
+    ReleaseWithoutAcquire,
+    /// A lock still held when the schedule ends.
+    UnreleasedLock,
+    /// A prefetched sub-page never read or written afterwards by the
+    /// prefetching processor.
+    UselessPrefetch,
+}
+
+impl LintRule {
+    /// Stable snake_case label (used in `violations.json`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::BarrierArityMismatch => "barrier_arity_mismatch",
+            Self::BarrierParticipantCount => "barrier_participant_count",
+            Self::BarrierEpisodeSkew => "barrier_episode_skew",
+            Self::DoubleAcquire => "double_acquire",
+            Self::ReleaseWithoutAcquire => "release_without_acquire",
+            Self::UnreleasedLock => "unreleased_lock",
+            Self::UselessPrefetch => "useless_prefetch",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Which lint fired.
+    pub rule: LintRule,
+    /// The processor involved (`None` for cross-processor findings).
+    pub proc: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Lint a set of per-processor schedules. Findings are returned in a
+/// deterministic order (rule-major, then processor).
+#[must_use]
+pub fn lint_schedules(schedules: &[ProcSchedule]) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    lint_barriers(schedules, &mut findings);
+    lint_locks(schedules, &mut findings);
+    lint_prefetches(schedules, &mut findings);
+    findings
+}
+
+fn lint_barriers(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
+    // id -> (first declared arity, declaring proc)
+    let mut arity_of: HashMap<u64, (usize, usize)> = HashMap::new();
+    // id -> proc -> join count
+    let mut joins: HashMap<u64, HashMap<usize, usize>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for s in schedules {
+        for op in &s.ops {
+            if let SchedOp::Barrier { id, arity } = *op {
+                match arity_of.get(&id) {
+                    None => {
+                        arity_of.insert(id, (arity, s.proc));
+                        order.push(id);
+                    }
+                    Some(&(a, first_proc)) if a != arity => {
+                        findings.push(LintFinding {
+                            rule: LintRule::BarrierArityMismatch,
+                            proc: Some(s.proc),
+                            message: format!(
+                                "barrier {id}: processor {} declared arity {a}, processor \
+                                 {} declares {arity}",
+                                first_proc, s.proc
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+                *joins.entry(id).or_default().entry(s.proc).or_insert(0) += 1;
+            }
+        }
+    }
+    for id in order {
+        let (arity, _) = arity_of[&id];
+        let per_proc = &joins[&id];
+        if per_proc.len() != arity {
+            findings.push(LintFinding {
+                rule: LintRule::BarrierParticipantCount,
+                proc: None,
+                message: format!(
+                    "barrier {id}: declared arity {arity} but joined by {} \
+                     processor(s) — it can never open",
+                    per_proc.len()
+                ),
+            });
+        }
+        let counts: HashSet<usize> = per_proc.values().copied().collect();
+        if counts.len() > 1 {
+            let mut procs: Vec<usize> = per_proc.keys().copied().collect();
+            procs.sort_unstable();
+            let detail: Vec<String> = procs
+                .iter()
+                .map(|p| format!("p{p}x{}", per_proc[p]))
+                .collect();
+            findings.push(LintFinding {
+                rule: LintRule::BarrierEpisodeSkew,
+                proc: None,
+                message: format!(
+                    "barrier {id}: participants join it a different number of times \
+                     ({}) — the last episode deadlocks",
+                    detail.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+fn lint_locks(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
+    for s in schedules {
+        let mut held: HashSet<u64> = HashSet::new();
+        for op in &s.ops {
+            match *op {
+                SchedOp::Acquire { lock } if !held.insert(lock) => {
+                    findings.push(LintFinding {
+                        rule: LintRule::DoubleAcquire,
+                        proc: Some(s.proc),
+                        message: format!(
+                            "processor {}: lock {lock} acquired while already held \
+                             (get_sub_page self-deadlocks)",
+                            s.proc
+                        ),
+                    });
+                }
+                SchedOp::Release { lock } if !held.remove(&lock) => {
+                    findings.push(LintFinding {
+                        rule: LintRule::ReleaseWithoutAcquire,
+                        proc: Some(s.proc),
+                        message: format!(
+                            "processor {}: lock {lock} released while not held",
+                            s.proc
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+        let mut leaked: Vec<u64> = held.into_iter().collect();
+        leaked.sort_unstable();
+        for lock in leaked {
+            findings.push(LintFinding {
+                rule: LintRule::UnreleasedLock,
+                proc: Some(s.proc),
+                message: format!(
+                    "processor {}: lock {lock} still held when the schedule ends — \
+                     every other cell blocks forever on its sub-page",
+                    s.proc
+                ),
+            });
+        }
+    }
+}
+
+fn lint_prefetches(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
+    for s in schedules {
+        // Sub-page -> index of the latest prefetch not yet justified by a
+        // following access.
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        for (i, op) in s.ops.iter().enumerate() {
+            match *op {
+                SchedOp::Prefetch { subpage } => pending.push((subpage, i)),
+                SchedOp::Read { subpage } | SchedOp::Write { subpage } => {
+                    pending.retain(|&(sp, _)| sp != subpage);
+                }
+                _ => {}
+            }
+        }
+        for (subpage, i) in pending {
+            findings.push(LintFinding {
+                rule: LintRule::UselessPrefetch,
+                proc: Some(s.proc),
+                message: format!(
+                    "processor {}: op {i} prefetches sub-page {subpage} which is never \
+                     read or written afterwards — pure ring traffic",
+                    s.proc
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use SchedOp::{Acquire, Barrier, Prefetch, Read, Release, Write};
+
+    fn rules(findings: &[LintFinding]) -> Vec<LintRule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_schedules_have_no_findings() {
+        let f = lint_schedules(&[
+            ProcSchedule::new(
+                0,
+                vec![
+                    Prefetch { subpage: 4 },
+                    Read { subpage: 4 },
+                    Acquire { lock: 1 },
+                    Write { subpage: 9 },
+                    Release { lock: 1 },
+                    Barrier { id: 0, arity: 2 },
+                ],
+            ),
+            ProcSchedule::new(
+                1,
+                vec![
+                    Acquire { lock: 1 },
+                    Write { subpage: 9 },
+                    Release { lock: 1 },
+                    Barrier { id: 0, arity: 2 },
+                ],
+            ),
+        ]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn mismatched_barrier_arity_detected() {
+        let f = lint_schedules(&[
+            ProcSchedule::new(0, vec![Barrier { id: 3, arity: 2 }]),
+            ProcSchedule::new(1, vec![Barrier { id: 3, arity: 4 }]),
+        ]);
+        assert!(rules(&f).contains(&LintRule::BarrierArityMismatch), "{f:?}");
+        // Arity 2 with 2 participants: the count rule itself is satisfied
+        // against the first declaration.
+        assert!(f[0].message.contains("processor 1 declares 4"));
+    }
+
+    #[test]
+    fn wrong_participant_count_detected() {
+        let f = lint_schedules(&[
+            ProcSchedule::new(0, vec![Barrier { id: 3, arity: 3 }]),
+            ProcSchedule::new(1, vec![Barrier { id: 3, arity: 3 }]),
+        ]);
+        assert_eq!(rules(&f), vec![LintRule::BarrierParticipantCount]);
+    }
+
+    #[test]
+    fn episode_skew_detected() {
+        let f = lint_schedules(&[
+            ProcSchedule::new(
+                0,
+                vec![Barrier { id: 0, arity: 2 }, Barrier { id: 0, arity: 2 }],
+            ),
+            ProcSchedule::new(1, vec![Barrier { id: 0, arity: 2 }]),
+        ]);
+        assert_eq!(rules(&f), vec![LintRule::BarrierEpisodeSkew]);
+        assert!(f[0].message.contains("p0x2"));
+    }
+
+    #[test]
+    fn double_acquire_detected() {
+        let f = lint_schedules(&[ProcSchedule::new(
+            2,
+            vec![
+                Acquire { lock: 7 },
+                Acquire { lock: 7 },
+                Release { lock: 7 },
+            ],
+        )]);
+        assert_eq!(rules(&f), vec![LintRule::DoubleAcquire]);
+        assert_eq!(f[0].proc, Some(2));
+    }
+
+    #[test]
+    fn release_without_acquire_detected() {
+        let f = lint_schedules(&[ProcSchedule::new(0, vec![Release { lock: 7 }])]);
+        assert_eq!(rules(&f), vec![LintRule::ReleaseWithoutAcquire]);
+    }
+
+    #[test]
+    fn unreleased_lock_detected() {
+        let f = lint_schedules(&[ProcSchedule::new(1, vec![Acquire { lock: 5 }])]);
+        assert_eq!(rules(&f), vec![LintRule::UnreleasedLock]);
+    }
+
+    #[test]
+    fn useless_prefetch_detected() {
+        let f = lint_schedules(&[ProcSchedule::new(
+            0,
+            vec![
+                Prefetch { subpage: 4 },
+                Read { subpage: 5 }, // different sub-page
+            ],
+        )]);
+        assert_eq!(rules(&f), vec![LintRule::UselessPrefetch]);
+        assert!(f[0].message.contains("sub-page 4"));
+    }
+
+    #[test]
+    fn prefetch_justified_by_later_write() {
+        let f = lint_schedules(&[ProcSchedule::new(
+            0,
+            vec![Prefetch { subpage: 4 }, Write { subpage: 4 }],
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

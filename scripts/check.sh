@@ -16,4 +16,9 @@ cargo test --workspace --release --quiet
 echo "==> KSR_QUICK=1 run_all (end-to-end pipeline)"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all
 
+echo "==> run_all --check --quick (coherence + race + lint verification)"
+# Exits non-zero on any coherence violation, data race, or schedule lint
+# finding; the full report lands in results/violations.json.
+cargo run --quiet --release -p ksr-bench --bin run_all -- --check --quick
+
 echo "==> all checks passed"

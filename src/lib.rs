@@ -15,6 +15,8 @@
 //!   processor-program API.
 //! * [`sync`] — locks and the nine barrier algorithms of §3.2.
 //! * [`nas`] — the EP, CG, IS kernels and the SP application of §3.3.
+//! * [`verify`] — trace-driven coherence checking, happens-before race
+//!   detection, and static schedule lints (`run_all --check`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment
 //! index.
@@ -27,3 +29,4 @@ pub use ksr_mem as mem;
 pub use ksr_nas as nas;
 pub use ksr_net as net;
 pub use ksr_sync as sync;
+pub use ksr_verify as verify;

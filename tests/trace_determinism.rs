@@ -90,6 +90,26 @@ fn tracing_does_not_change_the_simulation() {
 }
 
 #[test]
+fn checking_sink_does_not_change_the_simulation() {
+    let off = run_workload(None);
+    let (tracer, sink) = Tracer::attach(ksr1_repro::verify::CheckingSink::default());
+    let on = run_workload(Some(tracer));
+
+    assert_eq!(
+        off.duration_cycles, on.duration_cycles,
+        "attaching the coherence checker changed the run's virtual time"
+    );
+    assert_eq!(off.perfmon, on.perfmon);
+    assert_eq!(off.fabric, on.fabric);
+    assert_eq!(off.snapshot.per_cell, on.snapshot.per_cell);
+
+    // The checker observed the whole run and the real protocol is clean.
+    let s = sink.lock().expect("sink");
+    assert!(s.events_seen() > 0, "checker saw no events");
+    assert!(s.is_clean(), "real protocol flagged: {:?}", s.violations());
+}
+
+#[test]
 fn snapshot_deltas_attribute_phases() {
     let mut m = Machine::ksr1(7).expect("machine");
     let a = m.alloc(64 * 1024, 16384).expect("alloc");
