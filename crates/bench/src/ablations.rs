@@ -25,6 +25,7 @@ use ksr_net::RingHierarchyConfig;
 use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id.
 pub const ID: &str = "ABL";
@@ -51,7 +52,7 @@ where
             })
         })
         .collect();
-    let r = m.run(programs);
+    let r = m.run(programs).expect("run");
     cycles_to_seconds(r.duration_cycles() / run_eps as u64, m.config().clock_hz)
 }
 
@@ -80,20 +81,21 @@ fn hammer_latency(cfg: MachineConfig, procs: usize) -> f64 {
                 })
             })
             .collect(),
-    );
+    )
+    .expect("run");
     (0..procs)
         .map(|p| results.peek(&mut m, p) as f64)
         .sum::<f64>()
         / procs as f64
 }
 
-/// Run all ablations.
+/// Plan all ablations: one pure job per (mechanism, setting) point.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let procs = if quick { 8 } else { 16 };
     let episodes = if quick { 4 } else { 10 };
+    let mut jobs = Vec::new();
 
     // 1. Poststore / read-snarfing ladder for the global-flag wake-up:
     // with poststore the flag broadcast refills every spinner directly;
@@ -102,108 +104,176 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
     // "read-snarfing helps this global wakeup flag notification method
     // tremendously. Read-snarfing is further aided by the use of
     // poststore" (§3.2.2).
-    let tournament_m = |protocol: ProtocolOptions| {
-        let mut cfg = MachineConfig::ksr1(opts.machine_seed(1));
-        cfg.protocol = protocol;
-        episode_secs(cfg, procs, episodes, |m| {
-            TournamentBarrier::alloc(m, procs, true).expect("alloc")
-        })
-    };
-    let full = tournament_m(ProtocolOptions::default());
-    let snarf_only = tournament_m(ProtocolOptions {
-        poststore: false,
-        ..ProtocolOptions::default()
-    });
-    let neither = tournament_m(ProtocolOptions {
-        read_snarfing: false,
-        poststore: false,
-        ..ProtocolOptions::default()
-    });
-    out.line(format_args!(
-        "wake-up ladder, tournament(M) @{procs}p: poststore+snarf {:.1} us; snarf only {:.1} us          ({:+.0}%); neither {:.1} us ({:+.0}%)",
-        full * 1e6,
-        snarf_only * 1e6,
-        (snarf_only / full - 1.0) * 100.0,
-        neither * 1e6,
-        (neither / full - 1.0) * 100.0
-    ));
-    for (variant, v) in [
-        ("poststore+snarf", full),
-        ("snarf only", snarf_only),
-        ("neither", neither),
-    ] {
-        out.row(
+    let wakeup_variants: [(&str, ProtocolOptions); 3] = [
+        ("poststore+snarf", ProtocolOptions::default()),
+        (
+            "snarf only",
+            ProtocolOptions {
+                poststore: false,
+                ..ProtocolOptions::default()
+            },
+        ),
+        (
+            "neither",
+            ProtocolOptions {
+                read_snarfing: false,
+                poststore: false,
+                ..ProtocolOptions::default()
+            },
+        ),
+    ];
+    let seed1 = opts.machine_seed(1);
+    for (variant, protocol) in wakeup_variants {
+        jobs.push(Job::value(
+            format!("ABL wakeup {variant}"),
+            procs,
             "wakeup_episode_seconds",
-            &[
-                ("variant", Json::from(variant)),
-                ("procs", Json::from(procs)),
-            ],
-            v,
             "s",
-        );
+            move || {
+                let mut cfg = MachineConfig::ksr1(seed1);
+                cfg.protocol = protocol;
+                episode_secs(cfg, procs, episodes, |m| {
+                    TournamentBarrier::alloc(m, procs, true).expect("alloc")
+                })
+            },
+        ));
     }
 
     // 2. Sub-ring interleaving: one fat lane vs two interleaved lanes.
-    let two_lanes = hammer_latency(MachineConfig::ksr1(opts.machine_seed(2)), procs);
-    let mut cfg = MachineConfig::ksr1(opts.machine_seed(2));
-    let mut ring = RingHierarchyConfig::ksr1_32();
-    ring.leaf.subrings = 1;
-    cfg.ring_override = Some(ring);
-    let one_lane = hammer_latency(cfg, procs);
-    out.line(format_args!(
-        "sub-ring interleave @{procs}p hammer: {:.1} cycles with 2 sub-rings, {:.1} with 1 \
-         ({:+.0}%)",
-        two_lanes,
-        one_lane,
-        (one_lane / two_lanes - 1.0) * 100.0
-    ));
-    for (subrings, v) in [(2u64, two_lanes), (1, one_lane)] {
-        out.row(
+    let seed2 = opts.machine_seed(2);
+    for subrings in [2usize, 1] {
+        jobs.push(Job::value(
+            format!("ABL subrings={subrings}"),
+            procs,
             "hammer_latency_cycles",
-            &[
-                ("subrings", Json::from(subrings)),
-                ("procs", Json::from(procs)),
-            ],
-            v,
             "cycles",
-        );
+            move || {
+                let mut cfg = MachineConfig::ksr1(seed2);
+                if subrings == 1 {
+                    let mut ring = RingHierarchyConfig::ksr1_32();
+                    ring.leaf.subrings = 1;
+                    cfg.ring_override = Some(ring);
+                }
+                hammer_latency(cfg, procs)
+            },
+        ));
     }
 
     // 3. Slot-count sweep: where does the saturation knee go?
-    out.push_text("slot sweep (hammer latency, cycles):");
+    let seed3 = opts.machine_seed(3);
     for slots in [8usize, 16, 24, 32] {
-        let mut cfg = MachineConfig::ksr1(opts.machine_seed(3));
-        let mut ring = RingHierarchyConfig::ksr1_32();
-        ring.leaf.slots = slots;
-        cfg.ring_override = Some(ring);
-        let l = hammer_latency(cfg, procs);
-        out.line(format_args!("  {slots:>2} slots: {l:>7.1}"));
-        out.row(
+        jobs.push(Job::value(
+            format!("ABL slots={slots}"),
+            procs,
             "hammer_latency_cycles",
-            &[("slots", Json::from(slots)), ("procs", Json::from(procs))],
-            l,
             "cycles",
-        );
+            move || {
+                let mut cfg = MachineConfig::ksr1(seed3);
+                let mut ring = RingHierarchyConfig::ksr1_32();
+                ring.leaf.slots = slots;
+                cfg.ring_override = Some(ring);
+                hammer_latency(cfg, procs)
+            },
+        ));
     }
 
     // 4. MCS arrival-arity sweep: tree height vs packed-word false sharing.
-    out.push_text("MCS arrival arity sweep (us/episode; 4 is the paper's):");
+    let seed4 = opts.machine_seed(4);
     for arity in [2usize, 4, 8] {
-        let t = episode_secs(
-            MachineConfig::ksr1(opts.machine_seed(4)),
+        jobs.push(Job::value(
+            format!("ABL mcs arity={arity}"),
             procs,
-            episodes,
-            |m| McsBarrier::alloc_with_arity(m, procs, false, arity).expect("alloc"),
-        );
-        out.line(format_args!("  arity {arity}: {:.1}", t * 1e6));
-        out.row(
             "mcs_episode_seconds",
-            &[("arity", Json::from(arity)), ("procs", Json::from(procs))],
-            t,
             "s",
-        );
+            move || {
+                episode_secs(MachineConfig::ksr1(seed4), procs, episodes, |m| {
+                    McsBarrier::alloc_with_arity(m, procs, false, arity).expect("alloc")
+                })
+            },
+        ));
     }
-    out
+
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let full = res.value(0);
+        let snarf_only = res.value(1);
+        let neither = res.value(2);
+        out.line(format_args!(
+            "wake-up ladder, tournament(M) @{procs}p: poststore+snarf {:.1} us; snarf only {:.1} us          ({:+.0}%); neither {:.1} us ({:+.0}%)",
+            full * 1e6,
+            snarf_only * 1e6,
+            (snarf_only / full - 1.0) * 100.0,
+            neither * 1e6,
+            (neither / full - 1.0) * 100.0
+        ));
+        for (variant, v) in [
+            ("poststore+snarf", full),
+            ("snarf only", snarf_only),
+            ("neither", neither),
+        ] {
+            out.row(
+                "wakeup_episode_seconds",
+                &[
+                    ("variant", Json::from(variant)),
+                    ("procs", Json::from(procs)),
+                ],
+                v,
+                "s",
+            );
+        }
+
+        let two_lanes = res.value(3);
+        let one_lane = res.value(4);
+        out.line(format_args!(
+            "sub-ring interleave @{procs}p hammer: {:.1} cycles with 2 sub-rings, {:.1} with 1 \
+             ({:+.0}%)",
+            two_lanes,
+            one_lane,
+            (one_lane / two_lanes - 1.0) * 100.0
+        ));
+        for (subrings, v) in [(2u64, two_lanes), (1, one_lane)] {
+            out.row(
+                "hammer_latency_cycles",
+                &[
+                    ("subrings", Json::from(subrings)),
+                    ("procs", Json::from(procs)),
+                ],
+                v,
+                "cycles",
+            );
+        }
+
+        out.push_text("slot sweep (hammer latency, cycles):");
+        for (i, slots) in [8usize, 16, 24, 32].into_iter().enumerate() {
+            let l = res.value(5 + i);
+            out.line(format_args!("  {slots:>2} slots: {l:>7.1}"));
+            out.row(
+                "hammer_latency_cycles",
+                &[("slots", Json::from(slots)), ("procs", Json::from(procs))],
+                l,
+                "cycles",
+            );
+        }
+
+        out.push_text("MCS arrival arity sweep (us/episode; 4 is the paper's):");
+        for (i, arity) in [2usize, 4, 8].into_iter().enumerate() {
+            let t = res.value(9 + i);
+            out.line(format_args!("  arity {arity}: {:.1}", t * 1e6));
+            out.row(
+                "mcs_episode_seconds",
+                &[("arity", Json::from(arity)), ("procs", Json::from(procs))],
+                t,
+                "s",
+            );
+        }
+        out
+    })
+}
+
+/// Run all ablations (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

@@ -5,11 +5,15 @@
 //! never feeding back into virtual time (a checked run's result files
 //! are bit-identical to an unchecked run's):
 //!
-//! 1. **Coherence invariants** — a [`CheckingSink`] is attached (via the
-//!    [`ksr_machine::set_machine_observer`] hook) to *every* machine an
-//!    experiment builds, shadowing each sub-page's global state and
-//!    flagging protocol violations with the offending cycle, processor,
-//!    and a short event-window replay.
+//! 1. **Coherence invariants** — each executor job runs inside a
+//!    [`CheckScope`]: a scoped, thread-local
+//!    [`ksr_machine::ObserverScope`] that attaches a fresh
+//!    [`CheckingSink`] to *every* machine the job builds, shadowing each
+//!    sub-page's global state and flagging protocol violations with the
+//!    offending cycle, processor, and a short event-window replay. Jobs
+//!    on different workers check independently; their [`ExpCheck`]
+//!    results merge in job order, so `violations.json` is byte-identical
+//!    at any `-j`.
 //! 2. **Happens-before races** — the IS kernel runs under a
 //!    [`CollectingSink`] and its access stream goes through the
 //!    vector-clock [`RaceDetector`]; the properly locked kernel must be
@@ -23,12 +27,12 @@
 //! Everything lands in `<results>/violations.json`; any violation makes
 //! the run exit non-zero, which is how `scripts/check.sh` gates CI.
 
-use std::process::ExitCode;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use ksr_core::trace::Tracer;
 use ksr_core::Json;
-use ksr_machine::{set_machine_observer, Machine, MachineObserver};
+use ksr_machine::{Machine, MachineObserver, ObserverScope};
 use ksr_nas::{IsConfig, IsSetup};
 use ksr_verify::report::{lint_to_json, race_to_json, violation_to_json};
 use ksr_verify::{
@@ -36,19 +40,67 @@ use ksr_verify::{
     RaceReport, SchedOp, Violation,
 };
 
-use crate::cli::emit;
-use crate::common::{write_summary, RunOpts};
-use crate::registry::{Experiment, FnExperiment};
+use crate::common::RunOpts;
 
-/// A scope during which every [`Machine::new`] gets a fresh
-/// [`CheckingSink`] attached as its tracer. Dropping the session
-/// uninstalls the observer.
-struct CheckSession {
-    sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>>,
+/// Aggregated coherence-checking results for one job (and, after
+/// merging in job order, one experiment).
+#[derive(Debug, Default)]
+pub struct ExpCheck {
+    /// Machines observed.
+    pub machines: usize,
+    /// Coherence events the sinks saw.
+    pub events: u64,
+    /// Violations dropped past each sink's retention cap.
+    pub truncated: u64,
+    /// Retained violations, in machine-construction order.
+    pub violations: Vec<Violation>,
 }
 
-impl CheckSession {
-    fn install() -> Self {
+impl ExpCheck {
+    /// Violation count including those past the retention cap.
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.violations.len() as u64 + self.truncated
+    }
+
+    /// Fold `next` (the following job's results) into `self`.
+    pub fn merge(&mut self, next: Self) {
+        self.machines += next.machines;
+        self.events += next.events;
+        self.truncated += next.truncated;
+        self.violations.extend(next.violations);
+    }
+
+    /// JSON entry for the `coherence.experiments` array.
+    #[must_use]
+    pub fn to_json(&self, id: &str) -> Json {
+        Json::obj([
+            ("id", Json::from(id)),
+            ("machines", Json::from(self.machines)),
+            ("events", Json::from(self.events)),
+            ("truncated", Json::from(self.truncated)),
+            (
+                "violations",
+                Json::arr(self.violations.iter().map(violation_to_json)),
+            ),
+        ])
+    }
+}
+
+/// A scope during which every [`Machine`] built **on this thread** gets
+/// a fresh [`CheckingSink`] attached as its tracer. One per executor
+/// job; concurrent jobs on other workers have their own scopes and
+/// never see each other's machines. Dropping (or draining) the scope
+/// uninstalls the observer.
+pub struct CheckScope {
+    sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>>,
+    _scope: ObserverScope,
+}
+
+impl CheckScope {
+    /// Install the checking observer for the current thread.
+    #[must_use]
+    pub fn install() -> Self {
         let sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>> = Arc::default();
         let registry = Arc::clone(&sinks);
         let observer: Arc<MachineObserver> = Arc::new(move |m: &mut Machine| {
@@ -59,77 +111,45 @@ impl CheckSession {
                 .expect("checker registry poisoned")
                 .push(sink);
         });
-        let _previous = set_machine_observer(Some(observer));
-        Self { sinks }
+        Self {
+            sinks,
+            _scope: ObserverScope::install(observer),
+        }
     }
 
-    /// Number of machines observed so far (a drain high-water mark).
-    fn machines_seen(&self) -> usize {
+    /// Number of machines observed so far.
+    #[must_use]
+    pub fn machines_seen(&self) -> usize {
         self.sinks.lock().expect("checker registry poisoned").len()
     }
 
-    /// Collect results from every sink attached since `start`:
-    /// (machines, events, violations, violations past the retention cap).
-    fn drain_from(&self, start: usize) -> (usize, u64, Vec<Violation>, u64) {
+    /// Uninstall the observer and collect every sink's results.
+    #[must_use]
+    pub fn drain(self) -> ExpCheck {
         let sinks = self.sinks.lock().expect("checker registry poisoned");
-        let mut events = 0;
-        let mut truncated = 0;
-        let mut violations = Vec::new();
-        for sink in &sinks[start..] {
+        let mut check = ExpCheck {
+            machines: sinks.len(),
+            ..ExpCheck::default()
+        };
+        for sink in sinks.iter() {
             let s = sink.lock().expect("checking sink poisoned");
-            events += s.events_seen();
-            truncated += s.truncated();
-            violations.extend(s.violations().iter().cloned());
+            check.events += s.events_seen();
+            check.truncated += s.truncated();
+            check.violations.extend(s.violations().iter().cloned());
         }
-        (sinks.len() - start, events, violations, truncated)
+        check
     }
 }
 
-impl Drop for CheckSession {
-    fn drop(&mut self) {
-        let _ = set_machine_observer(None);
-    }
-}
-
-/// Run `selected` with checking enabled, then the race and lint suites;
-/// write `violations.json`; exit non-zero on any violation.
-pub fn run_checked(selected: &[&FnExperiment], opts: &RunOpts) -> ExitCode {
-    let session = CheckSession::install();
-    let mut outputs = Vec::new();
-    let mut coherence_entries = Vec::new();
-    let mut coherence_violations: u64 = 0;
-    for exp in selected {
-        let mark = session.machines_seen();
-        outputs.push(emit(exp, opts));
-        let (machines, events, violations, truncated) = session.drain_from(mark);
-        coherence_violations += violations.len() as u64 + truncated;
-        eprintln!(
-            "[check: {}: {machines} machine(s), {events} coherence event(s), {} violation(s)]",
-            exp.id(),
-            violations.len() as u64 + truncated,
-        );
-        coherence_entries.push(Json::obj([
-            ("id", Json::from(exp.id())),
-            ("machines", Json::from(machines)),
-            ("events", Json::from(events)),
-            ("truncated", Json::from(truncated)),
-            (
-                "violations",
-                Json::arr(violations.iter().map(violation_to_json)),
-            ),
-        ]));
-    }
-    // The race/lint suites attach their own sinks; stop shadowing first.
-    drop(session);
-
-    match write_summary(&outputs, opts) {
-        Ok(path) => eprintln!("[summary: {}]", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write summary: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-
+/// Run the race/lint suites, assemble the `violations.json` document
+/// from the per-experiment coherence results (already merged in job
+/// order), and write it. Returns the file path and whether the whole
+/// run was clean. Suite progress goes to stderr.
+pub fn finalize(
+    entries: &[(&'static str, ExpCheck)],
+    opts: &RunOpts,
+) -> std::io::Result<(PathBuf, bool)> {
+    let coherence_violations: u64 = entries.iter().map(|(_, c)| c.total_violations()).sum();
     let (race_json, races_clean) = race_suite(opts);
     let (lint_json, lints_clean) = lint_suite();
 
@@ -142,30 +162,28 @@ pub fn run_checked(selected: &[&FnExperiment], opts: &RunOpts) -> ExitCode {
             "coherence",
             Json::obj([
                 ("total_violations", Json::from(coherence_violations)),
-                ("experiments", Json::Arr(coherence_entries)),
+                (
+                    "experiments",
+                    Json::Arr(entries.iter().map(|(id, c)| c.to_json(id)).collect()),
+                ),
             ]),
         ),
         ("races", race_json),
         ("lints", lint_json),
     ]);
     let path = opts.results_dir.join("violations.json");
-    if let Err(e) = std::fs::create_dir_all(&opts.results_dir)
-        .and_then(|()| std::fs::write(&path, doc.render_pretty()))
-    {
-        eprintln!("error: could not write {}: {e}", path.display());
-        return ExitCode::FAILURE;
-    }
+    std::fs::create_dir_all(&opts.results_dir)?;
+    std::fs::write(&path, doc.render_pretty())?;
     eprintln!("[violations: {}]", path.display());
     if clean {
         eprintln!("[check: PASS — no coherence violations, no races, no lint findings]");
-        ExitCode::SUCCESS
     } else {
         eprintln!(
             "[check: FAIL — {coherence_violations} coherence violation(s), races clean: \
              {races_clean}, lints clean: {lints_clean}]"
         );
-        ExitCode::FAILURE
     }
+    Ok((path, clean))
 }
 
 /// IS configuration for the verification suites: small enough to run on
@@ -194,7 +212,8 @@ fn is_races(opts: &RunOpts, racy: bool) -> Vec<RaceReport> {
         setup.programs_racy_phase6()
     } else {
         setup.programs()
-    });
+    })
+    .expect("run");
     let events = sink.lock().expect("collector poisoned").take();
     RaceDetector::new(procs).analyze(&events)
 }
@@ -321,14 +340,32 @@ mod tests {
     }
 
     #[test]
-    fn check_session_attaches_a_sink_per_machine() {
-        let session = CheckSession::install();
-        let before = session.machines_seen();
+    fn check_scope_attaches_a_sink_per_machine() {
+        let scope = CheckScope::install();
         let _m = Machine::ksr1_scaled(1, 64).expect("machine");
         let _m2 = Machine::ksr1_scaled(2, 64).expect("machine");
-        assert_eq!(session.machines_seen(), before + 2);
-        let (machines, _, violations, truncated) = session.drain_from(before);
-        assert_eq!(machines, 2);
-        assert!(violations.is_empty() && truncated == 0);
+        assert_eq!(scope.machines_seen(), 2);
+        let check = scope.drain();
+        assert_eq!(check.machines, 2);
+        assert!(check.violations.is_empty() && check.truncated == 0);
+    }
+
+    #[test]
+    fn exp_checks_merge_in_order() {
+        let mut a = ExpCheck {
+            machines: 1,
+            events: 10,
+            truncated: 0,
+            violations: Vec::new(),
+        };
+        a.merge(ExpCheck {
+            machines: 2,
+            events: 5,
+            truncated: 3,
+            violations: Vec::new(),
+        });
+        assert_eq!(a.machines, 3);
+        assert_eq!(a.events, 15);
+        assert_eq!(a.total_violations(), 3);
     }
 }

@@ -2,11 +2,13 @@
 //! binaries.
 //!
 //! Every binary accepts the same flags, layered over the environment
-//! defaults (`KSR_QUICK`, `KSR_SEED`, `KSR_RESULTS`):
+//! defaults (`KSR_QUICK`, `KSR_SEED`, `KSR_RESULTS`, `KSR_JOBS`):
 //!
 //! * `--quick` / `--full` — force reduced or full sweeps;
 //! * `--seed N` — perturb every machine seed;
 //! * `--results DIR` — where result files go;
+//! * `--jobs N` / `-j N` — worker threads the executor schedules jobs
+//!   over (results are byte-identical at any value);
 //! * `--check` — verification mode (`KSR_CHECK=1`): every machine gets a
 //!   `ksr-verify` coherence-checking sink, the race-detector and
 //!   schedule-lint suites run afterwards, and `violations.json` lands
@@ -14,10 +16,19 @@
 //!
 //! `run_all` additionally understands `--list` (print the registry and
 //! exit) and `--only ID[,ID...]` (run a subset).
+//!
+//! Output discipline: rendered experiment results go to **stdout** (so
+//! runs pipe cleanly into files and diffs); everything else — per-job
+//! progress, `[written:]` / `[summary:]` / `[check:]` status lines,
+//! errors — goes to **stderr**.
 
 use std::process::ExitCode;
+use std::time::Instant;
+
+use ksr_core::{Json, Progress};
 
 use crate::common::{write_summary, ExperimentOutput, RunOpts};
+use crate::exec;
 use crate::registry::{find, Experiment, FnExperiment, REGISTRY};
 
 /// Parsed command line: run options plus `run_all`'s selection flags.
@@ -53,6 +64,11 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             "--results" => {
                 cli.opts.results_dir = args.next().ok_or("--results needs a directory")?.into();
             }
+            "--jobs" | "-j" => {
+                let v = args.next().ok_or("--jobs needs a worker count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs value: {v}"))?;
+                cli.opts.jobs = n.max(1);
+            }
             "--only" => {
                 let v = args
                     .next()
@@ -71,8 +87,8 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
 
 fn usage(program: &str) -> String {
     format!(
-        "usage: {program} [--quick|--full] [--check] [--seed N] [--results DIR] [--list] \
-         [--only ID,ID...]\n\
+        "usage: {program} [--quick|--full] [--check] [--seed N] [--results DIR] [--jobs N] \
+         [--list] [--only ID,ID...]\n\
          ids: {}",
         crate::registry::ids().join(", ")
     )
@@ -96,6 +112,105 @@ pub fn emit(exp: &FnExperiment, opts: &RunOpts) -> ExperimentOutput {
         Err(e) => eprintln!("[warning: could not write results file: {e}]"),
     }
     out
+}
+
+/// The unified run path: plan every selected experiment, execute all
+/// jobs over the worker pool, then print/persist the outputs in
+/// selection order. With `summary` set, `summary.json` and
+/// `timings.json` are written too (the `run_all` mode); single-figure
+/// binaries skip both. Under `--check`, the per-experiment coherence
+/// results are merged in job order and [`crate::check::finalize`] runs
+/// the race/lint suites and writes `violations.json`.
+fn run_selection(selected: &[&FnExperiment], opts: &RunOpts, summary: bool) -> ExitCode {
+    let plans: Vec<crate::exec::ExperimentPlan> = selected.iter().map(|e| e.plan(opts)).collect();
+    let wall_start = Instant::now();
+    let (progress, drainer) = Progress::stderr();
+    let results = exec::execute(plans, opts, &progress);
+    drop(progress);
+    drainer.join();
+    let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+    let mut outputs: Vec<ExperimentOutput> = Vec::with_capacity(results.len());
+    let mut checks = Vec::new();
+    let mut timings = Vec::new();
+    for (exp, result) in selected.iter().zip(results) {
+        println!("{}", result.output.render());
+        match result.output.write_to(&opts.results_dir) {
+            Ok(path) => eprintln!("[written: {}]", path.display()),
+            Err(e) => eprintln!("[warning: could not write results file: {e}]"),
+        }
+        if let Some(check) = result.check {
+            eprintln!(
+                "[check: {}: {} machine(s), {} coherence event(s), {} violation(s)]",
+                exp.id(),
+                check.machines,
+                check.events,
+                check.total_violations()
+            );
+            checks.push((exp.id(), check));
+        }
+        timings.push((exp.id(), result.seconds));
+        outputs.push(result.output);
+    }
+
+    if summary {
+        match write_summary(&outputs, opts) {
+            Ok(path) => eprintln!("[summary: {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write summary: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = write_timings(&timings, wall_seconds, opts) {
+            eprintln!("[warning: could not write timings: {e}]");
+        }
+    }
+
+    if opts.check {
+        match crate::check::finalize(&checks, opts) {
+            Ok((_, true)) => ExitCode::SUCCESS,
+            Ok((_, false)) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("error: could not write violations report: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Write `timings.json`: per-experiment wall-clock seconds plus the
+/// run's worker count and total wall time. Timings are the one
+/// nondeterministic output, so they live in their own file that the
+/// determinism gates exclude from byte comparison.
+fn write_timings(
+    timings: &[(&'static str, f64)],
+    wall_seconds: f64,
+    opts: &RunOpts,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(&opts.results_dir)?;
+    let doc = Json::obj([
+        ("jobs", Json::from(opts.jobs)),
+        ("wall_seconds", Json::from(wall_seconds)),
+        (
+            "experiments",
+            Json::Arr(
+                timings
+                    .iter()
+                    .map(|&(id, seconds)| {
+                        Json::obj([("id", Json::from(id)), ("seconds", Json::from(seconds))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = opts.results_dir.join("timings.json");
+    let mut body = doc.render_pretty();
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    eprintln!("[timings: {}]", path.display());
+    Ok(())
 }
 
 /// Entry point for the `run_all` binary.
@@ -130,18 +245,7 @@ pub fn run_all_main() -> ExitCode {
         }
         sel
     };
-    if cli.opts.check {
-        return crate::check::run_checked(&selected, &cli.opts);
-    }
-    let outputs: Vec<ExperimentOutput> = selected.iter().map(|e| emit(e, &cli.opts)).collect();
-    match write_summary(&outputs, &cli.opts) {
-        Ok(path) => eprintln!("[summary: {}]", path.display()),
-        Err(e) => {
-            eprintln!("error: could not write summary: {e}");
-            return ExitCode::FAILURE;
-        }
-    }
-    ExitCode::SUCCESS
+    run_selection(&selected, &cli.opts, true)
 }
 
 /// Entry point for a single-experiment binary: run `id` with the shared
@@ -169,11 +273,7 @@ pub fn run_single_main(id: &str) -> ExitCode {
         print_registry_to_stderr();
         return ExitCode::FAILURE;
     };
-    if cli.opts.check {
-        return crate::check::run_checked(&[exp], &cli.opts);
-    }
-    emit(exp, &cli.opts);
-    ExitCode::SUCCESS
+    run_selection(&[exp], &cli.opts, false)
 }
 
 #[cfg(test)]
@@ -189,6 +289,8 @@ mod tests {
                 "9",
                 "--results",
                 "out",
+                "--jobs",
+                "4",
                 "--only",
                 "fig4,tab1",
             ]
@@ -198,12 +300,22 @@ mod tests {
         assert!(cli.opts.quick);
         assert_eq!(cli.opts.seed, 9);
         assert_eq!(cli.opts.results_dir, std::path::PathBuf::from("out"));
+        assert_eq!(cli.opts.jobs, 4);
         assert_eq!(cli.only, ["FIG4", "TAB1"]);
+    }
+
+    #[test]
+    fn short_jobs_flag_and_floor() {
+        let cli = parse_args(["-j", "8"].map(String::from)).unwrap();
+        assert_eq!(cli.opts.jobs, 8);
+        let cli = parse_args(["--jobs", "0"].map(String::from)).unwrap();
+        assert_eq!(cli.opts.jobs, 1, "a zero worker count clamps to serial");
     }
 
     #[test]
     fn unknown_flag_is_an_error() {
         assert!(parse_args(["--bogus".to_string()]).is_err());
         assert!(parse_args(["--seed".to_string(), "x".to_string()]).is_err());
+        assert!(parse_args(["--jobs".to_string(), "x".to_string()]).is_err());
     }
 }

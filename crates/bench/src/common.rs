@@ -30,7 +30,18 @@ pub struct RunOpts {
     /// `violations.json`. Checking observes the trace only — cycle
     /// counts and result files are bit-identical with it on or off.
     pub check: bool,
+    /// Worker threads the executor schedules jobs over (`--jobs N` /
+    /// `KSR_JOBS`, default from the environment is the host parallelism
+    /// capped at [`MAX_DEFAULT_JOBS`]). Results are byte-identical at
+    /// any value — every job is a pure (config, seed) → rows function
+    /// and the reduce runs in job order. Not recorded in `summary.json`
+    /// for exactly that reason.
+    pub jobs: usize,
 }
+
+/// Cap on the jobs default inferred from host parallelism; explicit
+/// `--jobs` / `KSR_JOBS` values may exceed it.
+pub const MAX_DEFAULT_JOBS: usize = 16;
 
 impl Default for RunOpts {
     fn default() -> Self {
@@ -39,13 +50,14 @@ impl Default for RunOpts {
             seed: 0,
             results_dir: PathBuf::from("results"),
             check: false,
+            jobs: 1,
         }
     }
 }
 
 impl RunOpts {
     /// Options taken entirely from the environment: `KSR_QUICK`,
-    /// `KSR_SEED`, `KSR_RESULTS`, `KSR_CHECK`.
+    /// `KSR_SEED`, `KSR_RESULTS`, `KSR_CHECK`, `KSR_JOBS`.
     #[must_use]
     pub fn from_env() -> Self {
         let seed = std::env::var("KSR_SEED")
@@ -57,6 +69,7 @@ impl RunOpts {
             seed,
             results_dir: results_dir(),
             check: check_mode(),
+            jobs: default_jobs(),
         }
     }
 
@@ -95,6 +108,21 @@ pub struct MetricRow {
 }
 
 impl MetricRow {
+    /// Build a row from borrowed parts (the job-side counterpart of
+    /// [`ExperimentOutput::row`]).
+    #[must_use]
+    pub fn new(metric: &str, params: &[(&str, Json)], value: f64, unit: &str) -> Self {
+        Self {
+            metric: metric.to_string(),
+            params: params
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+
     /// JSON form: `{"metric": ..., "params": {...}, "value": ..., "unit": ...}`.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -293,6 +321,24 @@ pub fn check_mode() -> bool {
 #[must_use]
 pub fn results_dir() -> PathBuf {
     PathBuf::from(std::env::var_os("KSR_RESULTS").unwrap_or_else(|| "results".into()))
+}
+
+/// Default worker count: `KSR_JOBS` if set, otherwise the host's
+/// available parallelism capped at [`MAX_DEFAULT_JOBS`].
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::env::var("KSR_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(
+            || {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(MAX_DEFAULT_JOBS)
+            },
+            |j| j.max(1),
+        )
 }
 
 /// Processor counts for a 32-cell sweep.

@@ -10,7 +10,8 @@ use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{EpConfig, EpSetup};
 
-use crate::common::{ExperimentOutput, RunOpts};
+use crate::common::{ExperimentOutput, MetricRow, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id.
 pub const ID: &str = "EP";
@@ -22,18 +23,18 @@ pub const TITLE: &str = "Embarrassingly Parallel kernel (§3.3)";
 pub fn ep_time(cfg: EpConfig, procs: usize, seed: u64) -> (f64, f64) {
     let mut m = Machine::ksr1(seed).expect("machine");
     let setup = EpSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     (
         cycles_to_seconds(r.duration_cycles(), m.config().clock_hz),
         r.mflops(),
     )
 }
 
-/// Run the EP scaling experiment.
+/// Plan the EP scaling experiment: one job per processor count; each
+/// job reports both the run time and the aggregate MFLOPS.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let cfg = EpConfig {
         pairs: if quick { 1 << 14 } else { 1 << 18 },
         ..EpConfig::default()
@@ -43,38 +44,61 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
     } else {
         vec![1, 2, 4, 8, 16, 32]
     };
-    let mut mflops_rows = Vec::new();
-    let times: Vec<(usize, f64)> = procs
+    let seed = opts.machine_seed(800);
+    let jobs: Vec<Job> = procs
         .iter()
         .map(|&p| {
-            let (t, mf) = ep_time(cfg, p, opts.machine_seed(800));
-            mflops_rows.push((p, mf));
-            (p, t)
+            Job::new(format!("EP p={p}"), p, move || {
+                let (t, mf) = ep_time(cfg, p, seed);
+                vec![
+                    MetricRow::new("ep_run_seconds", &[], t, "s"),
+                    MetricRow::new("mflops", &[], mf, "MFLOPS"),
+                ]
+            })
         })
         .collect();
-    let table = ScalingTable::from_times(&times);
-    out.push_text(&table.render(&format!(
-        "EP, 2^{} random pairs",
-        cfg.pairs.trailing_zeros()
-    )));
-    let t1 = times[0].1;
-    for &(p, t) in &times {
-        out.row("ep_run_seconds", &[("procs", Json::from(p))], t, "s");
-        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
-    }
-    for (p, mf) in mflops_rows {
-        out.line(format_args!(
-            "  {p:>2} procs: {:6.1} MFLOPS/proc (paper: ~11 sustained, 40 peak)",
-            mf / p as f64
-        ));
-        out.row(
-            "mflops_per_proc",
-            &[("procs", Json::from(p))],
-            mf / p as f64,
-            "MFLOPS",
-        );
-    }
-    out
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let times: Vec<(usize, f64)> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, res.rows(i)[0].value))
+            .collect();
+        let mflops_rows: Vec<(usize, f64)> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, res.rows(i)[1].value))
+            .collect();
+        let table = ScalingTable::from_times(&times);
+        out.push_text(&table.render(&format!(
+            "EP, 2^{} random pairs",
+            cfg.pairs.trailing_zeros()
+        )));
+        let t1 = times[0].1;
+        for &(p, t) in &times {
+            out.row("ep_run_seconds", &[("procs", Json::from(p))], t, "s");
+            out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+        }
+        for (p, mf) in mflops_rows {
+            out.line(format_args!(
+                "  {p:>2} procs: {:6.1} MFLOPS/proc (paper: ~11 sustained, 40 peak)",
+                mf / p as f64
+            ));
+            out.row(
+                "mflops_per_proc",
+                &[("procs", Json::from(p))],
+                mf / p as f64,
+                "MFLOPS",
+            );
+        }
+        out
+    })
+}
+
+/// Run the EP scaling experiment (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

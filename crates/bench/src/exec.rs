@@ -1,0 +1,412 @@
+//! Pure jobs and the parallel experiment executor.
+//!
+//! One experiment = an [`ExperimentPlan`]: a list of pure [`Job`]s
+//! (config + seed + program factory → typed [`MetricRow`]s) plus an
+//! ordered reduce that turns the per-job rows back into the experiment's
+//! [`ExperimentOutput`]. Construction, execution, and reduction are
+//! strictly separated — no experiment prints or writes mid-run.
+//!
+//! [`execute`] schedules every job of every plan over a pool of
+//! `opts.jobs` scoped worker threads. Determinism is structural, not
+//! accidental:
+//!
+//! * each job builds its own [`Machine`](ksr_machine::Machine)s from an
+//!   explicit seed, and the simulator is deterministic per
+//!   (config, seed) regardless of host scheduling;
+//! * job results land in pre-assigned slots, so the reduce always sees
+//!   them in job order no matter which worker finished first;
+//! * reduces run on the caller's thread in plan order.
+//!
+//! Hence `results/*.json` and `summary.json` are byte-identical at any
+//! `-j`. Wall-clock timings (the only nondeterministic signal) are kept
+//! out of result files and reported separately via
+//! [`ExperimentResult::seconds`].
+//!
+//! The executor also caps total OS thread usage: before fanning out it
+//! sets the machine layer's process-wide thread budget to
+//! `workers × 64` (the largest machine's cell count), clamped — so
+//! `jobs × procs-per-machine` cannot exhaust the host.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ksr_core::Progress;
+
+use crate::check::{CheckScope, ExpCheck};
+use crate::common::{ExperimentOutput, MetricRow, RunOpts};
+
+/// Largest cell count of any preset machine (the 64-cell KSR-2); the
+/// per-worker factor of the thread-budget rule.
+const MAX_MACHINE_CELLS: usize = 64;
+
+/// Upper clamp on the thread budget however many workers are requested.
+const MAX_THREAD_BUDGET: usize = 1024;
+
+/// One pure unit of work: a closure over config + seeds that builds its
+/// own machines and returns typed rows. No printing, no file I/O, no
+/// shared state — which is exactly what makes the grid schedulable in
+/// any order on any number of workers.
+pub struct Job {
+    label: String,
+    procs: usize,
+    run: Box<dyn FnOnce() -> Vec<MetricRow> + Send>,
+}
+
+impl Job {
+    /// A job returning arbitrarily many rows.
+    pub fn new(
+        label: impl Into<String>,
+        procs: usize,
+        run: impl FnOnce() -> Vec<MetricRow> + Send + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            procs,
+            run: Box::new(run),
+        }
+    }
+
+    /// The common single-measurement job: one `f64` becomes one row of
+    /// `metric` (the reduce re-derives the fully parameterized rows).
+    pub fn value(
+        label: impl Into<String>,
+        procs: usize,
+        metric: &str,
+        unit: &str,
+        f: impl FnOnce() -> f64 + Send + 'static,
+    ) -> Self {
+        let (metric, unit) = (metric.to_string(), unit.to_string());
+        Self::new(label, procs, move || {
+            vec![MetricRow::new(&metric, &[], f(), &unit)]
+        })
+    }
+
+    /// Human-readable label (shown in progress lines).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Simulated processors the job's largest machine runs (informs the
+    /// thread budget and scheduling heuristics).
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// Run the job to completion on the current thread.
+    #[must_use]
+    pub fn execute(self) -> Vec<MetricRow> {
+        (self.run)()
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("label", &self.label)
+            .field("procs", &self.procs)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-job row lists, in job order — what an [`ExperimentPlan`]'s
+/// reduce receives.
+#[derive(Debug)]
+pub struct JobResults {
+    rows: Vec<Vec<MetricRow>>,
+}
+
+impl JobResults {
+    /// Results for `jobs.len()` jobs, in job order.
+    #[must_use]
+    pub fn new(rows: Vec<Vec<MetricRow>>) -> Self {
+        Self { rows }
+    }
+
+    /// Number of jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the plan had no jobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows of job `i`.
+    #[must_use]
+    pub fn rows(&self, i: usize) -> &[MetricRow] {
+        &self.rows[i]
+    }
+
+    /// The single value of job `i` (for [`Job::value`] jobs).
+    #[must_use]
+    pub fn value(&self, i: usize) -> f64 {
+        self.rows[i][0].value
+    }
+}
+
+/// The reduce: per-job rows (in job order) → the experiment's output.
+pub type Reduce = Box<dyn FnOnce(JobResults) -> ExperimentOutput + Send>;
+
+/// One experiment as pure data: its jobs and the ordered reduce.
+pub struct ExperimentPlan {
+    id: &'static str,
+    title: &'static str,
+    jobs: Vec<Job>,
+    reduce: Reduce,
+}
+
+impl ExperimentPlan {
+    /// Assemble a plan.
+    pub fn new(
+        id: &'static str,
+        title: &'static str,
+        jobs: Vec<Job>,
+        reduce: impl FnOnce(JobResults) -> ExperimentOutput + Send + 'static,
+    ) -> Self {
+        Self {
+            id,
+            title,
+            jobs,
+            reduce: Box::new(reduce),
+        }
+    }
+
+    /// Experiment id (DESIGN.md index key).
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        self.id
+    }
+
+    /// Human title.
+    #[must_use]
+    pub fn title(&self) -> &'static str {
+        self.title
+    }
+
+    /// The jobs, for inspection.
+    #[must_use]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Run every job on the current thread, in order, then reduce —
+    /// byte-identical to what the executor produces at any `-j`.
+    #[must_use]
+    pub fn run_serial(self) -> ExperimentOutput {
+        let rows = self.jobs.into_iter().map(Job::execute).collect();
+        (self.reduce)(JobResults::new(rows))
+    }
+}
+
+impl std::fmt::Debug for ExperimentPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExperimentPlan")
+            .field("id", &self.id)
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// One executed experiment: its output plus execution metadata that
+/// deliberately stays out of the byte-compared result files.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// The reduced output (identical to `plan.run_serial()`).
+    pub output: ExperimentOutput,
+    /// Summed wall-clock seconds of the experiment's jobs (for
+    /// `timings.json`; nondeterministic by nature).
+    pub seconds: f64,
+    /// Aggregated coherence-checking results, merged in job order —
+    /// `Some` exactly when `opts.check` was set.
+    pub check: Option<ExpCheck>,
+}
+
+struct QueueItem {
+    plan: usize,
+    job: usize,
+    index: usize,
+    item: Job,
+}
+
+struct JobSlot {
+    rows: Vec<MetricRow>,
+    check: Option<ExpCheck>,
+    seconds: f64,
+}
+
+/// Execute `plans` over `opts.jobs` workers and reduce each in plan
+/// order. Progress (start/finish per job) goes through `progress`;
+/// nothing here touches stdout or the filesystem.
+#[must_use]
+pub fn execute(
+    plans: Vec<ExperimentPlan>,
+    opts: &RunOpts,
+    progress: &Progress,
+) -> Vec<ExperimentResult> {
+    let total: usize = plans.iter().map(|p| p.jobs.len()).sum();
+    let workers = opts.jobs.max(1).min(total.max(1));
+    ksr_machine::set_thread_cap(
+        (workers * MAX_MACHINE_CELLS).clamp(MAX_MACHINE_CELLS, MAX_THREAD_BUDGET),
+    );
+
+    // Split every plan into its queue items and its reduce.
+    let mut reduces = Vec::with_capacity(plans.len());
+    let mut queue = VecDeque::with_capacity(total);
+    let mut slots: Vec<Vec<Option<JobSlot>>> = Vec::with_capacity(plans.len());
+    let mut index = 0;
+    for (pi, plan) in plans.into_iter().enumerate() {
+        slots.push((0..plan.jobs.len()).map(|_| None).collect());
+        for (ji, item) in plan.jobs.into_iter().enumerate() {
+            index += 1;
+            queue.push_back(QueueItem {
+                plan: pi,
+                job: ji,
+                index,
+                item,
+            });
+        }
+        reduces.push((plan.id, plan.title, plan.reduce));
+    }
+
+    let queue = Mutex::new(queue);
+    let slots = Mutex::new(slots);
+    let check = opts.check;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Some(next) = queue.lock().expect("job queue poisoned").pop_front() else {
+                    break;
+                };
+                progress.started(next.item.label(), next.index, total);
+                let label = next.item.label().to_string();
+                let started = Instant::now();
+                let (rows, job_check) = if check {
+                    let scope = CheckScope::install();
+                    let rows = next.item.execute();
+                    (rows, Some(scope.drain()))
+                } else {
+                    (next.item.execute(), None)
+                };
+                let seconds = started.elapsed().as_secs_f64();
+                progress.finished(&label, next.index, total, (seconds * 1000.0) as u64);
+                slots.lock().expect("result slots poisoned")[next.plan][next.job] = Some(JobSlot {
+                    rows,
+                    check: job_check,
+                    seconds,
+                });
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("result slots poisoned");
+    reduces
+        .into_iter()
+        .zip(slots)
+        .map(|((_, _, reduce), plan_slots)| {
+            let mut rows = Vec::with_capacity(plan_slots.len());
+            let mut seconds = 0.0;
+            let mut merged: Option<ExpCheck> = if check {
+                Some(ExpCheck::default())
+            } else {
+                None
+            };
+            for slot in plan_slots {
+                let slot = slot.expect("executor finished with an unfilled job slot");
+                rows.push(slot.rows);
+                seconds += slot.seconds;
+                if let (Some(acc), Some(jc)) = (merged.as_mut(), slot.check) {
+                    acc.merge(jc);
+                }
+            }
+            ExperimentResult {
+                output: reduce(JobResults::new(rows)),
+                seconds,
+                check: merged,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_plan(id: &'static str, values: &[f64]) -> ExperimentPlan {
+        let jobs = values
+            .iter()
+            .map(|&v| Job::value(format!("{id} v={v}"), 1, "m", "s", move || v))
+            .collect();
+        let n = values.len();
+        ExperimentPlan::new(id, "toy", jobs, move |res| {
+            let mut out = ExperimentOutput::new(id, "toy");
+            assert_eq!(res.len(), n);
+            for i in 0..res.len() {
+                out.line(format_args!("v[{i}] = {}", res.value(i)));
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_job_order() {
+        let serial = toy_plan("T", &[3.0, 1.0, 2.0]).run_serial();
+        for jobs in [1, 2, 8] {
+            let opts = RunOpts {
+                jobs,
+                ..RunOpts::default()
+            };
+            let results = execute(
+                vec![toy_plan("T", &[3.0, 1.0, 2.0])],
+                &opts,
+                &Progress::disabled(),
+            );
+            assert_eq!(results.len(), 1);
+            assert_eq!(results[0].output.text, serial.text, "jobs={jobs}");
+            assert!(results[0].check.is_none());
+        }
+    }
+
+    #[test]
+    fn many_plans_reduce_in_plan_order() {
+        let opts = RunOpts {
+            jobs: 4,
+            ..RunOpts::default()
+        };
+        let plans = vec![toy_plan("A", &[1.0]), toy_plan("B", &[2.0, 4.0])];
+        let results = execute(plans, &opts, &Progress::disabled());
+        assert_eq!(results[0].output.id, "A");
+        assert_eq!(results[1].output.id, "B");
+        assert!(results[1].output.text.contains("v[1] = 4"));
+        assert!(results.iter().all(|r| r.seconds >= 0.0));
+    }
+
+    #[test]
+    fn empty_plan_still_reduces() {
+        let results = execute(
+            vec![toy_plan("E", &[])],
+            &RunOpts::default(),
+            &Progress::disabled(),
+        );
+        assert_eq!(results[0].output.id, "E");
+    }
+
+    #[test]
+    fn progress_reports_every_job() {
+        let (progress, rx) = Progress::channel();
+        let opts = RunOpts {
+            jobs: 2,
+            ..RunOpts::default()
+        };
+        let _ = execute(vec![toy_plan("P", &[1.0, 2.0, 3.0])], &opts, &progress);
+        drop(progress);
+        let events: Vec<_> = rx.into_iter().collect();
+        // One Started and one Finished per job.
+        assert_eq!(events.len(), 6);
+    }
+}

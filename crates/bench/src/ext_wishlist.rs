@@ -22,6 +22,7 @@ use ksr_machine::{program, Cpu, Machine};
 use ksr_nas::{CgConfig, CgSetup};
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 use crate::table1_cg::SCALE;
 
 /// Registry id.
@@ -41,7 +42,7 @@ fn cg_seconds(uncache_matrix: bool, procs: usize, quick: bool, machine_seed: u64
     };
     let mut m = Machine::ksr1_scaled(machine_seed, SCALE).expect("machine");
     let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz)
 }
 
@@ -53,75 +54,106 @@ fn sweep_cycles(prefetch: bool, machine_seed: u64) -> f64 {
     let a = m.alloc(len, 16384).expect("alloc");
     m.warm(0, a, len);
     let samples = 4_096u64;
-    let r = m.run(vec![program(move |cpu: &mut Cpu| {
-        for i in 0..samples {
-            let off = (i * 64) % len;
-            if prefetch {
-                // Software-pipelined: pull the next sub-page up while
-                // consuming this one.
-                if off.is_multiple_of(128) {
-                    cpu.prefetch_subcache(a + (off + 128) % len);
+    let r = m
+        .run(vec![program(move |cpu: &mut Cpu| {
+            for i in 0..samples {
+                let off = (i * 64) % len;
+                if prefetch {
+                    // Software-pipelined: pull the next sub-page up while
+                    // consuming this one.
+                    if off.is_multiple_of(128) {
+                        cpu.prefetch_subcache(a + (off + 128) % len);
+                    }
                 }
+                let _ = cpu.read_u64(a + off);
+                cpu.compute(20); // consumer work that the prefetch hides behind
             }
-            let _ = cpu.read_u64(a + off);
-            cpu.compute(20); // consumer work that the prefetch hides behind
-        }
-    })]);
+        })])
+        .expect("run");
     r.duration_cycles() as f64 / samples as f64
 }
 
-/// Run both wish-list experiments.
+/// Plan both wish-list experiments: one job per measured point.
+#[must_use]
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
+    let quick = opts.quick;
+    let procs = if quick { 2 } else { 4 };
+    let cg_seed = opts.machine_seed(900);
+    let sweep_seed = opts.machine_seed(901);
+    let mut jobs = Vec::new();
+    for uncache in [false, true] {
+        jobs.push(Job::value(
+            format!("EXT cg uncached={uncache}"),
+            procs,
+            "cg_run_seconds",
+            "s",
+            move || cg_seconds(uncache, procs, quick, cg_seed),
+        ));
+    }
+    for prefetch in [false, true] {
+        jobs.push(Job::value(
+            format!("EXT sweep prefetch={prefetch}"),
+            1,
+            "sweep_cycles_per_access",
+            "cycles",
+            move || sweep_cycles(prefetch, sweep_seed),
+        ));
+    }
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let base = res.value(0);
+        let bypass = res.value(1);
+        out.line(format_args!(
+            "CG @{procs}p, matrix streams sub-cached:   {base:.4} s"
+        ));
+        out.line(format_args!(
+            "CG @{procs}p, matrix streams UNcached:     {bypass:.4} s  ({:+.1}%)",
+            (bypass / base - 1.0) * 100.0
+        ));
+        out.push_text(
+            "(§3.3.1: 'it is conceivable that this mechanism may have been useful to reduce \
+             the overall data access latency' — the experiment the authors could not run.)",
+        );
+        for (uncached, v) in [(false, base), (true, bypass)] {
+            out.row(
+                "cg_run_seconds",
+                &[
+                    ("matrix_uncached", Json::from(uncached)),
+                    ("procs", Json::from(procs)),
+                ],
+                v,
+                "s",
+            );
+        }
+        let plain = res.value(2);
+        let pf = res.value(3);
+        out.line(format_args!(
+            "local-cache sweep, no sub-cache prefetch: {plain:.1} cycles/access"
+        ));
+        out.line(format_args!(
+            "local-cache sweep, with prefetch_subcache: {pf:.1} cycles/access ({:+.1}%)",
+            (pf / plain - 1.0) * 100.0
+        ));
+        out.push_text(
+            "(§4: 'it would be beneficial to have some prefetching mechanism from the \
+             local-cache to the sub-cache'.)",
+        );
+        for (prefetch, v) in [(false, plain), (true, pf)] {
+            out.row(
+                "sweep_cycles_per_access",
+                &[("subcache_prefetch", Json::from(prefetch))],
+                v,
+                "cycles",
+            );
+        }
+        out
+    })
+}
+
+/// Run both wish-list experiments (serial convenience form of [`plan`]).
 #[must_use]
 pub fn run(opts: &RunOpts) -> ExperimentOutput {
-    let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
-    let procs = if quick { 2 } else { 4 };
-    let base = cg_seconds(false, procs, quick, opts.machine_seed(900));
-    let bypass = cg_seconds(true, procs, quick, opts.machine_seed(900));
-    out.line(format_args!(
-        "CG @{procs}p, matrix streams sub-cached:   {base:.4} s"
-    ));
-    out.line(format_args!(
-        "CG @{procs}p, matrix streams UNcached:     {bypass:.4} s  ({:+.1}%)",
-        (bypass / base - 1.0) * 100.0
-    ));
-    out.push_text(
-        "(§3.3.1: 'it is conceivable that this mechanism may have been useful to reduce \
-         the overall data access latency' — the experiment the authors could not run.)",
-    );
-    for (uncached, v) in [(false, base), (true, bypass)] {
-        out.row(
-            "cg_run_seconds",
-            &[
-                ("matrix_uncached", Json::from(uncached)),
-                ("procs", Json::from(procs)),
-            ],
-            v,
-            "s",
-        );
-    }
-    let plain = sweep_cycles(false, opts.machine_seed(901));
-    let pf = sweep_cycles(true, opts.machine_seed(901));
-    out.line(format_args!(
-        "local-cache sweep, no sub-cache prefetch: {plain:.1} cycles/access"
-    ));
-    out.line(format_args!(
-        "local-cache sweep, with prefetch_subcache: {pf:.1} cycles/access ({:+.1}%)",
-        (pf / plain - 1.0) * 100.0
-    ));
-    out.push_text(
-        "(§4: 'it would be beneficial to have some prefetching mechanism from the \
-         local-cache to the sub-cache'.)",
-    );
-    for (prefetch, v) in [(false, plain), (true, pf)] {
-        out.row(
-            "sweep_cycles_per_access",
-            &[("subcache_prefetch", Json::from(prefetch))],
-            v,
-            "cycles",
-        );
-    }
-    out
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

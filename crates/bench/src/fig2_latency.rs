@@ -25,6 +25,7 @@ use ksr_core::Json;
 use ksr_machine::{program, Cpu, Machine, Program, SharedU64};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id of the Figure 2 sweep.
 pub const ID_FIG2: &str = "FIG2";
@@ -108,117 +109,183 @@ fn measure(target: Target, procs: usize, stride: u64, samples: u64, seed: u64) -
             })
         })
         .collect();
-    m.run(programs);
+    m.run(programs).expect("run");
     let total: u64 = (0..procs).map(|p| results.peek(&mut m, p)).sum();
     cycles_to_seconds(total / procs as u64, m.config().clock_hz)
 }
 
-/// Run the Figure 2 sweep.
+/// Plan the Figure 2 sweep: one pure job per (target, procs) point.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_FIG2, TITLE_FIG2);
     let samples = if quick { 256 } else { 1024 };
     let sweep = {
         let mut s = vec![1usize];
         s.extend(proc_sweep_32(quick));
         s
     };
-    let mut series = vec![
-        Series::new("Network Read"),
-        Series::new("Network Write"),
-        Series::new("Local Cache Read"),
-        Series::new("Local Cache Write"),
+    let grid: [(&str, Target, u64, u64); 4] = [
+        ("network read", Target::RemoteRead, 128, 100),
+        ("network write", Target::RemoteWrite, 128, 101),
+        ("local read", Target::LocalRead, 64, 102),
+        ("local write", Target::LocalWrite, 64, 103),
     ];
+    let mut jobs = Vec::new();
     for &p in &sweep {
-        let nr = measure(Target::RemoteRead, p, 128, samples, opts.machine_seed(100));
-        let nw = measure(Target::RemoteWrite, p, 128, samples, opts.machine_seed(101));
-        let lr = measure(Target::LocalRead, p, 64, samples, opts.machine_seed(102));
-        let lw = measure(Target::LocalWrite, p, 64, samples, opts.machine_seed(103));
-        series[0].push(p as f64, nr);
-        series[1].push(p as f64, nw);
-        series[2].push(p as f64, lr);
-        series[3].push(p as f64, lw);
+        for &(name, target, stride, base) in &grid {
+            let seed = opts.machine_seed(base);
+            jobs.push(Job::value(
+                format!("FIG2 {name} p={p}"),
+                p,
+                "mean_access_seconds",
+                "s",
+                move || measure(target, p, stride, samples, seed),
+            ));
+        }
     }
-    // Headline checks the paper makes on this figure.
-    let lr1 = series[2].points[0].1;
-    let nr1 = series[0].points[0].1;
-    let nr_last = series[0].points.last().unwrap().1;
-    out.line(format_args!(
-        "local-cache read @1 proc: {:.3} us  ({:.1} cycles; published 18)",
-        lr1 * 1e6,
-        lr1 * 20e6
-    ));
-    out.line(format_args!(
-        "network read    @1 proc: {:.3} us  ({:.1} cycles; published 175)",
-        nr1 * 1e6,
-        nr1 * 20e6
-    ));
-    out.line(format_args!(
-        "network read rise at {} procs: {:+.1}% (paper: about +8% at 32)",
-        sweep.last().unwrap(),
-        (nr_last / nr1 - 1.0) * 100.0
-    ));
-    out.line(format_args!(
-        "writes dearer than reads: local {:+.1}%, network {:+.1}%",
-        (series[3].points[0].1 / lr1 - 1.0) * 100.0,
-        (series[1].points[0].1 / nr1 - 1.0) * 100.0
-    ));
-    out.series = series;
-    out.rows_from_series("mean_access_seconds", "procs", "s");
-    out
+    ExperimentPlan::new(ID_FIG2, TITLE_FIG2, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_FIG2, TITLE_FIG2);
+        let mut series = vec![
+            Series::new("Network Read"),
+            Series::new("Network Write"),
+            Series::new("Local Cache Read"),
+            Series::new("Local Cache Write"),
+        ];
+        for (pi, &p) in sweep.iter().enumerate() {
+            for (ti, s) in series.iter_mut().enumerate() {
+                s.push(p as f64, res.value(pi * 4 + ti));
+            }
+        }
+        // Headline checks the paper makes on this figure.
+        let lr1 = series[2].points[0].1;
+        let nr1 = series[0].points[0].1;
+        let nr_last = series[0].points.last().unwrap().1;
+        out.line(format_args!(
+            "local-cache read @1 proc: {:.3} us  ({:.1} cycles; published 18)",
+            lr1 * 1e6,
+            lr1 * 20e6
+        ));
+        out.line(format_args!(
+            "network read    @1 proc: {:.3} us  ({:.1} cycles; published 175)",
+            nr1 * 1e6,
+            nr1 * 20e6
+        ));
+        out.line(format_args!(
+            "network read rise at {} procs: {:+.1}% (paper: about +8% at 32)",
+            sweep.last().unwrap(),
+            (nr_last / nr1 - 1.0) * 100.0
+        ));
+        out.line(format_args!(
+            "writes dearer than reads: local {:+.1}%, network {:+.1}%",
+            (series[3].points[0].1 / lr1 - 1.0) * 100.0,
+            (series[1].points[0].1 / nr1 - 1.0) * 100.0
+        ));
+        out.series = series;
+        out.rows_from_series("mean_access_seconds", "procs", "s");
+        out
+    })
 }
 
-/// Run the §3.1 stride experiments (SEC31A).
+/// Run the Figure 2 sweep (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
+}
+
+/// Plan the §3.1 stride experiments (SEC31A): one job per stride point.
+#[must_use]
+pub fn plan_strides(opts: &RunOpts) -> ExperimentPlan {
+    let samples = if opts.quick { 128 } else { 512 };
+    let grid: [(&str, Target, u64, u64, u64); 4] = [
+        (
+            "local",
+            Target::LocalRead,
+            64,
+            samples,
+            opts.machine_seed(110),
+        ),
+        (
+            "local",
+            Target::LocalRead,
+            2048,
+            samples,
+            opts.machine_seed(111),
+        ),
+        (
+            "remote",
+            Target::RemoteRead,
+            128,
+            samples,
+            opts.machine_seed(112),
+        ),
+        (
+            "remote",
+            Target::RemoteRead,
+            16384,
+            samples.min(60),
+            opts.machine_seed(113),
+        ),
+    ];
+    let jobs = grid
+        .iter()
+        .map(|&(name, target, stride, n, seed)| {
+            Job::value(
+                format!("SEC31A {name} stride={stride}"),
+                1,
+                "mean_access_seconds",
+                "s",
+                move || measure(target, 1, stride, n, seed),
+            )
+        })
+        .collect();
+    ExperimentPlan::new(ID_SEC31A, TITLE_SEC31A, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_SEC31A, TITLE_SEC31A);
+        let local_subblock = res.value(0);
+        let local_block = res.value(1);
+        let remote_subpage = res.value(2);
+        let remote_page = res.value(3);
+        for (target, stride, v) in [
+            ("local", 64u64, local_subblock),
+            ("local", 2048, local_block),
+            ("remote", 128, remote_subpage),
+            ("remote", 16384, remote_page),
+        ] {
+            out.row(
+                "mean_access_seconds",
+                &[
+                    ("target", Json::from(target)),
+                    ("stride_bytes", Json::from(stride)),
+                ],
+                v,
+                "s",
+            );
+        }
+        out.line(format_args!(
+            "local-cache read, 64 B stride:   {:.3} us",
+            local_subblock * 1e6
+        ));
+        out.line(format_args!(
+            "local-cache read, 2 KB stride:   {:.3} us  ({:+.0}%; paper: +50%)",
+            local_block * 1e6,
+            (local_block / local_subblock - 1.0) * 100.0
+        ));
+        out.line(format_args!(
+            "remote read, 128 B stride:       {:.3} us",
+            remote_subpage * 1e6
+        ));
+        out.line(format_args!(
+            "remote read, 16 KB stride:       {:.3} us  ({:+.0}%; paper: +60%)",
+            remote_page * 1e6,
+            (remote_page / remote_subpage - 1.0) * 100.0
+        ));
+        out
+    })
+}
+
+/// Run the §3.1 stride experiments (serial form of [`plan_strides`]).
 #[must_use]
 pub fn run_strides(opts: &RunOpts) -> ExperimentOutput {
-    let mut out = ExperimentOutput::new(ID_SEC31A, TITLE_SEC31A);
-    let samples = if opts.quick { 128 } else { 512 };
-    let local_subblock = measure(Target::LocalRead, 1, 64, samples, opts.machine_seed(110));
-    let local_block = measure(Target::LocalRead, 1, 2048, samples, opts.machine_seed(111));
-    let remote_subpage = measure(Target::RemoteRead, 1, 128, samples, opts.machine_seed(112));
-    let remote_page = measure(
-        Target::RemoteRead,
-        1,
-        16384,
-        samples.min(60),
-        opts.machine_seed(113),
-    );
-    for (target, stride, v) in [
-        ("local", 64u64, local_subblock),
-        ("local", 2048, local_block),
-        ("remote", 128, remote_subpage),
-        ("remote", 16384, remote_page),
-    ] {
-        out.row(
-            "mean_access_seconds",
-            &[
-                ("target", Json::from(target)),
-                ("stride_bytes", Json::from(stride)),
-            ],
-            v,
-            "s",
-        );
-    }
-    out.line(format_args!(
-        "local-cache read, 64 B stride:   {:.3} us",
-        local_subblock * 1e6
-    ));
-    out.line(format_args!(
-        "local-cache read, 2 KB stride:   {:.3} us  ({:+.0}%; paper: +50%)",
-        local_block * 1e6,
-        (local_block / local_subblock - 1.0) * 100.0
-    ));
-    out.line(format_args!(
-        "remote read, 128 B stride:       {:.3} us",
-        remote_subpage * 1e6
-    ));
-    out.line(format_args!(
-        "remote read, 16 KB stride:       {:.3} us  ({:+.0}%; paper: +60%)",
-        remote_page * 1e6,
-        (remote_page / remote_subpage - 1.0) * 100.0
-    ));
-    out
+    plan_strides(opts).run_serial()
 }
 
 #[cfg(test)]

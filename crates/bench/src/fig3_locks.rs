@@ -20,6 +20,7 @@ use ksr_machine::{program, Cpu, InterruptConfig, Machine, MachineConfig, Program
 use ksr_sync::{HwLock, LockMode, SwRwLock};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id.
 pub const ID: &str = "FIG3";
@@ -32,6 +33,18 @@ const DELAY: u64 = 10_000;
 /// serialized critical-section work growing with the processor count,
 /// the exclusive-lock curve rises linearly exactly as the paper reports.
 const OPS_PER_PROC: usize = 500;
+
+/// The figure's lock/read-mix series, in legend order. `None` means the
+/// hardware exclusive lock.
+const MIXES: [(Option<u32>, &str); 7] = [
+    (None, "exclusive lock"),
+    (Some(0), "read shared lock with writers only"),
+    (Some(20), "read shared lock with 20% sharing"),
+    (Some(40), "read shared lock with 40% sharing"),
+    (Some(60), "read shared lock with 60% sharing"),
+    (Some(80), "read shared lock with 80% sharing"),
+    (Some(100), "read shared lock with readers only"),
+];
 
 /// Which lock and read-mix a run uses. `read_pct == None` means the
 /// hardware exclusive lock.
@@ -68,15 +81,15 @@ fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f64 {
             })
         })
         .collect();
-    let r = m.run(programs);
+    let r = m.run(programs).expect("run");
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz)
 }
 
-/// Run the Figure 3 sweep.
+/// Plan the Figure 3 sweep: one pure job per (mix, procs) point that
+/// quick mode keeps.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let sweep = {
         let mut s = vec![1usize];
         s.extend(proc_sweep_32(quick));
@@ -85,52 +98,62 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
         }
         s
     };
-    let mixes: &[(Option<u32>, &str)] = &[
-        (None, "exclusive lock"),
-        (Some(0), "read shared lock with writers only"),
-        (Some(20), "read shared lock with 20% sharing"),
-        (Some(40), "read shared lock with 40% sharing"),
-        (Some(60), "read shared lock with 60% sharing"),
-        (Some(80), "read shared lock with 80% sharing"),
-        (Some(100), "read shared lock with readers only"),
-    ];
-    let mut series: Vec<Series> = mixes.iter().map(|(_, l)| Series::new(*l)).collect();
+    let mut jobs = Vec::new();
+    let mut points: Vec<(usize, usize)> = Vec::new(); // (series index, procs)
     for &p in &sweep {
-        for (si, &(mix, _)) in mixes.iter().enumerate() {
+        for (si, &(mix, label)) in MIXES.iter().enumerate() {
             if quick && !(matches!(mix, None | Some(0) | Some(100))) {
                 continue;
             }
-            series[si].push(
-                p as f64,
-                run_workload(mix, p, opts.machine_seed(300 + si as u64)),
-            );
+            let seed = opts.machine_seed(300 + si as u64);
+            points.push((si, p));
+            jobs.push(Job::value(
+                format!("FIG3 {label} p={p}"),
+                p,
+                "run_seconds",
+                "s",
+                move || run_workload(mix, p, seed),
+            ));
         }
     }
-    // Analysis rows the paper draws from this figure.
-    let excl = &series[0];
-    if excl.points.len() >= 3 {
-        let xs: Vec<f64> = excl.points.iter().map(|&(x, _)| x).collect();
-        let ys: Vec<f64> = excl.points.iter().map(|&(_, y)| y).collect();
-        let (slope, _, r2) = ksr_core::stats::linear_fit(&xs, &ys);
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let mut series: Vec<Series> = MIXES.iter().map(|&(_, l)| Series::new(l)).collect();
+        for (i, &(si, p)) in points.iter().enumerate() {
+            series[si].push(p as f64, res.value(i));
+        }
+        // Analysis rows the paper draws from this figure.
+        let excl = &series[0];
+        if excl.points.len() >= 3 {
+            let xs: Vec<f64> = excl.points.iter().map(|&(x, _)| x).collect();
+            let ys: Vec<f64> = excl.points.iter().map(|&(_, y)| y).collect();
+            let (slope, _, r2) = ksr_core::stats::linear_fit(&xs, &ys);
+            out.line(format_args!(
+                "exclusive-lock time vs procs: slope {slope:.4} s/proc, r^2 = {r2:.3} \
+                 (paper: 'increases linearly')"
+            ));
+        }
+        let last = |s: &Series| s.points.last().map_or(f64::NAN, |&(_, y)| y);
         out.line(format_args!(
-            "exclusive-lock time vs procs: slope {slope:.4} s/proc, r^2 = {r2:.3} \
-             (paper: 'increases linearly')"
+            "at max procs: exclusive {:.2} s, writers-only SW {:.2} s, readers-only SW {:.2} s",
+            last(&series[0]),
+            last(&series[1]),
+            last(&series[6]),
         ));
-    }
-    let last = |s: &Series| s.points.last().map_or(f64::NAN, |&(_, y)| y);
-    out.line(format_args!(
-        "at max procs: exclusive {:.2} s, writers-only SW {:.2} s, readers-only SW {:.2} s",
-        last(&series[0]),
-        last(&series[1]),
-        last(&series[6]),
-    ));
-    out.push_text(
-        "expected ordering (paper): readers-only fastest; more read sharing => faster; \
-         SW writers-only <= HW exclusive (unsynchronized timer interrupts).",
-    );
-    out.series = series;
-    out.rows_from_series("run_seconds", "procs", "s");
-    out
+        out.push_text(
+            "expected ordering (paper): readers-only fastest; more read sharing => faster; \
+             SW writers-only <= HW exclusive (unsynchronized timer interrupts).",
+        );
+        out.series = series;
+        out.rows_from_series("run_seconds", "procs", "s");
+        out
+    })
+}
+
+/// Run the Figure 3 sweep (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

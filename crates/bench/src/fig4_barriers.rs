@@ -18,6 +18,7 @@ use ksr_machine::{program, Cpu, Machine, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job, JobResults};
 
 /// Registry id of the Figure 4 sweep.
 pub const ID_FIG4: &str = "FIG4";
@@ -85,7 +86,7 @@ pub fn episode_time(
             })
         })
         .collect();
-    let r = m.run(programs);
+    let r = m.run(programs).expect("run");
     let total = r.duration_cycles();
     // Subtract the (tiny) skew compute to first order by dividing over
     // all episodes including warm-up; warm-up inflation is then bounded
@@ -93,33 +94,50 @@ pub fn episode_time(
     cycles_to_seconds(total / run_eps as u64, m.config().clock_hz)
 }
 
-fn sweep_series(
+/// One job per (kind, procs) point, kind-major — the job-level form of
+/// the old serial sweep loop.
+fn sweep_jobs(
+    tag: &str,
     machine: BarrierMachine,
     kinds: &[BarrierKind],
     procs: &[usize],
     episodes: usize,
     base_seed: u64,
-) -> Vec<Series> {
+) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for &kind in kinds {
+        for &p in procs {
+            jobs.push(Job::value(
+                format!("{tag} {} p={p}", kind.label()),
+                p,
+                "barrier_episode_seconds",
+                "s",
+                move || episode_time(machine, kind, p, episodes, base_seed + p as u64),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Reassemble [`sweep_jobs`] results into per-kind series.
+fn sweep_series(res: &JobResults, kinds: &[BarrierKind], procs: &[usize]) -> Vec<Series> {
     kinds
         .iter()
-        .map(|&kind| {
+        .enumerate()
+        .map(|(ki, &kind)| {
             let mut s = Series::new(kind.label());
-            for &p in procs {
-                s.push(
-                    p as f64,
-                    episode_time(machine, kind, p, episodes, base_seed + p as u64),
-                );
+            for (pi, &p) in procs.iter().enumerate() {
+                s.push(p as f64, res.value(ki * procs.len() + pi));
             }
             s
         })
         .collect()
 }
 
-/// Figure 4: the nine barriers on the 32-node KSR-1.
+/// Plan Figure 4: the nine barriers on the 32-node KSR-1.
 #[must_use]
-pub fn run_fig4(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan_fig4(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_FIG4, TITLE_FIG4);
     let procs = proc_sweep_32(quick);
     let episodes = if quick { 6 } else { 16 };
     let kinds: Vec<BarrierKind> = if quick {
@@ -131,43 +149,54 @@ pub fn run_fig4(opts: &RunOpts) -> ExperimentOutput {
     } else {
         BarrierKind::ALL.to_vec()
     };
-    let series = sweep_series(
+    let jobs = sweep_jobs(
+        "FIG4",
         BarrierMachine::Ksr1,
         &kinds,
         &procs,
         episodes,
         opts.machine_seed(1000),
     );
-    let at_max = |label: &str| {
-        series
-            .iter()
-            .find(|s| s.label == label)
-            .and_then(|s| s.points.last())
-            .map_or(f64::NAN, |&(_, y)| y)
-    };
-    let pmax = *procs.last().unwrap();
-    out.line(format_args!("per-episode times at {pmax} procs (us):"));
-    for s in &series {
-        out.line(format_args!(
-            "  {:<14} {:8.1}",
-            s.label,
-            at_max(&s.label) * 1e6
-        ));
-    }
-    out.push_text(
-        "paper's ordering at 32 procs: counter slowest; dissemination and tree mid-pack; \
-         tournament ~ MCS; global-flag variants fastest with tournament(M) best.",
-    );
-    out.series = series;
-    out.rows_from_series("barrier_episode_seconds", "procs", "s");
-    out
+    ExperimentPlan::new(ID_FIG4, TITLE_FIG4, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_FIG4, TITLE_FIG4);
+        let series = sweep_series(&res, &kinds, &procs);
+        let at_max = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label == label)
+                .and_then(|s| s.points.last())
+                .map_or(f64::NAN, |&(_, y)| y)
+        };
+        let pmax = *procs.last().unwrap();
+        out.line(format_args!("per-episode times at {pmax} procs (us):"));
+        for s in &series {
+            out.line(format_args!(
+                "  {:<14} {:8.1}",
+                s.label,
+                at_max(&s.label) * 1e6
+            ));
+        }
+        out.push_text(
+            "paper's ordering at 32 procs: counter slowest; dissemination and tree mid-pack; \
+             tournament ~ MCS; global-flag variants fastest with tournament(M) best.",
+        );
+        out.series = series;
+        out.rows_from_series("barrier_episode_seconds", "procs", "s");
+        out
+    })
 }
 
-/// Figure 5: the nine barriers on the 64-node KSR-2 (two-level ring).
+/// Figure 4 (serial convenience form of [`plan_fig4`]).
 #[must_use]
-pub fn run_fig5(opts: &RunOpts) -> ExperimentOutput {
+pub fn run_fig4(opts: &RunOpts) -> ExperimentOutput {
+    plan_fig4(opts).run_serial()
+}
+
+/// Plan Figure 5: the nine barriers on the 64-node KSR-2 (two-level
+/// ring).
+#[must_use]
+pub fn plan_fig5(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_FIG5, TITLE_FIG5);
     let procs: Vec<usize> = if quick {
         vec![16, 32, 40]
     } else {
@@ -183,120 +212,146 @@ pub fn run_fig5(opts: &RunOpts) -> ExperimentOutput {
     } else {
         BarrierKind::ALL.to_vec()
     };
-    let series = sweep_series(
+    let jobs = sweep_jobs(
+        "FIG5",
         BarrierMachine::Ksr2,
         &kinds,
         &procs,
         episodes,
         opts.machine_seed(1000),
     );
-    // §3.2.4 analysis: the jump past one ring, and tournament vs MCS.
-    for s in &series {
-        let y32 = s.y_at(32.0);
-        let y36 = s.y_at(36.0);
-        if let (Some(a), Some(b)) = (y32, y36) {
-            out.line(format_args!(
-                "  {:<14} 32→36 procs: {:+.0}% (crossing the ring boundary)",
-                s.label,
-                (b / a - 1.0) * 100.0
-            ));
+    ExperimentPlan::new(ID_FIG5, TITLE_FIG5, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_FIG5, TITLE_FIG5);
+        let series = sweep_series(&res, &kinds, &procs);
+        // §3.2.4 analysis: the jump past one ring, and tournament vs MCS.
+        for s in &series {
+            let y32 = s.y_at(32.0);
+            let y36 = s.y_at(36.0);
+            if let (Some(a), Some(b)) = (y32, y36) {
+                out.line(format_args!(
+                    "  {:<14} 32→36 procs: {:+.0}% (crossing the ring boundary)",
+                    s.label,
+                    (b / a - 1.0) * 100.0
+                ));
+            }
         }
-    }
-    let find = |label: &str| series.iter().find(|s| s.label == label);
-    if let (Some(t), Some(m_)) = (find("Tournament"), find("MCS")) {
-        if let (Some(&(_, ty)), Some(&(_, my))) = (t.points.last(), m_.points.last()) {
-            out.line(format_args!(
-                "tournament vs MCS at max procs: {:+.1}% (paper §3.2.4: tournament 10-15% worse \
-                 on KSR-2)",
-                (ty / my - 1.0) * 100.0
-            ));
+        let find = |label: &str| series.iter().find(|s| s.label == label);
+        if let (Some(t), Some(m_)) = (find("Tournament"), find("MCS")) {
+            if let (Some(&(_, ty)), Some(&(_, my))) = (t.points.last(), m_.points.last()) {
+                out.line(format_args!(
+                    "tournament vs MCS at max procs: {:+.1}% (paper §3.2.4: tournament 10-15% worse \
+                     on KSR-2)",
+                    (ty / my - 1.0) * 100.0
+                ));
+            }
         }
-    }
-    out.push_text(
-        "paper: trends carry over from the 32-node system; execution time jumps once the \
-         processor set spans both leaf rings; tournament(M) remains best.",
-    );
-    out.series = series;
-    out.rows_from_series("barrier_episode_seconds", "procs", "s");
-    out
+        out.push_text(
+            "paper: trends carry over from the 32-node system; execution time jumps once the \
+             processor set spans both leaf rings; tournament(M) remains best.",
+        );
+        out.series = series;
+        out.rows_from_series("barrier_episode_seconds", "procs", "s");
+        out
+    })
 }
 
-/// §3.2.3: the same barrier code on the Symmetry and the Butterfly.
+/// Figure 5 (serial convenience form of [`plan_fig5`]).
 #[must_use]
-pub fn run_sec323(opts: &RunOpts) -> ExperimentOutput {
+pub fn run_fig5(opts: &RunOpts) -> ExperimentOutput {
+    plan_fig5(opts).run_serial()
+}
+
+/// Plan §3.2.3: the same barrier code on the Symmetry and the
+/// Butterfly.
+#[must_use]
+pub fn plan_sec323(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_SEC323, TITLE_SEC323);
     let episodes = if quick { 4 } else { 12 };
     let procs = if quick { 8 } else { 16 };
-    // Symmetry: all nine run (it has coherent caches).
-    out.line(format_args!("Sequent Symmetry, {procs} procs, us/episode:"));
-    let mut sym: Vec<(f64, &'static str)> = BarrierKind::ALL
-        .iter()
-        .map(|&k| {
-            (
-                episode_time(
-                    BarrierMachine::Symmetry,
-                    k,
-                    procs,
-                    episodes,
-                    opts.machine_seed(77),
-                ),
-                k.label(),
-            )
-        })
-        .collect();
-    sym.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    for (t, l) in &sym {
-        out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
-        out.row(
-            "barrier_episode_seconds",
-            &[
-                ("machine", Json::from("symmetry")),
-                ("barrier", Json::from(*l)),
-                ("procs", Json::from(procs)),
-            ],
-            *t,
-            "s",
-        );
-    }
-    out.push_text("paper: the counter algorithm performs the best on the Symmetry.");
-    // Butterfly: no coherent caches, so no global-flag variants.
-    out.line(format_args!("BBN Butterfly, {procs} procs, us/episode:"));
-    let mut bfly: Vec<(f64, &'static str)> = BarrierKind::ALL
+    let sym_seed = opts.machine_seed(77);
+    let bfly_seed = opts.machine_seed(78);
+    // Symmetry: all nine run (it has coherent caches); Butterfly: no
+    // coherent caches, so no global-flag variants.
+    let bfly_kinds: Vec<BarrierKind> = BarrierKind::ALL
         .iter()
         .filter(|k| !k.needs_coherent_caches())
-        .map(|&k| {
-            (
-                episode_time(
-                    BarrierMachine::Butterfly,
-                    k,
-                    procs,
-                    episodes,
-                    opts.machine_seed(78),
-                ),
-                k.label(),
-            )
-        })
+        .copied()
         .collect();
-    bfly.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    for (t, l) in &bfly {
-        out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
-        out.row(
+    let mut jobs = Vec::new();
+    for &k in BarrierKind::ALL.iter() {
+        jobs.push(Job::value(
+            format!("SEC323 symmetry {}", k.label()),
+            procs,
             "barrier_episode_seconds",
-            &[
-                ("machine", Json::from("butterfly")),
-                ("barrier", Json::from(*l)),
-                ("procs", Json::from(procs)),
-            ],
-            *t,
             "s",
-        );
+            move || episode_time(BarrierMachine::Symmetry, k, procs, episodes, sym_seed),
+        ));
     }
-    out.push_text(
-        "paper: on the Butterfly dissemination does best, then tournament, then MCS \
-         (no coherent caches, so the winner is the number of communication rounds).",
-    );
-    out
+    for &k in &bfly_kinds {
+        jobs.push(Job::value(
+            format!("SEC323 butterfly {}", k.label()),
+            procs,
+            "barrier_episode_seconds",
+            "s",
+            move || episode_time(BarrierMachine::Butterfly, k, procs, episodes, bfly_seed),
+        ));
+    }
+    ExperimentPlan::new(ID_SEC323, TITLE_SEC323, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_SEC323, TITLE_SEC323);
+        out.line(format_args!("Sequent Symmetry, {procs} procs, us/episode:"));
+        let mut sym: Vec<(f64, &'static str)> = BarrierKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (res.value(i), k.label()))
+            .collect();
+        sym.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (t, l) in &sym {
+            out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
+            out.row(
+                "barrier_episode_seconds",
+                &[
+                    ("machine", Json::from("symmetry")),
+                    ("barrier", Json::from(*l)),
+                    ("procs", Json::from(procs)),
+                ],
+                *t,
+                "s",
+            );
+        }
+        out.push_text("paper: the counter algorithm performs the best on the Symmetry.");
+        out.line(format_args!("BBN Butterfly, {procs} procs, us/episode:"));
+        let base = BarrierKind::ALL.len();
+        let mut bfly: Vec<(f64, &'static str)> = bfly_kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (res.value(base + i), k.label()))
+            .collect();
+        bfly.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (t, l) in &bfly {
+            out.line(format_args!("  {:<14} {:8.1}", l, t * 1e6));
+            out.row(
+                "barrier_episode_seconds",
+                &[
+                    ("machine", Json::from("butterfly")),
+                    ("barrier", Json::from(*l)),
+                    ("procs", Json::from(procs)),
+                ],
+                *t,
+                "s",
+            );
+        }
+        out.push_text(
+            "paper: on the Butterfly dissemination does best, then tournament, then MCS \
+             (no coherent caches, so the winner is the number of communication rounds).",
+        );
+        out
+    })
+}
+
+/// §3.2.3 (serial convenience form of [`plan_sec323`]).
+#[must_use]
+pub fn run_sec323(opts: &RunOpts) -> ExperimentOutput {
+    plan_sec323(opts).run_serial()
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 use ksr_core::table::Series;
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 use crate::table1_cg::{cg_time, paper_config as cg_config};
 use crate::table2_is::{is_time, paper_config as is_config};
 
@@ -14,11 +15,10 @@ pub const ID: &str = "FIG8";
 /// Registry title.
 pub const TITLE: &str = "Speedup for CG and IS (Figure 8)";
 
-/// Run the Figure 8 sweep.
+/// Plan the Figure 8 sweep: one job per (kernel, procs) point.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let procs: Vec<usize> = if quick {
         vec![1, 2, 4]
     } else {
@@ -26,33 +26,54 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
     };
     let cg_cfg = cg_config(quick);
     let is_cfg = is_config(quick);
-    let mut cg = Series::new("CG");
-    let mut is = Series::new("IS");
-    let cg_t1 = cg_time(cg_cfg, 1, opts.machine_seed(900));
-    let (is_t1, _) = is_time(is_cfg, 1, opts.machine_seed(901));
+    let cg_seed = opts.machine_seed(900);
+    let is_seed = opts.machine_seed(901);
+    let mut jobs = Vec::new();
     for &p in &procs {
-        let tc = if p == 1 {
-            cg_t1
-        } else {
-            cg_time(cg_cfg, p, opts.machine_seed(900))
-        };
-        let (ti, _) = if p == 1 {
-            (is_t1, 0.0)
-        } else {
-            is_time(is_cfg, p, opts.machine_seed(901))
-        };
-        cg.push(p as f64, cg_t1 / tc);
-        is.push(p as f64, is_t1 / ti);
-    }
-    if let (Some(&(_, cg_max)), Some(&(_, is_max))) = (cg.points.last(), is.points.last()) {
-        out.line(format_args!(
-            "speedup at max procs: CG {cg_max:.1} vs IS {is_max:.1} \
-             (paper at 32: CG 22.8, IS 18.9 — CG above IS)"
+        jobs.push(Job::value(
+            format!("FIG8 cg p={p}"),
+            p,
+            "cg_run_seconds",
+            "s",
+            move || cg_time(cg_cfg, p, cg_seed),
         ));
     }
-    out.series = vec![cg, is];
-    out.rows_from_series("speedup", "procs", "x");
-    out
+    for &p in &procs {
+        jobs.push(Job::value(
+            format!("FIG8 is p={p}"),
+            p,
+            "is_run_seconds",
+            "s",
+            move || is_time(is_cfg, p, is_seed).0,
+        ));
+    }
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let n = procs.len();
+        let mut cg = Series::new("CG");
+        let mut is = Series::new("IS");
+        let cg_t1 = res.value(0);
+        let is_t1 = res.value(n);
+        for (i, &p) in procs.iter().enumerate() {
+            cg.push(p as f64, cg_t1 / res.value(i));
+            is.push(p as f64, is_t1 / res.value(n + i));
+        }
+        if let (Some(&(_, cg_max)), Some(&(_, is_max))) = (cg.points.last(), is.points.last()) {
+            out.line(format_args!(
+                "speedup at max procs: CG {cg_max:.1} vs IS {is_max:.1} \
+                 (paper at 32: CG 22.8, IS 18.9 — CG above IS)"
+            ));
+        }
+        out.series = vec![cg, is];
+        out.rows_from_series("speedup", "procs", "x");
+        out
+    })
+}
+
+/// Run the Figure 8 sweep (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

@@ -5,14 +5,22 @@
 //! paper reports (see the per-experiment index in `DESIGN.md`).
 //!
 //! Experiments are [`registry::Experiment`]s: look them up in
-//! [`registry::REGISTRY`] and call `run(&RunOpts)`. Each run returns an
-//! [`ExperimentOutput`] carrying rendered text, figure series, and typed
-//! [`MetricRow`]s; `write_to` persists `<id>.txt` / `<id>.csv` /
-//! `<id>.json`, and [`common::write_summary`] indexes a whole run in
-//! `summary.json`. The `run_all` binary is the CLI front end
-//! (`--list`, `--only FIG4,TAB1`, `--quick`); the per-figure binaries
-//! route through the same registry. `KSR_QUICK=1`, `KSR_SEED`, and
-//! `KSR_RESULTS` provide the [`RunOpts`] defaults.
+//! [`registry::REGISTRY`]. Each experiment describes itself as an
+//! [`exec::ExperimentPlan`] — a list of pure [`exec::Job`]s (config +
+//! seed + program factory → typed [`MetricRow`]s) plus an ordered
+//! reduce — and [`exec::execute`] schedules the jobs of many plans over
+//! a pool of worker threads (`--jobs N` / `KSR_JOBS`). Because every
+//! job is pure and the reduce runs in job order, `results/*.json` and
+//! `summary.json` are byte-identical at any worker count.
+//!
+//! Each reduce returns an [`ExperimentOutput`] carrying rendered text,
+//! figure series, and typed [`MetricRow`]s; `write_to` persists
+//! `<id>.txt` / `<id>.csv` / `<id>.json`, and [`common::write_summary`]
+//! indexes a whole run in `summary.json`. The `run_all` binary is the
+//! CLI front end (`--list`, `--only FIG4,TAB1`, `--quick`, `--jobs`);
+//! the per-figure binaries route through the same registry.
+//! `KSR_QUICK=1`, `KSR_SEED`, `KSR_RESULTS`, and `KSR_JOBS` provide the
+//! [`RunOpts`] defaults.
 
 #![warn(missing_docs)]
 
@@ -21,6 +29,7 @@ pub mod check;
 pub mod cli;
 pub mod common;
 pub mod ep_scaling;
+pub mod exec;
 pub mod ext_wishlist;
 pub mod fig2_latency;
 pub mod fig3_locks;
@@ -32,6 +41,7 @@ pub mod table2_is;
 pub mod table3_sp;
 
 pub use common::{ExperimentOutput, MetricRow, RunOpts};
+pub use exec::{execute, ExperimentPlan, ExperimentResult, Job, JobResults};
 pub use registry::{Experiment, FnExperiment, REGISTRY};
 
 /// Run every registered experiment, in the DESIGN.md index order.

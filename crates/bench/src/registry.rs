@@ -2,12 +2,16 @@
 //!
 //! Every paper artifact the harness can regenerate is an
 //! [`Experiment`]: an id (the DESIGN.md index key), a human title, and a
-//! run function taking [`RunOpts`]. The built-in experiments are plain
-//! functions wrapped in [`FnExperiment`] and listed in [`REGISTRY`] in
-//! DESIGN.md index order; binaries and `run_all` resolve them through
-//! [`find`] rather than hard-coding call sites.
+//! planner taking [`RunOpts`] and returning an [`ExperimentPlan`] — the
+//! experiment's pure jobs plus its ordered reduce. The built-in
+//! experiments are plain planner functions wrapped in [`FnExperiment`]
+//! and listed in [`REGISTRY`] in DESIGN.md index order; binaries and
+//! `run_all` resolve them through [`find`] rather than hard-coding call
+//! sites, and the executor (`crate::exec`) schedules the plans' jobs
+//! over its worker pool.
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::ExperimentPlan;
 
 /// One runnable paper artifact (a table, figure, or text measurement).
 pub trait Experiment {
@@ -15,17 +19,23 @@ pub trait Experiment {
     fn id(&self) -> &'static str;
     /// Human title.
     fn title(&self) -> &'static str;
-    /// Produce the artifact under the given options.
-    fn run(&self, opts: &RunOpts) -> ExperimentOutput;
+    /// The experiment as pure data: jobs + ordered reduce.
+    fn plan(&self, opts: &RunOpts) -> ExperimentPlan;
+    /// Produce the artifact under the given options — the serial
+    /// convenience form, byte-identical to executing the plan at any
+    /// worker count.
+    fn run(&self, opts: &RunOpts) -> ExperimentOutput {
+        self.plan(opts).run_serial()
+    }
 }
 
-/// An [`Experiment`] backed by a free function — the shape of every
-/// built-in experiment.
+/// An [`Experiment`] backed by a free planner function — the shape of
+/// every built-in experiment.
 #[derive(Clone, Copy)]
 pub struct FnExperiment {
     id: &'static str,
     title: &'static str,
-    runner: fn(&RunOpts) -> ExperimentOutput,
+    planner: fn(&RunOpts) -> ExperimentPlan,
 }
 
 impl Experiment for FnExperiment {
@@ -37,8 +47,8 @@ impl Experiment for FnExperiment {
         self.title
     }
 
-    fn run(&self, opts: &RunOpts) -> ExperimentOutput {
-        (self.runner)(opts)
+    fn plan(&self, opts: &RunOpts) -> ExperimentPlan {
+        (self.planner)(opts)
     }
 }
 
@@ -51,11 +61,11 @@ impl std::fmt::Debug for FnExperiment {
 }
 
 macro_rules! entry {
-    ($id:expr, $title:expr, $runner:path) => {
+    ($id:expr, $title:expr, $planner:path) => {
         FnExperiment {
             id: $id,
             title: $title,
-            runner: $runner,
+            planner: $planner,
         }
     };
 }
@@ -65,72 +75,72 @@ pub const REGISTRY: &[FnExperiment] = &[
     entry!(
         crate::fig2_latency::ID_FIG2,
         crate::fig2_latency::TITLE_FIG2,
-        crate::fig2_latency::run
+        crate::fig2_latency::plan
     ),
     entry!(
         crate::fig2_latency::ID_SEC31A,
         crate::fig2_latency::TITLE_SEC31A,
-        crate::fig2_latency::run_strides
+        crate::fig2_latency::plan_strides
     ),
     entry!(
         crate::fig3_locks::ID,
         crate::fig3_locks::TITLE,
-        crate::fig3_locks::run
+        crate::fig3_locks::plan
     ),
     entry!(
         crate::fig4_barriers::ID_FIG4,
         crate::fig4_barriers::TITLE_FIG4,
-        crate::fig4_barriers::run_fig4
+        crate::fig4_barriers::plan_fig4
     ),
     entry!(
         crate::fig4_barriers::ID_FIG5,
         crate::fig4_barriers::TITLE_FIG5,
-        crate::fig4_barriers::run_fig5
+        crate::fig4_barriers::plan_fig5
     ),
     entry!(
         crate::fig4_barriers::ID_SEC323,
         crate::fig4_barriers::TITLE_SEC323,
-        crate::fig4_barriers::run_sec323
+        crate::fig4_barriers::plan_sec323
     ),
     entry!(
         crate::table1_cg::ID,
         crate::table1_cg::TITLE,
-        crate::table1_cg::run
+        crate::table1_cg::plan
     ),
     entry!(
         crate::table2_is::ID,
         crate::table2_is::TITLE,
-        crate::table2_is::run
+        crate::table2_is::plan
     ),
     entry!(
         crate::fig8_speedup::ID,
         crate::fig8_speedup::TITLE,
-        crate::fig8_speedup::run
+        crate::fig8_speedup::plan
     ),
     entry!(
         crate::table3_sp::ID_TAB3,
         crate::table3_sp::TITLE_TAB3,
-        crate::table3_sp::run_table3
+        crate::table3_sp::plan_table3
     ),
     entry!(
         crate::table3_sp::ID_TAB4,
         crate::table3_sp::TITLE_TAB4,
-        crate::table3_sp::run_table4
+        crate::table3_sp::plan_table4
     ),
     entry!(
         crate::ep_scaling::ID,
         crate::ep_scaling::TITLE,
-        crate::ep_scaling::run
+        crate::ep_scaling::plan
     ),
     entry!(
         crate::ablations::ID,
         crate::ablations::TITLE,
-        crate::ablations::run
+        crate::ablations::plan
     ),
     entry!(
         crate::ext_wishlist::ID,
         crate::ext_wishlist::TITLE,
-        crate::ext_wishlist::run
+        crate::ext_wishlist::plan
     ),
 ];
 

@@ -14,6 +14,7 @@ use ksr_machine::Machine;
 use ksr_nas::{CgConfig, CgSetup};
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id.
 pub const ID: &str = "TAB1";
@@ -28,7 +29,7 @@ pub const SCALE: u64 = 64;
 pub fn cg_time(cfg: CgConfig, procs: usize, seed: u64) -> f64 {
     let mut m = Machine::ksr1_scaled(seed, SCALE).expect("machine");
     let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz)
 }
 
@@ -49,45 +50,72 @@ pub fn paper_config(quick: bool) -> CgConfig {
     }
 }
 
-/// Run Table 1 (and the poststore note).
+/// Plan Table 1 (and the poststore note): one job per processor count,
+/// plus the poststore points in full mode.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let cfg = paper_config(quick);
     let procs: Vec<usize> = if quick {
         vec![1, 2, 4]
     } else {
         vec![1, 2, 4, 8, 16, 32]
     };
-    let times: Vec<(usize, f64)> = procs
+    let seed = opts.machine_seed(500);
+    let mut jobs: Vec<Job> = procs
         .iter()
-        .map(|&p| (p, cg_time(cfg, p, opts.machine_seed(500))))
+        .map(|&p| {
+            Job::value(
+                format!("TAB1 cg p={p}"),
+                p,
+                "cg_run_seconds",
+                "s",
+                move || cg_time(cfg, p, seed),
+            )
+        })
         .collect();
-    let table = ScalingTable::from_times(&times);
-    out.push_text(&table.render(&format!(
-        "Conjugate Gradient, datasize n = {}, nonzeros ~ {} (scaled 1/{SCALE})",
-        cfg.n,
-        cfg.n * (cfg.offdiag_per_row + 1)
-    )));
-    let t1 = times[0].1;
-    for &(p, t) in &times {
-        out.row("cg_run_seconds", &[("procs", Json::from(p))], t, "s");
-        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
-    }
     // Poststore comparison (paper: ~+3% at 16 procs, less at 32 where the
     // ring nears saturation).
-    if !quick {
-        for &p in &[8usize, 16, 32] {
+    let ps_procs: Vec<usize> = if quick { vec![] } else { vec![8, 16, 32] };
+    for &p in &ps_procs {
+        jobs.push(Job::value(
+            format!("TAB1 cg poststore p={p}"),
+            p,
+            "cg_run_seconds",
+            "s",
+            move || {
+                cg_time(
+                    CgConfig {
+                        poststore: true,
+                        ..cfg
+                    },
+                    p,
+                    seed,
+                )
+            },
+        ));
+    }
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let times: Vec<(usize, f64)> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, res.value(i)))
+            .collect();
+        let table = ScalingTable::from_times(&times);
+        out.push_text(&table.render(&format!(
+            "Conjugate Gradient, datasize n = {}, nonzeros ~ {} (scaled 1/{SCALE})",
+            cfg.n,
+            cfg.n * (cfg.offdiag_per_row + 1)
+        )));
+        let t1 = times[0].1;
+        for &(p, t) in &times {
+            out.row("cg_run_seconds", &[("procs", Json::from(p))], t, "s");
+            out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+        }
+        for (j, &p) in ps_procs.iter().enumerate() {
             let plain = times.iter().find(|&&(q, _)| q == p).unwrap().1;
-            let ps = cg_time(
-                CgConfig {
-                    poststore: true,
-                    ..cfg
-                },
-                p,
-                opts.machine_seed(500),
-            );
+            let ps = res.value(procs.len() + j);
             out.line(format_args!(
                 "poststore at {p:>2} procs: {:+.1}% (paper: +3% at 16, less at 32)",
                 (plain / ps - 1.0) * 100.0
@@ -99,8 +127,14 @@ pub fn run(opts: &RunOpts) -> ExperimentOutput {
                 "s",
             );
         }
-    }
-    out
+        out
+    })
+}
+
+/// Run Table 1 (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@ use ksr_core::Json;
 use ksr_machine::Machine;
 use ksr_nas::{IsConfig, IsSetup};
 
-use crate::common::{ExperimentOutput, RunOpts};
+use crate::common::{ExperimentOutput, MetricRow, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 use crate::table1_cg::SCALE;
 
 /// Registry id.
@@ -27,7 +28,7 @@ pub const TITLE: &str = "Integer Sort (Table 2, Figure 8)";
 pub fn is_time(cfg: IsConfig, procs: usize, seed: u64) -> (f64, f64) {
     let mut m = Machine::ksr1_scaled(seed, SCALE).expect("machine");
     let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     let lat = m.perfmon_total().mean_ring_latency();
     (
         cycles_to_seconds(r.duration_cycles(), m.config().clock_hz),
@@ -46,52 +47,75 @@ pub fn paper_config(quick: bool) -> IsConfig {
     }
 }
 
-/// Run Table 2.
+/// Plan Table 2: one job per processor count; each job reports both the
+/// run time and the perfmon ring latency.
 #[must_use]
-pub fn run(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID, TITLE);
     let cfg = paper_config(quick);
     let procs: Vec<usize> = if quick {
         vec![1, 2, 4]
     } else {
         vec![1, 2, 4, 8, 16, 30, 32]
     };
-    let mut lat_rows = Vec::new();
-    let times: Vec<(usize, f64)> = procs
+    let seed = opts.machine_seed(600);
+    let jobs: Vec<Job> = procs
         .iter()
         .map(|&p| {
-            let (t, lat) = is_time(cfg, p, opts.machine_seed(600));
-            lat_rows.push((p, lat));
-            (p, t)
+            Job::new(format!("TAB2 is p={p}"), p, move || {
+                let (t, lat) = is_time(cfg, p, seed);
+                vec![
+                    MetricRow::new("is_run_seconds", &[], t, "s"),
+                    MetricRow::new("mean_ring_latency_cycles", &[], lat, "cycles"),
+                ]
+            })
         })
         .collect();
-    let table = ScalingTable::from_times(&times);
-    out.push_text(&table.render(&format!(
-        "Integer Sort, number of input keys = 2^{} (scaled 1/{SCALE})",
-        cfg.keys.trailing_zeros()
-    )));
-    out.line(format_args!(
-        "serial fraction monotonically increasing: {} (paper: yes — the algorithm, \
-         not the architecture)",
-        table.serial_fraction_monotonic_up()
-    ));
-    let t1 = times[0].1;
-    for &(p, t) in &times {
-        out.row("is_run_seconds", &[("procs", Json::from(p))], t, "s");
-        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
-    }
-    out.push_text("perfmon mean remote latency (cycles) — the 30→32 rise is the ring:");
-    for (p, lat) in lat_rows {
-        out.line(format_args!("  {p:>2} procs: {lat:8.1}"));
-        out.row(
-            "mean_ring_latency_cycles",
-            &[("procs", Json::from(p))],
-            lat,
-            "cycles",
-        );
-    }
-    out
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        let times: Vec<(usize, f64)> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, res.rows(i)[0].value))
+            .collect();
+        let lat_rows: Vec<(usize, f64)> = procs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, res.rows(i)[1].value))
+            .collect();
+        let table = ScalingTable::from_times(&times);
+        out.push_text(&table.render(&format!(
+            "Integer Sort, number of input keys = 2^{} (scaled 1/{SCALE})",
+            cfg.keys.trailing_zeros()
+        )));
+        out.line(format_args!(
+            "serial fraction monotonically increasing: {} (paper: yes — the algorithm, \
+             not the architecture)",
+            table.serial_fraction_monotonic_up()
+        ));
+        let t1 = times[0].1;
+        for &(p, t) in &times {
+            out.row("is_run_seconds", &[("procs", Json::from(p))], t, "s");
+            out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+        }
+        out.push_text("perfmon mean remote latency (cycles) — the 30→32 rise is the ring:");
+        for (p, lat) in lat_rows {
+            out.line(format_args!("  {p:>2} procs: {lat:8.1}"));
+            out.row(
+                "mean_ring_latency_cycles",
+                &[("procs", Json::from(p))],
+                lat,
+                "cycles",
+            );
+        }
+        out
+    })
+}
+
+/// Run Table 2 (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use ksr_machine::Machine;
 use ksr_nas::{SpConfig, SpLayout, SpSetup};
 
 use crate::common::{ExperimentOutput, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
 
 /// Registry id of the Table 3 scaling run.
 pub const ID_TAB3: &str = "TAB3";
@@ -29,7 +30,7 @@ pub const TITLE_TAB4: &str = "Scalar Pentadiagonal optimisation ladder (Table 4)
 pub fn sp_time_per_iter(cfg: SpConfig, procs: usize, seed: u64) -> f64 {
     let mut m = Machine::ksr1(seed).expect("machine");
     let setup = SpSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz) / cfg.iterations as f64
 }
 
@@ -48,44 +49,62 @@ pub fn paper_config(quick: bool) -> SpConfig {
     }
 }
 
-/// Run Table 3 (scaling of the optimised version).
+/// Plan Table 3 (scaling of the optimised version): one job per
+/// processor count.
 #[must_use]
-pub fn run_table3(opts: &RunOpts) -> ExperimentOutput {
+pub fn plan_table3(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_TAB3, TITLE_TAB3);
     let cfg = paper_config(quick);
     let procs: Vec<usize> = if quick {
         vec![1, 2, 4]
     } else {
         vec![1, 2, 4, 8, 16, 31]
     };
-    let t1 = sp_time_per_iter(cfg, 1, opts.machine_seed(700));
-    let mut table = TextTable::new(&["Processors", "Time per iteration (s)", "Speedup"]);
-    for &p in &procs {
-        let t = if p == 1 {
-            t1
-        } else {
-            sp_time_per_iter(cfg, p, opts.machine_seed(700))
-        };
-        table.row(&[p.to_string(), format!("{t:.5}"), format!("{:.1}", t1 / t)]);
-        out.row(
-            "sp_seconds_per_iteration",
-            &[("procs", Json::from(p))],
-            t,
-            "s",
-        );
-        out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
-    }
-    out.push_text(&table.render());
-    out.push_text("paper speedups: 2.0 / 3.9 / 7.7 / 15.3 / 27.8 at 2/4/8/16/31 procs.");
-    out
+    let seed = opts.machine_seed(700);
+    let jobs: Vec<Job> = procs
+        .iter()
+        .map(|&p| {
+            Job::value(
+                format!("TAB3 sp p={p}"),
+                p,
+                "sp_seconds_per_iteration",
+                "s",
+                move || sp_time_per_iter(cfg, p, seed),
+            )
+        })
+        .collect();
+    ExperimentPlan::new(ID_TAB3, TITLE_TAB3, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_TAB3, TITLE_TAB3);
+        let t1 = res.value(0);
+        let mut table = TextTable::new(&["Processors", "Time per iteration (s)", "Speedup"]);
+        for (i, &p) in procs.iter().enumerate() {
+            let t = res.value(i);
+            table.row(&[p.to_string(), format!("{t:.5}"), format!("{:.1}", t1 / t)]);
+            out.row(
+                "sp_seconds_per_iteration",
+                &[("procs", Json::from(p))],
+                t,
+                "s",
+            );
+            out.row("speedup", &[("procs", Json::from(p))], t1 / t, "x");
+        }
+        out.push_text(&table.render());
+        out.push_text("paper speedups: 2.0 / 3.9 / 7.7 / 15.3 / 27.8 at 2/4/8/16/31 procs.");
+        out
+    })
 }
 
-/// Run Table 4 (the optimisation ladder at 30 processors).
+/// Run Table 3 (serial convenience form of [`plan_table3`]).
 #[must_use]
-pub fn run_table4(opts: &RunOpts) -> ExperimentOutput {
+pub fn run_table3(opts: &RunOpts) -> ExperimentOutput {
+    plan_table3(opts).run_serial()
+}
+
+/// Plan Table 4 (the optimisation ladder at 30 processors): one job per
+/// rung.
+#[must_use]
+pub fn plan_table4(opts: &RunOpts) -> ExperimentPlan {
     let quick = opts.quick;
-    let mut out = ExperimentOutput::new(ID_TAB4, TITLE_TAB4);
     let procs = if quick { 4 } else { 30 };
     let base_cfg = SpConfig {
         layout: SpLayout::Base,
@@ -106,35 +125,55 @@ pub fn run_table4(opts: &RunOpts) -> ExperimentOutput {
         ..prefetch_cfg
     };
     let seed = opts.machine_seed(701);
-    let base = sp_time_per_iter(base_cfg, procs, seed);
-    let padded = sp_time_per_iter(padded_cfg, procs, seed);
-    let prefetch = sp_time_per_iter(prefetch_cfg, procs, seed);
-    let poststore = sp_time_per_iter(poststore_cfg, procs, seed);
-    let mut table = TextTable::new(&["Optimizations", "Time per iteration (s)", "vs base"]);
-    for (label, t) in [
-        ("Base version", base),
-        ("Data padding and alignment", padded),
-        ("Prefetching appropriate data", prefetch),
-        ("(anti-opt) adding poststore", poststore),
-    ] {
-        table.row(&[
-            label.to_string(),
-            format!("{t:.5}"),
-            format!("{:+.1}%", (t / base - 1.0) * 100.0),
-        ]);
-        out.row(
-            "sp_seconds_per_iteration",
-            &[("variant", Json::from(label)), ("procs", Json::from(procs))],
-            t,
-            "s",
+    let rungs: [(&str, SpConfig); 4] = [
+        ("Base version", base_cfg),
+        ("Data padding and alignment", padded_cfg),
+        ("Prefetching appropriate data", prefetch_cfg),
+        ("(anti-opt) adding poststore", poststore_cfg),
+    ];
+    let jobs: Vec<Job> = rungs
+        .iter()
+        .map(|&(label, cfg)| {
+            Job::value(
+                format!("TAB4 sp {label}"),
+                procs,
+                "sp_seconds_per_iteration",
+                "s",
+                move || sp_time_per_iter(cfg, procs, seed),
+            )
+        })
+        .collect();
+    ExperimentPlan::new(ID_TAB4, TITLE_TAB4, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID_TAB4, TITLE_TAB4);
+        let base = res.value(0);
+        let mut table = TextTable::new(&["Optimizations", "Time per iteration (s)", "vs base"]);
+        for (i, &(label, _)) in rungs.iter().enumerate() {
+            let t = res.value(i);
+            table.row(&[
+                label.to_string(),
+                format!("{t:.5}"),
+                format!("{:+.1}%", (t / base - 1.0) * 100.0),
+            ]);
+            out.row(
+                "sp_seconds_per_iteration",
+                &[("variant", Json::from(label)), ("procs", Json::from(procs))],
+                t,
+                "s",
+            );
+        }
+        out.push_text(&table.render());
+        out.push_text(
+            "paper ladder: 2.54 -> 2.14 (-15%) -> 1.89 (-11%) s/iteration; poststore caused \
+             slowdown because the next phase's writers pay the invalidation for shared copies.",
         );
-    }
-    out.push_text(&table.render());
-    out.push_text(
-        "paper ladder: 2.54 -> 2.14 (-15%) -> 1.89 (-11%) s/iteration; poststore caused \
-         slowdown because the next phase's writers pay the invalidation for shared copies.",
-    );
-    out
+        out
+    })
+}
+
+/// Run Table 4 (serial convenience form of [`plan_table4`]).
+#[must_use]
+pub fn run_table4(opts: &RunOpts) -> ExperimentOutput {
+    plan_table4(opts).run_serial()
 }
 
 #[cfg(test)]

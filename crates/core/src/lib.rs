@@ -28,7 +28,12 @@
 //!   [`trace::Tracer`] handle every instrumented layer holds.
 //! * [`json`] — a dependency-free JSON value/writer for the
 //!   machine-readable results pipeline (`results/<id>.json`,
-//!   `results/summary.json`).
+//!   `results/summary.json`). Pure value → text rendering: no global
+//!   state anywhere in this crate, so concurrent jobs can trace and
+//!   serialize independently.
+//! * [`progress`] — `Sender`-based progress reporting: workers send
+//!   [`progress::ProgressEvent`]s, a single drainer renders them on
+//!   stderr, and stdout stays reserved for results.
 //! * [`error`] — the shared error type.
 
 #![warn(missing_docs)]
@@ -36,6 +41,7 @@
 pub mod error;
 pub mod json;
 pub mod metrics;
+pub mod progress;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -45,6 +51,7 @@ pub mod trace;
 pub use error::{Error, Result};
 pub use json::Json;
 pub use metrics::{efficiency, karp_flatt, speedup, ScalingRow, ScalingTable};
+pub use progress::{Progress, ProgressDrainer, ProgressEvent};
 pub use rng::XorShift64;
 pub use stats::{linear_fit, Summary};
 pub use table::{Series, TextTable};

@@ -1,0 +1,188 @@
+//! `Sender`-based progress reporting for long runs.
+//!
+//! The experiment grid can run hundreds of simulations; users want a
+//! live status line without the status ever contaminating the
+//! machine-readable results on stdout. The contract here:
+//!
+//! * Workers (possibly many threads) hold a cloneable [`Progress`]
+//!   handle and send [`ProgressEvent`]s through an `mpsc::Sender`.
+//! * A single drainer thread ([`Progress::stderr`]) renders them as
+//!   human-readable lines on **stderr**, so stdout stays pipeable.
+//! * A [`Progress::disabled`] handle makes every send a no-op, letting
+//!   library code report unconditionally with zero cost when nobody is
+//!   listening.
+//!
+//! Rendering happens on one thread, so lines never interleave
+//! mid-character even when many workers report at once.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// One progress event from a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent {
+    /// A work unit started executing.
+    Started {
+        /// Human-readable label of the work unit.
+        label: String,
+        /// 1-based position in the overall run.
+        index: usize,
+        /// Total number of work units in the run.
+        total: usize,
+    },
+    /// A work unit finished.
+    Finished {
+        /// Human-readable label of the work unit.
+        label: String,
+        /// 1-based position in the overall run.
+        index: usize,
+        /// Total number of work units in the run.
+        total: usize,
+        /// Wall-clock duration of the unit, in milliseconds.
+        millis: u64,
+    },
+    /// A free-form status line.
+    Note(String),
+}
+
+impl ProgressEvent {
+    /// The status line a drainer prints for this event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self {
+            Self::Started {
+                label,
+                index,
+                total,
+            } => format!("[{index}/{total}] {label} ..."),
+            Self::Finished {
+                label,
+                index,
+                total,
+                millis,
+            } => format!("[{index}/{total}] {label} done in {millis} ms"),
+            Self::Note(msg) => msg.clone(),
+        }
+    }
+}
+
+/// A cloneable handle workers report progress through. Either connected
+/// to a drainer ([`Progress::stderr`], [`Progress::channel`]) or
+/// disabled (every send is a no-op).
+#[derive(Clone)]
+pub struct Progress {
+    tx: Option<Sender<ProgressEvent>>,
+}
+
+impl Progress {
+    /// A handle that drops every event (for tests and library callers
+    /// that don't want status output).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { tx: None }
+    }
+
+    /// A handle paired with the raw receiving end (for tests or custom
+    /// drainers).
+    #[must_use]
+    pub fn channel() -> (Self, Receiver<ProgressEvent>) {
+        let (tx, rx) = mpsc::channel();
+        (Self { tx: Some(tx) }, rx)
+    }
+
+    /// A handle whose events a dedicated thread renders to stderr, one
+    /// line per event. Drop every clone of the handle, then
+    /// [`ProgressDrainer::join`] to flush the remaining lines.
+    #[must_use]
+    pub fn stderr() -> (Self, ProgressDrainer) {
+        let (progress, rx) = Self::channel();
+        let handle = std::thread::spawn(move || {
+            for ev in rx {
+                eprintln!("{}", ev.render());
+            }
+        });
+        (progress, ProgressDrainer { handle })
+    }
+
+    /// Report an event. Silently dropped when disabled or when the
+    /// drainer is gone — progress must never fail a run.
+    pub fn send(&self, ev: ProgressEvent) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(ev);
+        }
+    }
+
+    /// Report a free-form status line.
+    pub fn note(&self, msg: impl Into<String>) {
+        self.send(ProgressEvent::Note(msg.into()));
+    }
+
+    /// Report the start of work unit `index` of `total`.
+    pub fn started(&self, label: &str, index: usize, total: usize) {
+        self.send(ProgressEvent::Started {
+            label: label.to_string(),
+            index,
+            total,
+        });
+    }
+
+    /// Report the completion of work unit `index` of `total`.
+    pub fn finished(&self, label: &str, index: usize, total: usize, millis: u64) {
+        self.send(ProgressEvent::Finished {
+            label: label.to_string(),
+            index,
+            total,
+            millis,
+        });
+    }
+}
+
+/// Join handle for the stderr drainer thread. The thread exits when
+/// every [`Progress`] clone feeding it has been dropped.
+pub struct ProgressDrainer {
+    handle: JoinHandle<()>,
+}
+
+impl ProgressDrainer {
+    /// Wait for the drainer to print every pending line. Call after
+    /// dropping the last `Progress` clone, or this blocks forever.
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_drops_everything() {
+        let p = Progress::disabled();
+        p.note("nobody hears this");
+        p.started("x", 1, 2);
+        p.finished("x", 1, 2, 5);
+    }
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (p, rx) = Progress::channel();
+        let worker = p.clone();
+        worker.started("fig2", 1, 14);
+        worker.finished("fig2", 1, 14, 120);
+        p.note("done");
+        drop((p, worker));
+        let events: Vec<_> = rx.into_iter().collect();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].render(), "[1/14] fig2 ...");
+        assert_eq!(events[1].render(), "[1/14] fig2 done in 120 ms");
+        assert_eq!(events[2].render(), "done");
+    }
+
+    #[test]
+    fn stderr_drainer_joins_after_handles_drop() {
+        let (p, drainer) = Progress::stderr();
+        p.note("status goes to stderr");
+        drop(p);
+        drainer.join();
+    }
+}

@@ -160,7 +160,8 @@ mod tests {
         m.run(vec![program(move |cpu| {
             let x = v.get(cpu, 3);
             v.set(cpu, 4, x * 2.0);
-        })]);
+        })])
+        .expect("run");
         assert_eq!(v.peek(&mut m, 4), 5.0);
     }
 
@@ -172,7 +173,8 @@ mod tests {
             v.set(cpu, 0, 10);
             let x = v.get(cpu, 0);
             v.set(cpu, 1, x + 1);
-        })]);
+        })])
+        .expect("run");
         assert_eq!(v.peek(&mut m, 1), 11);
     }
 

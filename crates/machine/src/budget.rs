@@ -1,0 +1,104 @@
+//! Process-wide budget on simulated-processor OS threads.
+//!
+//! [`Machine::run`](crate::Machine::run) spawns one OS thread per
+//! simulated processor. A single machine is bounded by its cell count,
+//! but a parallel experiment executor runs many machines at once, and
+//! `jobs × procs-per-machine` can otherwise exhaust the host's thread
+//! limit. The budget caps the *total* number of in-flight processor
+//! threads across the whole process:
+//!
+//! * A run acquires one permit per program before spawning and releases
+//!   them all when the run finishes (or unwinds).
+//! * Acquisition blocks until the request fits under the cap — **or**
+//!   until nothing else holds permits, in which case the request is
+//!   granted even if it alone exceeds the cap. A machine larger than
+//!   the whole budget therefore still runs (alone) instead of
+//!   deadlocking, and one oversized job cannot starve forever.
+//!
+//! The default cap is generous ([`DEFAULT_THREAD_CAP`]); executors that
+//! know their parallelism call [`set_thread_cap`] with
+//! `jobs × procs-per-machine` (clamped) before fanning out.
+
+use std::sync::{Condvar, Mutex};
+
+/// Cap applied when no executor has called [`set_thread_cap`]: roomy
+/// enough for a handful of concurrent 64-cell machines, far below
+/// typical OS thread limits.
+pub const DEFAULT_THREAD_CAP: usize = 512;
+
+/// (configured cap, permits currently held). `None` means "use
+/// [`DEFAULT_THREAD_CAP`]".
+static STATE: Mutex<(Option<usize>, usize)> = Mutex::new((None, 0));
+static WAKE: Condvar = Condvar::new();
+
+/// Set the process-wide cap on concurrent simulated-processor threads.
+/// Takes effect for every subsequent acquisition; a cap of 0 is treated
+/// as 1.
+pub fn set_thread_cap(cap: usize) {
+    let mut st = STATE.lock().expect("thread budget poisoned");
+    st.0 = Some(cap.max(1));
+    WAKE.notify_all();
+}
+
+/// The currently configured cap.
+#[must_use]
+pub fn thread_cap() -> usize {
+    STATE
+        .lock()
+        .expect("thread budget poisoned")
+        .0
+        .unwrap_or(DEFAULT_THREAD_CAP)
+}
+
+/// Permits held for one run; released on drop (including unwinds).
+pub(crate) struct BudgetGuard {
+    n: usize,
+}
+
+/// Block until `n` processor threads fit in the budget, then reserve
+/// them. See the module docs for the oversized-request rule.
+pub(crate) fn acquire(n: usize) -> BudgetGuard {
+    let mut st = STATE.lock().expect("thread budget poisoned");
+    loop {
+        let cap = st.0.unwrap_or(DEFAULT_THREAD_CAP);
+        if st.1 == 0 || st.1 + n <= cap {
+            st.1 += n;
+            return BudgetGuard { n };
+        }
+        st = WAKE.wait(st).expect("thread budget poisoned");
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        let mut st = STATE.lock().expect("thread budget poisoned");
+        st.1 = st.1.saturating_sub(self.n);
+        WAKE.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The budget is process-global, so these tests share state with any
+    // concurrently running machine tests; assert only relative effects.
+
+    #[test]
+    fn permits_are_returned_on_drop() {
+        let before = STATE.lock().unwrap().1;
+        {
+            let _g = acquire(3);
+            assert!(STATE.lock().unwrap().1 >= before + 3);
+        }
+        assert!(STATE.lock().unwrap().1 <= before + 3);
+    }
+
+    #[test]
+    fn oversized_request_is_granted_when_idle() {
+        // Even a request far above the cap must not deadlock: it is
+        // admitted as soon as nothing else holds permits.
+        let g = acquire(DEFAULT_THREAD_CAP * 4);
+        drop(g);
+    }
+}

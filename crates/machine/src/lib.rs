@@ -14,7 +14,12 @@
 //!   `get_sub_page`/`release_sub_page`, `prefetch`, `poststore`, private
 //!   compute, FLOP accounting, and fast-forwarded spin loops.
 //! * [`machine`] — the coordinator that serializes all shared-memory
-//!   operations in global virtual-time order (fully deterministic runs).
+//!   operations in global virtual-time order (fully deterministic runs),
+//!   plus scoped per-thread machine observers ([`ObserverScope`]) for
+//!   verification harnesses.
+//! * [`budget`] — the process-wide cap on simulated-processor OS
+//!   threads, so many machines running in parallel cannot exhaust the
+//!   host.
 //! * [`arrays`] — typed shared-vector handles for kernel code.
 //! * [`heap`] — the SVA bump allocator with the paper's
 //!   false-sharing-avoiding sub-page alignment discipline.
@@ -26,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod arrays;
+pub mod budget;
 pub mod config;
 pub mod cpu;
 pub mod heap;
@@ -35,10 +41,11 @@ pub mod report;
 pub mod snapshot;
 
 pub use arrays::{SharedF64, SharedU64};
+pub use budget::{set_thread_cap, thread_cap, DEFAULT_THREAD_CAP};
 pub use config::{InterruptConfig, MachineConfig, MachineKind};
 pub use cpu::Cpu;
 pub use heap::Heap;
-pub use machine::{set_machine_observer, Machine, MachineObserver};
+pub use machine::{Machine, MachineObserver, ObserverScope};
 pub use program::{program, Program};
 pub use report::RunReport;
 pub use snapshot::PerfSnapshot;

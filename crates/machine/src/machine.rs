@@ -18,14 +18,16 @@
 //! costs exactly as the protocol dictates) at O(updates) instead of
 //! O(poll iterations) simulation cost.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, Tracer};
-use ksr_core::Result;
+use ksr_core::{Error, Result};
 use ksr_mem::{MemOp, MemorySystem, Outcome, PerfMon};
 use ksr_net::FabricStats;
 
@@ -45,22 +47,50 @@ enum ProcState {
 }
 
 /// A hook invoked on every freshly built [`Machine`] (see
-/// [`set_machine_observer`]).
+/// [`ObserverScope`]).
 pub type MachineObserver = dyn Fn(&mut Machine) + Send + Sync;
 
-static OBSERVER: Mutex<Option<Arc<MachineObserver>>> = Mutex::new(None);
+thread_local! {
+    /// Stack of scoped observers for the *current thread*. Deliberately
+    /// thread-local rather than process-global: concurrent jobs each
+    /// install their own observer and must never see machines built by
+    /// another job's thread.
+    static SCOPED_OBSERVERS: RefCell<Vec<Arc<MachineObserver>>> =
+        const { RefCell::new(Vec::new()) };
+}
 
-/// Install (or, with `None`, clear) a process-global hook invoked on
-/// every [`Machine`] the moment it is constructed. Verification
-/// harnesses use this to attach checking sinks to machines built deep
-/// inside experiment code they do not control; the hook runs before the
-/// machine executes anything, so an attached sink observes the complete
-/// event stream. The previous hook (if any) is returned.
-pub fn set_machine_observer(
-    observer: Option<Arc<MachineObserver>>,
-) -> Option<Arc<MachineObserver>> {
-    let mut slot = OBSERVER.lock().expect("machine observer poisoned");
-    std::mem::replace(&mut *slot, observer)
+/// Scoped, stacked registration of a hook invoked on every [`Machine`]
+/// built **on the current thread** while the scope is alive.
+/// Verification harnesses use this to attach checking sinks to machines
+/// built deep inside experiment code they do not control; the hook runs
+/// before the machine executes anything, so an attached sink observes
+/// the complete event stream.
+///
+/// Scopes nest: the innermost (most recently installed) observer wins.
+/// Dropping the scope uninstalls its observer. The handle is
+/// deliberately `!Send` — registration is per-thread, and moving the
+/// guard across threads would silently uninstall on the wrong stack.
+#[must_use = "the observer is uninstalled when the scope is dropped"]
+pub struct ObserverScope {
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ObserverScope {
+    /// Push `observer` onto the current thread's observer stack.
+    pub fn install(observer: Arc<MachineObserver>) -> Self {
+        SCOPED_OBSERVERS.with(|stack| stack.borrow_mut().push(observer));
+        Self {
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for ObserverScope {
+    fn drop(&mut self) {
+        SCOPED_OBSERVERS.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
 }
 
 /// A simulated multiprocessor.
@@ -92,9 +122,10 @@ impl Machine {
             epoch: 0,
             tracer: Tracer::disabled(),
         };
-        // Clone the hook out before invoking it so a hook that builds
-        // another machine cannot deadlock on the registry lock.
-        let observer = OBSERVER.lock().expect("machine observer poisoned").clone();
+        // Clone the innermost hook out before invoking it (the borrow
+        // must end first) so a hook that builds another machine
+        // re-enters the thread-local stack cleanly.
+        let observer = SCOPED_OBSERVERS.with(|stack| stack.borrow().last().cloned());
         if let Some(observer) = observer {
             observer(&mut machine);
         }
@@ -234,11 +265,20 @@ impl Machine {
     /// persist across runs (virtual time keeps increasing), which is how
     /// multi-phase experiments separate warm-up from measurement.
     ///
+    /// Each program gets a dedicated OS thread, reserved against the
+    /// process-wide [thread budget](crate::budget) before anything is
+    /// spawned; if the host then still cannot provide a thread, the run
+    /// aborts cleanly and returns [`Error::Host`] instead of panicking.
+    ///
+    /// # Errors
+    /// [`Error::Host`] when the operating system refuses to spawn a
+    /// processor thread.
+    ///
     /// # Panics
     /// Panics on simulation deadlock (every live processor parked on a
     /// sub-page no one is going to touch) — always a bug in the simulated
     /// program.
-    pub fn run(&mut self, mut programs: Vec<Box<dyn Program + '_>>) -> RunReport {
+    pub fn run(&mut self, mut programs: Vec<Box<dyn Program + '_>>) -> Result<RunReport> {
         let n = programs.len();
         assert!(n >= 1, "need at least one program");
         assert!(
@@ -246,6 +286,7 @@ impl Machine {
             "{n} programs exceed the machine's {} cells",
             self.cfg.cells
         );
+        let _permits = crate::budget::acquire(n);
         let start = self.epoch;
         let (req_tx, req_rx) = mpsc::channel::<Envelope>();
         let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(n);
@@ -271,46 +312,58 @@ impl Machine {
         let mem = &mut self.mem;
         let tracer = &self.tracer;
         let (proc_end, proc_flops) = std::thread::scope(|s| {
-            for (prog, cpu) in programs.iter_mut().zip(cpus) {
-                s.spawn(move || {
-                    let mut cpu = cpu;
-                    // If the coordinator unwinds (deadlock detection, a
-                    // protocol invariant), program threads wake with a
-                    // CoordinatorGone panic; swallow it so the
-                    // coordinator's panic is the one that propagates. Any
-                    // other panic (a failed assertion in the simulated
-                    // program) is re-thrown after notifying the
-                    // coordinator, so the run can't hang.
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        prog.run(&mut cpu);
-                    }));
-                    match result {
-                        Ok(()) => cpu.finish(),
-                        Err(payload) => {
-                            let gone = payload.is::<crate::cpu::CoordinatorGone>();
-                            cpu.finish();
-                            if !gone {
-                                std::panic::resume_unwind(payload);
+            for (p, (prog, cpu)) in programs.iter_mut().zip(cpus).enumerate() {
+                let spawned = std::thread::Builder::new()
+                    .name(format!("ksr-proc-{p}"))
+                    .spawn_scoped(s, move || {
+                        let mut cpu = cpu;
+                        // If the coordinator unwinds (deadlock detection, a
+                        // protocol invariant), program threads wake with a
+                        // CoordinatorGone panic; swallow it so the
+                        // coordinator's panic is the one that propagates. Any
+                        // other panic (a failed assertion in the simulated
+                        // program) is re-thrown after notifying the
+                        // coordinator, so the run can't hang.
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            prog.run(&mut cpu);
+                        }));
+                        match result {
+                            Ok(()) => cpu.finish(),
+                            Err(payload) => {
+                                let gone = payload.is::<crate::cpu::CoordinatorGone>();
+                                cpu.finish();
+                                if !gone {
+                                    std::panic::resume_unwind(payload);
+                                }
                             }
                         }
-                    }
-                });
+                    });
+                if let Err(e) = spawned {
+                    // Dropping the reply senders wakes every
+                    // already-spawned program thread with CoordinatorGone
+                    // (which it swallows), so the scope joins cleanly and
+                    // the machine is left unperturbed at its old epoch.
+                    drop(reply_txs);
+                    return Err(Error::Host(format!(
+                        "could not spawn simulated processor {p} of {n}: {e}"
+                    )));
+                }
             }
             // `coordinate` owns the reply senders: if it unwinds, they
             // drop, the program threads wake and exit, and the scope join
             // completes instead of hanging.
-            coordinate(mem, tracer, n, &req_rx, reply_txs)
-        });
+            Ok(coordinate(mem, tracer, n, &req_rx, reply_txs))
+        })?;
 
         let finished_at = proc_end.iter().copied().max().unwrap_or(start);
         self.epoch = finished_at;
-        RunReport {
+        Ok(RunReport {
             started_at: start,
             finished_at,
             clock_hz: self.cfg.clock_hz,
             proc_end,
             proc_flops,
-        }
+        })
     }
 }
 
@@ -554,12 +607,14 @@ mod tests {
     fn single_program_runs_and_reports() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_words(8).unwrap();
-        let report = m.run(vec![program(move |cpu| {
-            cpu.write_u64(a, 7);
-            cpu.compute(100);
-            let v = cpu.read_u64(a);
-            assert_eq!(v, 7);
-        })]);
+        let report = m
+            .run(vec![program(move |cpu| {
+                cpu.write_u64(a, 7);
+                cpu.compute(100);
+                let v = cpu.read_u64(a);
+                assert_eq!(v, 7);
+            })])
+            .expect("run");
         assert!(report.duration_cycles() > 100);
         assert_eq!(m.peek_u64(a), 7);
     }
@@ -569,21 +624,23 @@ mod tests {
         let run_once = || {
             let mut m = Machine::ksr1(99).unwrap();
             let a = m.alloc_subpage(8).unwrap();
-            let r = m.run(
-                (0..8)
-                    .map(|_| {
-                        program(move |cpu: &mut Cpu| {
-                            for _ in 0..20 {
-                                cpu.acquire_sub_page(a);
-                                let v = cpu.read_u64(a);
-                                cpu.write_u64(a, v + 1);
-                                cpu.release_sub_page(a);
-                                cpu.compute(50);
-                            }
+            let r = m
+                .run(
+                    (0..8)
+                        .map(|_| {
+                            program(move |cpu: &mut Cpu| {
+                                for _ in 0..20 {
+                                    cpu.acquire_sub_page(a);
+                                    let v = cpu.read_u64(a);
+                                    cpu.write_u64(a, v + 1);
+                                    cpu.release_sub_page(a);
+                                    cpu.compute(50);
+                                }
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("run");
             (r.duration_cycles(), r.proc_end.clone())
         };
         assert_eq!(run_once(), run_once());
@@ -608,7 +665,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(a), (procs * iters) as u64);
     }
 
@@ -617,18 +675,20 @@ mod tests {
         let mut m = Machine::ksr1(3).unwrap();
         let flag = m.alloc_subpage(8).unwrap();
         let data = m.alloc_subpage(8).unwrap();
-        let r = m.run(vec![
-            program(move |cpu| {
-                cpu.compute(5_000);
-                cpu.write_u64(data, 42);
-                cpu.write_u64(flag, 1);
-            }),
-            program(move |cpu| {
-                cpu.spin_until_eq(flag, 1);
-                let v = cpu.read_u64(data);
-                assert_eq!(v, 42, "flag ordering must publish data");
-            }),
-        ]);
+        let r = m
+            .run(vec![
+                program(move |cpu| {
+                    cpu.compute(5_000);
+                    cpu.write_u64(data, 42);
+                    cpu.write_u64(flag, 1);
+                }),
+                program(move |cpu| {
+                    cpu.spin_until_eq(flag, 1);
+                    let v = cpu.read_u64(data);
+                    assert_eq!(v, 42, "flag ordering must publish data");
+                }),
+            ])
+            .expect("run");
         // The spinner cannot have finished before the writer's flag write.
         assert!(r.proc_end[1] > 5_000);
     }
@@ -637,19 +697,21 @@ mod tests {
     fn blocked_access_waits_for_release() {
         let mut m = Machine::ksr1(7).unwrap();
         let a = m.alloc_subpage(8).unwrap();
-        let r = m.run(vec![
-            program(move |cpu| {
-                cpu.acquire_sub_page(a);
-                cpu.write_u64(a, 9);
-                cpu.compute(10_000);
-                cpu.release_sub_page(a);
-            }),
-            program(move |cpu| {
-                cpu.compute(500); // let proc 0 take the lock first
-                let v = cpu.read_u64(a); // blocks until release
-                assert_eq!(v, 9);
-            }),
-        ]);
+        let r = m
+            .run(vec![
+                program(move |cpu| {
+                    cpu.acquire_sub_page(a);
+                    cpu.write_u64(a, 9);
+                    cpu.compute(10_000);
+                    cpu.release_sub_page(a);
+                }),
+                program(move |cpu| {
+                    cpu.compute(500); // let proc 0 take the lock first
+                    let v = cpu.read_u64(a); // blocks until release
+                    assert_eq!(v, 9);
+                }),
+            ])
+            .expect("run");
         assert!(
             r.proc_end[1] > 10_000,
             "reader must stall past the critical section: {}",
@@ -660,10 +722,12 @@ mod tests {
     #[test]
     fn per_proc_flops_accounted() {
         let mut m = Machine::ksr1(1).unwrap();
-        let r = m.run(vec![
-            program(|cpu: &mut Cpu| cpu.flops(1000)),
-            program(|cpu: &mut Cpu| cpu.flops(500)),
-        ]);
+        let r = m
+            .run(vec![
+                program(|cpu: &mut Cpu| cpu.flops(1000)),
+                program(|cpu: &mut Cpu| cpu.flops(500)),
+            ])
+            .expect("run");
         assert_eq!(r.proc_flops, vec![1000, 500]);
         assert_eq!(r.total_flops(), 1500);
         // 1000 flops at 2/cycle = 500 cycles.
@@ -674,11 +738,15 @@ mod tests {
     fn consecutive_runs_share_machine_state() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_words(1).unwrap();
-        let r1 = m.run(vec![program(move |cpu| cpu.write_u64(a, 5))]);
+        let r1 = m
+            .run(vec![program(move |cpu| cpu.write_u64(a, 5))])
+            .expect("run");
         // Second run starts where the first ended, and the data persists.
-        let r2 = m.run(vec![program(move |cpu| {
-            assert_eq!(cpu.read_u64(a), 5);
-        })]);
+        let r2 = m
+            .run(vec![program(move |cpu| {
+                assert_eq!(cpu.read_u64(a), 5);
+            })])
+            .expect("run");
         assert!(r2.started_at >= r1.finished_at);
         // Warm cache: that read is a cheap hit now.
         assert!(r2.duration_cycles() <= 30, "{}", r2.duration_cycles());
@@ -702,7 +770,9 @@ mod tests {
             duration_cycles: 100,
         });
         let mut m = Machine::new(cfg).unwrap();
-        let r = m.run(vec![program(|cpu: &mut Cpu| cpu.compute(10_000))]);
+        let r = m
+            .run(vec![program(|cpu: &mut Cpu| cpu.compute(10_000))])
+            .expect("run");
         // ~10 interrupts of 100 cycles land inside 10k cycles of work.
         assert!(r.duration_cycles() >= 10_900, "{}", r.duration_cycles());
         assert!(r.duration_cycles() <= 11_200, "{}", r.duration_cycles());
@@ -719,29 +789,118 @@ mod tests {
             let mut m1 = Machine::ksr1(11).unwrap();
             let a1 = m1.alloc_subpage(8).unwrap();
             let _ = a;
-            let r = m1.run(vec![program(move |cpu: &mut Cpu| {
-                for i in 0..200 {
-                    cpu.write_u64(a1, i);
-                }
-            })]);
+            let r = m1
+                .run(vec![program(move |cpu: &mut Cpu| {
+                    for i in 0..200 {
+                        cpu.write_u64(a1, i);
+                    }
+                })])
+                .expect("run");
             r.duration_cycles()
         };
-        let r = m.run(
-            addrs
-                .iter()
-                .map(|&a| {
-                    program(move |cpu: &mut Cpu| {
-                        for i in 0..200 {
-                            cpu.write_u64(a, i);
-                        }
+        let r = m
+            .run(
+                addrs
+                    .iter()
+                    .map(|&a| {
+                        program(move |cpu: &mut Cpu| {
+                            for i in 0..200 {
+                                cpu.write_u64(a, i);
+                            }
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         assert!(
             r.duration_cycles() < solo * 4,
             "16 procs on distinct data should not serialize: {} vs solo {solo}",
             r.duration_cycles()
         );
+    }
+
+    #[test]
+    fn observer_scope_sees_machines_built_in_scope_only() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        {
+            let _scope = ObserverScope::install(Arc::new(move |_m: &mut Machine| {
+                seen2.fetch_add(1, Ordering::SeqCst);
+            }));
+            let _a = Machine::ksr1_scaled(1, 64).unwrap();
+            let _b = Machine::ksr1_scaled(2, 64).unwrap();
+        }
+        // Scope dropped: further machines are unobserved.
+        let _c = Machine::ksr1_scaled(3, 64).unwrap();
+        assert_eq!(seen.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn observer_scopes_nest_innermost_wins() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let outer = Arc::new(AtomicUsize::new(0));
+        let inner = Arc::new(AtomicUsize::new(0));
+        let (o2, i2) = (Arc::clone(&outer), Arc::clone(&inner));
+        let _outer_scope = ObserverScope::install(Arc::new(move |_m: &mut Machine| {
+            o2.fetch_add(1, Ordering::SeqCst);
+        }));
+        {
+            let _inner_scope = ObserverScope::install(Arc::new(move |_m: &mut Machine| {
+                i2.fetch_add(1, Ordering::SeqCst);
+            }));
+            let _m = Machine::ksr1_scaled(4, 64).unwrap();
+        }
+        let _m = Machine::ksr1_scaled(5, 64).unwrap();
+        assert_eq!(inner.load(Ordering::SeqCst), 1, "inner scope shadowed");
+        assert_eq!(outer.load(Ordering::SeqCst), 1, "outer resumes after pop");
+    }
+
+    #[test]
+    fn observers_are_thread_local() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        let _scope = ObserverScope::install(Arc::new(move |_m: &mut Machine| {
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        // A machine built on another thread must not trip this thread's
+        // observer.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _m = Machine::ksr1_scaled(6, 64).unwrap();
+            });
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 0);
+        let _m = Machine::ksr1_scaled(7, 64).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn runs_respect_a_tiny_thread_budget() {
+        // With a cap of 1, two 4-proc machines on two threads must still
+        // both complete (the oversized-when-idle rule prevents deadlock;
+        // the budget serializes them).
+        crate::budget::set_thread_cap(1);
+        std::thread::scope(|s| {
+            for seed in [21u64, 22] {
+                s.spawn(move || {
+                    let mut m = Machine::ksr1_scaled(seed, 64).unwrap();
+                    let a = m.alloc_subpage(8).unwrap();
+                    m.run(
+                        (0..4)
+                            .map(|_| {
+                                program(move |cpu: &mut Cpu| {
+                                    cpu.fetch_add(a, 1);
+                                })
+                            })
+                            .collect(),
+                    )
+                    .expect("run under tiny budget");
+                    assert_eq!(m.peek_u64(a), 4);
+                });
+            }
+        });
+        crate::budget::set_thread_cap(crate::budget::DEFAULT_THREAD_CAP);
     }
 }

@@ -341,7 +341,7 @@ mod tests {
         for procs in [1usize, 2, 5] {
             let mut m = Machine::ksr1_scaled(42, 64).unwrap();
             let setup = CgSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs());
+            m.run(setup.programs()).expect("run");
             let got = setup.result(&mut m);
             assert_eq!(
                 got.x_checksum.to_bits(),
@@ -366,7 +366,7 @@ mod tests {
             4,
         )
         .unwrap();
-        m.run(setup.programs());
+        m.run(setup.programs()).expect("run");
         assert_eq!(
             setup.result(&mut m).x_checksum.to_bits(),
             plain.x_checksum.to_bits()
@@ -379,7 +379,7 @@ mod tests {
         let time = |procs| {
             let mut m = Machine::ksr1_scaled(44, 64).unwrap();
             let setup = CgSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs()).duration_cycles()
+            m.run(setup.programs()).expect("run").duration_cycles()
         };
         let t1 = time(1);
         let t4 = time(4);

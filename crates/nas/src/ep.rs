@@ -286,7 +286,7 @@ mod tests {
         for procs in [1usize, 3, 4] {
             let mut m = Machine::ksr1(5).unwrap();
             let setup = EpSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs());
+            m.run(setup.programs()).expect("run");
             let got = setup.result(&mut m);
             assert_eq!(got.counts, reference.counts, "procs={procs}");
             assert!((got.sx - reference.sx).abs() < 1e-9);
@@ -299,7 +299,7 @@ mod tests {
         let time = |procs: usize| {
             let mut m = Machine::ksr1(6).unwrap();
             let setup = EpSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs()).duration_cycles()
+            m.run(setup.programs()).expect("run").duration_cycles()
         };
         let t1 = time(1);
         let t4 = time(4);
@@ -315,7 +315,7 @@ mod tests {
         let cfg = tiny();
         let mut m = Machine::ksr1(7).unwrap();
         let setup = EpSetup::new(&mut m, cfg, 1).unwrap();
-        let r = m.run(setup.programs());
+        let r = m.run(setup.programs()).expect("run");
         let mflops = r.mflops();
         assert!(
             (8.0..15.0).contains(&mflops),

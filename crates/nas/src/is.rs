@@ -326,7 +326,7 @@ mod tests {
         for procs in [1usize, 2, 4, 8] {
             let mut m = Machine::ksr1_scaled(50, 64).unwrap();
             let setup = IsSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs());
+            m.run(setup.programs()).expect("run");
             let ranks = setup.ranks(&mut m);
             assert!(ranks_are_valid(&keys, &ranks), "procs={procs}");
         }
@@ -337,7 +337,7 @@ mod tests {
         let cfg = tiny();
         let mut m = Machine::ksr1_scaled(51, 64).unwrap();
         let setup = IsSetup::new(&mut m, cfg, 1).unwrap();
-        m.run(setup.programs());
+        m.run(setup.programs()).expect("run");
         assert_eq!(setup.ranks(&mut m), is_sequential(&cfg));
     }
 

@@ -402,7 +402,7 @@ mod tests {
         for procs in [1usize, 2, 4] {
             let mut m = Machine::ksr1(60).unwrap();
             let setup = SpSetup::new(&mut m, cfg, procs).unwrap();
-            m.run(setup.programs());
+            m.run(setup.programs()).expect("run");
             let got = setup.solution(&mut m);
             assert_eq!(got.len(), reference.len());
             for (g, (a, b)) in got.iter().zip(&reference).enumerate() {
@@ -425,7 +425,7 @@ mod tests {
                     };
                     let mut m = Machine::ksr1(61).unwrap();
                     let setup = SpSetup::new(&mut m, cfg, 2).unwrap();
-                    m.run(setup.programs());
+                    m.run(setup.programs()).expect("run");
                     let got = setup.solution(&mut m);
                     for (a, b) in got.iter().zip(&base) {
                         assert_eq!(

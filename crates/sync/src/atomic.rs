@@ -46,7 +46,8 @@ mod tests {
         m.run(vec![program(move |cpu: &mut Cpu| {
             assert_eq!(fetch_add(cpu, a, 5), 10);
             assert_eq!(cpu.read_u64(a), 15);
-        })]);
+        })])
+        .expect("run");
     }
 
     #[test]
@@ -57,7 +58,8 @@ mod tests {
         m.run(vec![program(move |cpu: &mut Cpu| {
             assert_eq!(fetch_sub(cpu, a, 1), 3);
             assert_eq!(cpu.read_u64(a), 2);
-        })]);
+        })])
+        .expect("run");
     }
 
     #[test]
@@ -76,7 +78,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(a), (procs * iters) as u64);
     }
 
@@ -88,7 +91,8 @@ mod tests {
         m.run(vec![program(move |cpu: &mut Cpu| {
             let (old, new) = fetch_update(cpu, a, |v| v * 3);
             assert_eq!((old, new), (7, 21));
-        })]);
+        })])
+        .expect("run");
         assert_eq!(m.peek_u64(a), 21);
     }
 }

@@ -69,17 +69,19 @@ mod tests {
     fn two_procs_meet() {
         let mut m = Machine::ksr1(1).unwrap();
         let b = CounterBarrier::alloc(&mut m, 2).unwrap();
-        let r = m.run(
-            (0..2)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut ep = Episode::default();
-                        cpu.compute(if p == 0 { 10_000 } else { 10 });
-                        b.wait(cpu, &mut ep);
+        let r = m
+            .run(
+                (0..2)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut ep = Episode::default();
+                            cpu.compute(if p == 0 { 10_000 } else { 10 });
+                            b.wait(cpu, &mut ep);
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         // The fast processor waited for the slow one.
         assert!(r.proc_end[1] > 10_000);
     }
@@ -99,7 +101,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(b.base), 4, "counter re-armed");
         assert_eq!(m.peek_u64(b.base + 8), 5, "five generations completed");
     }

@@ -84,17 +84,19 @@ mod tests {
     fn straggler_holds_everyone() {
         let mut m = Machine::ksr1(4).unwrap();
         let b = DisseminationBarrier::alloc(&mut m, 5).unwrap();
-        let r = m.run(
-            (0..5)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut ep = Episode::default();
-                        cpu.compute(if p == 2 { 40_000 } else { 50 });
-                        b.wait(cpu, &mut ep);
+        let r = m
+            .run(
+                (0..5)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut ep = Episode::default();
+                            cpu.compute(if p == 2 { 40_000 } else { 50 });
+                            b.wait(cpu, &mut ep);
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         for p in 0..5 {
             assert!(r.proc_end[p] >= 40_000, "proc {p} escaped early");
         }
@@ -118,6 +120,7 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
     }
 }

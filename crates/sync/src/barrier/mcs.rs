@@ -143,17 +143,19 @@ mod tests {
         for flag in [false, true] {
             let mut m = Machine::ksr1(12).unwrap();
             let b = McsBarrier::alloc(&mut m, 9, flag).unwrap();
-            let r = m.run(
-                (0..9)
-                    .map(|p| {
-                        program(move |cpu: &mut Cpu| {
-                            let mut ep = Episode::default();
-                            cpu.compute(if p == 7 { 70_000 } else { 200 });
-                            b.wait(cpu, &mut ep);
+            let r = m
+                .run(
+                    (0..9)
+                        .map(|p| {
+                            program(move |cpu: &mut Cpu| {
+                                let mut ep = Episode::default();
+                                cpu.compute(if p == 7 { 70_000 } else { 200 });
+                                b.wait(cpu, &mut ep);
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("run");
             for p in 0..9 {
                 assert!(
                     r.proc_end[p] >= 70_000,
@@ -180,7 +182,8 @@ mod tests {
                         })
                     })
                     .collect(),
-            );
+            )
+            .expect("run");
         }
     }
 }

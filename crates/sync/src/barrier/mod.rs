@@ -246,7 +246,7 @@ pub(crate) mod testutil {
                 })
             })
             .collect();
-        m.run(programs)
+        m.run(programs).expect("run")
     }
 }
 

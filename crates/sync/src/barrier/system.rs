@@ -59,17 +59,19 @@ mod tests {
     fn straggler_holds_everyone() {
         let mut m = Machine::ksr1(15).unwrap();
         let b = SystemBarrier::alloc(&mut m, 6).unwrap();
-        let r = m.run(
-            (0..6)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut ep = Episode::default();
-                        cpu.compute(if p == 0 { 45_000 } else { 80 });
-                        b.wait(cpu, &mut ep);
+        let r = m
+            .run(
+                (0..6)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut ep = Episode::default();
+                            cpu.compute(if p == 0 { 45_000 } else { 80 });
+                            b.wait(cpu, &mut ep);
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         for p in 0..6 {
             assert!(r.proc_end[p] >= 45_000, "proc {p} escaped early");
         }
@@ -91,7 +93,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
     }
 
     #[test]
@@ -113,6 +116,7 @@ mod tests {
                         })
                         .collect(),
                 )
+                .expect("run")
                 .duration_cycles()
             };
             if system {

@@ -130,17 +130,19 @@ mod tests {
         for flag in [false, true] {
             let mut m = Machine::ksr1(7).unwrap();
             let b = TournamentBarrier::alloc(&mut m, 8, flag).unwrap();
-            let r = m.run(
-                (0..8)
-                    .map(|p| {
-                        program(move |cpu: &mut Cpu| {
-                            let mut ep = Episode::default();
-                            cpu.compute(if p == 5 { 60_000 } else { 100 });
-                            b.wait(cpu, &mut ep);
+            let r = m
+                .run(
+                    (0..8)
+                        .map(|p| {
+                            program(move |cpu: &mut Cpu| {
+                                let mut ep = Episode::default();
+                                cpu.compute(if p == 5 { 60_000 } else { 100 });
+                                b.wait(cpu, &mut ep);
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("run");
             for p in 0..8 {
                 assert!(
                     r.proc_end[p] >= 60_000,
@@ -167,7 +169,8 @@ mod tests {
                         })
                     })
                     .collect(),
-            );
+            )
+            .expect("run");
         }
     }
 
@@ -175,10 +178,12 @@ mod tests {
     fn single_proc_noop() {
         let mut m = Machine::ksr1(9).unwrap();
         let b = TournamentBarrier::alloc(&mut m, 1, false).unwrap();
-        let r = m.run(vec![program(move |cpu: &mut Cpu| {
-            let mut ep = Episode::default();
-            b.wait(cpu, &mut ep);
-        })]);
+        let r = m
+            .run(vec![program(move |cpu: &mut Cpu| {
+                let mut ep = Episode::default();
+                b.wait(cpu, &mut ep);
+            })])
+            .expect("run");
         assert!(r.duration_cycles() < 10);
     }
 }

@@ -160,11 +160,13 @@ mod tests {
     fn single_proc_is_a_noop() {
         let mut m = Machine::ksr1(1).unwrap();
         let b = TreeBarrier::alloc(&mut m, 1, false).unwrap();
-        let r = m.run(vec![program(move |cpu: &mut Cpu| {
-            let mut ep = Episode::default();
-            b.wait(cpu, &mut ep);
-            b.wait(cpu, &mut ep);
-        })]);
+        let r = m
+            .run(vec![program(move |cpu: &mut Cpu| {
+                let mut ep = Episode::default();
+                b.wait(cpu, &mut ep);
+                b.wait(cpu, &mut ep);
+            })])
+            .expect("run");
         assert!(r.duration_cycles() < 10);
     }
 
@@ -173,17 +175,19 @@ mod tests {
         for flag in [false, true] {
             let mut m = Machine::ksr1(3).unwrap();
             let b = TreeBarrier::alloc(&mut m, 6, flag).unwrap();
-            let r = m.run(
-                (0..6)
-                    .map(|p| {
-                        program(move |cpu: &mut Cpu| {
-                            let mut ep = Episode::default();
-                            cpu.compute(if p == 3 { 50_000 } else { 100 });
-                            b.wait(cpu, &mut ep);
+            let r = m
+                .run(
+                    (0..6)
+                        .map(|p| {
+                            program(move |cpu: &mut Cpu| {
+                                let mut ep = Episode::default();
+                                cpu.compute(if p == 3 { 50_000 } else { 100 });
+                                b.wait(cpu, &mut ep);
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("run");
             for p in 0..6 {
                 assert!(
                     r.proc_end[p] >= 50_000,
@@ -210,7 +214,8 @@ mod tests {
                         })
                     })
                     .collect(),
-            );
+            )
+            .expect("run");
         }
     }
 }

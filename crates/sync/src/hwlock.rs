@@ -83,7 +83,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(shared), 80);
         assert_eq!(m.peek_u64(shared + 8), 80);
     }
@@ -105,7 +106,8 @@ mod tests {
                 assert!(lock.try_acquire(cpu), "lock is free");
                 lock.release(cpu);
             }),
-        ]);
+        ])
+        .expect("run");
     }
 
     #[test]
@@ -126,7 +128,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(counter), 80);
     }
 }

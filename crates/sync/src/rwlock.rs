@@ -222,7 +222,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(shared), 64);
         assert_eq!(m.peek_u64(shared + 8), 64);
     }
@@ -235,17 +236,19 @@ mod tests {
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let hold = 20_000u64;
         let readers = 8;
-        let r = m.run(
-            (0..readers)
-                .map(|_| {
-                    program(move |cpu: &mut Cpu| {
-                        let t = lock.acquire(cpu, LockMode::Read);
-                        cpu.compute(hold);
-                        lock.release(cpu, t);
+        let r = m
+            .run(
+                (0..readers)
+                    .map(|_| {
+                        program(move |cpu: &mut Cpu| {
+                            let t = lock.acquire(cpu, LockMode::Read);
+                            cpu.compute(hold);
+                            lock.release(cpu, t);
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         assert!(
             r.duration_cycles() < hold * readers / 2,
             "readers must overlap: {} vs serialized {}",
@@ -260,28 +263,30 @@ mod tests {
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let data = m.alloc_subpage(8).unwrap();
         m.poke_u64(data, 1);
-        let r = m.run(vec![
-            program(move |cpu: &mut Cpu| {
-                let t = lock.acquire(cpu, LockMode::Read);
-                let v = cpu.read_u64(data);
-                assert_eq!(v, 1);
-                cpu.compute(30_000);
-                let v = cpu.read_u64(data);
-                assert_eq!(v, 1, "writer must still be excluded");
-                lock.release(cpu, t);
-            }),
-            program(move |cpu: &mut Cpu| {
-                let t = lock.acquire(cpu, LockMode::Read);
-                cpu.compute(10_000);
-                lock.release(cpu, t);
-            }),
-            program(move |cpu: &mut Cpu| {
-                cpu.compute(2_000); // arrive after the readers
-                let t = lock.acquire(cpu, LockMode::Write);
-                cpu.write_u64(data, 2);
-                lock.release(cpu, t);
-            }),
-        ]);
+        let r = m
+            .run(vec![
+                program(move |cpu: &mut Cpu| {
+                    let t = lock.acquire(cpu, LockMode::Read);
+                    let v = cpu.read_u64(data);
+                    assert_eq!(v, 1);
+                    cpu.compute(30_000);
+                    let v = cpu.read_u64(data);
+                    assert_eq!(v, 1, "writer must still be excluded");
+                    lock.release(cpu, t);
+                }),
+                program(move |cpu: &mut Cpu| {
+                    let t = lock.acquire(cpu, LockMode::Read);
+                    cpu.compute(10_000);
+                    lock.release(cpu, t);
+                }),
+                program(move |cpu: &mut Cpu| {
+                    cpu.compute(2_000); // arrive after the readers
+                    let t = lock.acquire(cpu, LockMode::Write);
+                    cpu.write_u64(data, 2);
+                    lock.release(cpu, t);
+                }),
+            ])
+            .expect("run");
         assert_eq!(m.peek_u64(data), 2);
         assert!(
             r.proc_end[2] > 30_000,
@@ -319,7 +324,8 @@ mod tests {
                 cpu.write_u64(log_idx, i + 1);
                 lock.release(cpu, t);
             }),
-        ]);
+        ])
+        .expect("run");
         assert_eq!(
             m.peek_u64(log),
             100,
@@ -345,7 +351,8 @@ mod tests {
                 cpu.write_u64(data, 1);
                 lock.release(cpu, t);
             }),
-        ]);
+        ])
+        .expect("run");
         assert_eq!(
             m.peek_u64(data),
             1,
@@ -359,19 +366,21 @@ mod tests {
         // immediately (combining), not queue.
         let mut m = Machine::ksr1(27).unwrap();
         let lock = SwRwLock::alloc(&mut m).unwrap();
-        let r = m.run(vec![
-            program(move |cpu: &mut Cpu| {
-                let t = lock.acquire(cpu, LockMode::Read);
-                cpu.compute(40_000);
-                lock.release(cpu, t);
-            }),
-            program(move |cpu: &mut Cpu| {
-                cpu.compute(10_000); // proc 0 is mid-hold
-                let t = lock.acquire(cpu, LockMode::Read);
-                cpu.compute(100);
-                lock.release(cpu, t);
-            }),
-        ]);
+        let r = m
+            .run(vec![
+                program(move |cpu: &mut Cpu| {
+                    let t = lock.acquire(cpu, LockMode::Read);
+                    cpu.compute(40_000);
+                    lock.release(cpu, t);
+                }),
+                program(move |cpu: &mut Cpu| {
+                    cpu.compute(10_000); // proc 0 is mid-hold
+                    let t = lock.acquire(cpu, LockMode::Read);
+                    cpu.compute(100);
+                    lock.release(cpu, t);
+                }),
+            ])
+            .expect("run");
         assert!(
             r.proc_end[1] < 20_000,
             "combining reader must not wait for the holder: {}",
@@ -407,7 +416,8 @@ mod tests {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         let expected: u64 = (0..procs)
             .map(|p| (0..iters).filter(|i| (p + i) % 3 == 0).count() as u64)
             .sum();
@@ -427,6 +437,7 @@ mod tests {
             assert_eq!(t.number(), 1);
             assert_eq!(t.mode(), LockMode::Read);
             lock.release(cpu, t);
-        })]);
+        })])
+        .expect("run");
     }
 }

@@ -13,19 +13,21 @@ use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 fn episode_us(kind: BarrierKind, procs: usize, episodes: usize) -> f64 {
     let mut m = Machine::ksr1(7).expect("machine");
     let b = AnyBarrier::alloc(kind, &mut m, procs).expect("barrier");
-    let r = m.run(
-        (0..procs)
-            .map(|p| {
-                program(move |cpu: &mut Cpu| {
-                    let mut ep = Episode::default();
-                    for e in 0..episodes {
-                        cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                        b.wait(cpu, &mut ep);
-                    }
+    let r = m
+        .run(
+            (0..procs)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        let mut ep = Episode::default();
+                        for e in 0..episodes {
+                            cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
+                            b.wait(cpu, &mut ep);
+                        }
+                    })
                 })
-            })
-            .collect(),
-    );
+                .collect(),
+        )
+        .expect("run");
     cycles_to_seconds(r.duration_cycles() / episodes as u64, m.config().clock_hz) * 1e6
 }
 

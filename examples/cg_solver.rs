@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // batch job on the real machine.
         let mut m = Machine::ksr1_scaled(1, 64)?;
         let setup = CgSetup::new(&mut m, cfg, procs)?;
-        let report = m.run(setup.programs());
+        let report = m.run(setup.programs()).expect("run");
         let result = setup.result(&mut m);
         assert_eq!(
             result.x_checksum.to_bits(),

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for procs in [1usize, 2, 4, 8, 16] {
         let mut m = Machine::ksr1_scaled(2, 64)?;
         let setup = IsSetup::new(&mut m, cfg, procs)?;
-        let report = m.run(setup.programs());
+        let report = m.run(setup.programs()).expect("run");
         let ranks = setup.ranks(&mut m);
         assert!(
             ranks_are_valid(&keys, &ranks),

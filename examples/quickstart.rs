@@ -22,27 +22,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One ordinary Rust closure per processor. Every shared-memory access
     // goes through the simulated cache hierarchy and ring.
-    let report = m.run(
-        (0..procs)
-            .map(|p| {
-                program(move |cpu: &mut Cpu| {
-                    for _ in 0..100 {
-                        lock.acquire(cpu);
-                        let v = cpu.read_u64(counter);
-                        cpu.write_u64(counter, v + 1);
-                        lock.release(cpu);
-                        cpu.compute(500); // private work between sections
-                    }
-                    let mut ep = Episode::default();
-                    barrier.wait(cpu, &mut ep);
-                    if p == 0 {
-                        let v = cpu.read_u64(counter);
-                        assert_eq!(v, 800, "every increment survived");
-                    }
+    let report = m
+        .run(
+            (0..procs)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        for _ in 0..100 {
+                            lock.acquire(cpu);
+                            let v = cpu.read_u64(counter);
+                            cpu.write_u64(counter, v + 1);
+                            lock.release(cpu);
+                            cpu.compute(500); // private work between sections
+                        }
+                        let mut ep = Episode::default();
+                        barrier.wait(cpu, &mut ep);
+                        if p == 0 {
+                            let v = cpu.read_u64(counter);
+                            assert_eq!(v, 800, "every increment survived");
+                        }
+                    })
                 })
-            })
-            .collect(),
-    );
+                .collect(),
+        )
+        .expect("run");
 
     println!("final counter     : {}", m.peek_u64(counter));
     println!(

@@ -38,7 +38,8 @@ fn mean_remote_latency(procs: usize) -> f64 {
                 })
             })
             .collect(),
-    );
+    )
+    .expect("run");
     (0..procs)
         .map(|p| results.peek(&mut m, p) as f64)
         .sum::<f64>()

@@ -13,7 +13,7 @@ use ksr1_repro::nas::{sp_sequential, SpConfig, SpLayout, SpSetup};
 fn per_iter(cfg: SpConfig, procs: usize) -> f64 {
     let mut m = Machine::ksr1(64).expect("machine");
     let setup = SpSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     cycles_to_seconds(r.duration_cycles(), m.config().clock_hz) / cfg.iterations as f64
 }
 
@@ -36,7 +36,7 @@ fn main() {
     let reference = sp_sequential(&base);
     let mut m = Machine::ksr1(64).expect("machine");
     let setup = SpSetup::new(&mut m, base, procs).expect("setup");
-    m.run(setup.programs());
+    m.run(setup.programs()).expect("run");
     let got = setup.solution(&mut m);
     assert!(
         got.iter()

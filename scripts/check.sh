@@ -1,6 +1,12 @@
 #!/usr/bin/env bash
-# Repo-wide gate: formatting, lints, tests, and a quick end-to-end run of
-# every registered experiment. Run from the repo root before pushing.
+# Repo-wide gate: formatting, lints, tests, a quick end-to-end run of
+# every registered experiment, and the parallel-executor determinism
+# gate. Run from the repo root before pushing.
+#
+# Quick-mode runs land in throwaway directories so the full-sweep
+# baselines under results/ are never overwritten; the only file this
+# script refreshes there is results/timings.json (wall-clock times are
+# nondeterministic by nature and excluded from every byte comparison).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,12 +19,35 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace --release"
 cargo test --workspace --release --quiet
 
-echo "==> KSR_QUICK=1 run_all (end-to-end pipeline)"
-KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all
+tmp_serial=$(mktemp -d)
+tmp_parallel=$(mktemp -d)
+tmp_check=$(mktemp -d)
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check"' EXIT
+
+echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare)"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 1 --results "$tmp_serial" > "$tmp_serial/stdout.txt"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --results "$tmp_parallel" > "$tmp_parallel/stdout.txt"
+for f in "$tmp_serial"/*; do
+    name=$(basename "$f")
+    if [ "$name" = "timings.json" ]; then
+        continue # wall-clock times: the one legitimately nondeterministic file
+    fi
+    if ! cmp -s "$f" "$tmp_parallel/$name"; then
+        echo "determinism violation: $name differs between -j1 and -j8" >&2
+        exit 1
+    fi
+done
+
+echo "==> recording per-experiment wall times in results/timings.json"
+mkdir -p results
+cp "$tmp_parallel/timings.json" results/timings.json
 
 echo "==> run_all --check --quick (coherence + race + lint verification)"
 # Exits non-zero on any coherence violation, data race, or schedule lint
-# finding; the full report lands in results/violations.json.
-cargo run --quiet --release -p ksr-bench --bin run_all -- --check --quick
+# finding; the full report lands in violations.json.
+cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --check --quick --results "$tmp_check" > /dev/null
 
 echo "==> all checks passed"

@@ -98,7 +98,8 @@ fn latency(args: &[String]) {
                 })
             })
             .collect(),
-    );
+    )
+    .expect("run");
     let rd: u64 = (0..procs).map(|p| results.peek(&mut m, 2 * p)).sum::<u64>() / procs as u64;
     let wr: u64 = (0..procs)
         .map(|p| results.peek(&mut m, 2 * p + 1))
@@ -135,19 +136,21 @@ fn barriers(args: &[String]) {
         }
         let b = AnyBarrier::alloc(kind, &mut m, procs).expect("alloc");
         let eps = 10usize;
-        let r = m.run(
-            (0..procs)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut ep = Episode::default();
-                        for e in 0..eps {
-                            cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                            b.wait(cpu, &mut ep);
-                        }
+        let r = m
+            .run(
+                (0..procs)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut ep = Episode::default();
+                            for e in 0..eps {
+                                cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
+                                b.wait(cpu, &mut ep);
+                            }
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         rows.push((
             cycles_to_seconds(r.duration_cycles() / eps as u64, m.config().clock_hz) * 1e6,
             kind.label(),
@@ -167,32 +170,34 @@ fn lock(args: &[String]) {
     let sw = SwRwLock::alloc(&mut m).expect("alloc");
     let ops = 200usize.div_ceil(procs);
     for use_sw in [false, true] {
-        let r = m.run(
-            (0..procs)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut rng = ksr1_repro::core::XorShift64::new(p as u64 + 1);
-                        for _ in 0..ops {
-                            if use_sw {
-                                let mode = if rng.next_below(100) < read_pct {
-                                    LockMode::Read
+        let r = m
+            .run(
+                (0..procs)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut rng = ksr1_repro::core::XorShift64::new(p as u64 + 1);
+                            for _ in 0..ops {
+                                if use_sw {
+                                    let mode = if rng.next_below(100) < read_pct {
+                                        LockMode::Read
+                                    } else {
+                                        LockMode::Write
+                                    };
+                                    let t = sw.acquire(cpu, mode);
+                                    cpu.compute(3_000);
+                                    sw.release(cpu, t);
                                 } else {
-                                    LockMode::Write
-                                };
-                                let t = sw.acquire(cpu, mode);
-                                cpu.compute(3_000);
-                                sw.release(cpu, t);
-                            } else {
-                                hw.acquire(cpu);
-                                cpu.compute(3_000);
-                                hw.release(cpu);
+                                    hw.acquire(cpu);
+                                    cpu.compute(3_000);
+                                    hw.release(cpu);
+                                }
+                                cpu.compute(10_000);
                             }
-                            cpu.compute(10_000);
-                        }
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         println!(
             "{}: {:.4}s for {} total ops at {procs} procs",
             if use_sw {
@@ -214,7 +219,7 @@ fn ep(args: &[String]) {
     };
     let mut m = Machine::ksr1(11).expect("machine");
     let setup = EpSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     let res = setup.result(&mut m);
     println!(
         "EP 2^16 pairs on {procs} procs: {:.4}s, {:.1} MFLOPS total, counts {:?}",
@@ -237,7 +242,7 @@ fn cg(args: &[String]) {
     let reference = cg_sequential(&cfg);
     let mut m = Machine::ksr1_scaled(12, 64).expect("machine");
     let setup = CgSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     let got = setup.result(&mut m);
     assert_eq!(
         got.x_checksum.to_bits(),
@@ -263,7 +268,7 @@ fn is(args: &[String]) {
     let keys = generate_keys(&cfg);
     let mut m = Machine::ksr1_scaled(13, 64).expect("machine");
     let setup = IsSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     let ranks = setup.ranks(&mut m);
     assert!(ranks_are_valid(&keys, &ranks), "verification failed");
     println!(
@@ -282,7 +287,7 @@ fn sp(args: &[String]) {
     };
     let mut m = Machine::ksr1(14).expect("machine");
     let setup = SpSetup::new(&mut m, cfg, procs).expect("setup");
-    let r = m.run(setup.programs());
+    let r = m.run(setup.programs()).expect("run");
     println!(
         "SP {n}^3 on {procs} procs: {:.4}s/iteration",
         r.seconds() / cfg.iterations as f64,

@@ -130,7 +130,8 @@ fn atomic_counter_exact_under_random_skews() {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(a), (procs * iters) as u64, "case {case}");
     }
 }
@@ -168,7 +169,8 @@ fn barriers_safe_under_random_skews() {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
     }
 }
 
@@ -183,22 +185,24 @@ fn simulation_is_deterministic() {
         let run = || {
             let mut m = Machine::ksr1(seed).unwrap();
             let a = m.alloc_subpage(16).unwrap();
-            let r = m.run(
-                (0..procs)
-                    .map(|p| {
-                        program(move |cpu: &mut Cpu| {
-                            for i in 0..10u64 {
-                                if (i + p as u64).is_multiple_of(3) {
-                                    cpu.fetch_add(a, 1);
-                                } else {
-                                    let _ = cpu.read_u64(a + 8);
-                                    cpu.compute(30);
+            let r = m
+                .run(
+                    (0..procs)
+                        .map(|p| {
+                            program(move |cpu: &mut Cpu| {
+                                for i in 0..10u64 {
+                                    if (i + p as u64).is_multiple_of(3) {
+                                        cpu.fetch_add(a, 1);
+                                    } else {
+                                        let _ = cpu.read_u64(a + 8);
+                                        cpu.compute(30);
+                                    }
                                 }
-                            }
+                            })
                         })
-                    })
-                    .collect(),
-            );
+                        .collect(),
+                )
+                .expect("run");
             (r.finished_at, r.proc_end.clone())
         };
         assert_eq!(run(), run(), "case {case}");

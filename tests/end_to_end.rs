@@ -31,7 +31,8 @@ fn all_four_machines_run_the_same_program() {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(a), 40);
     }
 }
@@ -46,7 +47,7 @@ fn kernels_verify_against_references_end_to_end() {
     let ep_ref = ep_sequential(&ep_cfg);
     let mut m = Machine::ksr1(2).unwrap();
     let ep = EpSetup::new(&mut m, ep_cfg, 4).unwrap();
-    m.run(ep.programs());
+    m.run(ep.programs()).expect("run");
     assert_eq!(ep.result(&mut m).counts, ep_ref.counts);
 
     // CG
@@ -61,7 +62,7 @@ fn kernels_verify_against_references_end_to_end() {
     let cg_ref = cg_sequential(&cg_cfg);
     let mut m = Machine::ksr1_scaled(3, 64).unwrap();
     let cg = CgSetup::new(&mut m, cg_cfg, 3).unwrap();
-    m.run(cg.programs());
+    m.run(cg.programs()).expect("run");
     assert_eq!(
         cg.result(&mut m).x_checksum.to_bits(),
         cg_ref.x_checksum.to_bits()
@@ -77,7 +78,7 @@ fn kernels_verify_against_references_end_to_end() {
     let keys = generate_keys(&is_cfg);
     let mut m = Machine::ksr1_scaled(4, 64).unwrap();
     let is = IsSetup::new(&mut m, is_cfg, 5).unwrap();
-    m.run(is.programs());
+    m.run(is.programs()).expect("run");
     assert!(ranks_are_valid(&keys, &is.ranks(&mut m)));
     assert_eq!(is_sequential(&is_cfg).len(), is_cfg.keys);
 
@@ -90,7 +91,7 @@ fn kernels_verify_against_references_end_to_end() {
     let sp_ref = sp_sequential(&sp_cfg);
     let mut m = Machine::ksr1(5).unwrap();
     let sp = SpSetup::new(&mut m, sp_cfg, 3).unwrap();
-    m.run(sp.programs());
+    m.run(sp.programs()).expect("run");
     let got = sp.solution(&mut m);
     assert!(got
         .iter()
@@ -105,31 +106,33 @@ fn whole_stack_is_deterministic() {
         let b = AnyBarrier::alloc(BarrierKind::TournamentFlag, &mut m, 6).unwrap();
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let data = m.alloc_subpage(8).unwrap();
-        let r = m.run(
-            (0..6)
-                .map(|p| {
-                    program(move |cpu: &mut Cpu| {
-                        let mut ep = Episode::default();
-                        for i in 0..5 {
-                            let mode = if (p + i) % 2 == 0 {
-                                LockMode::Read
-                            } else {
-                                LockMode::Write
-                            };
-                            let t = lock.acquire(cpu, mode);
-                            if mode == LockMode::Write {
-                                let v = cpu.read_u64(data);
-                                cpu.write_u64(data, v + 1);
-                            } else {
-                                let _ = cpu.read_u64(data);
+        let r = m
+            .run(
+                (0..6)
+                    .map(|p| {
+                        program(move |cpu: &mut Cpu| {
+                            let mut ep = Episode::default();
+                            for i in 0..5 {
+                                let mode = if (p + i) % 2 == 0 {
+                                    LockMode::Read
+                                } else {
+                                    LockMode::Write
+                                };
+                                let t = lock.acquire(cpu, mode);
+                                if mode == LockMode::Write {
+                                    let v = cpu.read_u64(data);
+                                    cpu.write_u64(data, v + 1);
+                                } else {
+                                    let _ = cpu.read_u64(data);
+                                }
+                                lock.release(cpu, t);
+                                b.wait(cpu, &mut ep);
                             }
-                            lock.release(cpu, t);
-                            b.wait(cpu, &mut ep);
-                        }
+                        })
                     })
-                })
-                .collect(),
-        );
+                    .collect(),
+            )
+            .expect("run");
         (r.duration_cycles(), r.proc_end.clone(), m.peek_u64(data))
     };
     let a = run();
@@ -159,7 +162,8 @@ fn perfmon_counters_are_consistent() {
                 })
             })
             .collect(),
-    );
+    )
+    .expect("run");
     let pm = m.perfmon_total();
     assert_eq!(
         pm.total_accesses(),
@@ -186,7 +190,9 @@ fn ksr2_is_faster_on_compute_but_not_on_ring() {
     // Same program: heavy compute (clock-bound) vs heavy remote traffic
     // (ring-bound, identical absolute ring speed on the two machines).
     let compute_seconds = |mut m: Machine| {
-        let r = m.run(vec![program(|cpu: &mut Cpu| cpu.compute(1_000_000))]);
+        let r = m
+            .run(vec![program(|cpu: &mut Cpu| cpu.compute(1_000_000))])
+            .expect("run");
         r.seconds()
     };
     let c1 = compute_seconds(Machine::ksr1(1).unwrap());
@@ -199,11 +205,13 @@ fn ksr2_is_faster_on_compute_but_not_on_ring() {
     let ring_seconds = |mut m: Machine| {
         let a = m.alloc(256 * 1024, 16384).unwrap();
         m.warm(1, a, 256 * 1024);
-        let r = m.run(vec![program(move |cpu: &mut Cpu| {
-            for i in 0..512u64 {
-                let _ = cpu.read_u64(a + i * 128);
-            }
-        })]);
+        let r = m
+            .run(vec![program(move |cpu: &mut Cpu| {
+                for i in 0..512u64 {
+                    let _ = cpu.read_u64(a + i * 128);
+                }
+            })])
+            .expect("run");
         r.seconds()
     };
     let r1 = ring_seconds(Machine::ksr1(1).unwrap());

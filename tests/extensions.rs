@@ -19,20 +19,22 @@ fn uncached_stream_protects_hot_set() {
         if uncached {
             m.set_uncached(stream, 1 << 20);
         }
-        let r = m.run(vec![program(move |cpu: &mut Cpu| {
-            // Warm the hot set into the sub-cache.
-            for w in 0..256u64 {
-                let _ = cpu.read_u64(hot + w * 8);
-            }
-            for i in 0..4_096u64 {
-                // One streaming access...
-                let _ = cpu.read_u64(stream + (i * 256) % (1 << 20));
-                // ... then four hot accesses that want to stay at 2 cycles.
-                for w in 0..4u64 {
-                    let _ = cpu.read_u64(hot + ((i * 32 + w * 8) % 2048));
+        let r = m
+            .run(vec![program(move |cpu: &mut Cpu| {
+                // Warm the hot set into the sub-cache.
+                for w in 0..256u64 {
+                    let _ = cpu.read_u64(hot + w * 8);
                 }
-            }
-        })]);
+                for i in 0..4_096u64 {
+                    // One streaming access...
+                    let _ = cpu.read_u64(stream + (i * 256) % (1 << 20));
+                    // ... then four hot accesses that want to stay at 2 cycles.
+                    for w in 0..4u64 {
+                        let _ = cpu.read_u64(hot + ((i * 32 + w * 8) % 2048));
+                    }
+                }
+            })])
+            .expect("run");
         r.duration_cycles()
     };
     let cached = run(false);
@@ -51,21 +53,23 @@ fn subcache_prefetch_hides_the_18_cycles() {
     let mut m = Machine::ksr1(4).unwrap();
     let a = m.alloc(4096, 4096).unwrap();
     m.warm(0, a, 4096);
-    let r = m.run(vec![program(move |cpu: &mut Cpu| {
-        // Prefetch the first sub-page into the sub-cache, give it a beat,
-        // then read: a sub-cache hit.
-        cpu.prefetch_subcache(a);
-        cpu.compute(50);
-        let t0 = cpu.now();
-        let _ = cpu.read_u64(a);
-        let prefetched = cpu.now() - t0;
-        assert_eq!(prefetched, 2, "prefetched read must be a sub-cache hit");
-        // An unprefetched sub-page costs the local-cache latency.
-        let t0 = cpu.now();
-        let _ = cpu.read_u64(a + 2048);
-        let cold = cpu.now() - t0;
-        assert!(cold >= 18, "unprefetched read pays the local cache: {cold}");
-    })]);
+    let r = m
+        .run(vec![program(move |cpu: &mut Cpu| {
+            // Prefetch the first sub-page into the sub-cache, give it a beat,
+            // then read: a sub-cache hit.
+            cpu.prefetch_subcache(a);
+            cpu.compute(50);
+            let t0 = cpu.now();
+            let _ = cpu.read_u64(a);
+            let prefetched = cpu.now() - t0;
+            assert_eq!(prefetched, 2, "prefetched read must be a sub-cache hit");
+            // An unprefetched sub-page costs the local-cache latency.
+            let t0 = cpu.now();
+            let _ = cpu.read_u64(a + 2048);
+            let cold = cpu.now() - t0;
+            assert!(cold >= 18, "unprefetched read pays the local cache: {cold}");
+        })])
+        .expect("run");
     assert!(r.duration_cycles() > 0);
 }
 
@@ -86,7 +90,8 @@ fn subcache_prefetch_of_remote_data_is_noop() {
             latency > 100,
             "the read must still go out on the ring: {latency}"
         );
-    })]);
+    })])
+    .expect("run");
 }
 
 /// Uncached ranges still get correct values and coherence.
@@ -105,6 +110,7 @@ fn uncached_range_is_functionally_transparent() {
             let v = cpu.read_u64(a);
             assert_eq!(v, 11, "uncached data must stay coherent");
         }),
-    ]);
+    ])
+    .expect("run");
     assert_eq!(m.peek_u64(a), 11);
 }

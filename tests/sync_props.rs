@@ -37,7 +37,8 @@ fn hw_lock_mutual_exclusion() {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(in_cs), 0, "case {case}");
     }
 }
@@ -101,7 +102,8 @@ fn rw_lock_invariants() {
                     })
                 })
                 .collect(),
-        );
+        )
+        .expect("run");
         assert_eq!(m.peek_u64(state), 0, "case {case}");
         assert_eq!(m.peek_u64(state + 8), 0, "case {case}");
         assert_eq!(
@@ -135,7 +137,8 @@ fn sw_lock_is_fifo_for_writers() {
                 })
             })
             .collect(),
-    );
+    )
+    .expect("run");
     let served: Vec<u64> = (0..4).map(|i| m.peek_u64(order + i * 8)).collect();
     assert_eq!(served, vec![0, 1, 2, 3], "strict FCFS violated");
 }
@@ -147,26 +150,28 @@ fn reader_not_starved_by_writer_stream() {
     let mut m = Machine::ksr1(6).unwrap();
     let lock = SwRwLock::alloc(&mut m).unwrap();
     let reader_done = m.alloc_subpage(8).unwrap();
-    let r = m.run(
-        (0..5usize)
-            .map(|p| {
-                program(move |cpu: &mut Cpu| {
-                    if p == 0 {
-                        cpu.compute(2_000); // queue behind the first writer
-                        let t = lock.acquire(cpu, LockMode::Read);
-                        cpu.write_u64(reader_done, cpu.now());
-                        lock.release(cpu, t);
-                    } else {
-                        for _ in 0..6 {
-                            let t = lock.acquire(cpu, LockMode::Write);
-                            cpu.compute(3_000);
+    let r = m
+        .run(
+            (0..5usize)
+                .map(|p| {
+                    program(move |cpu: &mut Cpu| {
+                        if p == 0 {
+                            cpu.compute(2_000); // queue behind the first writer
+                            let t = lock.acquire(cpu, LockMode::Read);
+                            cpu.write_u64(reader_done, cpu.now());
                             lock.release(cpu, t);
+                        } else {
+                            for _ in 0..6 {
+                                let t = lock.acquire(cpu, LockMode::Write);
+                                cpu.compute(3_000);
+                                lock.release(cpu, t);
+                            }
                         }
-                    }
+                    })
                 })
-            })
-            .collect(),
-    );
+                .collect(),
+        )
+        .expect("run");
     let done = m.peek_u64(reader_done);
     assert!(done > 0, "reader never got in");
     assert!(

@@ -39,7 +39,7 @@ fn run_workload(tracer: Option<Tracer>) -> RunOutcome {
             })
         })
         .collect();
-    let r = m.run(programs);
+    let r = m.run(programs).expect("run");
     RunOutcome {
         duration_cycles: r.duration_cycles(),
         perfmon: m.perfmon_total(),
@@ -121,7 +121,8 @@ fn snapshot_deltas_attribute_phases() {
         for i in 0..256u64 {
             let _ = cpu.read_u64(a + (i * 128) % (64 * 1024));
         }
-    })]);
+    })])
+    .expect("run");
     let after = m.perfmon_snapshot();
     let d = after.delta_since(&before);
     assert!(after.cycles_since(&before) > 0);

@@ -106,7 +106,8 @@ fn is_race_reports(racy: bool) -> Vec<RaceReport> {
         setup.programs_racy_phase6()
     } else {
         setup.programs()
-    });
+    })
+    .expect("run");
     let events = sink.lock().unwrap().take();
     assert!(!events.is_empty(), "IS run must produce trace events");
     RaceDetector::new(procs).analyze(&events)
@@ -146,7 +147,7 @@ fn full_is_run_checks_coherence_clean() {
         chunk: 64,
     };
     let setup = IsSetup::new(&mut m, cfg, 4).expect("IS setup");
-    m.run(setup.programs());
+    m.run(setup.programs()).expect("run");
     let s = sink.lock().unwrap();
     assert!(s.is_clean(), "{:?}", s.violations());
     assert!(
@@ -154,4 +155,47 @@ fn full_is_run_checks_coherence_clean() {
         "checker saw {} events",
         s.events_seen()
     );
+}
+
+/// Concurrent machine construction with scoped observers: two threads
+/// each install their own checking observer and build their own
+/// machine; each scope must capture exactly its own machine's trace
+/// (the old process-global observer hook would have cross-wired them).
+#[test]
+fn concurrent_machines_get_their_own_checking_sinks() {
+    use ksr1_repro::machine::{program, Cpu, MachineObserver, ObserverScope};
+
+    let worker = |seed: u64| {
+        let sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>> = Arc::default();
+        let registry = Arc::clone(&sinks);
+        let observer: Arc<MachineObserver> = Arc::new(move |m: &mut Machine| {
+            let (tracer, sink) = Tracer::attach(CheckingSink::default());
+            m.set_tracer(tracer);
+            registry.lock().unwrap().push(sink);
+        });
+        let _scope = ObserverScope::install(observer);
+        let mut m = Machine::ksr1(seed).expect("machine");
+        let a = m.alloc(1024, 128).expect("alloc");
+        m.run(vec![program(move |cpu: &mut Cpu| {
+            cpu.write_u64(a, seed);
+            let _ = cpu.read_u64(a);
+        })])
+        .expect("run");
+        let sinks = sinks.lock().unwrap();
+        assert_eq!(
+            sinks.len(),
+            1,
+            "a thread's scope must see exactly the machines built on that thread"
+        );
+        let s = sinks[0].lock().unwrap();
+        assert!(s.is_clean(), "{:?}", s.violations());
+        s.events_seen()
+    };
+
+    std::thread::scope(|sc| {
+        let h1 = sc.spawn(|| worker(11));
+        let h2 = sc.spawn(|| worker(12));
+        assert!(h1.join().unwrap() > 0, "thread 1 saw no coherence events");
+        assert!(h2.join().unwrap() > 0, "thread 2 saw no coherence events");
+    });
 }
