@@ -48,7 +48,7 @@ const LOOP_OVERHEAD: u64 = 60;
 
 /// What one latency run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     LocalRead,
     LocalWrite,
     RemoteRead,
@@ -57,7 +57,7 @@ enum Target {
 
 /// Average per-access seconds across `procs` simultaneously active
 /// processors, with a configurable stride.
-fn measure(target: Target, procs: usize, stride: u64, samples: u64, seed: u64) -> f64 {
+pub(crate) fn measure(target: Target, procs: usize, stride: u64, samples: u64, seed: u64) -> f64 {
     let mut m = Machine::ksr1(seed).expect("machine");
     // One private 1 MB array per processor; for remote targets the
     // "owner" is the next cell around the ring (warmed there even if that

@@ -48,7 +48,7 @@ const MIXES: [(Option<u32>, &str); 7] = [
 
 /// Which lock and read-mix a run uses. `read_pct == None` means the
 /// hardware exclusive lock.
-fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f64 {
+pub(crate) fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f64 {
     let cfg = MachineConfig::ksr1(seed).with_interrupts(InterruptConfig::ksr_os());
     let mut m = Machine::new(cfg).expect("machine");
     let hw = HwLock::alloc(&mut m).expect("alloc");

@@ -35,6 +35,7 @@ pub mod fig2_latency;
 pub mod fig3_locks;
 pub mod fig4_barriers;
 pub mod fig8_speedup;
+pub mod perf;
 pub mod registry;
 pub mod table1_cg;
 pub mod table2_is;

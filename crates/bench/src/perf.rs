@@ -1,0 +1,321 @@
+//! Perf-regression harness: host wall-clock times for simulator
+//! microworkloads.
+//!
+//! Everything else in this crate measures *simulated* time — cycle
+//! counts that are byte-identical across hosts and worker counts. This
+//! module is the one deliberate exception: it times how long the
+//! *simulator itself* takes to run a fixed set of microworkloads, so a
+//! change that slows the coordinator hot path down shows up as a number
+//! instead of as a mysteriously longer CI run.
+//!
+//! The four cases drive the same code the real experiments drive (they
+//! call the experiment modules' own workload functions, not copies):
+//!
+//! * `fig2_remote_read` — the Figure-2 latency probe: four processors
+//!   stride-reading their ring neighbour's array. Maximal pressure on
+//!   the coordinator request path and the directory.
+//! * `lock_churn` — the Figure-3 hardware-lock workload: four
+//!   processors contending on one `get_sub_page` lock.
+//! * `barrier_episode` — one measured MCS-barrier episode across 16
+//!   processors (plus the standard two warm-up episodes).
+//! * `quick_is` — the quick-mode Integer Sort of Table 2 on four
+//!   processors: the closest thing to a whole application.
+//!
+//! Results go to `bench.json` in the results directory. Wall times are
+//! nondeterministic by nature, so — like `timings.json` — that file is
+//! excluded from every byte-comparison determinism gate. Longer-term
+//! trajectory (before/after numbers for each optimization PR, with the
+//! host recorded) lives in the repo-root `BENCH_<n>.json` files; see
+//! `EXPERIMENTS.md`.
+//!
+//! Timing protocol: each case runs `reps` times and reports the minimum
+//! and mean wall seconds. The minimum is the comparison number — on a
+//! noisy host it is the best available estimate of the undisturbed
+//! cost. The simulated seconds each case also reports must never change
+//! under a pure performance PR; the smoke test and the determinism gate
+//! both lean on that.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ksr_core::Json;
+use ksr_sync::BarrierKind;
+
+use crate::fig2_latency::{measure, Target};
+use crate::fig3_locks::run_workload;
+use crate::fig4_barriers::{episode_time, BarrierMachine};
+use crate::table2_is::{is_time, paper_config};
+
+/// One microworkload: a name, what it stresses, and a runner returning
+/// the *simulated* seconds of the workload (the wall clock is the
+/// harness's job).
+pub struct PerfCase {
+    /// Stable case name (a JSON key in `bench.json`).
+    pub name: &'static str,
+    /// One-line description of what the case stresses.
+    pub detail: &'static str,
+    /// Run the workload once; returns simulated seconds.
+    pub run: fn() -> f64,
+}
+
+/// Wall-clock result of one case.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: &'static str,
+    /// Minimum wall seconds over the repetitions (the comparison
+    /// number).
+    pub wall_seconds_min: f64,
+    /// Mean wall seconds over the repetitions.
+    pub wall_seconds_mean: f64,
+    /// Simulated seconds the workload reported (identical every rep on
+    /// a correct build — simulation results do not depend on the host).
+    pub sim_seconds: f64,
+}
+
+/// The standard case set, in execution order.
+#[must_use]
+pub fn cases() -> Vec<PerfCase> {
+    vec![
+        PerfCase {
+            name: "fig2_remote_read",
+            detail: "4 procs stride-reading a ring neighbour's array (coordinator+directory)",
+            run: || measure(Target::RemoteRead, 4, 128, 2048, 100),
+        },
+        PerfCase {
+            name: "lock_churn",
+            detail: "4 procs contending on the hardware get_sub_page lock (Figure 3 workload)",
+            run: || run_workload(None, 4, 300),
+        },
+        PerfCase {
+            name: "barrier_episode",
+            detail: "one MCS barrier episode across 16 procs (plus standard warm-up)",
+            run: || episode_time(BarrierMachine::Ksr1, BarrierKind::Mcs, 16, 1, 400),
+        },
+        PerfCase {
+            name: "quick_is",
+            detail: "quick-mode Integer Sort on 4 procs (Table 2 workload)",
+            run: || is_time(paper_config(true), 4, 500).0,
+        },
+    ]
+}
+
+/// Run `cases` `reps` times each (at least once) and collect wall-clock
+/// results.
+#[must_use]
+pub fn run_cases(cases: &[PerfCase], reps: usize) -> Vec<CaseResult> {
+    let reps = reps.max(1);
+    cases
+        .iter()
+        .map(|case| {
+            let mut walls = Vec::with_capacity(reps);
+            let mut sim = 0.0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                sim = (case.run)();
+                walls.push(t0.elapsed().as_secs_f64());
+            }
+            let min = walls.iter().copied().fold(f64::INFINITY, f64::min);
+            let mean = walls.iter().sum::<f64>() / walls.len() as f64;
+            CaseResult {
+                name: case.name,
+                wall_seconds_min: min,
+                wall_seconds_mean: mean,
+                sim_seconds: sim,
+            }
+        })
+        .collect()
+}
+
+/// JSON report for a set of case results: schema tag, host parallelism,
+/// repetition count, per-case numbers, and the wall total.
+#[must_use]
+pub fn report(results: &[CaseResult], reps: usize) -> Json {
+    let host = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let total: f64 = results.iter().map(|r| r.wall_seconds_min).sum();
+    Json::obj([
+        ("schema", Json::from("ksr-bench-perf-v1")),
+        ("host_parallelism", Json::from(host)),
+        ("reps", Json::from(reps)),
+        (
+            "cases",
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("name", Json::from(r.name)),
+                            ("wall_seconds_min", Json::from(r.wall_seconds_min)),
+                            ("wall_seconds_mean", Json::from(r.wall_seconds_mean)),
+                            ("sim_seconds", Json::from(r.sim_seconds)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_wall_seconds_min", Json::from(total)),
+    ])
+}
+
+/// Write `bench.json` under `dir`, creating the directory if needed.
+pub fn write_report(doc: &Json, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("bench.json");
+    let mut body = doc.render_pretty();
+    body.push('\n');
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Entry point for the `perf` binary: `perf [--reps N] [--results DIR]`.
+///
+/// Prints the per-case numbers to stderr and the report path on
+/// success; `bench.json` lands in the results directory (default from
+/// `KSR_RESULTS`, like every other binary).
+#[must_use]
+pub fn perf_main() -> ExitCode {
+    let mut reps = 3usize;
+    let mut dir = crate::common::results_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                let Some(v) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("error: --reps needs a positive integer");
+                    return ExitCode::from(2);
+                };
+                reps = v;
+            }
+            "--results" => {
+                let Some(v) = args.next() else {
+                    eprintln!("error: --results needs a directory");
+                    return ExitCode::from(2);
+                };
+                dir = v.into();
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument: {other}\nusage: perf [--reps N] [--results DIR]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let reps = reps.max(1);
+    let set = cases();
+    eprintln!("[perf: {} case(s), {} rep(s) each]", set.len(), reps);
+    let results = run_cases(&set, reps);
+    for r in &results {
+        eprintln!(
+            "[perf: {:<18} min {:>8.3}s  mean {:>8.3}s  (sim {:.6}s)]",
+            r.name, r.wall_seconds_min, r.wall_seconds_mean, r.sim_seconds
+        );
+    }
+    let doc = report(&results, reps);
+    match write_report(&doc, &dir) {
+        Ok(path) => {
+            eprintln!("[bench: {}]", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not write bench.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cases() -> Vec<PerfCase> {
+        vec![
+            PerfCase {
+                name: "tiny_a",
+                detail: "test stub",
+                run: || 1.25,
+            },
+            PerfCase {
+                name: "tiny_b",
+                detail: "test stub",
+                run: || 2.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn case_names_are_unique_and_stable() {
+        let set = cases();
+        assert_eq!(set.len(), 4);
+        let names: Vec<_> = set.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            [
+                "fig2_remote_read",
+                "lock_churn",
+                "barrier_episode",
+                "quick_is"
+            ]
+        );
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn run_cases_clamps_reps_and_keeps_sim_seconds() {
+        let results = run_cases(&tiny_cases(), 0);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].sim_seconds, 1.25);
+        assert_eq!(results[1].sim_seconds, 2.5);
+        assert!(results[0].wall_seconds_min <= results[0].wall_seconds_mean);
+    }
+
+    #[test]
+    fn bench_json_has_the_documented_shape() {
+        let dir = std::env::temp_dir().join(format!("ksr_perf_test_{}", std::process::id()));
+        let results = run_cases(&tiny_cases(), 2);
+        let doc = report(&results, 2);
+        let path = write_report(&doc, &dir).unwrap();
+        assert_eq!(path.file_name().unwrap(), "bench.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        for key in [
+            "\"schema\": \"ksr-bench-perf-v1\"",
+            "\"host_parallelism\"",
+            "\"reps\": 2",
+            "\"name\": \"tiny_a\"",
+            "\"name\": \"tiny_b\"",
+            "\"wall_seconds_min\"",
+            "\"wall_seconds_mean\"",
+            "\"sim_seconds\"",
+            "\"total_wall_seconds_min\"",
+        ] {
+            assert!(body.contains(key), "bench.json missing {key}:\n{body}");
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // The real smoke test: one full pass over the standard cases with a
+    // single rep. This is the only place in the unit suite that times
+    // host wall clock; it asserts structure, never speed.
+    #[test]
+    fn standard_cases_run_and_report() {
+        let results = run_cases(&cases(), 1);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(
+                r.sim_seconds > 0.0 && r.sim_seconds.is_finite(),
+                "{}: bad sim_seconds {}",
+                r.name,
+                r.sim_seconds
+            );
+            assert!(
+                r.wall_seconds_min > 0.0 && r.wall_seconds_min.is_finite(),
+                "{}: bad wall time",
+                r.name
+            );
+        }
+    }
+}

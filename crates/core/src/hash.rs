@@ -1,0 +1,238 @@
+//! Deterministic, dependency-free hashing for the simulator hot path.
+//!
+//! Every table on the memory-access path — the directory holder map, the
+//! sub-page busy table, the SVA page store, the coordinator's parked map —
+//! is keyed by small integers (`u64` sub-page numbers, addresses, cell
+//! indices). The standard library's default `SipHash13` is a keyed,
+//! DoS-resistant hash: excellent for servers parsing untrusted input,
+//! needless overhead for a simulator hashing its own sub-page numbers
+//! millions of times per run. [`FxHasher`] is the classic Firefox/rustc
+//! multiply-rotate hash, hand-rolled here so the workspace stays
+//! zero-dependency.
+//!
+//! Two properties matter beyond speed:
+//!
+//! * **Determinism across runs and platforms.** `FxHasher` has no random
+//!   state, and every integer write routes through a `u64` (so 32- and
+//!   64-bit `usize` hash identically). Iteration order of an
+//!   [`FxHashMap`] is therefore reproducible — though simulator code must
+//!   still never let map iteration order reach a result file, a rule the
+//!   `-j1`-vs-`-j8` determinism gate enforces end to end.
+//! * **No allocation, no per-instance state.** [`FxBuildHasher`] is a
+//!   zero-sized `Default`, so swapping a `HashMap<K, V>` for
+//!   [`FxHashMap<K, V>`] changes nothing but the hash function.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fibonacci-style multiplier (2^64 / φ, forced odd) — the same
+/// constant rustc's `FxHasher` uses.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each multiply; spreads low-entropy integer
+/// keys (sequential sub-page numbers) across the high bits the map uses
+/// for bucket selection.
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher for trusted integer
+/// keys. Not DoS-resistant — never use it on untrusted external input.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte strings fold in 8-byte little-endian chunks with an
+        // explicit length tag, so `"ab" + "c"` and `"a" + "bc"` (same
+        // bytes, different chunking via a tuple key) cannot collide
+        // trivially and results match on every platform.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.add_word(u64::from_le_bytes(w));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(w));
+        }
+        self.add_word(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_word(n as u64);
+        self.add_word((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        // Route through u64 so 32- and 64-bit hosts agree.
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, n: i8) {
+        self.write_u8(n as u8);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.write_usize(n as usize);
+    }
+}
+
+/// Zero-sized builder: every hasher starts from the same (zero) state.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — drop-in for hot-path integer-keyed
+/// tables.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        for key in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(hash_of(&key), hash_of(&key));
+        }
+    }
+
+    #[test]
+    fn known_values_pin_the_algorithm() {
+        // Golden values: any change to the constants or the mixing
+        // routine is a cross-platform determinism break and must be
+        // deliberate (these values are what an x86-64 and an aarch64
+        // host must both produce).
+        assert_eq!(hash_of(&0u64), 0);
+        assert_eq!(hash_of(&1u64), 0x517c_c1b7_2722_0a95);
+        assert_eq!(hash_of(&0xFFFF_FFFF_FFFF_FFFFu64), 0xae83_3e48_d8dd_f56b);
+    }
+
+    #[test]
+    fn usize_and_u64_agree() {
+        // The platform-sensitive type must hash exactly like its u64
+        // widening, so map layouts match across word sizes.
+        for n in [0usize, 7, 4096, usize::MAX] {
+            assert_eq!(hash_of(&n), hash_of(&(n as u64)));
+        }
+    }
+
+    #[test]
+    fn tuple_keys_hash_consistently() {
+        let a = hash_of(&(3usize, 17u64));
+        let b = hash_of(&(3usize, 17u64));
+        assert_eq!(a, b);
+        assert_ne!(hash_of(&(3usize, 17u64)), hash_of(&(17usize, 3u64)));
+    }
+
+    #[test]
+    fn nearby_integers_spread() {
+        // Sequential sub-page numbers are the dominant key pattern; they
+        // must not collide in the low bits the map's bucket index uses.
+        let mut low_bits = FxHashSet::default();
+        for sp in 0u64..256 {
+            low_bits.insert(hash_of(&sp) & 0xFF);
+        }
+        assert!(
+            low_bits.len() > 200,
+            "poor low-bit dispersion: {} distinct of 256",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn map_and_set_are_drop_in() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(5, "five");
+        assert_eq!(m.get(&5), Some(&"five"));
+        let mut s: FxHashSet<(usize, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+    }
+
+    #[test]
+    fn iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for k in [9u64, 1, countdown(5), 1024, 77] {
+                m.insert(k, k * 2);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    fn countdown(n: u64) -> u64 {
+        n
+    }
+
+    #[test]
+    fn byte_strings_chunk_stably() {
+        assert_eq!(hash_of(&"subpage"), hash_of(&"subpage"));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        // Length tag separates a short string from its zero-padded chunk.
+        assert_ne!(hash_of(&[0u8; 7][..]), hash_of(&[0u8; 8][..]));
+    }
+}

@@ -34,11 +34,15 @@
 //! * [`progress`] — `Sender`-based progress reporting: workers send
 //!   [`progress::ProgressEvent`]s, a single drainer renders them on
 //!   stderr, and stdout stays reserved for results.
+//! * [`hash`] — a deterministic FxHash-style hasher and the
+//!   [`hash::FxHashMap`]/[`hash::FxHashSet`] aliases used by every
+//!   integer-keyed table on the simulator's memory-access hot path.
 //! * [`error`] — the shared error type.
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod progress;
@@ -49,6 +53,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::{Error, Result};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
 pub use metrics::{efficiency, karp_flatt, speedup, ScalingRow, ScalingTable};
 pub use progress::{Progress, ProgressDrainer, ProgressEvent};

@@ -24,6 +24,13 @@ pub struct Summary {
 
 impl Summary {
     /// Compute summary statistics. Returns `None` for an empty sample.
+    ///
+    /// NaN observations do not panic: samples are ordered by
+    /// [`f64::total_cmp`], under which every NaN sorts above `+inf`, and
+    /// the mean/stddev propagate NaN through ordinary arithmetic. A
+    /// corrupted sample therefore yields a visibly-NaN summary in the
+    /// results (and a poisoned `max`/`p95`) instead of aborting the
+    /// whole `run_all` from deep inside a reduce.
     #[must_use]
     pub fn of(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() {
@@ -41,7 +48,7 @@ impl Summary {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        sorted.sort_by(f64::total_cmp);
         Some(Self {
             n,
             mean,
@@ -162,6 +169,19 @@ mod tests {
         assert_eq!(percentile_sorted(&sorted, 0.0), 0.0);
         assert_eq!(percentile_sorted(&sorted, 50.0), 5.0);
         assert_eq!(percentile_sorted(&sorted, 100.0), 10.0);
+    }
+
+    #[test]
+    fn nan_sample_degrades_instead_of_panicking() {
+        // One bad observation must not abort a whole run: NaN sorts last
+        // under total order, so min/median come from the clean samples
+        // while mean and max are visibly poisoned.
+        let s = Summary::of(&[2.0, f64::NAN, 1.0]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert!(s.mean.is_nan());
+        assert!(s.max.is_nan());
     }
 
     #[test]

@@ -76,6 +76,13 @@ pub(crate) enum Request {
         /// Total floating-point operations this processor performed.
         flops: u64,
     },
+    /// The program panicked. Carries the panic payload so the
+    /// coordinator can re-raise it as the run's root cause instead of
+    /// letting parked peers die with a misleading deadlock report.
+    Aborted {
+        /// The original `catch_unwind` payload.
+        payload: Box<dyn std::any::Any + Send>,
+    },
 }
 
 /// A timestamped request.
@@ -226,7 +233,7 @@ impl Cpu {
         {
             std::panic::panic_any(CoordinatorGone);
         }
-        let Ok(reply) = self.rx.recv() else {
+        let Ok(reply) = crate::hotrecv::recv_hot(&self.rx) else {
             std::panic::panic_any(CoordinatorGone);
         };
         self.local = reply.at();
@@ -353,6 +360,18 @@ impl Cpu {
             proc: self.id,
             at: self.local,
             req: Request::Finish { flops: self.flops },
+        });
+    }
+
+    /// Report a program panic to the coordinator, handing over the panic
+    /// payload. If the coordinator is already gone the payload is
+    /// dropped — the coordinator's own panic is then the one the user
+    /// sees, which is the right diagnosis in that case.
+    pub(crate) fn abort(self, payload: Box<dyn std::any::Any + Send>) {
+        let _ = self.tx.send(Envelope {
+            proc: self.id,
+            at: self.local,
+            req: Request::Aborted { payload },
         });
     }
 }

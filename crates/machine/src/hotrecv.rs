@@ -1,0 +1,71 @@
+//! Latency-adaptive channel receive for the coordinator/processor
+//! rendezvous.
+//!
+//! Every simulated shared-memory access crosses two channel hops: the
+//! program thread sends a request and blocks on its reply channel, and
+//! the coordinator blocks on the shared request channel between
+//! requests. With `std::sync::mpsc`, each blocking `recv` on an empty
+//! channel costs a futex sleep plus a futex wake from the sender —
+//! two syscalls per hop, four per access, and they dominate the
+//! simulator's wall time (a quick FIG2 run spends over half its time in
+//! the kernel).
+//!
+//! The right mitigation depends on the host:
+//!
+//! * **Multi-core**: the peer is typically running on another core and
+//!   its message arrives within a few hundred nanoseconds, so a short
+//!   `try_recv` spin usually catches it and skips the sleep/wake pair
+//!   entirely. The spin is bounded, so oversubscribed runs (more
+//!   simulated processors than cores) degrade to plain blocking.
+//! * **Single-core**: spinning only burns the timeslice the peer needs
+//!   to produce the message. Instead, `yield_now` hands the core
+//!   directly to a runnable peer; a couple of yields usually beat the
+//!   futex round-trip, and we fall back to blocking after that.
+//!
+//! Neither strategy can affect simulation results: the coordinator
+//! processes requests in strict smallest-timestamp order regardless of
+//! their arrival order, so receive latency is invisible to virtual time.
+
+use std::sync::mpsc::{Receiver, RecvError, TryRecvError};
+use std::sync::OnceLock;
+
+/// `try_recv` attempts before blocking on a multi-core host. At a few
+/// nanoseconds per attempt this stays well under one futex round-trip.
+const SPIN_ROUNDS: u32 = 128;
+
+/// `try_recv`+`yield_now` attempts before blocking on a single-core
+/// host. Exactly one: a single yield usually hands the core straight to
+/// the (sole runnable) peer, making the whole rendezvous one syscall.
+/// Measured on a 1-CPU host, longer yield loops are *slower* than plain
+/// blocking — when the first yield fails to schedule the peer, further
+/// yields just re-pick the yielder and add syscalls before the
+/// inevitable futex wait.
+const YIELD_ROUNDS: u32 = 1;
+
+fn single_core() -> bool {
+    static SINGLE: OnceLock<bool> = OnceLock::new();
+    *SINGLE.get_or_init(|| std::thread::available_parallelism().is_ok_and(|n| n.get() == 1))
+}
+
+/// Receive with a host-appropriate busy phase before blocking.
+pub(crate) fn recv_hot<T>(rx: &Receiver<T>) -> Result<T, RecvError> {
+    let (rounds, yield_each) = if single_core() {
+        (YIELD_ROUNDS, true)
+    } else {
+        (SPIN_ROUNDS, false)
+    };
+    for _ in 0..rounds {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(TryRecvError::Empty) => {
+                if yield_each {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            Err(TryRecvError::Disconnected) => return Err(RecvError),
+        }
+    }
+    rx.recv()
+}

@@ -35,6 +35,7 @@ pub mod budget;
 pub mod config;
 pub mod cpu;
 pub mod heap;
+mod hotrecv;
 pub mod machine;
 pub mod program;
 pub mod report;

@@ -20,14 +20,14 @@
 
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, Tracer};
-use ksr_core::{Error, Result};
+use ksr_core::{Error, FxHashMap, Result};
 use ksr_mem::{MemOp, MemorySystem, Outcome, PerfMon};
 use ksr_net::FabricStats;
 
@@ -322,18 +322,22 @@ impl Machine {
                         // CoordinatorGone panic; swallow it so the
                         // coordinator's panic is the one that propagates. Any
                         // other panic (a failed assertion in the simulated
-                        // program) is re-thrown after notifying the
-                        // coordinator, so the run can't hang.
+                        // program) is handed to the coordinator as an
+                        // `Aborted` request: the coordinator re-raises it on
+                        // its own thread, so the program's message — not a
+                        // generic "a scoped thread panicked" or a misleading
+                        // deadlock report from a parked peer — is what
+                        // reaches the user.
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             prog.run(&mut cpu);
                         }));
                         match result {
                             Ok(()) => cpu.finish(),
                             Err(payload) => {
-                                let gone = payload.is::<crate::cpu::CoordinatorGone>();
-                                cpu.finish();
-                                if !gone {
-                                    std::panic::resume_unwind(payload);
+                                if payload.is::<crate::cpu::CoordinatorGone>() {
+                                    cpu.finish();
+                                } else {
+                                    cpu.abort(payload);
                                 }
                             }
                         }
@@ -378,8 +382,16 @@ fn coordinate(
     let mut state = vec![ProcState::Running; n];
     let mut slots: Vec<Option<Request>> = (0..n).map(|_| None).collect();
     let mut heap: BinaryHeap<Reverse<(Cycles, usize)>> = BinaryHeap::new();
+    // Fast path for the common single-runnable-processor case (n == 1, or
+    // everyone else parked/done): the sole ready request is held here and
+    // never touches the heap. Invariant: when `direct` is `Some`, the heap
+    // is empty — so `direct` is trivially the global minimum.
+    let mut direct: Option<(Cycles, usize)> = None;
     // sub-page -> parked (proc, parked_at)
-    let mut parked: HashMap<u64, Vec<(usize, Cycles)>> = HashMap::new();
+    let mut parked: FxHashMap<u64, Vec<(usize, Cycles)>> = FxHashMap::default();
+    // Reused across iterations so draining visibility events allocates
+    // only until both buffers reach their high-water mark.
+    let mut events = Vec::new();
     let mut running = n;
     let mut done = 0usize;
     let mut end_at = vec![0; n];
@@ -400,11 +412,28 @@ fn coordinate(
             state[$p] = ProcState::Parked;
         }};
     }
+    // Mark a processor runnable at a virtual time, maintaining the
+    // `direct`/heap invariant above.
+    macro_rules! ready {
+        ($at:expr, $p:expr) => {{
+            let at = $at;
+            let p = $p;
+            if direct.is_none() && heap.is_empty() {
+                direct = Some((at, p));
+            } else {
+                if let Some(d) = direct.take() {
+                    heap.push(Reverse(d));
+                }
+                heap.push(Reverse((at, p)));
+            }
+            state[p] = ProcState::Waiting;
+        }};
+    }
 
     loop {
         // Wait until every live processor has an outstanding request.
         while running > 0 {
-            let env = req_rx.recv().expect("program thread died");
+            let env = crate::hotrecv::recv_hot(req_rx).expect("program thread died");
             running -= 1;
             match env.req {
                 Request::Finish { flops: f } => {
@@ -413,21 +442,34 @@ fn coordinate(
                     end_at[env.proc] = env.at;
                     flops[env.proc] = f;
                 }
+                Request::Aborted { payload } => {
+                    // The program's own panic is the root cause of
+                    // whatever happens next (parked peers would otherwise
+                    // die as a bogus "deadlock"). Re-raise it here: the
+                    // unwind drops the reply senders, which wakes every
+                    // other program thread with CoordinatorGone, and
+                    // `thread::scope` then resumes this payload.
+                    std::panic::resume_unwind(payload);
+                }
                 req => {
                     slots[env.proc] = Some(req);
-                    heap.push(Reverse((env.at, env.proc)));
-                    state[env.proc] = ProcState::Waiting;
+                    ready!(env.at, env.proc);
                 }
             }
         }
         if done == n {
             break;
         }
-        let Some(Reverse((t, p))) = heap.pop() else {
-            let stuck: Vec<u64> = parked.keys().copied().collect();
+        let next = direct.take().or_else(|| heap.pop().map(|Reverse(x)| x));
+        let Some((t, p)) = next else {
+            let mut waiters: Vec<(usize, u64, Cycles)> = parked
+                .iter()
+                .flat_map(|(&sp, v)| v.iter().map(move |&(proc, at)| (proc, sp, at)))
+                .collect();
+            waiters.sort_unstable();
             panic!(
-                "simulation deadlock: {} processor(s) parked on sub-pages {stuck:?} \
-                 with no pending writer",
+                "simulation deadlock: {} processor(s) parked with no pending \
+                 writer; waiters as (proc, sub-page, parked_at): {waiters:?}",
                 n - done
             );
         };
@@ -575,11 +617,14 @@ fn coordinate(
                 }
                 Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
             },
-            Request::Finish { .. } => unreachable!("finish is intercepted at receive time"),
+            Request::Finish { .. } | Request::Aborted { .. } => {
+                unreachable!("finish/abort are intercepted at receive time")
+            }
         }
 
         // Visibility events wake parked processors for a costed retry.
-        for ev in mem.take_events() {
+        mem.drain_events_into(&mut events);
+        for ev in events.drain(..) {
             if let Some(waiters) = parked.remove(&ev.subpage) {
                 for (proc, parked_at) in waiters {
                     mem.unwatch(ev.subpage);
@@ -589,8 +634,7 @@ fn coordinate(
                         cell: proc,
                         subpage: ev.subpage,
                     });
-                    heap.push(Reverse((wake_at, proc)));
-                    state[proc] = ProcState::Waiting;
+                    ready!(wake_at, proc);
                 }
             }
         }
@@ -760,6 +804,72 @@ mod tests {
         let _ = m.run(vec![program(move |cpu| {
             cpu.spin_until_eq(a, 1); // nobody will ever write this
         })]);
+    }
+
+    #[test]
+    fn deadlock_report_names_each_waiter() {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = Machine::ksr1(1).unwrap();
+            let a = m.alloc_subpage(8).unwrap();
+            let _ = m.run(vec![
+                program(move |cpu| {
+                    cpu.spin_until_eq(a, 1); // nobody will ever write this
+                }),
+                program(move |cpu| {
+                    cpu.compute(10);
+                    cpu.spin_until_eq(a, 2); // nor this
+                }),
+            ]);
+        }))
+        .expect_err("two parked processors with no writer must deadlock");
+        let msg = panic_message(&*payload);
+        // The diagnostic must identify each waiter as a
+        // (proc, sub-page, parked_at) triple, not just raw sub-page keys.
+        assert!(msg.contains("(proc, sub-page, parked_at)"), "got: {msg}");
+        assert!(msg.contains("(0, "), "waiter for proc 0 missing: {msg}");
+        assert!(msg.contains("(1, "), "waiter for proc 1 missing: {msg}");
+    }
+
+    #[test]
+    fn program_panic_propagates_its_own_message() {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = Machine::ksr1(7).unwrap();
+            let flag = m.alloc_subpage(8).unwrap();
+            let _ = m.run(vec![
+                program(move |cpu| {
+                    cpu.compute(10);
+                    let v = cpu.read_u64(flag);
+                    assert_eq!(v, 99, "the simulated program's own diagnosis");
+                }),
+                // Parked forever on a flag the panicking peer was about to
+                // write: without the Aborted protocol this peer dies with
+                // a misleading "simulation deadlock" panic instead.
+                program(move |cpu| {
+                    cpu.spin_until_eq(flag, 1);
+                }),
+            ]);
+        }))
+        .expect_err("a panicking program must fail the run");
+        let msg = panic_message(&*payload);
+        assert!(
+            msg.contains("the simulated program's own diagnosis"),
+            "expected the program's assertion to surface, got: {msg}"
+        );
+        assert!(
+            !msg.contains("deadlock"),
+            "the program's panic must not be masked as a deadlock: {msg}"
+        );
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| {
+                payload
+                    .downcast_ref::<&str>()
+                    .map_or_else(|| "<non-string payload>".to_string(), |s| (*s).to_string())
+            })
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! cache — while all *timing* still flows through the ring model. It is
 //! the single source of truth for sub-page coherence state.
 
-use std::collections::HashMap;
+use ksr_core::FxHashMap;
 
 use crate::state::SubpageState;
 
@@ -84,7 +84,7 @@ impl Holders {
 /// The global sub-page → holders map.
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    map: HashMap<u64, Holders>,
+    map: FxHashMap<u64, Holders>,
 }
 
 impl Directory {

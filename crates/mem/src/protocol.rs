@@ -32,11 +32,9 @@
 //! for unrelated readers is bounded by one transaction latency
 //! (≤ ~175 cycles), far below the phenomena measured in the paper.
 
-use std::collections::{HashMap, HashSet};
-
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, TraceState, Tracer};
-use ksr_core::{Result, XorShift64};
+use ksr_core::{FxHashMap, FxHashSet, Result, XorShift64};
 use ksr_net::{Fabric, PacketKind, Transit};
 
 use crate::directory::Directory;
@@ -192,15 +190,15 @@ pub struct MemorySystem {
     subcaches: Vec<SubCache>,
     localcaches: Vec<LocalCache>,
     dir: Directory,
-    subpage_busy: HashMap<u64, Cycles>,
-    pending_fill: HashMap<(usize, u64), Cycles>,
+    subpage_busy: FxHashMap<u64, Cycles>,
+    pending_fill: FxHashMap<(usize, u64), Cycles>,
     /// Sub-pages whose last cached copy was evicted. A real COMA never
     /// loses data: the ALLCACHE engine moves the page to some other
     /// cell's cache, so re-fetching a spilled sub-page costs a full ring
     /// transaction — the "overflowing the local-cache causes remote
     /// accesses" effect behind the paper's CG and IS low-processor-count
     /// behaviour.
-    spilled: HashSet<u64>,
+    spilled: FxHashSet<u64>,
     /// **Extension** (§4 wish list): address ranges with sub-caching
     /// selectively turned off — streaming data bypasses the sub-cache so
     /// it cannot thrash the hot working set out of it.
@@ -208,8 +206,14 @@ pub struct MemorySystem {
     options: ProtocolOptions,
     data: SvaStore,
     perf: Vec<PerfMon>,
-    watched: HashMap<u64, usize>,
+    watched: FxHashMap<u64, usize>,
     events: Vec<MemEvent>,
+    /// Reusable buffer for the holder snapshots `coherence_fetch` and
+    /// `poststore` take before mutating directory state. Swapped out
+    /// during use (never borrowed across a `&mut self` call) and kept
+    /// around so the request path stops allocating a fresh `Vec` per
+    /// invalidation/snarf sweep.
+    scratch_holders: Vec<(usize, SubpageState)>,
     coherent: bool,
     n_cells: usize,
     tracer: Tracer,
@@ -268,15 +272,16 @@ impl MemorySystem {
                 .map(|c| LocalCache::new(&geom, root.derive(2 * c as u64 + 1)))
                 .collect(),
             dir: Directory::new(),
-            subpage_busy: HashMap::new(),
-            pending_fill: HashMap::new(),
-            spilled: HashSet::new(),
+            subpage_busy: FxHashMap::default(),
+            pending_fill: FxHashMap::default(),
+            spilled: FxHashSet::default(),
             uncached: Vec::new(),
             options,
             data: SvaStore::new(),
             perf: vec![PerfMon::default(); n_cells],
-            watched: HashMap::new(),
+            watched: FxHashMap::default(),
             events: Vec::new(),
+            scratch_holders: Vec::new(),
             coherent,
             n_cells,
             tracer: Tracer::disabled(),
@@ -365,6 +370,14 @@ impl MemorySystem {
     /// Drain pending visibility events.
     pub fn take_events(&mut self) -> Vec<MemEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Drain pending visibility events into a caller-owned buffer,
+    /// keeping both buffers' capacity. The coordinator calls this once
+    /// per scheduled request; unlike [`Self::take_events`] it stops
+    /// allocating once the buffers reach their high-water mark.
+    pub fn drain_events_into(&mut self, out: &mut Vec<MemEvent>) {
+        out.append(&mut self.events);
     }
 
     fn emit(&mut self, subpage: u64, at: Cycles) {
@@ -542,11 +555,13 @@ impl MemorySystem {
     fn coherence_fetch(&mut self, cell: usize, sp: u64, t_req: Cycles, want: Want) -> Cycles {
         // Same-sub-page transactions serialize (hot-spot behaviour).
         let t0 = t_req.max(self.subpage_busy.get(&sp).copied().unwrap_or(0));
-        let holders: Vec<(usize, SubpageState)> = self
-            .dir
-            .holders(sp)
-            .map(|h| h.iter().collect())
-            .unwrap_or_default();
+        // Snapshot the holder set into the reusable scratch buffer (the
+        // sweeps below mutate the directory while iterating it).
+        let mut holders = std::mem::take(&mut self.scratch_holders);
+        holders.clear();
+        if let Some(h) = self.dir.holders(sp) {
+            holders.extend(h.iter());
+        }
         let any_valid = holders.iter().any(|(_, s)| s.readable());
 
         let done = if !any_valid {
@@ -656,19 +671,38 @@ impl MemorySystem {
             }
             t
         };
+        self.scratch_holders = holders;
         self.subpage_busy.insert(sp, done);
         done
     }
 
     /// Transit scope for a transaction given the current holder set.
     fn transit_for(&self, cell: usize, holders: &[(usize, SubpageState)]) -> Transit {
+        self.transit_for_iter(cell, holders.iter().copied())
+    }
+
+    /// [`Self::transit_for`] reading the directory in place — for call
+    /// sites that don't otherwise need a holder snapshot, so the request
+    /// path stays allocation-free.
+    fn transit_for_dir(&self, cell: usize, sp: u64) -> Transit {
+        self.transit_for_iter(
+            cell,
+            self.dir.holders(sp).into_iter().flat_map(|h| h.iter()),
+        )
+    }
+
+    fn transit_for_iter(
+        &self,
+        cell: usize,
+        holders: impl Iterator<Item = (usize, SubpageState)>,
+    ) -> Transit {
         match &self.fabric {
             Fabric::Ring(h) => {
                 let my_leaf = h.leaf_of(cell);
                 let mut first_remote = None;
                 for (c, s) in holders {
                     if s.readable() {
-                        let leaf = h.leaf_of(*c);
+                        let leaf = h.leaf_of(c);
                         if leaf == my_leaf {
                             return Transit::Local;
                         }
@@ -734,14 +768,7 @@ impl MemorySystem {
             // Rejected: the request still circulates the ring and still
             // serializes against other same-sub-page traffic.
             let t0 = now.max(self.subpage_busy.get(&sp).copied().unwrap_or(0));
-            let transit = {
-                let holders: Vec<_> = self
-                    .dir
-                    .holders(sp)
-                    .map(|h| h.iter().collect())
-                    .unwrap_or_default();
-                self.transit_for(cell, &holders)
-            };
+            let transit = self.transit_for_dir(cell, sp);
             let timing = self
                 .fabric
                 .transact(t0, cell, transit, sp, PacketKind::GetSubPage);
@@ -842,12 +869,13 @@ impl MemorySystem {
         self.perf[cell].poststores += 1;
         let t0 = now.max(self.subpage_busy.get(&sp).copied().unwrap_or(0));
         // If any place holder lives on another leaf ring, the update must
-        // cross Ring:1.
-        let holders: Vec<(usize, SubpageState)> = self
-            .dir
-            .holders(sp)
-            .map(|h| h.iter().collect())
-            .unwrap_or_default();
+        // cross Ring:1. Snapshot the holders (scratch buffer — the refill
+        // sweep below mutates directory state while iterating).
+        let mut holders = std::mem::take(&mut self.scratch_holders);
+        holders.clear();
+        if let Some(h) = self.dir.holders(sp) {
+            holders.extend(h.iter());
+        }
         let transit = match &self.fabric {
             Fabric::Ring(h) => {
                 let my_leaf = h.leaf_of(cell);
@@ -874,6 +902,7 @@ impl MemorySystem {
                 self.set_state(sp, *c, SubpageState::Shared, timing.response_at);
             }
         }
+        self.scratch_holders = holders;
         self.subpage_busy.insert(sp, timing.response_at);
         self.emit(sp, timing.response_at);
         // The issuing processor stalls only until the packet is launched.

@@ -8,16 +8,14 @@
 //! conflicting accesses in virtual-time order (sequential consistency, as
 //! the KSR-1 provides), a single authoritative value per address is exact.
 
-use std::collections::HashMap;
-
-use ksr_core::{Error, Result};
+use ksr_core::{Error, FxHashMap, Result};
 
 use crate::geometry::PAGE_BYTES;
 
 /// Sparse byte store keyed by 16 KB page.
 #[derive(Debug, Clone, Default)]
 pub struct SvaStore {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: FxHashMap<u64, Box<[u8]>>,
 }
 
 impl SvaStore {

@@ -23,10 +23,9 @@
 //! violation is reported with the offending cycle, processor, and a
 //! short event-window replay from an internal [`RingBufferSink`].
 
-use std::collections::HashMap;
-
 use ksr_core::time::Cycles;
 use ksr_core::trace::{RingBufferSink, TraceEvent, TraceSink, TraceState};
+use ksr_core::FxHashMap;
 use ksr_mem::subpage_of;
 
 /// Which invariant a [`Violation`] broke.
@@ -125,7 +124,7 @@ impl Default for CheckerConfig {
 pub struct CheckingSink {
     cfg: CheckerConfig,
     /// Per-sub-page non-`Missing` holder states.
-    shadow: HashMap<u64, Vec<(usize, TraceState)>>,
+    shadow: FxHashMap<u64, Vec<(usize, TraceState)>>,
     recent: RingBufferSink,
     violations: Vec<Violation>,
     truncated: u64,
@@ -162,7 +161,7 @@ impl CheckingSink {
     pub fn new(cfg: CheckerConfig) -> Self {
         Self {
             cfg,
-            shadow: HashMap::new(),
+            shadow: FxHashMap::default(),
             recent: RingBufferSink::new(cfg.window),
             violations: Vec::new(),
             truncated: 0,

@@ -18,7 +18,7 @@
 //!   afterwards (pure ring traffic — the §4 prefetch extension only pays
 //!   off when the data is actually consumed).
 
-use std::collections::{HashMap, HashSet};
+use ksr_core::{FxHashMap, FxHashSet};
 
 /// One step of a processor's schedule, in program order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,9 +137,9 @@ pub fn lint_schedules(schedules: &[ProcSchedule]) -> Vec<LintFinding> {
 
 fn lint_barriers(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
     // id -> (first declared arity, declaring proc)
-    let mut arity_of: HashMap<u64, (usize, usize)> = HashMap::new();
+    let mut arity_of: FxHashMap<u64, (usize, usize)> = FxHashMap::default();
     // id -> proc -> join count
-    let mut joins: HashMap<u64, HashMap<usize, usize>> = HashMap::new();
+    let mut joins: FxHashMap<u64, FxHashMap<usize, usize>> = FxHashMap::default();
     let mut order: Vec<u64> = Vec::new();
     for s in schedules {
         for op in &s.ops {
@@ -180,7 +180,7 @@ fn lint_barriers(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
                 ),
             });
         }
-        let counts: HashSet<usize> = per_proc.values().copied().collect();
+        let counts: FxHashSet<usize> = per_proc.values().copied().collect();
         if counts.len() > 1 {
             let mut procs: Vec<usize> = per_proc.keys().copied().collect();
             procs.sort_unstable();
@@ -203,7 +203,7 @@ fn lint_barriers(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
 
 fn lint_locks(schedules: &[ProcSchedule], findings: &mut Vec<LintFinding>) {
     for s in schedules {
-        let mut held: HashSet<u64> = HashSet::new();
+        let mut held: FxHashSet<u64> = FxHashSet::default();
         for op in &s.ops {
             match *op {
                 SchedOp::Acquire { lock } if !held.insert(lock) => {

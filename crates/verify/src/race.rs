@@ -27,10 +27,9 @@
 //! pair of unordered conflicting accesses under the recovered
 //! happens-before relation.
 
-use std::collections::{HashMap, HashSet};
-
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, TraceSink};
+use ksr_core::{FxHashMap, FxHashSet};
 use ksr_mem::subpage_of;
 
 /// A [`TraceSink`] that simply buffers every event for offline analysis.
@@ -137,7 +136,7 @@ struct VarState {
     /// Last write: (cell, writer's epoch at the write, cycle).
     write: Option<(usize, u64, Cycles)>,
     /// Per-cell last read: cell -> (reader's epoch, cycle).
-    reads: HashMap<usize, (u64, Cycles)>,
+    reads: FxHashMap<usize, (u64, Cycles)>,
 }
 
 /// Vector-clock happens-before race detector.
@@ -155,9 +154,9 @@ pub struct RaceDetector {
     /// up to this many addresses).
     max_reports: usize,
     clocks: Vec<VectorClock>,
-    locks: HashMap<u64, VectorClock>,
-    vars: HashMap<u64, VarState>,
-    reported_addrs: HashSet<u64>,
+    locks: FxHashMap<u64, VectorClock>,
+    vars: FxHashMap<u64, VarState>,
+    reported_addrs: FxHashSet<u64>,
     reports: Vec<RaceReport>,
 }
 
@@ -175,9 +174,9 @@ impl RaceDetector {
             nprocs,
             max_reports: 32,
             clocks,
-            locks: HashMap::new(),
-            vars: HashMap::new(),
-            reported_addrs: HashSet::new(),
+            locks: FxHashMap::default(),
+            vars: FxHashMap::default(),
+            reported_addrs: FxHashSet::default(),
             reports: Vec::new(),
         }
     }
@@ -192,8 +191,8 @@ impl RaceDetector {
     /// Sub-pages acting as synchronization objects anywhere in `events`:
     /// targets of `SyncAcquire`/`SyncRelease` (locks, `get_sub_page`,
     /// native RMWs) and of satisfied spins (flags).
-    fn sync_subpages(events: &[TraceEvent]) -> HashSet<u64> {
-        let mut sync = HashSet::new();
+    fn sync_subpages(events: &[TraceEvent]) -> FxHashSet<u64> {
+        let mut sync = FxHashSet::default();
         for e in events {
             match *e {
                 TraceEvent::SyncAcquire { subpage, .. }

@@ -4,9 +4,10 @@
 # gate. Run from the repo root before pushing.
 #
 # Quick-mode runs land in throwaway directories so the full-sweep
-# baselines under results/ are never overwritten; the only file this
-# script refreshes there is results/timings.json (wall-clock times are
-# nondeterministic by nature and excluded from every byte comparison).
+# baselines under results/ are never overwritten; the only files this
+# script refreshes there are results/timings.json and results/bench.json
+# (wall-clock times are nondeterministic by nature and excluded from
+# every byte comparison).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,9 +32,11 @@ KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
     --jobs 8 --results "$tmp_parallel" > "$tmp_parallel/stdout.txt"
 for f in "$tmp_serial"/*; do
     name=$(basename "$f")
-    if [ "$name" = "timings.json" ]; then
-        continue # wall-clock times: the one legitimately nondeterministic file
-    fi
+    case "$name" in
+    timings.json | bench.json)
+        continue # wall-clock times: the legitimately nondeterministic files
+        ;;
+    esac
     if ! cmp -s "$f" "$tmp_parallel/$name"; then
         echo "determinism violation: $name differs between -j1 and -j8" >&2
         exit 1
@@ -43,6 +46,14 @@ done
 echo "==> recording per-experiment wall times in results/timings.json"
 mkdir -p results
 cp "$tmp_parallel/timings.json" results/timings.json
+
+echo "==> perf smoke: one rep of each simulator microworkload (results/bench.json)"
+# Wall-clock numbers for the coordinator hot path; like timings.json,
+# bench.json is nondeterministic and excluded from byte comparisons.
+# Trajectory entries with before/after per optimization PR live in the
+# repo-root BENCH_<n>.json files.
+cargo run --quiet --release -p ksr-bench --bin perf -- \
+    --reps 1 --results results
 
 echo "==> run_all --check --quick (coherence + race + lint verification)"
 # Exits non-zero on any coherence violation, data race, or schedule lint
