@@ -19,7 +19,7 @@
 
 use ksr_core::time::cycles_to_seconds;
 use ksr_core::Json;
-use ksr_machine::{program, Cpu, Machine, MachineConfig, Program};
+use ksr_machine::{program, Machine, MachineConfig, Program};
 use ksr_mem::ProtocolOptions;
 use ksr_net::RingHierarchyConfig;
 use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
@@ -43,11 +43,11 @@ where
     let run_eps = episodes + 2;
     let programs: Vec<Box<dyn Program>> = (0..procs)
         .map(|p| {
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 let mut ep = Episode::default();
                 for e in 0..run_eps {
                     cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                    b.wait(cpu, &mut ep);
+                    b.wait(&mut cpu, &mut ep).await;
                 }
             })
         })
@@ -72,12 +72,13 @@ fn hammer_latency(cfg: MachineConfig, procs: usize) -> f64 {
         (0..procs)
             .map(|p| {
                 let a = arrays[p];
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let t0 = cpu.now();
                     for i in 0..samples {
-                        let _ = cpu.read_u64(a + (i * 128) % (256 * 1024));
+                        let _ = cpu.read_u64(a + (i * 128) % (256 * 1024)).await;
                     }
-                    results.set(cpu, p, (cpu.now() - t0) / samples);
+                    let mean = (cpu.now() - t0) / samples;
+                    results.set(&mut cpu, p, mean).await;
                 })
             })
             .collect(),

@@ -18,7 +18,7 @@
 
 use ksr_core::time::cycles_to_seconds;
 use ksr_core::Json;
-use ksr_machine::{program, Cpu, Machine};
+use ksr_machine::{program, Machine};
 use ksr_nas::{CgConfig, CgSetup};
 
 use crate::common::{ExperimentOutput, RunOpts};
@@ -55,17 +55,17 @@ fn sweep_cycles(prefetch: bool, machine_seed: u64) -> f64 {
     m.warm(0, a, len);
     let samples = 4_096u64;
     let r = m
-        .run(vec![program(move |cpu: &mut Cpu| {
+        .run(vec![program(move |mut cpu| async move {
             for i in 0..samples {
                 let off = (i * 64) % len;
                 if prefetch {
                     // Software-pipelined: pull the next sub-page up while
                     // consuming this one.
                     if off.is_multiple_of(128) {
-                        cpu.prefetch_subcache(a + (off + 128) % len);
+                        cpu.prefetch_subcache(a + (off + 128) % len).await;
                     }
                 }
-                let _ = cpu.read_u64(a + off);
+                let _ = cpu.read_u64(a + off).await;
                 cpu.compute(20); // consumer work that the prefetch hides behind
             }
         })])

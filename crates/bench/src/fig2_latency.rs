@@ -22,7 +22,7 @@
 use ksr_core::table::Series;
 use ksr_core::time::cycles_to_seconds;
 use ksr_core::Json;
-use ksr_machine::{program, Cpu, Machine, Program, SharedU64};
+use ksr_machine::{program, Machine, Program, SharedU64};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
 use crate::exec::{ExperimentPlan, Job};
@@ -79,14 +79,14 @@ pub(crate) fn measure(target: Target, procs: usize, stride: u64, samples: u64, s
         .map(|p| {
             let a = arrays[p];
             let b = fill[p];
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 // Fill the sub-cache with B ("we read B repeatedly to
                 // improve the chance of the sub-cache being filled").
                 for pass in 0..2 {
                     let _ = pass;
                     let mut off = 0;
                     while off < MB {
-                        let _ = cpu.read_u64(b + off);
+                        let _ = cpu.read_u64(b + off).await;
                         off += 64;
                     }
                 }
@@ -95,17 +95,17 @@ pub(crate) fn measure(target: Target, procs: usize, stride: u64, samples: u64, s
                 for _ in 0..samples {
                     match target {
                         Target::LocalRead | Target::RemoteRead => {
-                            let _ = cpu.read_u64(a + off);
+                            let _ = cpu.read_u64(a + off).await;
                         }
                         Target::LocalWrite | Target::RemoteWrite => {
-                            cpu.write_u64(a + off, off);
+                            cpu.write_u64(a + off, off).await;
                         }
                     }
                     cpu.compute(LOOP_OVERHEAD);
                     off = (off + stride) % MB;
                 }
                 let per = (cpu.now() - t0) / samples - LOOP_OVERHEAD;
-                results.set(cpu, p, per);
+                results.set(&mut cpu, p, per).await;
             })
         })
         .collect();

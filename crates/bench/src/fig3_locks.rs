@@ -16,7 +16,7 @@
 use ksr_core::table::Series;
 use ksr_core::time::cycles_to_seconds;
 use ksr_core::XorShift64;
-use ksr_machine::{program, Cpu, InterruptConfig, Machine, MachineConfig, Program};
+use ksr_machine::{program, InterruptConfig, Machine, MachineConfig, Program};
 use ksr_sync::{HwLock, LockMode, SwRwLock};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
@@ -56,14 +56,14 @@ pub(crate) fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f6
     let ops_per_proc = OPS_PER_PROC;
     let programs: Vec<Box<dyn Program>> = (0..procs)
         .map(|p| {
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 let mut rng = XorShift64::new(seed ^ (p as u64) << 32 | 0xF1);
                 for _ in 0..ops_per_proc {
                     match read_pct {
                         None => {
-                            hw.acquire(cpu);
+                            hw.acquire(&mut cpu).await;
                             cpu.compute(HOLD);
-                            hw.release(cpu);
+                            hw.release(&mut cpu).await;
                         }
                         Some(pct) => {
                             let mode = if rng.next_below(100) < u64::from(pct) {
@@ -71,9 +71,9 @@ pub(crate) fn run_workload(read_pct: Option<u32>, procs: usize, seed: u64) -> f6
                             } else {
                                 LockMode::Write
                             };
-                            let t = sw.acquire(cpu, mode);
+                            let t = sw.acquire(&mut cpu, mode).await;
                             cpu.compute(HOLD);
-                            sw.release(cpu, t);
+                            sw.release(&mut cpu, t).await;
                         }
                     }
                     cpu.compute(DELAY);

@@ -14,7 +14,7 @@
 use ksr_core::table::Series;
 use ksr_core::time::cycles_to_seconds;
 use ksr_core::Json;
-use ksr_machine::{program, Cpu, Machine, Program};
+use ksr_machine::{program, Machine, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
@@ -75,13 +75,13 @@ pub fn episode_time(
     let run_eps = episodes + warmup;
     let programs: Vec<Box<dyn Program>> = (0..procs)
         .map(|p| {
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 let mut ep = Episode::default();
                 for e in 0..run_eps {
                     // Small skew so arrivals are staggered like real
                     // compute phases, not lock-step.
                     cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                    b.wait(cpu, &mut ep);
+                    b.wait(&mut cpu, &mut ep).await;
                 }
             })
         })

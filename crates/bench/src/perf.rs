@@ -34,6 +34,14 @@
 //! cost. The simulated seconds each case also reports must never change
 //! under a pure performance PR; the smoke test and the determinism gate
 //! both lean on that.
+//!
+//! Gate mode (`--gate BASELINE`): after measuring, compare each case's
+//! fresh minimum against the same case in a committed `bench.json` and
+//! fail if any regresses past the tolerance (see [`GATE_RELATIVE_SLACK`]
+//! and [`GATE_ABSOLUTE_FLOOR_SECONDS`]). On failure the baseline file is
+//! left untouched so the gate stays red until the regression is fixed or
+//! the baseline is deliberately re-recorded; on success the fresh report
+//! replaces it as usual.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -158,6 +166,78 @@ pub fn report(results: &[CaseResult], reps: usize) -> Json {
     ])
 }
 
+/// Relative regression tolerance for gate mode: a case may be up to 10%
+/// slower than the baseline before it fails. This is the real contract
+/// (the trajectory gating of ROADMAP item 5); the absolute floor below
+/// only exists to keep it honest on tiny cases.
+pub const GATE_RELATIVE_SLACK: f64 = 0.10;
+
+/// Absolute regression floor for gate mode: on top of the relative
+/// slack, a case must be at least this many wall seconds over the
+/// baseline to fail. Sub-50ms minima (`barrier_episode`, `lock_churn`)
+/// are dominated by scheduler noise on a busy host; without the floor
+/// they would flap the gate on milliseconds.
+pub const GATE_ABSOLUTE_FLOOR_SECONDS: f64 = 0.05;
+
+/// Extract `(name, wall_seconds_min)` per case from a `bench.json`
+/// produced by [`write_report`].
+///
+/// Deliberately not a general JSON parser: the baseline is this
+/// harness's own output, rendered one field per line with `"name"`
+/// preceding `"wall_seconds_min"` inside every case object, and the
+/// schema tag is checked up front so anything else is rejected.
+pub fn parse_baseline(body: &str) -> Result<Vec<(String, f64)>, String> {
+    if !body.contains("\"schema\": \"ksr-bench-perf-v1\"") {
+        return Err("baseline is not a ksr-bench-perf-v1 bench.json".into());
+    }
+    let mut out = Vec::new();
+    let mut pending: Option<String> = None;
+    for line in body.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\": \"") {
+            pending = rest.split('"').next().map(str::to_owned);
+        } else if let Some(rest) = line.strip_prefix("\"wall_seconds_min\": ") {
+            let raw = rest.trim_end_matches(',');
+            let min: f64 = raw
+                .parse()
+                .map_err(|_| format!("bad wall_seconds_min value: {raw}"))?;
+            if let Some(name) = pending.take() {
+                out.push((name, min));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err("baseline has no cases".into());
+    }
+    Ok(out)
+}
+
+/// Compare fresh results against a parsed baseline; returns one message
+/// per gate failure (empty means the gate passes). A case present in
+/// the baseline but missing from this build fails too — silently
+/// dropping a slow case is the easiest way to cheat a perf gate.
+#[must_use]
+pub fn gate_failures(fresh: &[CaseResult], baseline: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, base) in baseline {
+        let Some(r) = fresh.iter().find(|r| r.name == name) else {
+            failures.push(format!("{name}: in the baseline but not in this build"));
+            continue;
+        };
+        let limit = (base * (1.0 + GATE_RELATIVE_SLACK)).max(base + GATE_ABSOLUTE_FLOOR_SECONDS);
+        if r.wall_seconds_min > limit {
+            failures.push(format!(
+                "{name}: {:.3}s vs baseline {:.3}s (+{:.1}%, limit {:.3}s)",
+                r.wall_seconds_min,
+                base,
+                (r.wall_seconds_min / base - 1.0) * 100.0,
+                limit
+            ));
+        }
+    }
+    failures
+}
+
 /// Write `bench.json` under `dir`, creating the directory if needed.
 pub fn write_report(doc: &Json, dir: &Path) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
@@ -168,15 +248,20 @@ pub fn write_report(doc: &Json, dir: &Path) -> std::io::Result<PathBuf> {
     Ok(path)
 }
 
-/// Entry point for the `perf` binary: `perf [--reps N] [--results DIR]`.
+/// Entry point for the `perf` binary:
+/// `perf [--reps N] [--results DIR] [--gate BASELINE]`.
 ///
 /// Prints the per-case numbers to stderr and the report path on
 /// success; `bench.json` lands in the results directory (default from
-/// `KSR_RESULTS`, like every other binary).
+/// `KSR_RESULTS`, like every other binary). With `--gate`, the fresh
+/// minima are compared against the named baseline `bench.json` first
+/// and a regression past the tolerance exits non-zero without touching
+/// any file.
 #[must_use]
 pub fn perf_main() -> ExitCode {
     let mut reps = 3usize;
     let mut dir = crate::common::results_dir();
+    let mut gate: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,14 +279,40 @@ pub fn perf_main() -> ExitCode {
                 };
                 dir = v.into();
             }
+            "--gate" => {
+                let Some(v) = args.next() else {
+                    eprintln!("error: --gate needs a baseline bench.json path");
+                    return ExitCode::from(2);
+                };
+                gate = Some(v.into());
+            }
             other => {
                 eprintln!(
-                    "error: unknown argument: {other}\nusage: perf [--reps N] [--results DIR]"
+                    "error: unknown argument: {other}\n\
+                     usage: perf [--reps N] [--results DIR] [--gate BASELINE]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
+    // Parse the baseline before spending minutes measuring, so a bad
+    // path or a stale schema fails immediately.
+    let baseline = match &gate {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(body) => match parse_baseline(&body) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("error: bad gate baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read gate baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
     let reps = reps.max(1);
     let set = cases();
     eprintln!("[perf: {} case(s), {} rep(s) each]", set.len(), reps);
@@ -210,6 +321,26 @@ pub fn perf_main() -> ExitCode {
         eprintln!(
             "[perf: {:<18} min {:>8.3}s  mean {:>8.3}s  (sim {:.6}s)]",
             r.name, r.wall_seconds_min, r.wall_seconds_mean, r.sim_seconds
+        );
+    }
+    if let Some(baseline) = baseline {
+        let failures = gate_failures(&results, &baseline);
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("perf gate FAIL: {f}");
+            }
+            eprintln!(
+                "perf gate: {} case(s) regressed more than {:.0}% (and {:.0}ms) \
+                 over the baseline; bench.json left untouched",
+                failures.len(),
+                GATE_RELATIVE_SLACK * 100.0,
+                GATE_ABSOLUTE_FLOOR_SECONDS * 1000.0
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[perf gate: all {} case(s) within tolerance]",
+            results.len()
         );
     }
     let doc = report(&results, reps);
@@ -295,6 +426,65 @@ mod tests {
             assert!(body.contains(key), "bench.json missing {key}:\n{body}");
         }
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_the_report() {
+        let results = run_cases(&tiny_cases(), 1);
+        let body = report(&results, 1).render_pretty();
+        let baseline = parse_baseline(&body).unwrap();
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(baseline[0].0, "tiny_a");
+        assert_eq!(baseline[1].0, "tiny_b");
+        assert_eq!(baseline[0].1, results[0].wall_seconds_min);
+    }
+
+    #[test]
+    fn baseline_rejects_foreign_or_empty_documents() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": \"something-else\"}").is_err());
+        let tagged = "{\n  \"schema\": \"ksr-bench-perf-v1\",\n  \"cases\": []\n}";
+        assert!(parse_baseline(tagged).is_err(), "no cases means no gate");
+    }
+
+    fn fresh(name: &'static str, min: f64) -> CaseResult {
+        CaseResult {
+            name,
+            wall_seconds_min: min,
+            wall_seconds_mean: min,
+            sim_seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_past_it() {
+        let baseline = vec![("big".to_string(), 1.0)];
+        // +9% is inside the relative slack.
+        assert!(gate_failures(&[fresh("big", 1.09)], &baseline).is_empty());
+        // +11% is past both the slack and the 50ms floor.
+        let failures = gate_failures(&[fresh("big", 1.11)], &baseline);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("big"), "{failures:?}");
+        assert!(failures[0].contains("baseline 1.000s"), "{failures:?}");
+    }
+
+    #[test]
+    fn gate_absolute_floor_shields_tiny_cases() {
+        // A 1ms case tripling is still under the 50ms floor: noise, not
+        // a regression the gate should act on.
+        let baseline = vec![("tiny".to_string(), 0.001)];
+        assert!(gate_failures(&[fresh("tiny", 0.003)], &baseline).is_empty());
+        // Past the floor it fails like any other case.
+        let failures = gate_failures(&[fresh("tiny", 0.100)], &baseline);
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    fn gate_fails_on_a_dropped_case() {
+        let baseline = vec![("gone".to_string(), 1.0)];
+        let failures = gate_failures(&[fresh("other", 0.5)], &baseline);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("not in this build"), "{failures:?}");
     }
 
     // The real smoke test: one full pass over the standard cases with a

@@ -1,0 +1,99 @@
+//! Dual-core differential gate: the event-driven coordinator and the
+//! threaded oracle (`KSR_CORE=threaded`) must produce byte-identical
+//! artifacts for the same experiment selection — every result file,
+//! `violations.json` from check mode, and the rendered stdout.
+//!
+//! The core is chosen once per process (the `KSR_CORE` lookup is
+//! cached), so each run is a separate `run_all` invocation via
+//! `CARGO_BIN_EXE_run_all` rather than an in-process call.
+//!
+//! Uses the cheap experiments (FIG4, SEC323, EP, TAB3) in quick mode so
+//! the gate stays debug-build friendly, mirroring the worker-count
+//! determinism gate in `parallel_determinism.rs`.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const IDS: &str = "FIG4,SEC323,EP,TAB3";
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ksr_core_differential_{}_{tag}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp results dir");
+    dir
+}
+
+/// Run the selection under the named core in a child process with a
+/// scrubbed environment; returns the rendered stdout.
+fn run_core(core: &str, dir: &Path) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args([
+            "--quick", "--check", "--jobs", "1", "--seed", "0", "--only", IDS,
+        ])
+        .arg("--results")
+        .arg(dir)
+        .env("KSR_CORE", core)
+        .env_remove("KSR_QUICK")
+        .env_remove("KSR_SEED")
+        .env_remove("KSR_RESULTS")
+        .env_remove("KSR_JOBS")
+        .env_remove("KSR_CHECK")
+        .output()
+        .expect("spawn run_all");
+    assert!(
+        out.status.success(),
+        "run_all on the {core} core failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("rendered results are utf-8")
+}
+
+fn file_names(dir: &Path) -> BTreeSet<String> {
+    fs::read_dir(dir)
+        .expect("read results dir")
+        .map(|e| e.expect("dir entry").file_name().into_string().unwrap())
+        .collect()
+}
+
+#[test]
+fn event_and_threaded_cores_produce_identical_artifacts() {
+    let event_dir = fresh_dir("event");
+    let threaded_dir = fresh_dir("threaded");
+    let event_stdout = run_core("event", &event_dir);
+    let threaded_stdout = run_core("threaded", &threaded_dir);
+
+    assert_eq!(
+        event_stdout, threaded_stdout,
+        "rendered output diverged between cores"
+    );
+
+    let names = file_names(&event_dir);
+    assert_eq!(
+        names,
+        file_names(&threaded_dir),
+        "the cores wrote different file sets"
+    );
+    assert!(
+        names.contains("violations.json"),
+        "check mode must produce violations.json: {names:?}"
+    );
+    for name in &names {
+        if name == "timings.json" {
+            continue; // wall-clock times: legitimately nondeterministic
+        }
+        let event = fs::read(event_dir.join(name)).expect("read event-core file");
+        let threaded = fs::read(threaded_dir.join(name)).expect("read threaded-core file");
+        assert_eq!(
+            event, threaded,
+            "core divergence: {name} differs between the event core and the threaded oracle"
+        );
+    }
+
+    let _ = fs::remove_dir_all(event_dir);
+    let _ = fs::remove_dir_all(threaded_dir);
+}

@@ -53,33 +53,43 @@ impl SharedF64 {
     }
 
     /// Timed load of element `i`.
-    pub fn get(&self, cpu: &mut Cpu, i: usize) -> f64 {
-        cpu.read_f64(self.addr(i))
+    pub async fn get(&self, cpu: &mut Cpu, i: usize) -> f64 {
+        cpu.read_f64(self.addr(i)).await
     }
 
     /// Timed store to element `i`.
-    pub fn set(&self, cpu: &mut Cpu, i: usize, v: f64) {
-        cpu.write_f64(self.addr(i), v);
+    pub async fn set(&self, cpu: &mut Cpu, i: usize, v: f64) {
+        cpu.write_f64(self.addr(i), v).await;
     }
 
     /// Prefetch the sub-page holding element `i`.
-    pub fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
-        cpu.prefetch(self.addr(i), exclusive);
+    pub async fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
+        cpu.prefetch(self.addr(i), exclusive).await;
     }
 
     /// Poststore the sub-page holding element `i`.
-    pub fn poststore(&self, cpu: &mut Cpu, i: usize) {
-        cpu.poststore(self.addr(i));
+    pub async fn poststore(&self, cpu: &mut Cpu, i: usize) {
+        cpu.poststore(self.addr(i)).await;
     }
 
     /// Untimed store (setup).
+    ///
+    /// # Panics
+    /// If the vector was built over an unmapped range via
+    /// [`SharedF64::from_raw`]; allocated vectors cannot fault.
     pub fn poke(&self, m: &mut Machine, i: usize, v: f64) {
-        m.poke_f64(self.addr(i), v);
+        m.poke_f64(self.addr(i), v)
+            .expect("allocated shared vectors are in-heap by construction");
     }
 
     /// Untimed load (verification).
+    ///
+    /// # Panics
+    /// If the vector was built over an unmapped range via
+    /// [`SharedF64::from_raw`]; allocated vectors cannot fault.
     pub fn peek(&self, m: &mut Machine, i: usize) -> f64 {
         m.peek_f64(self.addr(i))
+            .expect("allocated shared vectors are in-heap by construction")
     }
 }
 
@@ -117,33 +127,43 @@ impl SharedU64 {
     }
 
     /// Timed load of element `i`.
-    pub fn get(&self, cpu: &mut Cpu, i: usize) -> u64 {
-        cpu.read_u64(self.addr(i))
+    pub async fn get(&self, cpu: &mut Cpu, i: usize) -> u64 {
+        cpu.read_u64(self.addr(i)).await
     }
 
     /// Timed store to element `i`.
-    pub fn set(&self, cpu: &mut Cpu, i: usize, v: u64) {
-        cpu.write_u64(self.addr(i), v);
+    pub async fn set(&self, cpu: &mut Cpu, i: usize, v: u64) {
+        cpu.write_u64(self.addr(i), v).await;
     }
 
     /// Prefetch the sub-page holding element `i`.
-    pub fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
-        cpu.prefetch(self.addr(i), exclusive);
+    pub async fn prefetch(&self, cpu: &mut Cpu, i: usize, exclusive: bool) {
+        cpu.prefetch(self.addr(i), exclusive).await;
     }
 
     /// Poststore the sub-page holding element `i`.
-    pub fn poststore(&self, cpu: &mut Cpu, i: usize) {
-        cpu.poststore(self.addr(i));
+    pub async fn poststore(&self, cpu: &mut Cpu, i: usize) {
+        cpu.poststore(self.addr(i)).await;
     }
 
     /// Untimed store (setup).
+    ///
+    /// # Panics
+    /// Never for allocated vectors: their addresses are in-heap by
+    /// construction.
     pub fn poke(&self, m: &mut Machine, i: usize, v: u64) {
-        m.poke_u64(self.addr(i), v);
+        m.poke_u64(self.addr(i), v)
+            .expect("allocated shared vectors are in-heap by construction");
     }
 
     /// Untimed load (verification).
+    ///
+    /// # Panics
+    /// Never for allocated vectors: their addresses are in-heap by
+    /// construction.
     pub fn peek(&self, m: &mut Machine, i: usize) -> u64 {
         m.peek_u64(self.addr(i))
+            .expect("allocated shared vectors are in-heap by construction")
     }
 }
 
@@ -157,9 +177,9 @@ mod tests {
         let mut m = Machine::ksr1(1).unwrap();
         let v = SharedF64::alloc(&mut m, 16).unwrap();
         v.poke(&mut m, 3, 2.5);
-        m.run(vec![program(move |cpu| {
-            let x = v.get(cpu, 3);
-            v.set(cpu, 4, x * 2.0);
+        m.run(vec![program(move |mut cpu| async move {
+            let x = v.get(&mut cpu, 3).await;
+            v.set(&mut cpu, 4, x * 2.0).await;
         })])
         .expect("run");
         assert_eq!(v.peek(&mut m, 4), 5.0);
@@ -169,10 +189,10 @@ mod tests {
     fn u64_vector_roundtrip() {
         let mut m = Machine::ksr1(1).unwrap();
         let v = SharedU64::alloc(&mut m, 4).unwrap();
-        m.run(vec![program(move |cpu| {
-            v.set(cpu, 0, 10);
-            let x = v.get(cpu, 0);
-            v.set(cpu, 1, x + 1);
+        m.run(vec![program(move |mut cpu| async move {
+            v.set(&mut cpu, 0, 10).await;
+            let x = v.get(&mut cpu, 0).await;
+            v.set(&mut cpu, 1, x + 1).await;
         })])
         .expect("run");
         assert_eq!(v.peek(&mut m, 1), 11);

@@ -1,7 +1,12 @@
 //! Process-wide budget on simulated-processor OS threads.
 //!
-//! [`Machine::run`](crate::Machine::run) spawns one OS thread per
-//! simulated processor. A single machine is bounded by its cell count,
+//! Only the **threaded oracle core** (`KSR_CORE=threaded`, see
+//! [`CoreKind`](crate::machine::CoreKind)) spawns one OS thread per
+//! simulated processor; the default event core spawns nothing and never
+//! consults this module. The budget — like the oracle it serves — is
+//! scheduled for removal once the event core has carried a full release.
+//!
+//! A single machine is bounded by its cell count,
 //! but a parallel experiment executor runs many machines at once, and
 //! `jobs × procs-per-machine` can otherwise exhaust the host's thread
 //! limit. The budget caps the *total* number of in-flight processor
@@ -19,7 +24,7 @@
 //! know their parallelism call [`set_thread_cap`] with
 //! `jobs × procs-per-machine` (clamped) before fanning out.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Cap applied when no executor has called [`set_thread_cap`]: roomy
 /// enough for a handful of concurrent 64-cell machines, far below
@@ -31,11 +36,20 @@ pub const DEFAULT_THREAD_CAP: usize = 512;
 static STATE: Mutex<(Option<usize>, usize)> = Mutex::new((None, 0));
 static WAKE: Condvar = Condvar::new();
 
+/// Lock the budget state, shrugging off poison: a thread that panicked
+/// while holding the lock can only have left a consistent
+/// `(cap, permits)` pair (both fields are plain integers updated in
+/// place), so one aborted machine must not cascade into a process-wide
+/// panic storm under a parallel executor.
+fn lock_state() -> MutexGuard<'static, (Option<usize>, usize)> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Set the process-wide cap on concurrent simulated-processor threads.
 /// Takes effect for every subsequent acquisition; a cap of 0 is treated
 /// as 1.
 pub fn set_thread_cap(cap: usize) {
-    let mut st = STATE.lock().expect("thread budget poisoned");
+    let mut st = lock_state();
     st.0 = Some(cap.max(1));
     WAKE.notify_all();
 }
@@ -43,11 +57,7 @@ pub fn set_thread_cap(cap: usize) {
 /// The currently configured cap.
 #[must_use]
 pub fn thread_cap() -> usize {
-    STATE
-        .lock()
-        .expect("thread budget poisoned")
-        .0
-        .unwrap_or(DEFAULT_THREAD_CAP)
+    lock_state().0.unwrap_or(DEFAULT_THREAD_CAP)
 }
 
 /// Permits held for one run; released on drop (including unwinds).
@@ -58,20 +68,20 @@ pub(crate) struct BudgetGuard {
 /// Block until `n` processor threads fit in the budget, then reserve
 /// them. See the module docs for the oversized-request rule.
 pub(crate) fn acquire(n: usize) -> BudgetGuard {
-    let mut st = STATE.lock().expect("thread budget poisoned");
+    let mut st = lock_state();
     loop {
         let cap = st.0.unwrap_or(DEFAULT_THREAD_CAP);
         if st.1 == 0 || st.1 + n <= cap {
             st.1 += n;
             return BudgetGuard { n };
         }
-        st = WAKE.wait(st).expect("thread budget poisoned");
+        st = WAKE.wait(st).unwrap_or_else(PoisonError::into_inner);
     }
 }
 
 impl Drop for BudgetGuard {
     fn drop(&mut self) {
-        let mut st = STATE.lock().expect("thread budget poisoned");
+        let mut st = lock_state();
         st.1 = st.1.saturating_sub(self.n);
         WAKE.notify_all();
     }
@@ -86,12 +96,42 @@ mod tests {
 
     #[test]
     fn permits_are_returned_on_drop() {
-        let before = STATE.lock().unwrap().1;
+        let before = lock_state().1;
         {
             let _g = acquire(3);
-            assert!(STATE.lock().unwrap().1 >= before + 3);
+            assert!(lock_state().1 >= before + 3);
         }
-        assert!(STATE.lock().unwrap().1 <= before + 3);
+        assert!(lock_state().1 <= before + 3);
+    }
+
+    #[test]
+    fn permits_are_returned_when_the_holder_panics() {
+        let before = lock_state().1;
+        let result = std::panic::catch_unwind(|| {
+            let _g = acquire(5);
+            panic!("simulated program abort while holding permits");
+        });
+        assert!(result.is_err());
+        // The guard's Drop ran during the unwind: those 5 permits are
+        // back (other concurrent tests may hold their own, so compare
+        // relatively, as the drop test above does).
+        assert!(lock_state().1 <= before + 5);
+        drop(acquire(5));
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_cascade() {
+        // Poison the budget mutex the only way possible: panic while
+        // holding it. One aborted machine under `--jobs N` must not turn
+        // every other job's budget call into a panic.
+        let _ = std::thread::spawn(|| {
+            let _guard = STATE.lock().unwrap_or_else(PoisonError::into_inner);
+            panic!("poison the budget lock");
+        })
+        .join();
+        assert!(thread_cap() >= 1);
+        drop(acquire(2));
+        set_thread_cap(thread_cap());
     }
 
     #[test]

@@ -1,22 +1,38 @@
 //! The processor handle simulated programs run against.
 //!
-//! A [`Cpu`] lives on its program's OS thread. Every shared-memory
-//! operation sends a request to the machine coordinator and blocks until
-//! the coordinator has scheduled it in global virtual-time order; private
-//! computation advances the local clock without synchronization. This
-//! gives simulated programs a completely ordinary imperative style — the
-//! CG inner loop looks like a loop, a barrier looks like a function call —
-//! while the coordinator keeps the whole machine deterministic.
+//! A [`Cpu`] is owned by its program's future. Every shared-memory
+//! operation *yields* an [`AccessOp`] to the machine coordinator (the
+//! program future suspends at the `await` point) and resumes with the
+//! coordinator's [`Reply`] once the access has been scheduled in global
+//! virtual-time order; private computation advances the local clock
+//! without suspension. This gives simulated programs a completely
+//! ordinary imperative style — the CG inner loop looks like a loop, a
+//! barrier looks like a function call with `.await` — while the
+//! coordinator keeps the whole machine deterministic.
+//!
+//! The yield handshake is a per-processor [`Slot`]: the access future
+//! deposits `(issue time, op)` and returns `Pending`; the driver (the
+//! event-loop coordinator, or an oracle worker thread) takes the
+//! request, deposits the reply, and polls again. Access strictly
+//! alternates between the program future and its driver, so the slot's
+//! mutex is never contended — no syscalls, no channels, no rendezvous.
 
-use std::sync::mpsc::{Receiver, Sender};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::task::{Context, Poll};
 
 use ksr_core::time::{Cycles, Hz};
 use ksr_core::trace::{TraceEvent, Tracer};
 
 use crate::config::InterruptConfig;
 
-/// A request from a program thread to the coordinator.
-pub(crate) enum Request {
+/// One shared-memory operation yielded by a program to the coordinator.
+///
+/// This is the entire vocabulary a resumable program can speak: each
+/// [`Program::resume`](crate::program::Program::resume) either yields one
+/// of these (with the issue timestamp) or reports completion.
+pub enum AccessOp {
     /// Load a 64-bit word.
     Read {
         /// SVA address.
@@ -71,51 +87,106 @@ pub(crate) enum Request {
         /// Exit predicate over the loaded value.
         pred: Box<dyn FnMut(u64) -> bool + Send>,
     },
-    /// The program returned.
-    Finish {
-        /// Total floating-point operations this processor performed.
-        flops: u64,
-    },
-    /// The program panicked. Carries the panic payload so the
-    /// coordinator can re-raise it as the run's root cause instead of
-    /// letting parked peers die with a misleading deadlock report.
-    Aborted {
-        /// The original `catch_unwind` payload.
-        payload: Box<dyn std::any::Any + Send>,
-    },
 }
 
-/// A timestamped request.
-pub(crate) struct Envelope {
-    pub proc: usize,
-    pub at: Cycles,
-    pub req: Request,
+impl AccessOp {
+    /// Short operation name for diagnostics.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Read { .. } => "read",
+            Self::Write { .. } => "write",
+            Self::GetSubPage { .. } => "get_sub_page",
+            Self::ReleaseSubPage { .. } => "release_sub_page",
+            Self::FetchAdd { .. } => "fetch_add",
+            Self::Prefetch { .. } => "prefetch",
+            Self::Poststore { .. } => "poststore",
+            Self::SubcachePrefetch { .. } => "subcache_prefetch",
+            Self::Spin { .. } => "spin",
+        }
+    }
 }
 
-/// Coordinator's answer to a request.
-pub(crate) enum Reply {
-    /// A loaded value (reads, spins).
-    Value { value: u64, at: Cycles },
+/// Coordinator's answer to a yielded [`AccessOp`].
+#[derive(Debug, Clone, Copy)]
+pub enum Reply {
+    /// A loaded value (reads, spins, fetch-and-add).
+    Value {
+        /// The loaded (or pre-update) value.
+        value: u64,
+        /// Completion time.
+        at: Cycles,
+    },
     /// Success flag (`get_sub_page`).
-    Flag { ok: bool, at: Cycles },
+    Flag {
+        /// Whether the attempt succeeded.
+        ok: bool,
+        /// Completion time.
+        at: Cycles,
+    },
     /// Plain completion.
-    Unit { at: Cycles },
+    Unit {
+        /// Completion time.
+        at: Cycles,
+    },
 }
 
 impl Reply {
-    fn at(&self) -> Cycles {
+    /// The virtual time the access completed.
+    #[must_use]
+    pub fn at(&self) -> Cycles {
         match self {
             Self::Value { at, .. } | Self::Flag { at, .. } | Self::Unit { at } => *at,
         }
     }
 }
 
-/// Panic payload thrown inside a program thread when the coordinator has
-/// unwound (e.g. after detecting a simulation deadlock). The machine's run
-/// loop swallows it so the coordinator's own panic is the one reported.
-pub(crate) struct CoordinatorGone;
+/// The per-processor yield cell shared by a program future and its
+/// driver. Access strictly alternates (the driver never polls without
+/// first depositing the awaited reply, and the future never suspends
+/// without first depositing its request), so the mutex only ever sees
+/// uncontended lock/unlock pairs — pure user-space atomics.
+#[derive(Default)]
+pub(crate) struct Slot {
+    inner: Mutex<SlotInner>,
+}
 
-/// One simulated processor, handed to a [`crate::program::Program`].
+#[derive(Default)]
+struct SlotInner {
+    /// Deposited by the program future just before it suspends.
+    request: Option<(Cycles, AccessOp)>,
+    /// Deposited by the driver just before it polls.
+    reply: Option<Reply>,
+    /// Deposited by [`Cpu`]'s `Drop` when the program's future completes
+    /// (the `Cpu` is owned by the future, so it drops exactly then):
+    /// final local time and FLOP count.
+    finished: Option<(Cycles, u64)>,
+}
+
+impl Slot {
+    fn lock(&self) -> std::sync::MutexGuard<'_, SlotInner> {
+        // A panicking program unwinds through its future, never while
+        // holding this lock — but even if a future Rust version changed
+        // drop order, the slot's plain `Option` fields cannot be left
+        // torn, so poisoning is safe to ignore.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn put_reply(&self, reply: Reply) {
+        self.lock().reply = Some(reply);
+    }
+
+    pub(crate) fn take_request(&self) -> Option<(Cycles, AccessOp)> {
+        self.lock().request.take()
+    }
+
+    pub(crate) fn take_finished(&self) -> Option<(Cycles, u64)> {
+        self.lock().finished.take()
+    }
+}
+
+/// One simulated processor, handed (by value) to the async closure a
+/// [`crate::program::Program`] is built from.
 pub struct Cpu {
     id: usize,
     nprocs: usize,
@@ -126,12 +197,21 @@ pub struct Cpu {
     interrupts: Option<(InterruptConfig, Cycles)>,
     native_fetch_op: bool,
     tracer: Tracer,
-    tx: Sender<Envelope>,
-    rx: Receiver<Reply>,
+    slot: Arc<Slot>,
+}
+
+impl Drop for Cpu {
+    fn drop(&mut self) {
+        // The program future owns its Cpu, so this runs exactly when the
+        // future completes (or is torn down mid-run after a peer's
+        // failure): record the final clock and FLOP count for the
+        // machine's run report.
+        self.slot.lock().finished = Some((self.local, self.flops));
+    }
 }
 
 impl Cpu {
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring MachineConfig fields
     pub(crate) fn new(
         id: usize,
         nprocs: usize,
@@ -141,8 +221,6 @@ impl Cpu {
         interrupts: Option<InterruptConfig>,
         native_fetch_op: bool,
         tracer: Tracer,
-        tx: Sender<Envelope>,
-        rx: Receiver<Reply>,
     ) -> Self {
         // Unsynchronized timers: each processor's first tick lands at a
         // different phase derived from its id.
@@ -160,9 +238,14 @@ impl Cpu {
             interrupts,
             native_fetch_op,
             tracer,
-            tx,
-            rx,
+            slot: Arc::new(Slot::default()),
         }
+    }
+
+    /// The yield cell this processor's accesses go through (cloned by the
+    /// program wrapper so it can read requests after polling).
+    pub(crate) fn slot(&self) -> Arc<Slot> {
+        Arc::clone(&self.slot)
     }
 
     /// Record the completion of one barrier episode by this processor
@@ -221,21 +304,13 @@ impl Cpu {
         self.compute(n.div_ceil(self.flops_per_cycle));
     }
 
-    fn roundtrip(&mut self, req: Request) -> Reply {
-        if self
-            .tx
-            .send(Envelope {
-                proc: self.id,
-                at: self.local,
-                req,
-            })
-            .is_err()
-        {
-            std::panic::panic_any(CoordinatorGone);
+    /// Yield `op` to the coordinator and suspend until it replies.
+    async fn roundtrip(&mut self, op: AccessOp) -> Reply {
+        let reply = YieldAccess {
+            slot: &self.slot,
+            request: Some((self.local, op)),
         }
-        let Ok(reply) = crate::hotrecv::recv_hot(&self.rx) else {
-            std::panic::panic_any(CoordinatorGone);
-        };
+        .await;
         self.local = reply.at();
         // Interrupts that would have fired during the stall are treated as
         // overlapped with it: skip them without extra charge.
@@ -248,32 +323,32 @@ impl Cpu {
     }
 
     /// Load a 64-bit word from shared memory.
-    pub fn read_u64(&mut self, addr: u64) -> u64 {
-        match self.roundtrip(Request::Read { addr }) {
+    pub async fn read_u64(&mut self, addr: u64) -> u64 {
+        match self.roundtrip(AccessOp::Read { addr }).await {
             Reply::Value { value, .. } => value,
             _ => unreachable!("read must yield a value"),
         }
     }
 
     /// Store a 64-bit word to shared memory.
-    pub fn write_u64(&mut self, addr: u64, value: u64) {
-        self.roundtrip(Request::Write { addr, value });
+    pub async fn write_u64(&mut self, addr: u64, value: u64) {
+        self.roundtrip(AccessOp::Write { addr, value }).await;
     }
 
     /// Load an `f64` from shared memory.
-    pub fn read_f64(&mut self, addr: u64) -> f64 {
-        f64::from_bits(self.read_u64(addr))
+    pub async fn read_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr).await)
     }
 
     /// Store an `f64` to shared memory.
-    pub fn write_f64(&mut self, addr: u64, value: f64) {
-        self.write_u64(addr, value.to_bits());
+    pub async fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits()).await;
     }
 
     /// One `get_sub_page` attempt on the sub-page containing `addr`;
     /// `false` if another cell already holds it atomic.
-    pub fn get_sub_page(&mut self, addr: u64) -> bool {
-        match self.roundtrip(Request::GetSubPage { addr }) {
+    pub async fn get_sub_page(&mut self, addr: u64) -> bool {
+        match self.roundtrip(AccessOp::GetSubPage { addr }).await {
             Reply::Flag { ok, .. } => ok,
             _ => unreachable!("get_sub_page must yield a flag"),
         }
@@ -282,13 +357,13 @@ impl Cpu {
     /// Spin (in hardware fashion — each retry is a fresh ring request)
     /// until `get_sub_page` succeeds. This is exactly the "naive hardware
     /// exclusive lock" of §3.2.1.
-    pub fn acquire_sub_page(&mut self, addr: u64) {
-        while !self.get_sub_page(addr) {}
+    pub async fn acquire_sub_page(&mut self, addr: u64) {
+        while !self.get_sub_page(addr).await {}
     }
 
     /// Release a sub-page held atomic.
-    pub fn release_sub_page(&mut self, addr: u64) {
-        self.roundtrip(Request::ReleaseSubPage { addr });
+    pub async fn release_sub_page(&mut self, addr: u64) {
+        self.roundtrip(AccessOp::ReleaseSubPage { addr }).await;
     }
 
     /// Whether this machine has a native fetch-and-Φ instruction (the
@@ -301,38 +376,38 @@ impl Cpu {
     /// Architecture-appropriate atomic fetch-and-add: a single fabric
     /// transaction where the hardware offers one, otherwise the KSR-1
     /// synthesis from `get_sub_page` (§3.2.2). Returns the old value.
-    pub fn fetch_add(&mut self, addr: u64, delta: u64) -> u64 {
+    pub async fn fetch_add(&mut self, addr: u64, delta: u64) -> u64 {
         if self.native_fetch_op {
-            match self.roundtrip(Request::FetchAdd { addr, delta }) {
+            match self.roundtrip(AccessOp::FetchAdd { addr, delta }).await {
                 Reply::Value { value, .. } => value,
                 _ => unreachable!("fetch_add must yield the old value"),
             }
         } else {
-            self.acquire_sub_page(addr);
-            let old = self.read_u64(addr);
-            self.write_u64(addr, old.wrapping_add(delta));
-            self.release_sub_page(addr);
+            self.acquire_sub_page(addr).await;
+            let old = self.read_u64(addr).await;
+            self.write_u64(addr, old.wrapping_add(delta)).await;
+            self.release_sub_page(addr).await;
             old
         }
     }
 
     /// Issue a non-blocking `prefetch` of the sub-page containing `addr`
     /// into the local cache.
-    pub fn prefetch(&mut self, addr: u64, exclusive: bool) {
-        self.roundtrip(Request::Prefetch { addr, exclusive });
+    pub async fn prefetch(&mut self, addr: u64, exclusive: bool) {
+        self.roundtrip(AccessOp::Prefetch { addr, exclusive }).await;
     }
 
     /// Issue a `poststore` of the sub-page containing `addr`.
-    pub fn poststore(&mut self, addr: u64) {
-        self.roundtrip(Request::Poststore { addr });
+    pub async fn poststore(&mut self, addr: u64) {
+        self.roundtrip(AccessOp::Poststore { addr }).await;
     }
 
     /// **Extension** (§4 wish list): non-blocking prefetch of a locally
     /// resident sub-page from the local cache into the sub-cache —
     /// "given that there is roughly an order of magnitude difference
     /// between their access times".
-    pub fn prefetch_subcache(&mut self, addr: u64) {
-        self.roundtrip(Request::SubcachePrefetch { addr });
+    pub async fn prefetch_subcache(&mut self, addr: u64) {
+        self.roundtrip(AccessOp::SubcachePrefetch { addr }).await;
     }
 
     /// Spin on the word at `addr` until `pred` holds; returns the value
@@ -340,38 +415,52 @@ impl Cpu {
     /// `loop { let v = read(addr); if pred(v) { break v } }` — every
     /// wake-up is a fully costed re-read — but fast-forwarded so the
     /// simulator spends O(updates), not O(spin iterations).
-    pub fn spin_until(&mut self, addr: u64, pred: impl FnMut(u64) -> bool + Send + 'static) -> u64 {
-        match self.roundtrip(Request::Spin {
-            addr,
-            pred: Box::new(pred),
-        }) {
+    pub async fn spin_until(
+        &mut self,
+        addr: u64,
+        pred: impl FnMut(u64) -> bool + Send + 'static,
+    ) -> u64 {
+        match self
+            .roundtrip(AccessOp::Spin {
+                addr,
+                pred: Box::new(pred),
+            })
+            .await
+        {
             Reply::Value { value, .. } => value,
             _ => unreachable!("spin must yield a value"),
         }
     }
 
     /// Convenience: spin until the word equals `target`.
-    pub fn spin_until_eq(&mut self, addr: u64, target: u64) {
-        self.spin_until(addr, move |v| v == target);
+    pub async fn spin_until_eq(&mut self, addr: u64, target: u64) {
+        self.spin_until(addr, move |v| v == target).await;
     }
+}
 
-    pub(crate) fn finish(self) {
-        let _ = self.tx.send(Envelope {
-            proc: self.id,
-            at: self.local,
-            req: Request::Finish { flops: self.flops },
-        });
-    }
+/// The suspension point: first poll deposits the request and returns
+/// `Pending` (the program's driver then sees the yielded op); the next
+/// poll — issued only after the driver has deposited the reply — resolves
+/// to that reply.
+struct YieldAccess<'a> {
+    slot: &'a Slot,
+    request: Option<(Cycles, AccessOp)>,
+}
 
-    /// Report a program panic to the coordinator, handing over the panic
-    /// payload. If the coordinator is already gone the payload is
-    /// dropped — the coordinator's own panic is then the one the user
-    /// sees, which is the right diagnosis in that case.
-    pub(crate) fn abort(self, payload: Box<dyn std::any::Any + Send>) {
-        let _ = self.tx.send(Envelope {
-            proc: self.id,
-            at: self.local,
-            req: Request::Aborted { payload },
-        });
+impl Future for YieldAccess<'_> {
+    type Output = Reply;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Reply> {
+        let this = self.get_mut();
+        let mut slot = this.slot.lock();
+        if let Some(req) = this.request.take() {
+            slot.request = Some(req);
+            return Poll::Pending;
+        }
+        let reply = slot
+            .reply
+            .take()
+            .expect("program polled without a pending reply");
+        Poll::Ready(reply)
     }
 }

@@ -13,13 +13,16 @@
 //! * [`cpu`] — the processor handle: timed reads/writes,
 //!   `get_sub_page`/`release_sub_page`, `prefetch`, `poststore`, private
 //!   compute, FLOP accounting, and fast-forwarded spin loops.
+//! * [`program`] — the resumable-state-machine contract ([`Program`],
+//!   [`Step`](program::Step)) that simulated programs compile down to,
+//!   written as ordinary `async` closures.
 //! * [`machine`] — the coordinator that serializes all shared-memory
-//!   operations in global virtual-time order (fully deterministic runs),
-//!   plus scoped per-thread machine observers ([`ObserverScope`]) for
-//!   verification harnesses.
+//!   operations in global virtual-time order (fully deterministic runs):
+//!   the single-threaded event core, the thread-per-processor oracle
+//!   behind `KSR_CORE=threaded` ([`CoreKind`]), and scoped per-thread
+//!   machine observers ([`ObserverScope`]) for verification harnesses.
 //! * [`budget`] — the process-wide cap on simulated-processor OS
-//!   threads, so many machines running in parallel cannot exhaust the
-//!   host.
+//!   threads; consulted only by the threaded oracle core.
 //! * [`arrays`] — typed shared-vector handles for kernel code.
 //! * [`heap`] — the SVA bump allocator with the paper's
 //!   false-sharing-avoiding sub-page alignment discipline.
@@ -44,9 +47,9 @@ pub mod snapshot;
 pub use arrays::{SharedF64, SharedU64};
 pub use budget::{set_thread_cap, thread_cap, DEFAULT_THREAD_CAP};
 pub use config::{InterruptConfig, MachineConfig, MachineKind};
-pub use cpu::Cpu;
+pub use cpu::{AccessOp, Cpu, Reply};
 pub use heap::Heap;
-pub use machine::{Machine, MachineObserver, ObserverScope};
-pub use program::{program, Program};
+pub use machine::{CoreKind, Machine, MachineObserver, ObserverScope};
+pub use program::{program, Program, Step};
 pub use report::RunReport;
 pub use snapshot::PerfSnapshot;

@@ -2,13 +2,26 @@
 //!
 //! ## Execution model
 //!
-//! Each simulated processor runs its [`Program`] on a dedicated OS thread
-//! against a [`Cpu`] handle; every shared-memory operation is sent to the
-//! coordinator (running on the caller's thread) and answered in **global
-//! virtual-time order**: the coordinator only ever processes the
+//! Each simulated processor is a **resumable state machine** (a
+//! [`Program`]): the coordinator polls it, receives either a timestamped
+//! access request or a completion report, and services requests in
+//! **global virtual-time order** — it only ever processes the
 //! outstanding request with the smallest timestamp (ties broken by
 //! processor id), so a run is fully deterministic for a given
-//! configuration and seed, regardless of host scheduling.
+//! configuration and seed.
+//!
+//! Two drivers exist for the same program contract and the same
+//! request-service logic ([`CoreKind`]):
+//!
+//! * **Event core** (default): one host thread drives every processor of
+//!   the machine. Delivering a reply *is* resuming the program — zero
+//!   channels, zero syscalls, zero context switches per access. Machine
+//!   size is bounded only by memory, not host thread limits.
+//! * **Threaded oracle** (`KSR_CORE=threaded`): the historical
+//!   one-OS-thread-per-processor core, kept for differential testing
+//!   while the event core beds in. Each worker thread steps its program
+//!   and relays yields/replies over channels; the coordinator logic is
+//!   byte-identical, so all artifacts must match the event core exactly.
 //!
 //! Spin loops ([`Cpu::spin_until`]) and accesses blocked on an atomic
 //! sub-page park on a per-sub-page watch list and are re-issued — as
@@ -23,7 +36,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, Tracer};
@@ -32,18 +45,34 @@ use ksr_mem::{MemOp, MemorySystem, Outcome, PerfMon};
 use ksr_net::FabricStats;
 
 use crate::config::MachineConfig;
-use crate::cpu::{Cpu, Envelope, Reply, Request};
+use crate::cpu::{AccessOp, Cpu, Reply};
 use crate::heap::Heap;
-use crate::program::Program;
+use crate::program::{Program, Step};
 use crate::report::RunReport;
 use crate::snapshot::PerfSnapshot;
 
+/// Which coordinator drives a run (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ProcState {
-    Running,
-    Waiting,
-    Parked,
-    Done,
+pub enum CoreKind {
+    /// Single-threaded event loop polling resumable programs (default).
+    Event,
+    /// One OS thread per simulated processor, channels per access — the
+    /// differential-test oracle, scheduled for removal once the event
+    /// core has carried a full release.
+    Threaded,
+}
+
+impl CoreKind {
+    /// The core selected by the `KSR_CORE` environment variable
+    /// (`threaded` picks the oracle; anything else — including unset —
+    /// picks the event core). Read once and cached for the process.
+    pub fn from_env() -> Self {
+        static CHOICE: OnceLock<CoreKind> = OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("KSR_CORE").as_deref() {
+            Ok(s) if s.eq_ignore_ascii_case("threaded") => Self::Threaded,
+            _ => Self::Event,
+        })
+    }
 }
 
 /// A hook invoked on every freshly built [`Machine`] (see
@@ -241,23 +270,36 @@ impl Machine {
     }
 
     /// Untimed data-plane store (experiment setup).
-    pub fn poke_u64(&mut self, addr: u64, value: u64) {
-        self.mem.data_mut().write_u64(addr, value).expect("poke");
+    ///
+    /// # Errors
+    /// [`Error`] when `addr` is outside the mapped data plane — the same
+    /// typed error [`Machine::run`] reports, instead of a panic.
+    pub fn poke_u64(&mut self, addr: u64, value: u64) -> Result<()> {
+        self.mem.data_mut().write_u64(addr, value)
     }
 
     /// Untimed data-plane load (result verification).
-    pub fn peek_u64(&mut self, addr: u64) -> u64 {
-        self.mem.data_mut().read_u64(addr).expect("peek")
+    ///
+    /// # Errors
+    /// [`Error`] when `addr` is outside the mapped data plane.
+    pub fn peek_u64(&mut self, addr: u64) -> Result<u64> {
+        self.mem.data_mut().read_u64(addr)
     }
 
     /// Untimed `f64` store.
-    pub fn poke_f64(&mut self, addr: u64, value: f64) {
-        self.mem.data_mut().write_f64(addr, value).expect("poke");
+    ///
+    /// # Errors
+    /// [`Error`] when `addr` is outside the mapped data plane.
+    pub fn poke_f64(&mut self, addr: u64, value: f64) -> Result<()> {
+        self.mem.data_mut().write_f64(addr, value)
     }
 
     /// Untimed `f64` load.
-    pub fn peek_f64(&mut self, addr: u64) -> f64 {
-        self.mem.data_mut().read_f64(addr).expect("peek")
+    ///
+    /// # Errors
+    /// [`Error`] when `addr` is outside the mapped data plane.
+    pub fn peek_f64(&mut self, addr: u64) -> Result<f64> {
+        self.mem.data_mut().read_f64(addr)
     }
 
     /// Run one program per processor to completion; returns the run's
@@ -265,20 +307,34 @@ impl Machine {
     /// persist across runs (virtual time keeps increasing), which is how
     /// multi-phase experiments separate warm-up from measurement.
     ///
-    /// Each program gets a dedicated OS thread, reserved against the
-    /// process-wide [thread budget](crate::budget) before anything is
-    /// spawned; if the host then still cannot provide a thread, the run
-    /// aborts cleanly and returns [`Error::Host`] instead of panicking.
+    /// Uses the core selected by `KSR_CORE` (see [`CoreKind::from_env`]);
+    /// [`Machine::run_on`] picks one explicitly.
     ///
     /// # Errors
-    /// [`Error::Host`] when the operating system refuses to spawn a
-    /// processor thread.
+    /// [`Error::Host`] when the threaded oracle core is selected and the
+    /// operating system refuses to spawn a processor thread. The event
+    /// core spawns nothing and cannot fail this way.
     ///
     /// # Panics
-    /// Panics on simulation deadlock (every live processor parked on a
-    /// sub-page no one is going to touch) — always a bug in the simulated
-    /// program.
-    pub fn run(&mut self, mut programs: Vec<Box<dyn Program + '_>>) -> Result<RunReport> {
+    /// Re-raises a simulated program's own panic as the run's root
+    /// cause, and panics on simulation deadlock (every live processor
+    /// parked on a sub-page no one is going to touch) — always a bug in
+    /// the simulated program.
+    pub fn run(&mut self, programs: Vec<Box<dyn Program + '_>>) -> Result<RunReport> {
+        self.run_on(CoreKind::from_env(), programs)
+    }
+
+    /// [`Machine::run`] on an explicitly chosen coordinator core. The
+    /// two cores are observably identical (same schedules, same traces,
+    /// same reports); differential tests exploit that.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_on(
+        &mut self,
+        core: CoreKind,
+        mut programs: Vec<Box<dyn Program + '_>>,
+    ) -> Result<RunReport> {
         let n = programs.len();
         assert!(n >= 1, "need at least one program");
         assert!(
@@ -286,79 +342,14 @@ impl Machine {
             "{n} programs exceed the machine's {} cells",
             self.cfg.cells
         );
-        let _permits = crate::budget::acquire(n);
         let start = self.epoch;
-        let (req_tx, req_rx) = mpsc::channel::<Envelope>();
-        let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(n);
-        let mut cpus: Vec<Cpu> = Vec::with_capacity(n);
-        for p in 0..n {
-            let (rtx, rrx) = mpsc::channel::<Reply>();
-            reply_txs.push(rtx);
-            cpus.push(Cpu::new(
-                p,
-                n,
-                start,
-                self.cfg.clock_hz,
-                self.cfg.flops_per_cycle,
-                self.cfg.interrupts,
-                self.cfg.native_fetch_op,
-                self.tracer.clone(),
-                req_tx.clone(),
-                rrx,
-            ));
-        }
-        drop(req_tx);
-
-        let mem = &mut self.mem;
-        let tracer = &self.tracer;
-        let (proc_end, proc_flops) = std::thread::scope(|s| {
-            for (p, (prog, cpu)) in programs.iter_mut().zip(cpus).enumerate() {
-                let spawned = std::thread::Builder::new()
-                    .name(format!("ksr-proc-{p}"))
-                    .spawn_scoped(s, move || {
-                        let mut cpu = cpu;
-                        // If the coordinator unwinds (deadlock detection, a
-                        // protocol invariant), program threads wake with a
-                        // CoordinatorGone panic; swallow it so the
-                        // coordinator's panic is the one that propagates. Any
-                        // other panic (a failed assertion in the simulated
-                        // program) is handed to the coordinator as an
-                        // `Aborted` request: the coordinator re-raises it on
-                        // its own thread, so the program's message — not a
-                        // generic "a scoped thread panicked" or a misleading
-                        // deadlock report from a parked peer — is what
-                        // reaches the user.
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            prog.run(&mut cpu);
-                        }));
-                        match result {
-                            Ok(()) => cpu.finish(),
-                            Err(payload) => {
-                                if payload.is::<crate::cpu::CoordinatorGone>() {
-                                    cpu.finish();
-                                } else {
-                                    cpu.abort(payload);
-                                }
-                            }
-                        }
-                    });
-                if let Err(e) = spawned {
-                    // Dropping the reply senders wakes every
-                    // already-spawned program thread with CoordinatorGone
-                    // (which it swallows), so the scope joins cleanly and
-                    // the machine is left unperturbed at its old epoch.
-                    drop(reply_txs);
-                    return Err(Error::Host(format!(
-                        "could not spawn simulated processor {p} of {n}: {e}"
-                    )));
-                }
+        let (proc_end, proc_flops) = match core {
+            CoreKind::Event => {
+                let cpus = self.build_cpus(n, start);
+                coordinate_event(&mut self.mem, &self.tracer, &mut programs, cpus)
             }
-            // `coordinate` owns the reply senders: if it unwinds, they
-            // drop, the program threads wake and exit, and the scope join
-            // completes instead of hanging.
-            Ok(coordinate(mem, tracer, n, &req_rx, reply_txs))
-        })?;
-
+            CoreKind::Threaded => self.run_threaded(&mut programs, start)?,
+        };
         let finished_at = proc_end.iter().copied().max().unwrap_or(start);
         self.epoch = finished_at;
         Ok(RunReport {
@@ -369,256 +360,440 @@ impl Machine {
             proc_flops,
         })
     }
+
+    fn build_cpus(&self, n: usize, start: Cycles) -> Vec<Cpu> {
+        (0..n)
+            .map(|p| {
+                Cpu::new(
+                    p,
+                    n,
+                    start,
+                    self.cfg.clock_hz,
+                    self.cfg.flops_per_cycle,
+                    self.cfg.interrupts,
+                    self.cfg.native_fetch_op,
+                    self.tracer.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// The thread-per-processor oracle core. Each program gets a
+    /// dedicated OS thread, reserved against the process-wide
+    /// [thread budget](crate::budget) before anything is spawned; if the
+    /// host then still cannot provide a thread, the run aborts cleanly
+    /// and returns [`Error::Host`] instead of panicking.
+    fn run_threaded(
+        &mut self,
+        programs: &mut [Box<dyn Program + '_>],
+        start: Cycles,
+    ) -> Result<(Vec<Cycles>, Vec<u64>)> {
+        let n = programs.len();
+        let _permits = crate::budget::acquire(n);
+        let (req_tx, req_rx) = mpsc::channel::<Envelope>();
+        let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(n);
+        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (rtx, rrx) = mpsc::channel::<Reply>();
+            reply_txs.push(rtx);
+            reply_rxs.push(rrx);
+        }
+        let cpus = self.build_cpus(n, start);
+
+        let mem = &mut self.mem;
+        let tracer = &self.tracer;
+        std::thread::scope(|s| {
+            for (p, ((prog, cpu), rrx)) in programs.iter_mut().zip(cpus).zip(reply_rxs).enumerate()
+            {
+                let tx = req_tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("ksr-proc-{p}"))
+                    .spawn_scoped(s, move || drive_on_thread(p, prog, cpu, start, &tx, &rrx));
+                if let Err(e) = spawned {
+                    // Dropping the reply senders wakes every
+                    // already-spawned worker (its recv fails and it
+                    // exits), so the scope joins cleanly and the machine
+                    // is left unperturbed at its old epoch.
+                    drop(reply_txs);
+                    return Err(Error::Host(format!(
+                        "could not spawn simulated processor {p} of {n}: {e}"
+                    )));
+                }
+            }
+            drop(req_tx);
+            // `coordinate_threaded` owns the reply senders: if it
+            // unwinds, they drop, the workers wake and exit, and the
+            // scope join completes instead of hanging.
+            Ok(coordinate_threaded(mem, tracer, n, &req_rx, reply_txs))
+        })
+    }
 }
 
-/// The coordinator loop: strict smallest-timestamp-first processing.
-fn coordinate(
-    mem: &mut MemorySystem,
-    tracer: &Tracer,
-    n: usize,
-    req_rx: &Receiver<Envelope>,
-    reply_txs: Vec<Sender<Reply>>,
-) -> (Vec<Cycles>, Vec<u64>) {
-    let mut state = vec![ProcState::Running; n];
-    let mut slots: Vec<Option<Request>> = (0..n).map(|_| None).collect();
-    let mut heap: BinaryHeap<Reverse<(Cycles, usize)>> = BinaryHeap::new();
-    // Fast path for the common single-runnable-processor case (n == 1, or
-    // everyone else parked/done): the sole ready request is held here and
-    // never touches the heap. Invariant: when `direct` is `Some`, the heap
-    // is empty — so `direct` is trivially the global minimum.
-    let mut direct: Option<(Cycles, usize)> = None;
-    // sub-page -> parked (proc, parked_at)
-    let mut parked: FxHashMap<u64, Vec<(usize, Cycles)>> = FxHashMap::default();
-    // Reused across iterations so draining visibility events allocates
-    // only until both buffers reach their high-water mark.
-    let mut events = Vec::new();
-    let mut running = n;
-    let mut done = 0usize;
-    let mut end_at = vec![0; n];
-    let mut flops = vec![0; n];
-
-    macro_rules! reply {
-        ($p:expr, $r:expr) => {{
-            reply_txs[$p].send($r).expect("program thread died");
-            state[$p] = ProcState::Running;
-            running += 1;
-        }};
-    }
-    macro_rules! park {
-        ($p:expr, $sp:expr, $at:expr, $req:expr) => {{
-            mem.watch($sp);
-            parked.entry($sp).or_default().push(($p, $at));
-            slots[$p] = Some($req);
-            state[$p] = ProcState::Parked;
-        }};
-    }
-    // Mark a processor runnable at a virtual time, maintaining the
-    // `direct`/heap invariant above.
-    macro_rules! ready {
-        ($at:expr, $p:expr) => {{
-            let at = $at;
-            let p = $p;
-            if direct.is_none() && heap.is_empty() {
-                direct = Some((at, p));
-            } else {
-                if let Some(d) = direct.take() {
-                    heap.push(Reverse(d));
-                }
-                heap.push(Reverse((at, p)));
-            }
-            state[p] = ProcState::Waiting;
-        }};
-    }
-
+/// Worker loop of the threaded oracle: step the resumable program on its
+/// own thread, relaying each yielded access over the request channel and
+/// each reply back into `resume`. A panicking program is reported to the
+/// coordinator as [`ThreadMsg::Aborted`] with the original payload, so
+/// the coordinator re-raises it as the run's root cause instead of
+/// parked peers dying with a misleading deadlock report. Channel failure
+/// means the coordinator unwound first; the worker then just exits so
+/// the coordinator's own panic is the one that propagates.
+fn drive_on_thread(
+    p: usize,
+    prog: &mut Box<dyn Program + '_>,
+    cpu: Cpu,
+    start: Cycles,
+    tx: &Sender<Envelope>,
+    rx: &Receiver<Reply>,
+) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut last_at = start;
+    let mut step = catch_unwind(AssertUnwindSafe(|| prog.start(cpu)));
     loop {
-        // Wait until every live processor has an outstanding request.
-        while running > 0 {
-            let env = crate::hotrecv::recv_hot(req_rx).expect("program thread died");
-            running -= 1;
-            match env.req {
-                Request::Finish { flops: f } => {
-                    state[env.proc] = ProcState::Done;
-                    done += 1;
-                    end_at[env.proc] = env.at;
-                    flops[env.proc] = f;
+        match step {
+            Ok(Step::Yield { at, op }) => {
+                last_at = at;
+                if tx
+                    .send(Envelope {
+                        proc: p,
+                        at,
+                        msg: ThreadMsg::Access(op),
+                    })
+                    .is_err()
+                {
+                    return;
                 }
-                Request::Aborted { payload } => {
-                    // The program's own panic is the root cause of
-                    // whatever happens next (parked peers would otherwise
-                    // die as a bogus "deadlock"). Re-raise it here: the
-                    // unwind drops the reply senders, which wakes every
-                    // other program thread with CoordinatorGone, and
-                    // `thread::scope` then resumes this payload.
-                    std::panic::resume_unwind(payload);
-                }
-                req => {
-                    slots[env.proc] = Some(req);
-                    ready!(env.at, env.proc);
-                }
+                let Ok(reply) = crate::hotrecv::recv_hot(rx) else {
+                    return;
+                };
+                step = catch_unwind(AssertUnwindSafe(|| prog.resume(reply)));
+            }
+            Ok(Step::Done { at, flops }) => {
+                let _ = tx.send(Envelope {
+                    proc: p,
+                    at,
+                    msg: ThreadMsg::Finish { flops },
+                });
+                return;
+            }
+            Err(payload) => {
+                let _ = tx.send(Envelope {
+                    proc: p,
+                    at: last_at,
+                    msg: ThreadMsg::Aborted { payload },
+                });
+                return;
             }
         }
-        if done == n {
-            break;
-        }
-        let next = direct.take().or_else(|| heap.pop().map(|Reverse(x)| x));
-        let Some((t, p)) = next else {
-            let mut waiters: Vec<(usize, u64, Cycles)> = parked
-                .iter()
-                .flat_map(|(&sp, v)| v.iter().map(move |&(proc, at)| (proc, sp, at)))
-                .collect();
-            waiters.sort_unstable();
-            panic!(
-                "simulation deadlock: {} processor(s) parked with no pending \
-                 writer; waiters as (proc, sub-page, parked_at): {waiters:?}",
-                n - done
-            );
-        };
-        let req = slots[p].take().expect("scheduled processor has a request");
+    }
+}
 
-        match req {
-            Request::Read { addr } => match mem.access(p, addr, MemOp::Read, t) {
-                Outcome::Done { done_at } => {
-                    let value = mem.data_mut().read_u64(addr).expect("read");
-                    tracer.emit_with(|| TraceEvent::DataRead {
-                        at: done_at,
-                        cell: p,
-                        addr,
-                    });
-                    reply!(p, Reply::Value { value, at: done_at });
-                }
-                Outcome::BlockedOnAtomic { subpage } => {
-                    park!(p, subpage, t, Request::Read { addr });
-                }
-                Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+/// A worker-to-coordinator message in the threaded oracle.
+enum ThreadMsg {
+    /// The program yielded an access.
+    Access(AccessOp),
+    /// The program ran to completion.
+    Finish { flops: u64 },
+    /// The program panicked; the payload is the run's root cause.
+    Aborted {
+        payload: Box<dyn std::any::Any + Send>,
+    },
+}
+
+/// A timestamped worker message.
+struct Envelope {
+    proc: usize,
+    at: Cycles,
+    msg: ThreadMsg,
+}
+
+/// Outcome of servicing one access request against the memory system.
+enum Serviced {
+    /// The access completed; resume the program with this reply.
+    Reply(Reply),
+    /// The access blocked: park the processor on `subpage` (watching for
+    /// visibility events) and retry `op` on wake-up.
+    Park {
+        subpage: u64,
+        at: Cycles,
+        op: AccessOp,
+    },
+}
+
+/// Diagnose a simulated program touching an unmapped data-plane address:
+/// a panic naming the processor, operation, address, and cycle — the
+/// program's own bug, reported like any other program panic (the run's
+/// root cause), never a bare `expect` poisoning the coordinator.
+fn data_fault(proc: usize, what: &str, addr: u64, at: Cycles, err: &Error) -> ! {
+    panic!(
+        "simulated program fault: processor {proc} {what} at unmapped address \
+         {addr:#x} (cycle {at}): {err}"
+    )
+}
+
+/// Service one access request in virtual-time order. This is the single
+/// request-processing path shared by both cores — the event loop and the
+/// threaded oracle are observably identical because they both come here.
+fn service(mem: &mut MemorySystem, tracer: &Tracer, p: usize, t: Cycles, op: AccessOp) -> Serviced {
+    match op {
+        AccessOp::Read { addr } => match mem.access(p, addr, MemOp::Read, t) {
+            Outcome::Done { done_at } => {
+                let value = mem
+                    .data_mut()
+                    .read_u64(addr)
+                    .unwrap_or_else(|e| data_fault(p, "read", addr, t, &e));
+                tracer.emit_with(|| TraceEvent::DataRead {
+                    at: done_at,
+                    cell: p,
+                    addr,
+                });
+                Serviced::Reply(Reply::Value { value, at: done_at })
+            }
+            Outcome::BlockedOnAtomic { subpage } => Serviced::Park {
+                subpage,
+                at: t,
+                op: AccessOp::Read { addr },
             },
-            Request::Write { addr, value } => match mem.access(p, addr, MemOp::Write, t) {
-                Outcome::Done { done_at } => {
-                    mem.data_mut().write_u64(addr, value).expect("write");
-                    tracer.emit_with(|| TraceEvent::DataWrite {
-                        at: done_at,
-                        cell: p,
-                        addr,
-                    });
-                    reply!(p, Reply::Unit { at: done_at });
-                }
-                Outcome::BlockedOnAtomic { subpage } => {
-                    park!(p, subpage, t, Request::Write { addr, value });
-                }
-                Outcome::AtomicFailed { .. } => unreachable!("writes cannot fail atomically"),
+            Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+        },
+        AccessOp::Write { addr, value } => match mem.access(p, addr, MemOp::Write, t) {
+            Outcome::Done { done_at } => {
+                mem.data_mut()
+                    .write_u64(addr, value)
+                    .unwrap_or_else(|e| data_fault(p, "write", addr, t, &e));
+                tracer.emit_with(|| TraceEvent::DataWrite {
+                    at: done_at,
+                    cell: p,
+                    addr,
+                });
+                Serviced::Reply(Reply::Unit { at: done_at })
+            }
+            Outcome::BlockedOnAtomic { subpage } => Serviced::Park {
+                subpage,
+                at: t,
+                op: AccessOp::Write { addr, value },
             },
-            Request::GetSubPage { addr } => match mem.access(p, addr, MemOp::GetSubPage, t) {
-                Outcome::Done { done_at } => {
-                    tracer.emit_with(|| TraceEvent::SyncAcquire {
-                        at: done_at,
-                        cell: p,
-                        subpage: ksr_mem::subpage_of(addr),
-                        rmw: false,
-                    });
-                    reply!(
-                        p,
-                        Reply::Flag {
-                            ok: true,
-                            at: done_at
-                        }
-                    );
-                }
-                Outcome::AtomicFailed { done_at } => {
-                    reply!(
-                        p,
-                        Reply::Flag {
-                            ok: false,
-                            at: done_at
-                        }
-                    );
-                }
-                Outcome::BlockedOnAtomic { .. } => {
-                    unreachable!("get_sub_page reports failure, not blockage")
-                }
-            },
-            Request::FetchAdd { addr, delta } => match mem.access(p, addr, MemOp::AtomicRmw, t) {
-                Outcome::Done { done_at } => {
-                    let old = mem.data_mut().read_u64(addr).expect("rmw read");
-                    mem.data_mut()
-                        .write_u64(addr, old.wrapping_add(delta))
-                        .expect("rmw");
-                    // A native RMW is one indivisible acquire+release on
-                    // its sub-page: race detectors get a synchronization
-                    // edge without any `Atomic` directory state existing.
-                    let sp = ksr_mem::subpage_of(addr);
-                    tracer.emit_with(|| TraceEvent::SyncAcquire {
-                        at: done_at,
-                        cell: p,
-                        subpage: sp,
-                        rmw: true,
-                    });
-                    tracer.emit_with(|| TraceEvent::SyncRelease {
-                        at: done_at,
-                        cell: p,
-                        subpage: sp,
-                        rmw: true,
-                    });
-                    reply!(
-                        p,
-                        Reply::Value {
-                            value: old,
-                            at: done_at
-                        }
-                    );
-                }
-                Outcome::BlockedOnAtomic { subpage } => {
-                    park!(p, subpage, t, Request::FetchAdd { addr, delta });
-                }
-                Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
-            },
-            Request::ReleaseSubPage { addr } => {
-                // Stamped at issue time, before the memory system applies
-                // the transition: the holder must still be `Atomic` here,
-                // which is exactly what a checking sink verifies.
-                tracer.emit_with(|| TraceEvent::SyncRelease {
-                    at: t,
+            Outcome::AtomicFailed { .. } => unreachable!("writes cannot fail atomically"),
+        },
+        AccessOp::GetSubPage { addr } => match mem.access(p, addr, MemOp::GetSubPage, t) {
+            Outcome::Done { done_at } => {
+                tracer.emit_with(|| TraceEvent::SyncAcquire {
+                    at: done_at,
                     cell: p,
                     subpage: ksr_mem::subpage_of(addr),
                     rmw: false,
                 });
-                let done_at = mem.access(p, addr, MemOp::ReleaseSubPage, t).done_at();
-                reply!(p, Reply::Unit { at: done_at });
+                Serviced::Reply(Reply::Flag {
+                    ok: true,
+                    at: done_at,
+                })
             }
-            Request::Prefetch { addr, exclusive } => {
-                let done_at = mem
-                    .access(p, addr, MemOp::Prefetch { exclusive }, t)
-                    .done_at();
-                reply!(p, Reply::Unit { at: done_at });
+            Outcome::AtomicFailed { done_at } => Serviced::Reply(Reply::Flag {
+                ok: false,
+                at: done_at,
+            }),
+            Outcome::BlockedOnAtomic { .. } => {
+                unreachable!("get_sub_page reports failure, not blockage")
             }
-            Request::Poststore { addr } => {
-                let done_at = mem.access(p, addr, MemOp::Poststore, t).done_at();
-                reply!(p, Reply::Unit { at: done_at });
+        },
+        AccessOp::FetchAdd { addr, delta } => match mem.access(p, addr, MemOp::AtomicRmw, t) {
+            Outcome::Done { done_at } => {
+                let old = mem
+                    .data_mut()
+                    .read_u64(addr)
+                    .unwrap_or_else(|e| data_fault(p, "fetch_add (read)", addr, t, &e));
+                mem.data_mut()
+                    .write_u64(addr, old.wrapping_add(delta))
+                    .unwrap_or_else(|e| data_fault(p, "fetch_add (write)", addr, t, &e));
+                // A native RMW is one indivisible acquire+release on
+                // its sub-page: race detectors get a synchronization
+                // edge without any `Atomic` directory state existing.
+                let sp = ksr_mem::subpage_of(addr);
+                tracer.emit_with(|| TraceEvent::SyncAcquire {
+                    at: done_at,
+                    cell: p,
+                    subpage: sp,
+                    rmw: true,
+                });
+                tracer.emit_with(|| TraceEvent::SyncRelease {
+                    at: done_at,
+                    cell: p,
+                    subpage: sp,
+                    rmw: true,
+                });
+                Serviced::Reply(Reply::Value {
+                    value: old,
+                    at: done_at,
+                })
             }
-            Request::SubcachePrefetch { addr } => {
-                let done_at = mem.access(p, addr, MemOp::SubcachePrefetch, t).done_at();
-                reply!(p, Reply::Unit { at: done_at });
-            }
-            Request::Spin { addr, mut pred } => match mem.access(p, addr, MemOp::Read, t) {
-                Outcome::Done { done_at } => {
-                    let value = mem.data_mut().read_u64(addr).expect("spin read");
-                    if pred(value) {
-                        tracer.emit_with(|| TraceEvent::SpinRead {
-                            at: done_at,
-                            cell: p,
-                            addr,
-                        });
-                        reply!(p, Reply::Value { value, at: done_at });
-                    } else {
-                        let sp = ksr_mem::subpage_of(addr);
-                        park!(p, sp, done_at, Request::Spin { addr, pred });
+            Outcome::BlockedOnAtomic { subpage } => Serviced::Park {
+                subpage,
+                at: t,
+                op: AccessOp::FetchAdd { addr, delta },
+            },
+            Outcome::AtomicFailed { .. } => unreachable!("RMW cannot fail atomically"),
+        },
+        AccessOp::ReleaseSubPage { addr } => {
+            // Stamped at issue time, before the memory system applies
+            // the transition: the holder must still be `Atomic` here,
+            // which is exactly what a checking sink verifies.
+            tracer.emit_with(|| TraceEvent::SyncRelease {
+                at: t,
+                cell: p,
+                subpage: ksr_mem::subpage_of(addr),
+                rmw: false,
+            });
+            let done_at = mem.access(p, addr, MemOp::ReleaseSubPage, t).done_at();
+            Serviced::Reply(Reply::Unit { at: done_at })
+        }
+        AccessOp::Prefetch { addr, exclusive } => {
+            let done_at = mem
+                .access(p, addr, MemOp::Prefetch { exclusive }, t)
+                .done_at();
+            Serviced::Reply(Reply::Unit { at: done_at })
+        }
+        AccessOp::Poststore { addr } => {
+            let done_at = mem.access(p, addr, MemOp::Poststore, t).done_at();
+            Serviced::Reply(Reply::Unit { at: done_at })
+        }
+        AccessOp::SubcachePrefetch { addr } => {
+            let done_at = mem.access(p, addr, MemOp::SubcachePrefetch, t).done_at();
+            Serviced::Reply(Reply::Unit { at: done_at })
+        }
+        AccessOp::Spin { addr, mut pred } => match mem.access(p, addr, MemOp::Read, t) {
+            Outcome::Done { done_at } => {
+                let value = mem
+                    .data_mut()
+                    .read_u64(addr)
+                    .unwrap_or_else(|e| data_fault(p, "spin read", addr, t, &e));
+                if pred(value) {
+                    tracer.emit_with(|| TraceEvent::SpinRead {
+                        at: done_at,
+                        cell: p,
+                        addr,
+                    });
+                    Serviced::Reply(Reply::Value { value, at: done_at })
+                } else {
+                    Serviced::Park {
+                        subpage: ksr_mem::subpage_of(addr),
+                        at: done_at,
+                        op: AccessOp::Spin { addr, pred },
                     }
                 }
-                Outcome::BlockedOnAtomic { subpage } => {
-                    park!(p, subpage, t, Request::Spin { addr, pred });
-                }
-                Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+            }
+            Outcome::BlockedOnAtomic { subpage } => Serviced::Park {
+                subpage,
+                at: t,
+                op: AccessOp::Spin { addr, pred },
             },
-            Request::Finish { .. } | Request::Aborted { .. } => {
-                unreachable!("finish/abort are intercepted at receive time")
+            Outcome::AtomicFailed { .. } => unreachable!("reads cannot fail atomically"),
+        },
+    }
+}
+
+/// Min-queue of runnable processors keyed by (virtual time, proc id),
+/// with a fast path for the common single-runnable case (n == 1, or
+/// everyone else parked/done): the sole ready entry is held in `direct`
+/// and never touches the heap. Invariant: when `direct` is `Some`, the
+/// heap is empty — so `direct` is trivially the global minimum.
+#[derive(Default)]
+struct ReadyQueue {
+    direct: Option<(Cycles, usize)>,
+    heap: BinaryHeap<Reverse<(Cycles, usize)>>,
+}
+
+impl ReadyQueue {
+    fn push(&mut self, at: Cycles, p: usize) {
+        if self.direct.is_none() && self.heap.is_empty() {
+            self.direct = Some((at, p));
+        } else {
+            if let Some(d) = self.direct.take() {
+                self.heap.push(Reverse(d));
+            }
+            self.heap.push(Reverse((at, p)));
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycles, usize)> {
+        self.direct
+            .take()
+            .or_else(|| self.heap.pop().map(|Reverse(x)| x))
+    }
+}
+
+/// Panic with the deadlock diagnosis: every live processor is parked on
+/// a sub-page nobody is going to touch. Names each waiter.
+fn deadlock_panic(live: usize, parked: &FxHashMap<u64, Vec<(usize, Cycles)>>) -> ! {
+    let mut waiters: Vec<(usize, u64, Cycles)> = parked
+        .iter()
+        .flat_map(|(&sp, v)| v.iter().map(move |&(proc, at)| (proc, sp, at)))
+        .collect();
+    waiters.sort_unstable();
+    panic!(
+        "simulation deadlock: {live} processor(s) parked with no pending \
+         writer; waiters as (proc, sub-page, parked_at): {waiters:?}"
+    );
+}
+
+/// The event-driven coordinator: all processors of the machine driven by
+/// the calling thread, strict smallest-timestamp-first. Delivering a
+/// reply is a direct `resume` call on the program's state machine, so an
+/// entire run makes **zero** syscalls for coordination. A program panic
+/// unwinds straight through this loop with its original payload — it is
+/// already on the coordinator's thread.
+fn coordinate_event(
+    mem: &mut MemorySystem,
+    tracer: &Tracer,
+    programs: &mut [Box<dyn Program + '_>],
+    cpus: Vec<Cpu>,
+) -> (Vec<Cycles>, Vec<u64>) {
+    let n = programs.len();
+    // Op yielded by each suspended processor, serviced when its
+    // timestamp is globally smallest.
+    let mut pending: Vec<Option<AccessOp>> = (0..n).map(|_| None).collect();
+    let mut ready = ReadyQueue::default();
+    // sub-page -> parked (proc, parked_at)
+    let mut parked: FxHashMap<u64, Vec<(usize, Cycles)>> = FxHashMap::default();
+    // Reused across iterations so draining visibility events allocates
+    // only until the buffer reaches its high-water mark.
+    let mut events = Vec::new();
+    let mut done = 0usize;
+    let mut end_at = vec![0; n];
+    let mut flops = vec![0; n];
+
+    macro_rules! on_step {
+        ($p:expr, $step:expr) => {{
+            match $step {
+                Step::Yield { at, op } => {
+                    pending[$p] = Some(op);
+                    ready.push(at, $p);
+                }
+                Step::Done { at, flops: f } => {
+                    done += 1;
+                    end_at[$p] = at;
+                    flops[$p] = f;
+                }
+            }
+        }};
+    }
+
+    for (p, (prog, cpu)) in programs.iter_mut().zip(cpus).enumerate() {
+        on_step!(p, prog.start(cpu));
+    }
+
+    while done < n {
+        let Some((t, p)) = ready.pop() else {
+            deadlock_panic(n - done, &parked);
+        };
+        let op = pending[p]
+            .take()
+            .expect("scheduled processor has a request");
+
+        match service(mem, tracer, p, t, op) {
+            Serviced::Reply(reply) => on_step!(p, programs[p].resume(reply)),
+            Serviced::Park { subpage, at, op } => {
+                mem.watch(subpage);
+                parked.entry(subpage).or_default().push((p, at));
+                pending[p] = Some(op);
             }
         }
 
@@ -634,7 +809,95 @@ fn coordinate(
                         cell: proc,
                         subpage: ev.subpage,
                     });
-                    ready!(wake_at, proc);
+                    ready.push(wake_at, proc);
+                }
+            }
+        }
+    }
+    (end_at, flops)
+}
+
+/// The threaded oracle's coordinator loop: identical scheduling to
+/// [`coordinate_event`] (both defer to [`service`]), with replies
+/// delivered over per-processor channels instead of direct resumption.
+fn coordinate_threaded(
+    mem: &mut MemorySystem,
+    tracer: &Tracer,
+    n: usize,
+    req_rx: &Receiver<Envelope>,
+    reply_txs: Vec<Sender<Reply>>,
+) -> (Vec<Cycles>, Vec<u64>) {
+    let mut pending: Vec<Option<AccessOp>> = (0..n).map(|_| None).collect();
+    let mut ready = ReadyQueue::default();
+    let mut parked: FxHashMap<u64, Vec<(usize, Cycles)>> = FxHashMap::default();
+    let mut events = Vec::new();
+    // Processors whose next message has not arrived yet.
+    let mut running = n;
+    let mut done = 0usize;
+    let mut end_at = vec![0; n];
+    let mut flops = vec![0; n];
+
+    loop {
+        // Wait until every live processor has an outstanding request.
+        while running > 0 {
+            let env = crate::hotrecv::recv_hot(req_rx).expect("program thread died");
+            running -= 1;
+            match env.msg {
+                ThreadMsg::Finish { flops: f } => {
+                    done += 1;
+                    end_at[env.proc] = env.at;
+                    flops[env.proc] = f;
+                }
+                ThreadMsg::Aborted { payload } => {
+                    // The program's own panic is the root cause of
+                    // whatever happens next (parked peers would otherwise
+                    // die as a bogus "deadlock"). Re-raise it here: the
+                    // unwind drops the reply senders, which wakes every
+                    // other worker thread (it exits), and `thread::scope`
+                    // then resumes this payload.
+                    std::panic::resume_unwind(payload);
+                }
+                ThreadMsg::Access(op) => {
+                    pending[env.proc] = Some(op);
+                    ready.push(env.at, env.proc);
+                }
+            }
+        }
+        if done == n {
+            break;
+        }
+        let Some((t, p)) = ready.pop() else {
+            deadlock_panic(n - done, &parked);
+        };
+        let op = pending[p]
+            .take()
+            .expect("scheduled processor has a request");
+
+        match service(mem, tracer, p, t, op) {
+            Serviced::Reply(reply) => {
+                reply_txs[p].send(reply).expect("program thread died");
+                running += 1;
+            }
+            Serviced::Park { subpage, at, op } => {
+                mem.watch(subpage);
+                parked.entry(subpage).or_default().push((p, at));
+                pending[p] = Some(op);
+            }
+        }
+
+        // Visibility events wake parked processors for a costed retry.
+        mem.drain_events_into(&mut events);
+        for ev in events.drain(..) {
+            if let Some(waiters) = parked.remove(&ev.subpage) {
+                for (proc, parked_at) in waiters {
+                    mem.unwatch(ev.subpage);
+                    let wake_at = parked_at.max(ev.at);
+                    tracer.emit_with(|| TraceEvent::LockHandoff {
+                        at: wake_at,
+                        cell: proc,
+                        subpage: ev.subpage,
+                    });
+                    ready.push(wake_at, proc);
                 }
             }
         }
@@ -652,15 +915,15 @@ mod tests {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_words(8).unwrap();
         let report = m
-            .run(vec![program(move |cpu| {
-                cpu.write_u64(a, 7);
+            .run(vec![program(move |mut cpu| async move {
+                cpu.write_u64(a, 7).await;
                 cpu.compute(100);
-                let v = cpu.read_u64(a);
+                let v = cpu.read_u64(a).await;
                 assert_eq!(v, 7);
             })])
             .expect("run");
         assert!(report.duration_cycles() > 100);
-        assert_eq!(m.peek_u64(a), 7);
+        assert_eq!(m.peek_u64(a).unwrap(), 7);
     }
 
     #[test]
@@ -672,12 +935,12 @@ mod tests {
                 .run(
                     (0..8)
                         .map(|_| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 for _ in 0..20 {
-                                    cpu.acquire_sub_page(a);
-                                    let v = cpu.read_u64(a);
-                                    cpu.write_u64(a, v + 1);
-                                    cpu.release_sub_page(a);
+                                    cpu.acquire_sub_page(a).await;
+                                    let v = cpu.read_u64(a).await;
+                                    cpu.write_u64(a, v + 1).await;
+                                    cpu.release_sub_page(a).await;
                                     cpu.compute(50);
                                 }
                             })
@@ -699,19 +962,60 @@ mod tests {
         m.run(
             (0..procs)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..iters {
-                            cpu.acquire_sub_page(a);
-                            let v = cpu.read_u64(a);
-                            cpu.write_u64(a, v + 1);
-                            cpu.release_sub_page(a);
+                            cpu.acquire_sub_page(a).await;
+                            let v = cpu.read_u64(a).await;
+                            cpu.write_u64(a, v + 1).await;
+                            cpu.release_sub_page(a).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(a), (procs * iters) as u64);
+        assert_eq!(m.peek_u64(a).unwrap(), (procs * iters) as u64);
+    }
+
+    #[test]
+    fn cores_agree_on_schedule_and_results() {
+        // The differential property the oracle flag exists for: a
+        // contended, park-heavy workload must produce identical reports
+        // and memory under both cores.
+        let run_core = |core: CoreKind| {
+            let mut m = Machine::ksr1(41).unwrap();
+            let a = m.alloc_subpage(8).unwrap();
+            let flag = m.alloc_subpage(8).unwrap();
+            let r = m
+                .run_on(
+                    core,
+                    (0..8)
+                        .map(|p| {
+                            program(move |mut cpu| async move {
+                                for i in 0..10 {
+                                    cpu.acquire_sub_page(a).await;
+                                    let v = cpu.read_u64(a).await;
+                                    cpu.write_u64(a, v + 1).await;
+                                    cpu.release_sub_page(a).await;
+                                    cpu.compute((p * 13 + i) as u64 % 97);
+                                }
+                                if p == 0 {
+                                    cpu.spin_until_eq(flag, 7).await;
+                                } else if p == 1 {
+                                    cpu.compute(5_000);
+                                    cpu.write_u64(flag, 7).await;
+                                }
+                            })
+                        })
+                        .collect(),
+                )
+                .expect("run");
+            (r.proc_end.clone(), r.proc_flops.clone(), {
+                let mut mm = m;
+                mm.peek_u64(a).unwrap()
+            })
+        };
+        assert_eq!(run_core(CoreKind::Event), run_core(CoreKind::Threaded));
     }
 
     #[test]
@@ -721,14 +1025,14 @@ mod tests {
         let data = m.alloc_subpage(8).unwrap();
         let r = m
             .run(vec![
-                program(move |cpu| {
+                program(move |mut cpu| async move {
                     cpu.compute(5_000);
-                    cpu.write_u64(data, 42);
-                    cpu.write_u64(flag, 1);
+                    cpu.write_u64(data, 42).await;
+                    cpu.write_u64(flag, 1).await;
                 }),
-                program(move |cpu| {
-                    cpu.spin_until_eq(flag, 1);
-                    let v = cpu.read_u64(data);
+                program(move |mut cpu| async move {
+                    cpu.spin_until_eq(flag, 1).await;
+                    let v = cpu.read_u64(data).await;
                     assert_eq!(v, 42, "flag ordering must publish data");
                 }),
             ])
@@ -743,15 +1047,15 @@ mod tests {
         let a = m.alloc_subpage(8).unwrap();
         let r = m
             .run(vec![
-                program(move |cpu| {
-                    cpu.acquire_sub_page(a);
-                    cpu.write_u64(a, 9);
+                program(move |mut cpu| async move {
+                    cpu.acquire_sub_page(a).await;
+                    cpu.write_u64(a, 9).await;
                     cpu.compute(10_000);
-                    cpu.release_sub_page(a);
+                    cpu.release_sub_page(a).await;
                 }),
-                program(move |cpu| {
+                program(move |mut cpu| async move {
                     cpu.compute(500); // let proc 0 take the lock first
-                    let v = cpu.read_u64(a); // blocks until release
+                    let v = cpu.read_u64(a).await; // blocks until release
                     assert_eq!(v, 9);
                 }),
             ])
@@ -768,8 +1072,8 @@ mod tests {
         let mut m = Machine::ksr1(1).unwrap();
         let r = m
             .run(vec![
-                program(|cpu: &mut Cpu| cpu.flops(1000)),
-                program(|cpu: &mut Cpu| cpu.flops(500)),
+                program(|mut cpu| async move { cpu.flops(1000) }),
+                program(|mut cpu| async move { cpu.flops(500) }),
             ])
             .expect("run");
         assert_eq!(r.proc_flops, vec![1000, 500]);
@@ -783,12 +1087,14 @@ mod tests {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_words(1).unwrap();
         let r1 = m
-            .run(vec![program(move |cpu| cpu.write_u64(a, 5))])
+            .run(vec![program(move |mut cpu| async move {
+                cpu.write_u64(a, 5).await;
+            })])
             .expect("run");
         // Second run starts where the first ended, and the data persists.
         let r2 = m
-            .run(vec![program(move |cpu| {
-                assert_eq!(cpu.read_u64(a), 5);
+            .run(vec![program(move |mut cpu| async move {
+                assert_eq!(cpu.read_u64(a).await, 5);
             })])
             .expect("run");
         assert!(r2.started_at >= r1.finished_at);
@@ -801,8 +1107,8 @@ mod tests {
     fn deadlock_is_detected() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_subpage(8).unwrap();
-        let _ = m.run(vec![program(move |cpu| {
-            cpu.spin_until_eq(a, 1); // nobody will ever write this
+        let _ = m.run(vec![program(move |mut cpu| async move {
+            cpu.spin_until_eq(a, 1).await; // nobody will ever write this
         })]);
     }
 
@@ -812,12 +1118,12 @@ mod tests {
             let mut m = Machine::ksr1(1).unwrap();
             let a = m.alloc_subpage(8).unwrap();
             let _ = m.run(vec![
-                program(move |cpu| {
-                    cpu.spin_until_eq(a, 1); // nobody will ever write this
+                program(move |mut cpu| async move {
+                    cpu.spin_until_eq(a, 1).await; // nobody will ever write this
                 }),
-                program(move |cpu| {
+                program(move |mut cpu| async move {
                     cpu.compute(10);
-                    cpu.spin_until_eq(a, 2); // nor this
+                    cpu.spin_until_eq(a, 2).await; // nor this
                 }),
             ]);
         }))
@@ -830,34 +1136,79 @@ mod tests {
         assert!(msg.contains("(1, "), "waiter for proc 1 missing: {msg}");
     }
 
-    #[test]
-    fn program_panic_propagates_its_own_message() {
+    fn panic_program_set(m: &mut Machine) -> Vec<Box<dyn Program>> {
+        let flag = m.alloc_subpage(8).unwrap();
+        vec![
+            program(move |mut cpu| async move {
+                cpu.compute(10);
+                let v = cpu.read_u64(flag).await;
+                assert_eq!(v, 99, "the simulated program's own diagnosis");
+            }),
+            // Parked forever on a flag the panicking peer was about to
+            // write: without abort propagation this peer dies with a
+            // misleading "simulation deadlock" panic instead.
+            program(move |mut cpu| async move {
+                cpu.spin_until_eq(flag, 1).await;
+            }),
+        ]
+    }
+
+    fn assert_panic_propagates(core: CoreKind) {
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut m = Machine::ksr1(7).unwrap();
-            let flag = m.alloc_subpage(8).unwrap();
-            let _ = m.run(vec![
-                program(move |cpu| {
-                    cpu.compute(10);
-                    let v = cpu.read_u64(flag);
-                    assert_eq!(v, 99, "the simulated program's own diagnosis");
-                }),
-                // Parked forever on a flag the panicking peer was about to
-                // write: without the Aborted protocol this peer dies with
-                // a misleading "simulation deadlock" panic instead.
-                program(move |cpu| {
-                    cpu.spin_until_eq(flag, 1);
-                }),
-            ]);
+            let programs = panic_program_set(&mut m);
+            let _ = m.run_on(core, programs);
         }))
         .expect_err("a panicking program must fail the run");
         let msg = panic_message(&*payload);
         assert!(
             msg.contains("the simulated program's own diagnosis"),
-            "expected the program's assertion to surface, got: {msg}"
+            "expected the program's assertion to surface on {core:?}, got: {msg}"
         );
         assert!(
             !msg.contains("deadlock"),
-            "the program's panic must not be masked as a deadlock: {msg}"
+            "the program's panic must not be masked as a deadlock on {core:?}: {msg}"
+        );
+    }
+
+    #[test]
+    fn program_panic_propagates_its_own_message() {
+        assert_panic_propagates(CoreKind::Event);
+    }
+
+    #[test]
+    fn program_panic_propagates_identically_on_threaded_core() {
+        assert_panic_propagates(CoreKind::Threaded);
+    }
+
+    #[test]
+    fn poke_and_peek_report_unmapped_addresses() {
+        let mut m = Machine::ksr1(1).unwrap();
+        let bad = u64::MAX - 1024;
+        assert!(m.poke_u64(bad, 1).is_err(), "poke past the heap must err");
+        assert!(m.peek_u64(bad).is_err(), "peek past the heap must err");
+        assert!(m.poke_f64(bad, 1.0).is_err());
+        assert!(m.peek_f64(bad).is_err());
+        // A valid address still round-trips.
+        let a = m.alloc_words(1).unwrap();
+        m.poke_u64(a, 77).unwrap();
+        assert_eq!(m.peek_u64(a).unwrap(), 77);
+    }
+
+    #[test]
+    fn in_run_fault_names_processor_and_address() {
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = Machine::ksr1(1).unwrap();
+            let _ = m.run(vec![program(move |mut cpu| async move {
+                // Unmapped: far past anything allocated.
+                cpu.write_u64(u64::MAX - 4096, 1).await;
+            })]);
+        }))
+        .expect_err("an unmapped in-run access must fail the run");
+        let msg = panic_message(&*payload);
+        assert!(
+            msg.contains("processor 0") && msg.contains("write"),
+            "fault diagnostic must name proc and op: {msg}"
         );
     }
 
@@ -881,7 +1232,7 @@ mod tests {
         });
         let mut m = Machine::new(cfg).unwrap();
         let r = m
-            .run(vec![program(|cpu: &mut Cpu| cpu.compute(10_000))])
+            .run(vec![program(|mut cpu| async move { cpu.compute(10_000) })])
             .expect("run");
         // ~10 interrupts of 100 cycles land inside 10k cycles of work.
         assert!(r.duration_cycles() >= 10_900, "{}", r.duration_cycles());
@@ -895,14 +1246,12 @@ mod tests {
         let mut m = Machine::ksr1(11).unwrap();
         let addrs: Vec<u64> = (0..16).map(|_| m.alloc_subpage(8).unwrap()).collect();
         let solo = {
-            let a = addrs[0];
             let mut m1 = Machine::ksr1(11).unwrap();
             let a1 = m1.alloc_subpage(8).unwrap();
-            let _ = a;
             let r = m1
-                .run(vec![program(move |cpu: &mut Cpu| {
+                .run(vec![program(move |mut cpu| async move {
                     for i in 0..200 {
-                        cpu.write_u64(a1, i);
+                        cpu.write_u64(a1, i).await;
                     }
                 })])
                 .expect("run");
@@ -913,9 +1262,9 @@ mod tests {
                 addrs
                     .iter()
                     .map(|&a| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             for i in 0..200 {
-                                cpu.write_u64(a, i);
+                                cpu.write_u64(a, i).await;
                             }
                         })
                     })
@@ -987,30 +1336,55 @@ mod tests {
     }
 
     #[test]
-    fn runs_respect_a_tiny_thread_budget() {
+    fn threaded_oracle_respects_a_tiny_thread_budget() {
         // With a cap of 1, two 4-proc machines on two threads must still
         // both complete (the oversized-when-idle rule prevents deadlock;
-        // the budget serializes them).
+        // the budget serializes them). Only the oracle core spawns
+        // processor threads, so only it consults the budget.
         crate::budget::set_thread_cap(1);
         std::thread::scope(|s| {
             for seed in [21u64, 22] {
                 s.spawn(move || {
                     let mut m = Machine::ksr1_scaled(seed, 64).unwrap();
                     let a = m.alloc_subpage(8).unwrap();
-                    m.run(
+                    m.run_on(
+                        CoreKind::Threaded,
                         (0..4)
                             .map(|_| {
-                                program(move |cpu: &mut Cpu| {
-                                    cpu.fetch_add(a, 1);
+                                program(move |mut cpu| async move {
+                                    cpu.fetch_add(a, 1).await;
                                 })
                             })
                             .collect(),
                     )
                     .expect("run under tiny budget");
-                    assert_eq!(m.peek_u64(a), 4);
+                    assert_eq!(m.peek_u64(a).unwrap(), 4);
                 });
             }
         });
         crate::budget::set_thread_cap(crate::budget::DEFAULT_THREAD_CAP);
+    }
+
+    #[test]
+    fn event_core_runs_machines_far_beyond_thread_limits() {
+        // 256 processors on one host thread: impossible under the old
+        // thread-per-processor core on constrained hosts, trivial now.
+        // (The ring presets stop at KSR-2's 64 cells; the Butterfly
+        // preset scales to any power of two.)
+        let mut m = Machine::butterfly(256, 13).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let r = m
+            .run(
+                (0..256)
+                    .map(|_| {
+                        program(move |mut cpu| async move {
+                            cpu.fetch_add(a, 1).await;
+                        })
+                    })
+                    .collect(),
+            )
+            .expect("run");
+        assert_eq!(m.peek_u64(a).unwrap(), 256);
+        assert!(r.duration_cycles() > 0);
     }
 }

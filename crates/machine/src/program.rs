@@ -1,32 +1,156 @@
 //! The program abstraction: what one simulated processor executes.
+//!
+//! A program is a **resumable state machine**: the machine starts it with
+//! its [`Cpu`] handle and then repeatedly *polls* it. Each step either
+//! yields one timestamped [`AccessOp`] (the program is suspended at a
+//! shared-memory operation awaiting its [`Reply`]) or reports completion
+//! with the processor's final clock and FLOP count. A program that
+//! panics propagates the panic out of the step call — the driver treats
+//! the payload as the run's root cause.
+//!
+//! Nobody writes these state machines by hand: [`program`] wraps an
+//! ordinary `async` closure and lets the compiler derive the state
+//! machine, with every `cpu.read_u64(a).await` becoming one yield point.
 
-use crate::cpu::Cpu;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 
-/// A program for one simulated processor.
+use ksr_core::time::Cycles;
+
+use crate::cpu::{AccessOp, Cpu, Reply, Slot};
+
+/// One step of a resumable program.
+pub enum Step {
+    /// The program is suspended on a shared-memory operation issued at
+    /// local time `at`; it must next be resumed with the op's [`Reply`].
+    Yield {
+        /// Issue time (the program's local clock).
+        at: Cycles,
+        /// The operation awaiting coordination.
+        op: AccessOp,
+    },
+    /// The program ran to completion.
+    Done {
+        /// Final local clock.
+        at: Cycles,
+        /// Total floating-point operations performed.
+        flops: u64,
+    },
+}
+
+/// A resumable program for one simulated processor.
 ///
-/// Implemented automatically for closures, so most experiments spawn
-/// processors like:
+/// Drivers call [`start`](Self::start) exactly once with the processor
+/// handle, then alternate servicing the yielded [`AccessOp`] and calling
+/// [`resume`](Self::resume) with its [`Reply`] until [`Step::Done`].
+pub trait Program: Send {
+    /// Begin execution on `cpu`; runs until the first yield point or
+    /// completion.
+    fn start(&mut self, cpu: Cpu) -> Step;
+
+    /// Deliver the reply to the last yielded op and run to the next
+    /// yield point or completion.
+    ///
+    /// # Panics
+    /// Re-raises any panic from the simulated program itself (the driver
+    /// propagates it as the run's root cause), and panics if called
+    /// before [`start`](Self::start) or after [`Step::Done`].
+    fn resume(&mut self, reply: Reply) -> Step;
+}
+
+/// Box an async closure as a program (how all experiment code builds
+/// programs):
 ///
 /// ```ignore
 /// let programs: Vec<Box<dyn Program>> = (0..p)
-///     .map(|_| Box::new(move |cpu: &mut Cpu| { /* ... */ }) as Box<dyn Program>)
+///     .map(|_| program(move |mut cpu| async move {
+///         let v = cpu.read_u64(a).await;
+///         cpu.write_u64(a, v + 1).await;
+///     }))
 ///     .collect();
 /// machine.run(programs)?;
 /// ```
-pub trait Program: Send {
-    /// Run to completion on `cpu`. The processor's finish time is the
-    /// value of `cpu.now()` when this returns.
-    fn run(&mut self, cpu: &mut Cpu);
+#[must_use]
+pub fn program<F, Fut>(f: F) -> Box<dyn Program>
+where
+    F: FnOnce(Cpu) -> Fut + Send + 'static,
+    Fut: Future<Output = ()> + Send + 'static,
+{
+    Box::new(AsyncProgram::NotStarted(Some(f)))
 }
 
-impl<F: FnMut(&mut Cpu) + Send> Program for F {
-    fn run(&mut self, cpu: &mut Cpu) {
-        self(cpu);
+/// [`Program`] implementation wrapping a compiler-generated async state
+/// machine. The wrapper polls the future with a no-op waker: a pending
+/// poll means the future just deposited an [`AccessOp`] in the
+/// processor's [`Slot`]; a ready poll means the `Cpu` (owned by the
+/// future) was dropped and left its final clock/FLOP tally there.
+enum AsyncProgram<F, Fut> {
+    /// Waiting for the machine to supply the processor handle.
+    NotStarted(Option<F>),
+    /// Mid-run: the pinned state machine plus its yield cell.
+    Running {
+        /// The program's future.
+        fut: Pin<Box<Fut>>,
+        /// Yield cell shared with the `Cpu` inside the future.
+        slot: Arc<Slot>,
+    },
+    /// Completed; stepping again is a contract violation.
+    Finished,
+}
+
+impl<F, Fut> AsyncProgram<F, Fut>
+where
+    Fut: Future<Output = ()>,
+{
+    fn poll_step(&mut self) -> Step {
+        let Self::Running { fut, slot } = self else {
+            unreachable!("poll_step outside Running");
+        };
+        let mut cx = Context::from_waker(Waker::noop());
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Pending => {
+                let (at, op) = slot.take_request().expect(
+                    "program suspended without yielding an access \
+                     (simulated programs must only await Cpu operations)",
+                );
+                Step::Yield { at, op }
+            }
+            Poll::Ready(()) => {
+                let (at, flops) = slot
+                    .take_finished()
+                    .expect("program completed without dropping its Cpu");
+                *self = Self::Finished;
+                Step::Done { at, flops }
+            }
+        }
     }
 }
 
-/// Box a closure as a program (sugar for experiment code).
-#[must_use]
-pub fn program(f: impl FnMut(&mut Cpu) + Send + 'static) -> Box<dyn Program> {
-    Box::new(f)
+impl<F, Fut> Program for AsyncProgram<F, Fut>
+where
+    F: FnOnce(Cpu) -> Fut + Send,
+    Fut: Future<Output = ()> + Send,
+{
+    fn start(&mut self, cpu: Cpu) -> Step {
+        let Self::NotStarted(f) = self else {
+            panic!("program started twice");
+        };
+        let f = f.take().expect("program closure present before start");
+        let slot = cpu.slot();
+        *self = Self::Running {
+            fut: Box::pin(f(cpu)),
+            slot,
+        };
+        self.poll_step()
+    }
+
+    fn resume(&mut self, reply: Reply) -> Step {
+        let Self::Running { slot, .. } = self else {
+            panic!("resume on a program that is not running");
+        };
+        slot.put_reply(reply);
+        self.poll_step()
+    }
 }

@@ -24,7 +24,7 @@ pub mod matrix;
 pub use matrix::{random_spd, CscMatrix, CsrMatrix};
 
 use ksr_core::Result;
-use ksr_machine::{program, Cpu, Machine, Program, SharedF64, SharedU64};
+use ksr_machine::{program, Machine, Program, SharedF64, SharedU64};
 use ksr_sync::{BarrierAlg, Episode, SystemBarrier};
 
 /// CG problem parameters.
@@ -199,76 +199,79 @@ impl CgSetup {
             (self.x, self.r, self.p, self.q, self.scalars, self.barrier);
         (0..procs)
             .map(|pid| {
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let n = cfg.n;
                     let lo = pid * n / procs;
                     let hi = (pid + 1) * n / procs;
                     let mut ep = Episode::default();
                     for _ in 0..cfg.iterations {
                         // ---- parallel phase: q[lo..hi] = (A p)[lo..hi]
-                        let mut rs = row_start.get(cpu, lo) as usize;
+                        let mut rs = row_start.get(&mut cpu, lo).await as usize;
                         for i in lo..hi {
-                            let re = row_start.get(cpu, i + 1) as usize;
+                            let re = row_start.get(&mut cpu, i + 1).await as usize;
                             let mut sum = 0.0;
                             for k in rs..re {
-                                let v = values.get(cpu, k);
-                                let c = col_idx.get(cpu, k) as usize;
-                                let xv = p_vec.get(cpu, c);
+                                let v = values.get(&mut cpu, k).await;
+                                let c = col_idx.get(&mut cpu, k).await as usize;
+                                let xv = p_vec.get(&mut cpu, c).await;
                                 sum += v * xv;
                                 cpu.flops(2);
                                 cpu.compute(2); // index arithmetic
                             }
-                            q.set(cpu, i, sum);
+                            q.set(&mut cpu, i, sum).await;
                             // Propagate finished sub-pages eagerly so the
                             // serial section finds them locally.
                             if cfg.poststore && (i + 1) % 16 == 0 {
-                                q.poststore(cpu, i);
+                                q.poststore(&mut cpu, i).await;
                             }
                             rs = re;
                         }
                         if cfg.poststore && hi > lo {
-                            q.poststore(cpu, hi - 1);
+                            q.poststore(&mut cpu, hi - 1).await;
                         }
-                        barrier.wait(cpu, &mut ep);
+                        barrier.wait(&mut cpu, &mut ep).await;
                         // ---- serial section on processor 0
                         if pid == 0 {
-                            let rho = scalars.get(cpu, 0);
+                            let rho = scalars.get(&mut cpu, 0).await;
                             let mut pq = 0.0;
                             for i in 0..n {
-                                pq += p_vec.get(cpu, i) * q.get(cpu, i);
+                                pq += p_vec.get(&mut cpu, i).await * q.get(&mut cpu, i).await;
                                 cpu.flops(2);
                             }
                             let alpha = rho / pq;
                             cpu.flops(1);
                             let mut rho_new = 0.0;
                             for i in 0..n {
-                                let xi = x.get(cpu, i) + alpha * p_vec.get(cpu, i);
-                                x.set(cpu, i, xi);
-                                let ri = r.get(cpu, i) - alpha * q.get(cpu, i);
-                                r.set(cpu, i, ri);
+                                let xi =
+                                    x.get(&mut cpu, i).await + alpha * p_vec.get(&mut cpu, i).await;
+                                x.set(&mut cpu, i, xi).await;
+                                let ri =
+                                    r.get(&mut cpu, i).await - alpha * q.get(&mut cpu, i).await;
+                                r.set(&mut cpu, i, ri).await;
                                 rho_new += ri * ri;
                                 cpu.flops(6);
                             }
                             let beta = rho_new / rho;
                             cpu.flops(1);
                             for i in 0..n {
-                                let pi = r.get(cpu, i) + beta * p_vec.get(cpu, i);
-                                p_vec.set(cpu, i, pi);
+                                let pi =
+                                    r.get(&mut cpu, i).await + beta * p_vec.get(&mut cpu, i).await;
+                                p_vec.set(&mut cpu, i, pi).await;
                                 cpu.flops(2);
                             }
-                            scalars.set(cpu, 0, rho_new);
+                            scalars.set(&mut cpu, 0, rho_new).await;
                         }
-                        barrier.wait(cpu, &mut ep);
+                        barrier.wait(&mut cpu, &mut ep).await;
                     }
                     if pid == 0 {
                         let mut sum = 0.0;
                         for i in 0..n {
-                            sum += x.get(cpu, i);
+                            sum += x.get(&mut cpu, i).await;
                             cpu.flops(1);
                         }
-                        scalars.set(cpu, 1, sum);
-                        let rho = scalars.get(cpu, 0);
-                        scalars.set(cpu, 2, rho);
+                        scalars.set(&mut cpu, 1, sum).await;
+                        let rho = scalars.get(&mut cpu, 0).await;
+                        scalars.set(&mut cpu, 2, rho).await;
                     }
                 })
             })

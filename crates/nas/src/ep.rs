@@ -19,7 +19,7 @@
 //! square-root/log evaluations keep the FPU from streaming at peak).
 
 use ksr_core::Result;
-use ksr_machine::{program, Cpu, Machine, Program, SharedF64, SharedU64};
+use ksr_machine::{program, Machine, Program, SharedF64, SharedU64};
 use ksr_sync::{BarrierAlg, Episode, SystemBarrier};
 
 /// Number of square annuli counted (from the NAS spec).
@@ -165,7 +165,7 @@ impl EpSetup {
         let s = *self;
         (0..s.procs)
             .map(|p| {
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let per_proc = s.cfg.pairs / s.procs as u64;
                     let first = p as u64 * per_proc;
                     let count = if p == s.procs - 1 {
@@ -182,29 +182,29 @@ impl EpSetup {
                     });
                     // Publish partials and reduce on processor 0 — the
                     // kernel's only communication.
-                    s.sums.set(cpu, 2 * p, r.sx);
-                    s.sums.set(cpu, 2 * p + 1, r.sy);
+                    s.sums.set(&mut cpu, 2 * p, r.sx).await;
+                    s.sums.set(&mut cpu, 2 * p + 1, r.sy).await;
                     for (l, &c) in r.counts.iter().enumerate() {
-                        s.counts.set(cpu, ANNULI * p + l, c);
+                        s.counts.set(&mut cpu, ANNULI * p + l, c).await;
                     }
                     let mut ep = Episode::default();
-                    s.barrier.wait(cpu, &mut ep);
+                    s.barrier.wait(&mut cpu, &mut ep).await;
                     if p == 0 {
                         let mut sx = 0.0;
                         let mut sy = 0.0;
                         let mut totals = [0u64; ANNULI];
                         for q in 0..s.procs {
-                            sx += s.sums.get(cpu, 2 * q);
-                            sy += s.sums.get(cpu, 2 * q + 1);
+                            sx += s.sums.get(&mut cpu, 2 * q).await;
+                            sy += s.sums.get(&mut cpu, 2 * q + 1).await;
                             cpu.flops(2);
                             for (l, t) in totals.iter_mut().enumerate() {
-                                *t += s.counts.get(cpu, ANNULI * q + l);
+                                *t += s.counts.get(&mut cpu, ANNULI * q + l).await;
                             }
                         }
-                        s.global.set(cpu, 0, sx);
-                        s.global.set(cpu, 1, sy);
+                        s.global.set(&mut cpu, 0, sx).await;
+                        s.global.set(&mut cpu, 1, sy).await;
                         for (l, &t) in totals.iter().enumerate() {
-                            s.global.set(cpu, 2 + l, t as f64);
+                            s.global.set(&mut cpu, 2 + l, t as f64).await;
                         }
                     }
                 })

@@ -26,7 +26,7 @@
 //! Between phases the system barrier is used, as in the paper.
 
 use ksr_core::{Result, XorShift64};
-use ksr_machine::{program, Cpu, Machine, Program, SharedU64};
+use ksr_machine::{program, Machine, Program, SharedU64};
 use ksr_sync::{BarrierAlg, Episode, HwLock, SystemBarrier};
 
 /// IS problem parameters.
@@ -186,7 +186,7 @@ impl IsSetup {
         (0..procs)
             .map(|pid| {
                 let locks = locks.clone();
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let n = cfg.keys;
                     let nb = cfg.max_key;
                     let (klo, khi) = (pid * n / procs, (pid + 1) * n / procs);
@@ -196,57 +196,57 @@ impl IsSetup {
 
                     // Phase 1: local bucket counts over my key block.
                     for j in klo..khi {
-                        let k = key.get(cpu, j) as usize;
-                        let c = keyden_t.get(cpu, my_t + k);
-                        keyden_t.set(cpu, my_t + k, c + 1);
+                        let k = key.get(&mut cpu, j).await as usize;
+                        let c = keyden_t.get(&mut cpu, my_t + k).await;
+                        keyden_t.set(&mut cpu, my_t + k, c + 1).await;
                         cpu.compute(3);
                     }
-                    barrier.wait(cpu, &mut ep);
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 2: accumulate my portion of the global counts
                     // from every processor's local counts (remote reads).
                     for b in blo..bhi {
                         let mut total = 0;
                         for q in 0..procs {
-                            total += keyden_t.get(cpu, q * nb + b);
+                            total += keyden_t.get(&mut cpu, q * nb + b).await;
                             cpu.compute(1);
                         }
-                        keyden.set(cpu, b, total);
+                        keyden.set(&mut cpu, b, total).await;
                     }
-                    barrier.wait(cpu, &mut ep);
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 3: prefix sums within my portion.
                     let mut running = 0;
                     for b in blo..bhi {
-                        running += keyden.get(cpu, b);
-                        keyden.set(cpu, b, running);
+                        running += keyden.get(&mut cpu, b).await;
+                        keyden.set(&mut cpu, b, running).await;
                         cpu.compute(1);
                     }
-                    msum.set(cpu, pid, running);
-                    barrier.wait(cpu, &mut ep);
+                    msum.set(&mut cpu, pid, running).await;
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 4: serial prefix over the per-portion totals.
                     if pid == 0 {
                         let mut acc = 0;
-                        tmp_sum.set(cpu, 0, 0);
+                        tmp_sum.set(&mut cpu, 0, 0).await;
                         for q in 0..procs {
-                            acc += msum.get(cpu, q);
-                            tmp_sum.set(cpu, q + 1, acc);
+                            acc += msum.get(&mut cpu, q).await;
+                            tmp_sum.set(&mut cpu, q + 1, acc).await;
                             cpu.compute(2);
                         }
                     }
-                    barrier.wait(cpu, &mut ep);
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 5: shift my portion by the preceding total.
-                    let shift = tmp_sum.get(cpu, pid);
+                    let shift = tmp_sum.get(&mut cpu, pid).await;
                     if shift != 0 {
                         for b in blo..bhi {
-                            let v = keyden.get(cpu, b);
-                            keyden.set(cpu, b, v + shift);
+                            let v = keyden.get(&mut cpu, b).await;
+                            keyden.set(&mut cpu, b, v + shift).await;
                             cpu.compute(1);
                         }
                     }
-                    barrier.wait(cpu, &mut ep);
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 6: atomically reserve my ranks chunk by chunk,
                     // starting at my own portion so processors pipeline
@@ -256,27 +256,27 @@ impl IsSetup {
                     for s in 0..n_chunks {
                         let c = (start_chunk + s) % n_chunks;
                         if phase6_locked {
-                            locks[c].acquire(cpu);
+                            locks[c].acquire(&mut cpu).await;
                         }
                         for b in c * cfg.chunk..(c + 1) * cfg.chunk {
-                            let tot = keyden.get(cpu, b);
-                            let mine = keyden_t.get(cpu, my_t + b);
-                            keyden.set(cpu, b, tot - mine);
-                            keyden_t.set(cpu, my_t + b, tot);
+                            let tot = keyden.get(&mut cpu, b).await;
+                            let mine = keyden_t.get(&mut cpu, my_t + b).await;
+                            keyden.set(&mut cpu, b, tot - mine).await;
+                            keyden_t.set(&mut cpu, my_t + b, tot).await;
                             cpu.compute(2);
                         }
                         if phase6_locked {
-                            locks[c].release(cpu);
+                            locks[c].release(&mut cpu).await;
                         }
                     }
-                    barrier.wait(cpu, &mut ep);
+                    barrier.wait(&mut cpu, &mut ep).await;
 
                     // Phase 7: rank my keys from my private reservation.
                     for j in klo..khi {
-                        let k = key.get(cpu, j) as usize;
-                        let r = keyden_t.get(cpu, my_t + k);
-                        keyden_t.set(cpu, my_t + k, r - 1);
-                        rank.set(cpu, j, r - 1);
+                        let k = key.get(&mut cpu, j).await as usize;
+                        let r = keyden_t.get(&mut cpu, my_t + k).await;
+                        keyden_t.set(&mut cpu, my_t + k, r - 1).await;
+                        rank.set(&mut cpu, j, r - 1).await;
                         cpu.compute(3);
                     }
                 })

@@ -227,7 +227,7 @@ impl SpSetup {
         let procs = self.procs;
         (0..procs)
             .map(|pid| {
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let n = cfg.n;
                     let mut ep = Episode::default();
                     let mut scratch = vec![0.0f64; 6 * n];
@@ -259,13 +259,21 @@ impl SpSetup {
                             // sweep reuses the x sweep's planes, and the
                             // read-only coefficient arrays settle after
                             // the first iteration.
-                            let prefetch_line = |cpu: &mut Cpu, l: usize, first: bool| {
+                            async fn prefetch_line(
+                                cpu: &mut Cpu,
+                                sol: SharedF64,
+                                dir: usize,
+                                n: usize,
+                                (llo, lhi): (usize, usize),
+                                l: usize,
+                                first: bool,
+                            ) {
                                 let (outer, inner) = (l / n, l % n);
                                 if dir == 0 {
                                     let base = idx(n, 0, inner, outer);
                                     let mut t = 0;
                                     while t < n {
-                                        fields[5].prefetch(cpu, base + t, true);
+                                        sol.prefetch(cpu, base + t, true).await;
                                         t += 16; // one 128 B sub-page
                                     }
                                 } else if inner % 16 == 0 || first {
@@ -275,18 +283,28 @@ impl SpSetup {
                                     let exclusive =
                                         llo <= block_lines.start && block_lines.end <= lhi;
                                     for t in 0..n {
-                                        fields[5].prefetch(cpu, idx(n, block, outer, t), exclusive);
+                                        sol.prefetch(cpu, idx(n, block, outer, t), exclusive).await;
                                     }
                                 }
-                            };
+                            }
                             let do_prefetch = cfg.prefetch && dir != 1 && llo < lhi;
                             if do_prefetch {
-                                prefetch_line(cpu, llo, true);
+                                prefetch_line(&mut cpu, fields[5], dir, n, (llo, lhi), llo, true)
+                                    .await;
                             }
                             for l in llo..lhi {
                                 let (outer, inner) = (l / n, l % n);
                                 if do_prefetch && l + 1 < lhi {
-                                    prefetch_line(cpu, l + 1, false);
+                                    prefetch_line(
+                                        &mut cpu,
+                                        fields[5],
+                                        dir,
+                                        n,
+                                        (llo, lhi),
+                                        l + 1,
+                                        false,
+                                    )
+                                    .await;
                                 }
                                 let cell = |t: usize| match dir {
                                     0 => idx(n, t, inner, outer),
@@ -300,12 +318,12 @@ impl SpSetup {
                                 let (sb, sr) = rest.split_at_mut(n);
                                 for t in 0..n {
                                     let g = cell(t);
-                                    se[t] = fields[0].get(cpu, g);
-                                    sc[t] = fields[1].get(cpu, g);
-                                    sd[t] = fields[2].get(cpu, g);
-                                    sa[t] = fields[3].get(cpu, g);
-                                    sb[t] = fields[4].get(cpu, g);
-                                    sr[t] = fields[5].get(cpu, g);
+                                    se[t] = fields[0].get(&mut cpu, g).await;
+                                    sc[t] = fields[1].get(&mut cpu, g).await;
+                                    sd[t] = fields[2].get(&mut cpu, g).await;
+                                    sa[t] = fields[3].get(&mut cpu, g).await;
+                                    sb[t] = fields[4].get(&mut cpu, g).await;
+                                    sr[t] = fields[5].get(&mut cpu, g).await;
                                     cpu.compute(4);
                                 }
                                 solve_gathered(se, sc, sd, sa, sb, sr);
@@ -319,16 +337,16 @@ impl SpSetup {
                                 cpu.flops(1_400 * n as u64);
                                 for (t, &srt) in sr.iter().enumerate().take(n) {
                                     let g = cell(t);
-                                    fields[5].set(cpu, g, srt);
+                                    fields[5].set(&mut cpu, g, srt).await;
                                     if cfg.poststore && t % 16 == 15 {
-                                        fields[5].poststore(cpu, g);
+                                        fields[5].poststore(&mut cpu, g).await;
                                     }
                                 }
                                 if cfg.poststore {
-                                    fields[5].poststore(cpu, cell(n - 1));
+                                    fields[5].poststore(&mut cpu, cell(n - 1)).await;
                                 }
                             }
-                            barrier.wait(cpu, &mut ep);
+                            barrier.wait(&mut cpu, &mut ep).await;
                         }
                     }
                 })

@@ -104,16 +104,20 @@ impl RingConfig {
                 "ring slots/subrings/hop_cycles must be non-zero".into(),
             ));
         }
+        if self.subrings > self.slots {
+            // Integer division would otherwise hand every lane zero
+            // capacity and the ring could never grant a slot.
+            return Err(Error::Config(format!(
+                "{} sub-rings over {} slots leaves zero-capacity lanes; \
+                 each sub-ring needs at least one slot",
+                self.subrings, self.slots
+            )));
+        }
         if !self.slots.is_multiple_of(self.subrings) {
             return Err(Error::Config(format!(
                 "slots ({}) must divide evenly into {} sub-rings",
                 self.slots, self.subrings
             )));
-        }
-        if self.slots_per_subring() == 0 {
-            return Err(Error::Config(
-                "each sub-ring needs at least one slot".into(),
-            ));
         }
         Ok(())
     }
@@ -226,18 +230,26 @@ impl SlottedRing {
         } else {
             // All slots of this sub-ring are in flight: the earliest one to
             // come home is re-used; it frees at its owner's station and
-            // reaches ours after half a rotation on average.
-            let earliest = lane.iter().copied().min().expect("full lane is non-empty");
-            // Remove the booking we are about to re-use.
-            let idx = lane
+            // reaches ours after half a rotation on average. Round-robin
+            // fairness: under saturation many stations wait, so the freed
+            // slot reaches the next waiter within about one slot spacing.
+            match lane
                 .iter()
-                .position(|&t| t == earliest)
-                .expect("min element present");
-            lane.swap_remove(idx);
-            // Round-robin fairness: under saturation many stations wait,
-            // so the freed slot reaches the next waiter within about one
-            // slot spacing.
-            (earliest.max(now) + self.cfg.slot_spacing() / 2, true)
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, free_at)| free_at)
+            {
+                Some((idx, earliest)) => {
+                    // Remove the booking we are about to re-use.
+                    lane.swap_remove(idx);
+                    (earliest.max(now) + self.cfg.slot_spacing() / 2, true)
+                }
+                // Unreachable: `validate` guarantees every sub-ring at
+                // least one slot, so a full lane holds a booking. Treat
+                // the impossible empty case as an idle lane rather than
+                // poisoning the coordinator with a panic.
+                None => (now + (circumference / (2 * cap as Cycles)).max(1), false),
+            }
         };
         let response_at = injected_at + circumference;
         lane.push(response_at);
@@ -323,6 +335,42 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn zero_capacity_lane_config_rejected_at_construction() {
+        // More sub-rings than slots would give every lane zero capacity;
+        // transact's full-lane path would then have no booking to re-use.
+        // The constructor must refuse with a diagnosis, not panic later.
+        let cfg = RingConfig {
+            subrings: 48,
+            ..RingConfig::ksr1_leaf()
+        };
+        let err = cfg.validate().expect_err("zero-capacity lanes");
+        assert!(
+            err.to_string().contains("zero-capacity"),
+            "diagnosis names the problem: {err}"
+        );
+        assert!(SlottedRing::new(cfg).is_err());
+    }
+
+    #[test]
+    fn single_slot_lanes_saturate_without_panicking() {
+        // Minimum legal capacity: one slot per sub-ring. Saturating it
+        // exercises the full-lane (slot re-use) path repeatedly.
+        let cfg = RingConfig {
+            slots: 2,
+            subrings: 2,
+            ..RingConfig::ksr1_leaf()
+        };
+        let mut r = SlottedRing::new(cfg).unwrap();
+        let mut last = 0;
+        for _ in 0..10 {
+            let t = r.transact(0, 0, PacketKind::ReadData);
+            assert!(t.response_at > last, "grants strictly ordered");
+            last = t.response_at;
+        }
+        assert_eq!(r.stats().blocked_packets, 9);
     }
 
     #[test]

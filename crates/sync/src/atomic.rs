@@ -9,32 +9,32 @@
 use ksr_machine::Cpu;
 
 /// Atomically add `delta` to the word at `addr`; returns the old value.
-pub fn fetch_add(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
-    cpu.acquire_sub_page(addr);
-    let old = cpu.read_u64(addr);
-    cpu.write_u64(addr, old.wrapping_add(delta));
-    cpu.release_sub_page(addr);
+pub async fn fetch_add(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
+    cpu.acquire_sub_page(addr).await;
+    let old = cpu.read_u64(addr).await;
+    cpu.write_u64(addr, old.wrapping_add(delta)).await;
+    cpu.release_sub_page(addr).await;
     old
 }
 
 /// Atomically subtract `delta`; returns the old value.
-pub fn fetch_sub(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
-    fetch_add(cpu, addr, delta.wrapping_neg())
+pub async fn fetch_sub(cpu: &mut Cpu, addr: u64, delta: u64) -> u64 {
+    fetch_add(cpu, addr, delta.wrapping_neg()).await
 }
 
 /// Atomically apply `f` to the word at `addr`; returns `(old, new)`.
-pub fn fetch_update(cpu: &mut Cpu, addr: u64, f: impl FnOnce(u64) -> u64) -> (u64, u64) {
-    cpu.acquire_sub_page(addr);
-    let old = cpu.read_u64(addr);
+pub async fn fetch_update(cpu: &mut Cpu, addr: u64, f: impl FnOnce(u64) -> u64) -> (u64, u64) {
+    cpu.acquire_sub_page(addr).await;
+    let old = cpu.read_u64(addr).await;
     let new = f(old);
-    cpu.write_u64(addr, new);
-    cpu.release_sub_page(addr);
+    cpu.write_u64(addr, new).await;
+    cpu.release_sub_page(addr).await;
     (old, new)
 }
 
 #[cfg(test)]
 mod tests {
-    use ksr_machine::{program, Cpu, Machine};
+    use ksr_machine::{program, Machine};
 
     use super::*;
 
@@ -42,10 +42,10 @@ mod tests {
     fn fetch_add_returns_old_and_stores_new() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_subpage(8).unwrap();
-        m.poke_u64(a, 10);
-        m.run(vec![program(move |cpu: &mut Cpu| {
-            assert_eq!(fetch_add(cpu, a, 5), 10);
-            assert_eq!(cpu.read_u64(a), 15);
+        m.poke_u64(a, 10).unwrap();
+        m.run(vec![program(move |mut cpu| async move {
+            assert_eq!(fetch_add(&mut cpu, a, 5).await, 10);
+            assert_eq!(cpu.read_u64(a).await, 15);
         })])
         .expect("run");
     }
@@ -54,10 +54,10 @@ mod tests {
     fn fetch_sub_wraps_correctly() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_subpage(8).unwrap();
-        m.poke_u64(a, 3);
-        m.run(vec![program(move |cpu: &mut Cpu| {
-            assert_eq!(fetch_sub(cpu, a, 1), 3);
-            assert_eq!(cpu.read_u64(a), 2);
+        m.poke_u64(a, 3).unwrap();
+        m.run(vec![program(move |mut cpu| async move {
+            assert_eq!(fetch_sub(&mut cpu, a, 1).await, 3);
+            assert_eq!(cpu.read_u64(a).await, 2);
         })])
         .expect("run");
     }
@@ -71,28 +71,28 @@ mod tests {
         m.run(
             (0..procs)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..iters {
-                            fetch_add(cpu, a, 1);
+                            fetch_add(&mut cpu, a, 1).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(a), (procs * iters) as u64);
+        assert_eq!(m.peek_u64(a).unwrap(), (procs * iters) as u64);
     }
 
     #[test]
     fn fetch_update_applies_arbitrary_function() {
         let mut m = Machine::ksr1(1).unwrap();
         let a = m.alloc_subpage(8).unwrap();
-        m.poke_u64(a, 7);
-        m.run(vec![program(move |cpu: &mut Cpu| {
-            let (old, new) = fetch_update(cpu, a, |v| v * 3);
+        m.poke_u64(a, 7).unwrap();
+        m.run(vec![program(move |mut cpu| async move {
+            let (old, new) = fetch_update(&mut cpu, a, |v| v * 3).await;
             assert_eq!((old, new), (7, 21));
         })])
         .expect("run");
-        assert_eq!(m.peek_u64(a), 21);
+        assert_eq!(m.peek_u64(a).unwrap(), 21);
     }
 }

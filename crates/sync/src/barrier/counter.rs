@@ -29,8 +29,8 @@ impl CounterBarrier {
     /// Allocate and initialise for `n` processors.
     pub fn alloc(m: &mut Machine, n: usize) -> Result<Self> {
         let base = m.alloc_subpage(16)?;
-        m.poke_u64(base, n as u64);
-        m.poke_u64(base + 8, 0);
+        m.poke_u64(base, n as u64)?;
+        m.poke_u64(base + 8, 0)?;
         Ok(Self { base, n })
     }
 }
@@ -40,21 +40,21 @@ impl BarrierAlg for CounterBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_gen = ep.ep;
         ep.ep += 1;
         // Atomic decrement: native fetch-and-add where the machine has
         // one (Symmetry/Butterfly), otherwise the KSR get_sub_page
         // synthesis. No new arrival can race the re-arm below, because
         // nobody re-enters until the generation flag is published.
-        let old = cpu.fetch_add(self.base, u64::MAX);
+        let old = cpu.fetch_add(self.base, u64::MAX).await;
         if old == 1 {
             // Last arrival: re-arm and publish completion.
-            cpu.write_u64(self.base, self.n as u64);
-            cpu.write_u64(self.base + 8, my_gen + 1);
-            cpu.poststore(self.base + 8);
+            cpu.write_u64(self.base, self.n as u64).await;
+            cpu.write_u64(self.base + 8, my_gen + 1).await;
+            cpu.poststore(self.base + 8).await;
         } else {
-            cpu.spin_until(self.base + 8, move |v| v > my_gen);
+            cpu.spin_until(self.base + 8, move |v| v > my_gen).await;
         }
     }
 }
@@ -73,10 +73,10 @@ mod tests {
             .run(
                 (0..2)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             cpu.compute(if p == 0 { 10_000 } else { 10 });
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         })
                     })
                     .collect(),
@@ -93,17 +93,21 @@ mod tests {
         m.run(
             (0..4)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         let mut ep = Episode::default();
                         for _ in 0..5 {
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(b.base), 4, "counter re-armed");
-        assert_eq!(m.peek_u64(b.base + 8), 5, "five generations completed");
+        assert_eq!(m.peek_u64(b.base).unwrap(), 4, "counter re-armed");
+        assert_eq!(
+            m.peek_u64(b.base + 8).unwrap(),
+            5,
+            "five generations completed"
+        );
     }
 }

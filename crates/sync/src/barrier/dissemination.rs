@@ -46,7 +46,7 @@ impl BarrierAlg for DisseminationBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         let p = cpu.id();
@@ -57,10 +57,10 @@ impl BarrierAlg for DisseminationBarrier {
             // *global wakeup flag* methods; pushing every one of the
             // O(P log P) point-to-point flags would be the "indiscriminate
             // use of this primitive" its §4 warns against.
-            cpu.write_u64(out, my_ep + 1);
+            cpu.write_u64(out, my_ep + 1).await;
             // A partner may already be an episode ahead of us in later
             // rounds, hence >= rather than ==.
-            cpu.spin_until(self.flag(k, p), move |v| v > my_ep);
+            cpu.spin_until(self.flag(k, p), move |v| v > my_ep).await;
         }
     }
 }
@@ -88,10 +88,10 @@ mod tests {
             .run(
                 (0..5)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             cpu.compute(if p == 2 { 40_000 } else { 50 });
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         })
                     })
                     .collect(),
@@ -111,11 +111,11 @@ mod tests {
         m.run(
             (0..4)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         let mut ep = Episode::default();
                         for e in 0..6 {
                             cpu.compute(((p * 211 + e * 97) % 700) as u64);
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         }
                     })
                 })

@@ -79,7 +79,7 @@ impl BarrierAlg for McsBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         if self.n <= 1 {
@@ -90,7 +90,8 @@ impl BarrierAlg for McsBarrier {
         for c in 0..self.arity {
             let child = self.arity * p + 1 + c;
             if child < self.n {
-                cpu.spin_until(self.child_slot(p, c), move |v| v > my_ep);
+                cpu.spin_until(self.child_slot(p, c), move |v| v > my_ep)
+                    .await;
             }
         }
         if p != 0 {
@@ -98,24 +99,25 @@ impl BarrierAlg for McsBarrier {
             let parent = (p - 1) / self.arity;
             let slot = (p - 1) % self.arity;
             let out = self.child_slot(parent, slot);
-            cpu.write_u64(out, my_ep + 1);
-            cpu.poststore(out);
+            cpu.write_u64(out, my_ep + 1).await;
+            cpu.poststore(out).await;
             if self.use_global_flag {
-                cpu.spin_until(self.global_flag, move |v| v > my_ep);
+                cpu.spin_until(self.global_flag, move |v| v > my_ep).await;
                 return;
             }
-            cpu.spin_until(self.wakeups.addr(p), move |v| v > my_ep);
+            cpu.spin_until(self.wakeups.addr(p), move |v| v > my_ep)
+                .await;
         } else if self.use_global_flag {
-            cpu.write_u64(self.global_flag, my_ep + 1);
-            cpu.poststore(self.global_flag);
+            cpu.write_u64(self.global_flag, my_ep + 1).await;
+            cpu.poststore(self.global_flag).await;
             return;
         }
         // Binary wake-up tree: wake processors 2p+1 and 2p+2.
         for child in [2 * p + 1, 2 * p + 2] {
             if child < self.n {
                 let w = self.wakeups.addr(child);
-                cpu.write_u64(w, my_ep + 1);
-                cpu.poststore(w);
+                cpu.write_u64(w, my_ep + 1).await;
+                cpu.poststore(w).await;
             }
         }
     }
@@ -147,10 +149,10 @@ mod tests {
                 .run(
                     (0..9)
                         .map(|p| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 let mut ep = Episode::default();
                                 cpu.compute(if p == 7 { 70_000 } else { 200 });
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             })
                         })
                         .collect(),
@@ -173,11 +175,11 @@ mod tests {
             m.run(
                 (0..11)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             for e in 0..4 {
                                 cpu.compute(((p * 53 + e * 29) % 350) as u64);
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             }
                         })
                     })

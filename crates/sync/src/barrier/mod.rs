@@ -40,6 +40,8 @@ pub use system::SystemBarrier;
 pub use tournament::TournamentBarrier;
 pub use tree::TreeBarrier;
 
+use std::future::Future;
+
 use ksr_core::Result;
 use ksr_machine::{Cpu, Machine};
 
@@ -56,7 +58,11 @@ pub trait BarrierAlg: Copy + Send + 'static {
     fn nprocs(&self) -> usize;
     /// Block until all `nprocs()` processors have called `wait` for this
     /// episode.
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode);
+    ///
+    /// Declared as a `Send` future (not a plain `async fn`) so that
+    /// program futures built over a generic `B: BarrierAlg` stay `Send`
+    /// — the threaded oracle core moves them onto worker threads.
+    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()> + Send;
 }
 
 /// An array of episode-stamped flags, one sub-page per flag.
@@ -189,14 +195,14 @@ impl BarrierAlg for AnyBarrier {
         }
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         match self {
-            Self::System(b) => b.wait(cpu, ep),
-            Self::Counter(b) => b.wait(cpu, ep),
-            Self::Tree(b) => b.wait(cpu, ep),
-            Self::Dissemination(b) => b.wait(cpu, ep),
-            Self::Tournament(b) => b.wait(cpu, ep),
-            Self::Mcs(b) => b.wait(cpu, ep),
+            Self::System(b) => b.wait(cpu, ep).await,
+            Self::Counter(b) => b.wait(cpu, ep).await,
+            Self::Tree(b) => b.wait(cpu, ep).await,
+            Self::Dissemination(b) => b.wait(cpu, ep).await,
+            Self::Tournament(b) => b.wait(cpu, ep).await,
+            Self::Mcs(b) => b.wait(cpu, ep).await,
         }
         // One cycle-stamped event per processor per episode (a no-op
         // unless the machine has a tracer attached).
@@ -229,17 +235,17 @@ pub(crate) mod testutil {
             .map(|p| {
                 let my_mark = marks[p];
                 let all = all_marks.clone();
-                program(move |cpu: &mut ksr_machine::Cpu| {
+                program(move |mut cpu| async move {
                     let mut ep = Episode::default();
                     for e in 0..episodes {
                         // Phase work so processors arrive skewed.
                         cpu.compute(((p * 137 + e * 59) % 500) as u64 + 10);
-                        cpu.write_u64(my_mark + 8 * e as u64, 1);
-                        b.wait(cpu, &mut ep);
+                        cpu.write_u64(my_mark + 8 * e as u64, 1).await;
+                        b.wait(&mut cpu, &mut ep).await;
                         // After the barrier, every processor must have
                         // marked this episode.
                         for &other in &all {
-                            let v = cpu.read_u64(other + 8 * e as u64);
+                            let v = cpu.read_u64(other + 8 * e as u64).await;
                             assert_eq!(v, 1, "barrier let a processor through early (ep {e})");
                         }
                     }

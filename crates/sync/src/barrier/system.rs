@@ -43,9 +43,9 @@ impl BarrierAlg for SystemBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         cpu.compute(CALL_OVERHEAD);
-        self.inner.wait(cpu, ep);
+        self.inner.wait(cpu, ep).await;
     }
 }
 
@@ -63,10 +63,10 @@ mod tests {
             .run(
                 (0..6)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             cpu.compute(if p == 0 { 45_000 } else { 80 });
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         })
                     })
                     .collect(),
@@ -84,11 +84,11 @@ mod tests {
         m.run(
             (0..5)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         let mut ep = Episode::default();
                         for e in 0..8 {
                             cpu.compute(((p * 101 + e * 13) % 250) as u64);
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         }
                     })
                 })
@@ -107,10 +107,10 @@ mod tests {
                 m.run(
                     (0..8)
                         .map(|_| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 let mut ep = Episode::default();
                                 for _ in 0..5 {
-                                    b.wait(cpu, &mut ep);
+                                    b.wait(&mut cpu, &mut ep).await;
                                 }
                             })
                         })

@@ -63,7 +63,7 @@ impl BarrierAlg for TournamentBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         if self.n <= 1 {
@@ -82,12 +82,13 @@ impl BarrierAlg for TournamentBarrier {
                 // Loser: report to the statically-known winner, then wait.
                 let winner = p & !bit;
                 let out = self.arrival(k, winner);
-                cpu.write_u64(out, my_ep + 1);
-                cpu.poststore(out);
+                cpu.write_u64(out, my_ep + 1).await;
+                cpu.poststore(out).await;
                 if self.use_global_flag {
-                    cpu.spin_until(self.global_flag, move |v| v > my_ep);
+                    cpu.spin_until(self.global_flag, move |v| v > my_ep).await;
                 } else {
-                    cpu.spin_until(self.wakeups.addr(p), move |v| v > my_ep);
+                    cpu.spin_until(self.wakeups.addr(p), move |v| v > my_ep)
+                        .await;
                 }
                 lost_at = k;
                 break;
@@ -95,15 +96,15 @@ impl BarrierAlg for TournamentBarrier {
             // Winner: wait for the loser's report (if that peer exists).
             let peer = p | bit;
             if peer < self.n {
-                cpu.spin_until(self.arrival(k, p), move |v| v > my_ep);
+                cpu.spin_until(self.arrival(k, p), move |v| v > my_ep).await;
             }
         }
         if self.use_global_flag {
             if lost_at == self.rounds {
                 // Champion: one write wakes everyone (read-snarfing turns
                 // the re-reads into a single ring transaction).
-                cpu.write_u64(self.global_flag, my_ep + 1);
-                cpu.poststore(self.global_flag);
+                cpu.write_u64(self.global_flag, my_ep + 1).await;
+                cpu.poststore(self.global_flag).await;
             }
             return;
         }
@@ -112,8 +113,8 @@ impl BarrierAlg for TournamentBarrier {
             let peer = p | (1usize << j);
             if peer < self.n {
                 let w = self.wakeups.addr(peer);
-                cpu.write_u64(w, my_ep + 1);
-                cpu.poststore(w);
+                cpu.write_u64(w, my_ep + 1).await;
+                cpu.poststore(w).await;
             }
         }
     }
@@ -134,10 +135,10 @@ mod tests {
                 .run(
                     (0..8)
                         .map(|p| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 let mut ep = Episode::default();
                                 cpu.compute(if p == 5 { 60_000 } else { 100 });
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             })
                         })
                         .collect(),
@@ -160,11 +161,11 @@ mod tests {
             m.run(
                 (0..6)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             for e in 0..5 {
                                 cpu.compute(((p * 73 + e * 41) % 400) as u64);
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             }
                         })
                     })
@@ -179,9 +180,9 @@ mod tests {
         let mut m = Machine::ksr1(9).unwrap();
         let b = TournamentBarrier::alloc(&mut m, 1, false).unwrap();
         let r = m
-            .run(vec![program(move |cpu: &mut Cpu| {
+            .run(vec![program(move |mut cpu| async move {
                 let mut ep = Episode::default();
-                b.wait(cpu, &mut ep);
+                b.wait(&mut cpu, &mut ep).await;
             })])
             .expect("run");
         assert!(r.duration_cycles() < 10);

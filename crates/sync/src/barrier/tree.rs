@@ -78,7 +78,7 @@ impl BarrierAlg for TreeBarrier {
         self.n
     }
 
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         if self.n == 1 {
@@ -106,14 +106,14 @@ impl BarrierAlg for TreeBarrier {
             // Accumulating pairwise counter: even parity = first arrival.
             // fetch_add is the get_sub_page synthesis on the KSR and a
             // native instruction on the comparison machines.
-            let first = cpu.fetch_add(caddr, 1).is_multiple_of(2);
+            let first = cpu.fetch_add(caddr, 1).await.is_multiple_of(2);
             if first {
                 // Wait here for completion.
                 if self.use_global_flag {
-                    cpu.spin_until(self.global_flag, move |v| v > my_ep);
+                    cpu.spin_until(self.global_flag, move |v| v > my_ep).await;
                 } else {
                     let waddr = self.wakeups.addr(node);
-                    cpu.spin_until(waddr, move |v| v > my_ep);
+                    cpu.spin_until(waddr, move |v| v > my_ep).await;
                 }
                 break false;
             }
@@ -124,8 +124,8 @@ impl BarrierAlg for TreeBarrier {
 
         if champion {
             if self.use_global_flag {
-                cpu.write_u64(self.global_flag, my_ep + 1);
-                cpu.poststore(self.global_flag);
+                cpu.write_u64(self.global_flag, my_ep + 1).await;
+                cpu.poststore(self.global_flag).await;
                 return;
             }
         } else if self.use_global_flag {
@@ -134,8 +134,8 @@ impl BarrierAlg for TreeBarrier {
         // Tree wake-up: rouse the first arriver at every node we won.
         for &node in path.iter().rev() {
             let waddr = self.wakeups.addr(node);
-            cpu.write_u64(waddr, my_ep + 1);
-            cpu.poststore(waddr);
+            cpu.write_u64(waddr, my_ep + 1).await;
+            cpu.poststore(waddr).await;
         }
     }
 }
@@ -161,10 +161,10 @@ mod tests {
         let mut m = Machine::ksr1(1).unwrap();
         let b = TreeBarrier::alloc(&mut m, 1, false).unwrap();
         let r = m
-            .run(vec![program(move |cpu: &mut Cpu| {
+            .run(vec![program(move |mut cpu| async move {
                 let mut ep = Episode::default();
-                b.wait(cpu, &mut ep);
-                b.wait(cpu, &mut ep);
+                b.wait(&mut cpu, &mut ep).await;
+                b.wait(&mut cpu, &mut ep).await;
             })])
             .expect("run");
         assert!(r.duration_cycles() < 10);
@@ -179,10 +179,10 @@ mod tests {
                 .run(
                     (0..6)
                         .map(|p| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 let mut ep = Episode::default();
                                 cpu.compute(if p == 3 { 50_000 } else { 100 });
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             })
                         })
                         .collect(),
@@ -205,11 +205,11 @@ mod tests {
             m.run(
                 (0..7)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             for e in 0..4 {
                                 cpu.compute(((p * 31 + e * 17) % 300) as u64);
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             }
                         })
                     })

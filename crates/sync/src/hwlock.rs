@@ -36,18 +36,18 @@ impl HwLock {
     /// Spin until the sub-page is acquired atomically. Each retry is a
     /// fresh ring transaction, exactly like hardware spinning on
     /// `get_sub_page`.
-    pub fn acquire(&self, cpu: &mut Cpu) {
-        cpu.acquire_sub_page(self.addr);
+    pub async fn acquire(&self, cpu: &mut Cpu) {
+        cpu.acquire_sub_page(self.addr).await;
     }
 
     /// One acquisition attempt.
-    pub fn try_acquire(&self, cpu: &mut Cpu) -> bool {
-        cpu.get_sub_page(self.addr)
+    pub async fn try_acquire(&self, cpu: &mut Cpu) -> bool {
+        cpu.get_sub_page(self.addr).await
     }
 
     /// Release the lock.
-    pub fn release(&self, cpu: &mut Cpu) {
-        cpu.release_sub_page(self.addr);
+    pub async fn release(&self, cpu: &mut Cpu) {
+        cpu.release_sub_page(self.addr).await;
     }
 }
 
@@ -64,29 +64,29 @@ mod tests {
         let shared = m.alloc_subpage(16).unwrap();
         // Two words updated non-atomically inside the critical section;
         // they stay equal only if the lock excludes.
-        m.poke_u64(shared, 0);
-        m.poke_u64(shared + 8, 0);
+        m.poke_u64(shared, 0).unwrap();
+        m.poke_u64(shared + 8, 0).unwrap();
         m.run(
             (0..8)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..10 {
-                            lock.acquire(cpu);
-                            let a = cpu.read_u64(shared);
+                            lock.acquire(&mut cpu).await;
+                            let a = cpu.read_u64(shared).await;
                             cpu.compute(37); // widen the race window
-                            cpu.write_u64(shared, a + 1);
-                            let b = cpu.read_u64(shared + 8);
+                            cpu.write_u64(shared, a + 1).await;
+                            let b = cpu.read_u64(shared + 8).await;
                             assert_eq!(a, b, "critical-section invariant violated");
-                            cpu.write_u64(shared + 8, b + 1);
-                            lock.release(cpu);
+                            cpu.write_u64(shared + 8, b + 1).await;
+                            lock.release(&mut cpu).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(shared), 80);
-        assert_eq!(m.peek_u64(shared + 8), 80);
+        assert_eq!(m.peek_u64(shared).unwrap(), 80);
+        assert_eq!(m.peek_u64(shared + 8).unwrap(), 80);
     }
 
     #[test]
@@ -94,17 +94,17 @@ mod tests {
         let mut m = Machine::ksr1(9).unwrap();
         let lock = HwLock::alloc(&mut m).unwrap();
         m.run(vec![
-            program(move |cpu: &mut Cpu| {
-                assert!(lock.try_acquire(cpu));
+            program(move |mut cpu| async move {
+                assert!(lock.try_acquire(&mut cpu).await);
                 cpu.compute(5_000);
-                lock.release(cpu);
+                lock.release(&mut cpu).await;
             }),
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 cpu.compute(1_000); // proc 0 holds the lock now
-                assert!(!lock.try_acquire(cpu), "lock is held");
+                assert!(!lock.try_acquire(&mut cpu).await, "lock is held");
                 cpu.compute(10_000); // past the release
-                assert!(lock.try_acquire(cpu), "lock is free");
-                lock.release(cpu);
+                assert!(lock.try_acquire(&mut cpu).await, "lock is free");
+                lock.release(&mut cpu).await;
             }),
         ])
         .expect("run");
@@ -118,18 +118,18 @@ mod tests {
         m.run(
             (0..16)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..5 {
-                            lock.acquire(cpu);
-                            let v = cpu.read_u64(counter);
-                            cpu.write_u64(counter, v + 1);
-                            lock.release(cpu);
+                            lock.acquire(&mut cpu).await;
+                            let v = cpu.read_u64(counter).await;
+                            cpu.write_u64(counter, v + 1).await;
+                            lock.release(&mut cpu).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(counter), 80);
+        assert_eq!(m.peek_u64(counter).unwrap(), 80);
     }
 }

@@ -96,39 +96,39 @@ impl SwRwLock {
     }
 
     /// Acquire in the given mode; blocks (FCFS) until granted.
-    pub fn acquire(&self, cpu: &mut Cpu, mode: LockMode) -> Ticket {
+    pub async fn acquire(&self, cpu: &mut Cpu, mode: LockMode) -> Ticket {
         match mode {
-            LockMode::Read => self.acquire_read(cpu),
-            LockMode::Write => self.acquire_write(cpu),
+            LockMode::Read => self.acquire_read(cpu).await,
+            LockMode::Write => self.acquire_write(cpu).await,
         }
     }
 
-    fn acquire_read(&self, cpu: &mut Cpu) -> Ticket {
-        cpu.acquire_sub_page(self.q);
-        let serving = cpu.read_u64(self.q + SERVING);
-        let last_is_read = cpu.read_u64(self.q + LAST_IS_READ) == 1;
-        let last_ticket = cpu.read_u64(self.q + LAST_TICKET);
+    async fn acquire_read(&self, cpu: &mut Cpu) -> Ticket {
+        cpu.acquire_sub_page(self.q).await;
+        let serving = cpu.read_u64(self.q + SERVING).await;
+        let last_is_read = cpu.read_u64(self.q + LAST_IS_READ).await == 1;
+        let last_ticket = cpu.read_u64(self.q + LAST_TICKET).await;
         let ticket = if last_is_read && last_ticket >= serving {
             // Combine onto the open read ticket.
-            let r = cpu.read_u64(self.readers_addr(last_ticket));
-            cpu.write_u64(self.readers_addr(last_ticket), r + 1);
+            let r = cpu.read_u64(self.readers_addr(last_ticket)).await;
+            cpu.write_u64(self.readers_addr(last_ticket), r + 1).await;
             last_ticket
         } else {
-            let t = cpu.read_u64(self.q + NEXT);
-            cpu.write_u64(self.q + NEXT, t + 1);
+            let t = cpu.read_u64(self.q + NEXT).await;
+            cpu.write_u64(self.q + NEXT, t + 1).await;
             debug_assert!(
                 t - serving < SLOTS,
                 "more in-flight tickets than table slots"
             );
-            cpu.write_u64(self.q + LAST_IS_READ, 1);
-            cpu.write_u64(self.q + LAST_TICKET, t);
-            cpu.write_u64(self.readers_addr(t), 1);
-            cpu.write_u64(self.released_addr(t), 0);
+            cpu.write_u64(self.q + LAST_IS_READ, 1).await;
+            cpu.write_u64(self.q + LAST_TICKET, t).await;
+            cpu.write_u64(self.readers_addr(t), 1).await;
+            cpu.write_u64(self.released_addr(t), 0).await;
             t
         };
-        cpu.release_sub_page(self.q);
+        cpu.release_sub_page(self.q).await;
         if serving != ticket {
-            cpu.spin_until(self.q + SERVING, move |v| v == ticket);
+            cpu.spin_until(self.q + SERVING, move |v| v == ticket).await;
         }
         Ticket {
             number: ticket,
@@ -136,32 +136,32 @@ impl SwRwLock {
         }
     }
 
-    fn acquire_write(&self, cpu: &mut Cpu) -> Ticket {
-        cpu.acquire_sub_page(self.q);
-        let ticket = cpu.read_u64(self.q + NEXT);
-        cpu.write_u64(self.q + NEXT, ticket + 1);
-        let serving = cpu.read_u64(self.q + SERVING);
+    async fn acquire_write(&self, cpu: &mut Cpu) -> Ticket {
+        cpu.acquire_sub_page(self.q).await;
+        let ticket = cpu.read_u64(self.q + NEXT).await;
+        cpu.write_u64(self.q + NEXT, ticket + 1).await;
+        let serving = cpu.read_u64(self.q + SERVING).await;
         debug_assert!(
             ticket - serving < SLOTS,
             "more in-flight tickets than table slots"
         );
         // If the head of the queue is a fully-drained read ticket, nobody
         // is left to advance it: step over it now.
-        if cpu.read_u64(self.q + LAST_IS_READ) == 1
-            && serving == cpu.read_u64(self.q + LAST_TICKET)
+        if cpu.read_u64(self.q + LAST_IS_READ).await == 1
+            && serving == cpu.read_u64(self.q + LAST_TICKET).await
             && serving + 1 == ticket
         {
-            let r = cpu.read_u64(self.readers_addr(serving));
-            let rel = cpu.read_u64(self.released_addr(serving));
+            let r = cpu.read_u64(self.readers_addr(serving)).await;
+            let rel = cpu.read_u64(self.released_addr(serving)).await;
             if r == rel {
-                cpu.write_u64(self.q + SERVING, ticket);
+                cpu.write_u64(self.q + SERVING, ticket).await;
             }
         }
-        cpu.write_u64(self.q + LAST_IS_READ, 0);
-        cpu.release_sub_page(self.q);
-        let at_head = cpu.read_u64(self.q + SERVING) == ticket;
+        cpu.write_u64(self.q + LAST_IS_READ, 0).await;
+        cpu.release_sub_page(self.q).await;
+        let at_head = cpu.read_u64(self.q + SERVING).await == ticket;
         if !at_head {
-            cpu.spin_until(self.q + SERVING, move |v| v == ticket);
+            cpu.spin_until(self.q + SERVING, move |v| v == ticket).await;
         }
         Ticket {
             number: ticket,
@@ -170,27 +170,27 @@ impl SwRwLock {
     }
 
     /// Release a previously acquired ticket.
-    pub fn release(&self, cpu: &mut Cpu, ticket: Ticket) {
-        cpu.acquire_sub_page(self.q);
+    pub async fn release(&self, cpu: &mut Cpu, ticket: Ticket) {
+        cpu.acquire_sub_page(self.q).await;
         match ticket.mode {
             LockMode::Write => {
-                cpu.write_u64(self.q + SERVING, ticket.number + 1);
+                cpu.write_u64(self.q + SERVING, ticket.number + 1).await;
             }
             LockMode::Read => {
                 let t = ticket.number;
-                let rel = cpu.read_u64(self.released_addr(t)) + 1;
-                cpu.write_u64(self.released_addr(t), rel);
-                let r = cpu.read_u64(self.readers_addr(t));
-                let next = cpu.read_u64(self.q + NEXT);
+                let rel = cpu.read_u64(self.released_addr(t)).await + 1;
+                cpu.write_u64(self.released_addr(t), rel).await;
+                let r = cpu.read_u64(self.readers_addr(t)).await;
+                let next = cpu.read_u64(self.q + NEXT).await;
                 // Advance only when the ticket is fully drained and
                 // someone is queued behind it; otherwise leave it open so
                 // later readers keep combining at zero cost.
                 if rel == r && next > t + 1 {
-                    cpu.write_u64(self.q + SERVING, t + 1);
+                    cpu.write_u64(self.q + SERVING, t + 1).await;
                 }
             }
         }
-        cpu.release_sub_page(self.q);
+        cpu.release_sub_page(self.q).await;
     }
 }
 
@@ -208,24 +208,24 @@ mod tests {
         m.run(
             (0..8)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..8 {
-                            let t = lock.acquire(cpu, LockMode::Write);
-                            let a = cpu.read_u64(shared);
+                            let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                            let a = cpu.read_u64(shared).await;
                             cpu.compute(29);
-                            cpu.write_u64(shared, a + 1);
-                            let b = cpu.read_u64(shared + 8);
+                            cpu.write_u64(shared, a + 1).await;
+                            let b = cpu.read_u64(shared + 8).await;
                             assert_eq!(a, b, "mutual exclusion violated");
-                            cpu.write_u64(shared + 8, b + 1);
-                            lock.release(cpu, t);
+                            cpu.write_u64(shared + 8, b + 1).await;
+                            lock.release(&mut cpu, t).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(shared), 64);
-        assert_eq!(m.peek_u64(shared + 8), 64);
+        assert_eq!(m.peek_u64(shared).unwrap(), 64);
+        assert_eq!(m.peek_u64(shared + 8).unwrap(), 64);
     }
 
     #[test]
@@ -240,10 +240,10 @@ mod tests {
             .run(
                 (0..readers)
                     .map(|_| {
-                        program(move |cpu: &mut Cpu| {
-                            let t = lock.acquire(cpu, LockMode::Read);
+                        program(move |mut cpu| async move {
+                            let t = lock.acquire(&mut cpu, LockMode::Read).await;
                             cpu.compute(hold);
-                            lock.release(cpu, t);
+                            lock.release(&mut cpu, t).await;
                         })
                     })
                     .collect(),
@@ -262,32 +262,32 @@ mod tests {
         let mut m = Machine::ksr1(23).unwrap();
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let data = m.alloc_subpage(8).unwrap();
-        m.poke_u64(data, 1);
+        m.poke_u64(data, 1).unwrap();
         let r = m
             .run(vec![
-                program(move |cpu: &mut Cpu| {
-                    let t = lock.acquire(cpu, LockMode::Read);
-                    let v = cpu.read_u64(data);
+                program(move |mut cpu| async move {
+                    let t = lock.acquire(&mut cpu, LockMode::Read).await;
+                    let v = cpu.read_u64(data).await;
                     assert_eq!(v, 1);
                     cpu.compute(30_000);
-                    let v = cpu.read_u64(data);
+                    let v = cpu.read_u64(data).await;
                     assert_eq!(v, 1, "writer must still be excluded");
-                    lock.release(cpu, t);
+                    lock.release(&mut cpu, t).await;
                 }),
-                program(move |cpu: &mut Cpu| {
-                    let t = lock.acquire(cpu, LockMode::Read);
+                program(move |mut cpu| async move {
+                    let t = lock.acquire(&mut cpu, LockMode::Read).await;
                     cpu.compute(10_000);
-                    lock.release(cpu, t);
+                    lock.release(&mut cpu, t).await;
                 }),
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     cpu.compute(2_000); // arrive after the readers
-                    let t = lock.acquire(cpu, LockMode::Write);
-                    cpu.write_u64(data, 2);
-                    lock.release(cpu, t);
+                    let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                    cpu.write_u64(data, 2).await;
+                    lock.release(&mut cpu, t).await;
                 }),
             ])
             .expect("run");
-        assert_eq!(m.peek_u64(data), 2);
+        assert_eq!(m.peek_u64(data).unwrap(), 2);
         assert!(
             r.proc_end[2] > 30_000,
             "writer finished only after the long reader"
@@ -303,35 +303,35 @@ mod tests {
         // Proc 0: long reader. Proc 1: writer queued behind it. Proc 2:
         // reader arriving after the writer — FCFS forbids queue-jumping.
         m.run(vec![
-            program(move |cpu: &mut Cpu| {
-                let t = lock.acquire(cpu, LockMode::Read);
+            program(move |mut cpu| async move {
+                let t = lock.acquire(&mut cpu, LockMode::Read).await;
                 cpu.compute(20_000);
-                lock.release(cpu, t);
+                lock.release(&mut cpu, t).await;
             }),
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 cpu.compute(3_000);
-                let t = lock.acquire(cpu, LockMode::Write);
-                let i = cpu.read_u64(log_idx);
-                cpu.write_u64(log + i * 8, 100);
-                cpu.write_u64(log_idx, i + 1);
-                lock.release(cpu, t);
+                let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                let i = cpu.read_u64(log_idx).await;
+                cpu.write_u64(log + i * 8, 100).await;
+                cpu.write_u64(log_idx, i + 1).await;
+                lock.release(&mut cpu, t).await;
             }),
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 cpu.compute(6_000);
-                let t = lock.acquire(cpu, LockMode::Read);
-                let i = cpu.read_u64(log_idx);
-                cpu.write_u64(log + i * 8, 200);
-                cpu.write_u64(log_idx, i + 1);
-                lock.release(cpu, t);
+                let t = lock.acquire(&mut cpu, LockMode::Read).await;
+                let i = cpu.read_u64(log_idx).await;
+                cpu.write_u64(log + i * 8, 200).await;
+                cpu.write_u64(log_idx, i + 1).await;
+                lock.release(&mut cpu, t).await;
             }),
         ])
         .expect("run");
         assert_eq!(
-            m.peek_u64(log),
+            m.peek_u64(log).unwrap(),
             100,
             "writer entered before the later reader"
         );
-        assert_eq!(m.peek_u64(log + 8), 200);
+        assert_eq!(m.peek_u64(log + 8).unwrap(), 200);
     }
 
     #[test]
@@ -340,21 +340,21 @@ mod tests {
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let data = m.alloc_subpage(8).unwrap();
         m.run(vec![
-            program(move |cpu: &mut Cpu| {
-                let t = lock.acquire(cpu, LockMode::Read);
+            program(move |mut cpu| async move {
+                let t = lock.acquire(&mut cpu, LockMode::Read).await;
                 cpu.compute(100);
-                lock.release(cpu, t);
+                lock.release(&mut cpu, t).await;
             }),
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 cpu.compute(50_000); // the reader is long gone
-                let t = lock.acquire(cpu, LockMode::Write);
-                cpu.write_u64(data, 1);
-                lock.release(cpu, t);
+                let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                cpu.write_u64(data, 1).await;
+                lock.release(&mut cpu, t).await;
             }),
         ])
         .expect("run");
         assert_eq!(
-            m.peek_u64(data),
+            m.peek_u64(data).unwrap(),
             1,
             "writer must not deadlock behind a drained ticket"
         );
@@ -368,16 +368,16 @@ mod tests {
         let lock = SwRwLock::alloc(&mut m).unwrap();
         let r = m
             .run(vec![
-                program(move |cpu: &mut Cpu| {
-                    let t = lock.acquire(cpu, LockMode::Read);
+                program(move |mut cpu| async move {
+                    let t = lock.acquire(&mut cpu, LockMode::Read).await;
                     cpu.compute(40_000);
-                    lock.release(cpu, t);
+                    lock.release(&mut cpu, t).await;
                 }),
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     cpu.compute(10_000); // proc 0 is mid-hold
-                    let t = lock.acquire(cpu, LockMode::Read);
+                    let t = lock.acquire(&mut cpu, LockMode::Read).await;
                     cpu.compute(100);
-                    lock.release(cpu, t);
+                    lock.release(&mut cpu, t).await;
                 }),
             ])
             .expect("run");
@@ -398,19 +398,19 @@ mod tests {
         m.run(
             (0..procs)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for i in 0..iters {
                             if (p + i) % 3 == 0 {
-                                let t = lock.acquire(cpu, LockMode::Write);
-                                let v = cpu.read_u64(counter);
+                                let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                                let v = cpu.read_u64(counter).await;
                                 cpu.compute(13);
-                                cpu.write_u64(counter, v + 1);
-                                lock.release(cpu, t);
+                                cpu.write_u64(counter, v + 1).await;
+                                lock.release(&mut cpu, t).await;
                             } else {
-                                let t = lock.acquire(cpu, LockMode::Read);
-                                let _ = cpu.read_u64(counter);
+                                let t = lock.acquire(&mut cpu, LockMode::Read).await;
+                                let _ = cpu.read_u64(counter).await;
                                 cpu.compute(13);
-                                lock.release(cpu, t);
+                                lock.release(&mut cpu, t).await;
                             }
                         }
                     })
@@ -421,22 +421,22 @@ mod tests {
         let expected: u64 = (0..procs)
             .map(|p| (0..iters).filter(|i| (p + i) % 3 == 0).count() as u64)
             .sum();
-        assert_eq!(m.peek_u64(counter), expected, "no write was lost");
+        assert_eq!(m.peek_u64(counter).unwrap(), expected, "no write was lost");
     }
 
     #[test]
     fn ticket_accessors() {
         let mut m = Machine::ksr1(1).unwrap();
         let lock = SwRwLock::alloc(&mut m).unwrap();
-        m.run(vec![program(move |cpu: &mut Cpu| {
-            let t = lock.acquire(cpu, LockMode::Write);
+        m.run(vec![program(move |mut cpu| async move {
+            let t = lock.acquire(&mut cpu, LockMode::Write).await;
             assert_eq!(t.number(), 0);
             assert_eq!(t.mode(), LockMode::Write);
-            lock.release(cpu, t);
-            let t = lock.acquire(cpu, LockMode::Read);
+            lock.release(&mut cpu, t).await;
+            let t = lock.acquire(&mut cpu, LockMode::Read).await;
             assert_eq!(t.number(), 1);
             assert_eq!(t.mode(), LockMode::Read);
-            lock.release(cpu, t);
+            lock.release(&mut cpu, t).await;
         })])
         .expect("run");
     }

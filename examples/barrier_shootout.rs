@@ -7,7 +7,7 @@
 //! ```
 
 use ksr1_repro::core::time::cycles_to_seconds;
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 fn episode_us(kind: BarrierKind, procs: usize, episodes: usize) -> f64 {
@@ -17,11 +17,11 @@ fn episode_us(kind: BarrierKind, procs: usize, episodes: usize) -> f64 {
         .run(
             (0..procs)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         let mut ep = Episode::default();
                         for e in 0..episodes {
                             cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                            b.wait(cpu, &mut ep);
+                            b.wait(&mut cpu, &mut ep).await;
                         }
                     })
                 })

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 use ksr1_repro::sync::{BarrierAlg, Episode, HwLock, SystemBarrier};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,18 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run(
             (0..procs)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..100 {
-                            lock.acquire(cpu);
-                            let v = cpu.read_u64(counter);
-                            cpu.write_u64(counter, v + 1);
-                            lock.release(cpu);
+                            lock.acquire(&mut cpu).await;
+                            let v = cpu.read_u64(counter).await;
+                            cpu.write_u64(counter, v + 1).await;
+                            lock.release(&mut cpu).await;
                             cpu.compute(500); // private work between sections
                         }
                         let mut ep = Episode::default();
-                        barrier.wait(cpu, &mut ep);
+                        barrier.wait(&mut cpu, &mut ep).await;
                         if p == 0 {
-                            let v = cpu.read_u64(counter);
+                            let v = cpu.read_u64(counter).await;
                             assert_eq!(v, 800, "every increment survived");
                         }
                     })
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .expect("run");
 
-    println!("final counter     : {}", m.peek_u64(counter));
+    println!("final counter     : {}", m.peek_u64(counter).unwrap());
     println!(
         "virtual time      : {} cycles = {:.3} ms",
         report.duration_cycles(),

@@ -13,7 +13,7 @@
 //! cargo run --release --example ring_saturation
 //! ```
 
-use ksr1_repro::machine::{program, Cpu, Machine, SharedU64};
+use ksr1_repro::machine::{program, Machine, SharedU64};
 
 fn mean_remote_latency(procs: usize) -> f64 {
     let mut m = Machine::ksr1(3).expect("machine");
@@ -29,12 +29,13 @@ fn mean_remote_latency(procs: usize) -> f64 {
         (0..procs)
             .map(|p| {
                 let a = arrays[p];
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let t0 = cpu.now();
                     for i in 0..samples {
-                        let _ = cpu.read_u64(a + (i * 128) % (512 * 1024));
+                        let _ = cpu.read_u64(a + (i * 128) % (512 * 1024)).await;
                     }
-                    results.set(cpu, p, (cpu.now() - t0) / samples);
+                    let mean = (cpu.now() - t0) / samples;
+                    results.set(&mut cpu, p, mean).await;
                 })
             })
             .collect(),

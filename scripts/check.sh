@@ -23,7 +23,8 @@ cargo test --workspace --release --quiet
 tmp_serial=$(mktemp -d)
 tmp_parallel=$(mktemp -d)
 tmp_check=$(mktemp -d)
-trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check"' EXIT
+tmp_threaded=$(mktemp -d)
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check" "$tmp_threaded"' EXIT
 
 echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare)"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
@@ -47,18 +48,40 @@ echo "==> recording per-experiment wall times in results/timings.json"
 mkdir -p results
 cp "$tmp_parallel/timings.json" results/timings.json
 
-echo "==> perf smoke: one rep of each simulator microworkload (results/bench.json)"
+echo "==> perf gate: microworkload minima vs committed results/bench.json (>10% fails)"
 # Wall-clock numbers for the coordinator hot path; like timings.json,
 # bench.json is nondeterministic and excluded from byte comparisons.
-# Trajectory entries with before/after per optimization PR live in the
-# repo-root BENCH_<n>.json files.
+# The gate fails on any case regressing more than 10% (and 50ms) over
+# the committed minima and leaves bench.json untouched so it stays red;
+# on a pass the fresh report refreshes bench.json. Trajectory entries
+# with before/after per optimization PR live in the repo-root
+# BENCH_<n>.json files.
 cargo run --quiet --release -p ksr-bench --bin perf -- \
-    --reps 1 --results results
+    --reps 3 --results results --gate results/bench.json
 
 echo "==> run_all --check --quick (coherence + race + lint verification)"
 # Exits non-zero on any coherence violation, data race, or schedule lint
 # finding; the full report lands in violations.json.
 cargo run --quiet --release -p ksr-bench --bin run_all -- \
-    --check --quick --results "$tmp_check" > /dev/null
+    --check --quick --results "$tmp_check" > "$tmp_check/stdout.txt"
+
+echo "==> dual-core differential: threaded oracle vs event core (byte-compare)"
+# While the KSR_CORE=threaded oracle exists, the historical
+# thread-per-processor core must reproduce the event core's artifacts —
+# including violations.json and the rendered stdout — byte for byte.
+KSR_CORE=threaded cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --check --quick --results "$tmp_threaded" > "$tmp_threaded/stdout.txt"
+for f in "$tmp_check"/*; do
+    name=$(basename "$f")
+    case "$name" in
+    timings.json | bench.json)
+        continue # wall-clock times: the legitimately nondeterministic files
+        ;;
+    esac
+    if ! cmp -s "$f" "$tmp_threaded/$name"; then
+        echo "core divergence: $name differs between the event core and the threaded oracle" >&2
+        exit 1
+    fi
+done
 
 echo "==> all checks passed"

@@ -11,7 +11,7 @@
 use std::process::ExitCode;
 
 use ksr1_repro::core::time::cycles_to_seconds;
-use ksr1_repro::machine::{program, Cpu, Machine, SharedU64};
+use ksr1_repro::machine::{program, Machine, SharedU64};
 use ksr1_repro::nas::is::generate_keys;
 use ksr1_repro::nas::{
     cg_sequential, ranks_are_valid, CgConfig, CgSetup, EpConfig, EpSetup, IsConfig, IsSetup,
@@ -83,18 +83,20 @@ fn latency(args: &[String]) {
         (0..procs)
             .map(|p| {
                 let a = arrays[p];
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     let samples = 512u64;
                     let t0 = cpu.now();
                     for i in 0..samples {
-                        let _ = cpu.read_u64(a + i * 128);
+                        let _ = cpu.read_u64(a + i * 128).await;
                     }
-                    results.set(cpu, 2 * p, (cpu.now() - t0) / samples);
+                    let mean = (cpu.now() - t0) / samples;
+                    results.set(&mut cpu, 2 * p, mean).await;
                     let t0 = cpu.now();
                     for i in 0..samples {
-                        cpu.write_u64(a + i * 128 + 65536 * 8, i);
+                        cpu.write_u64(a + i * 128 + 65536 * 8, i).await;
                     }
-                    results.set(cpu, 2 * p + 1, (cpu.now() - t0) / samples);
+                    let mean = (cpu.now() - t0) / samples;
+                    results.set(&mut cpu, 2 * p + 1, mean).await;
                 })
             })
             .collect(),
@@ -140,11 +142,11 @@ fn barriers(args: &[String]) {
             .run(
                 (0..procs)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             for e in 0..eps {
                                 cpu.compute(((p * 89 + e * 37) % 200) as u64 + 20);
-                                b.wait(cpu, &mut ep);
+                                b.wait(&mut cpu, &mut ep).await;
                             }
                         })
                     })
@@ -174,7 +176,7 @@ fn lock(args: &[String]) {
             .run(
                 (0..procs)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut rng = ksr1_repro::core::XorShift64::new(p as u64 + 1);
                             for _ in 0..ops {
                                 if use_sw {
@@ -183,13 +185,13 @@ fn lock(args: &[String]) {
                                     } else {
                                         LockMode::Write
                                     };
-                                    let t = sw.acquire(cpu, mode);
+                                    let t = sw.acquire(&mut cpu, mode).await;
                                     cpu.compute(3_000);
-                                    sw.release(cpu, t);
+                                    sw.release(&mut cpu, t).await;
                                 } else {
-                                    hw.acquire(cpu);
+                                    hw.acquire(&mut cpu).await;
                                     cpu.compute(3_000);
-                                    hw.release(cpu);
+                                    hw.release(&mut cpu).await;
                                 }
                                 cpu.compute(10_000);
                             }

@@ -16,7 +16,7 @@
 //! explores the same seeded family of schedules.
 
 use ksr1_repro::core::XorShift64;
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 use ksr1_repro::mem::{CacheTiming, MemGeometry, MemOp, MemorySystem, Outcome};
 use ksr1_repro::net::Fabric;
 use ksr1_repro::sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
@@ -119,20 +119,24 @@ fn atomic_counter_exact_under_random_skews() {
             skews
                 .iter()
                 .map(|&skew| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         cpu.compute(skew + 1);
                         for _ in 0..iters {
-                            cpu.acquire_sub_page(a);
-                            let v = cpu.read_u64(a);
-                            cpu.write_u64(a, v + 1);
-                            cpu.release_sub_page(a);
+                            cpu.acquire_sub_page(a).await;
+                            let v = cpu.read_u64(a).await;
+                            cpu.write_u64(a, v + 1).await;
+                            cpu.release_sub_page(a).await;
                         }
                     })
                 })
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(a), (procs * iters) as u64, "case {case}");
+        assert_eq!(
+            m.peek_u64(a).unwrap(),
+            (procs * iters) as u64,
+            "case {case}"
+        );
     }
 }
 
@@ -155,14 +159,14 @@ fn barriers_safe_under_random_skews() {
                     let my = marks[p];
                     let all = all.clone();
                     let skew = skews[p];
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         let mut ep = Episode::default();
                         for e in 0..2u64 {
                             cpu.compute(skew * (e + 1) + 1);
-                            cpu.write_u64(my, e + 1);
-                            b.wait(cpu, &mut ep);
+                            cpu.write_u64(my, e + 1).await;
+                            b.wait(&mut cpu, &mut ep).await;
                             for &other in &all {
-                                let v = cpu.read_u64(other);
+                                let v = cpu.read_u64(other).await;
                                 assert!(v > e, "{} escaped early", kind_idx);
                             }
                         }
@@ -189,12 +193,12 @@ fn simulation_is_deterministic() {
                 .run(
                     (0..procs)
                         .map(|p| {
-                            program(move |cpu: &mut Cpu| {
+                            program(move |mut cpu| async move {
                                 for i in 0..10u64 {
                                     if (i + p as u64).is_multiple_of(3) {
-                                        cpu.fetch_add(a, 1);
+                                        cpu.fetch_add(a, 1).await;
                                     } else {
-                                        let _ = cpu.read_u64(a + 8);
+                                        let _ = cpu.read_u64(a + 8).await;
                                         cpu.compute(30);
                                     }
                                 }

@@ -2,7 +2,7 @@
 //! machine → synchronization → kernels) driven through the public API of
 //! the umbrella crate.
 
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 use ksr1_repro::nas::is::generate_keys;
 use ksr1_repro::nas::{
     cg_sequential, ep_sequential, is_sequential, ranks_are_valid, sp_sequential, CgConfig, CgSetup,
@@ -22,9 +22,9 @@ fn all_four_machines_run_the_same_program() {
         m.run(
             (0..4)
                 .map(|_| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..10 {
-                            let old = cpu.fetch_add(a, 1);
+                            let old = cpu.fetch_add(a, 1).await;
                             let _ = old;
                             cpu.compute(50);
                         }
@@ -33,7 +33,7 @@ fn all_four_machines_run_the_same_program() {
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(a), 40);
+        assert_eq!(m.peek_u64(a).unwrap(), 40);
     }
 }
 
@@ -110,7 +110,7 @@ fn whole_stack_is_deterministic() {
             .run(
                 (0..6)
                     .map(|p| {
-                        program(move |cpu: &mut Cpu| {
+                        program(move |mut cpu| async move {
                             let mut ep = Episode::default();
                             for i in 0..5 {
                                 let mode = if (p + i) % 2 == 0 {
@@ -118,22 +118,26 @@ fn whole_stack_is_deterministic() {
                                 } else {
                                     LockMode::Write
                                 };
-                                let t = lock.acquire(cpu, mode);
+                                let t = lock.acquire(&mut cpu, mode).await;
                                 if mode == LockMode::Write {
-                                    let v = cpu.read_u64(data);
-                                    cpu.write_u64(data, v + 1);
+                                    let v = cpu.read_u64(data).await;
+                                    cpu.write_u64(data, v + 1).await;
                                 } else {
-                                    let _ = cpu.read_u64(data);
+                                    let _ = cpu.read_u64(data).await;
                                 }
-                                lock.release(cpu, t);
-                                b.wait(cpu, &mut ep);
+                                lock.release(&mut cpu, t).await;
+                                b.wait(&mut cpu, &mut ep).await;
                             }
                         })
                     })
                     .collect(),
             )
             .expect("run");
-        (r.duration_cycles(), r.proc_end.clone(), m.peek_u64(data))
+        (
+            r.duration_cycles(),
+            r.proc_end.clone(),
+            m.peek_u64(data).unwrap(),
+        )
     };
     let a = run();
     let b = run();
@@ -154,10 +158,11 @@ fn perfmon_counters_are_consistent() {
     m.run(
         (0..8)
             .map(|p| {
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     for i in 0..64u64 {
-                        let _ = cpu.read_u64(shared + (i % 128) * 8);
-                        cpu.write_u64(shared + 512 + ((p as u64 * 64 + i) % 64) * 8, i);
+                        let _ = cpu.read_u64(shared + (i % 128) * 8).await;
+                        cpu.write_u64(shared + 512 + ((p as u64 * 64 + i) % 64) * 8, i)
+                            .await;
                     }
                 })
             })
@@ -191,7 +196,9 @@ fn ksr2_is_faster_on_compute_but_not_on_ring() {
     // (ring-bound, identical absolute ring speed on the two machines).
     let compute_seconds = |mut m: Machine| {
         let r = m
-            .run(vec![program(|cpu: &mut Cpu| cpu.compute(1_000_000))])
+            .run(vec![program(
+                |mut cpu| async move { cpu.compute(1_000_000) },
+            )])
             .expect("run");
         r.seconds()
     };
@@ -206,9 +213,9 @@ fn ksr2_is_faster_on_compute_but_not_on_ring() {
         let a = m.alloc(256 * 1024, 16384).unwrap();
         m.warm(1, a, 256 * 1024);
         let r = m
-            .run(vec![program(move |cpu: &mut Cpu| {
+            .run(vec![program(move |mut cpu| async move {
                 for i in 0..512u64 {
-                    let _ = cpu.read_u64(a + i * 128);
+                    let _ = cpu.read_u64(a + i * 128).await;
                 }
             })])
             .expect("run");

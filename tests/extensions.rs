@@ -3,7 +3,7 @@
 //! These exist in the simulator precisely so the wish can be evaluated
 //! (see the EXT experiment).
 
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 
 /// Streaming through a large array evicts a small hot set from the 2-way
 /// sub-cache; marking the stream uncached protects the hot set.
@@ -20,17 +20,17 @@ fn uncached_stream_protects_hot_set() {
             m.set_uncached(stream, 1 << 20);
         }
         let r = m
-            .run(vec![program(move |cpu: &mut Cpu| {
+            .run(vec![program(move |mut cpu| async move {
                 // Warm the hot set into the sub-cache.
                 for w in 0..256u64 {
-                    let _ = cpu.read_u64(hot + w * 8);
+                    let _ = cpu.read_u64(hot + w * 8).await;
                 }
                 for i in 0..4_096u64 {
                     // One streaming access...
-                    let _ = cpu.read_u64(stream + (i * 256) % (1 << 20));
+                    let _ = cpu.read_u64(stream + (i * 256) % (1 << 20)).await;
                     // ... then four hot accesses that want to stay at 2 cycles.
                     for w in 0..4u64 {
-                        let _ = cpu.read_u64(hot + ((i * 32 + w * 8) % 2048));
+                        let _ = cpu.read_u64(hot + ((i * 32 + w * 8) % 2048)).await;
                     }
                 }
             })])
@@ -54,18 +54,18 @@ fn subcache_prefetch_hides_the_18_cycles() {
     let a = m.alloc(4096, 4096).unwrap();
     m.warm(0, a, 4096);
     let r = m
-        .run(vec![program(move |cpu: &mut Cpu| {
+        .run(vec![program(move |mut cpu| async move {
             // Prefetch the first sub-page into the sub-cache, give it a beat,
             // then read: a sub-cache hit.
-            cpu.prefetch_subcache(a);
+            cpu.prefetch_subcache(a).await;
             cpu.compute(50);
             let t0 = cpu.now();
-            let _ = cpu.read_u64(a);
+            let _ = cpu.read_u64(a).await;
             let prefetched = cpu.now() - t0;
             assert_eq!(prefetched, 2, "prefetched read must be a sub-cache hit");
             // An unprefetched sub-page costs the local-cache latency.
             let t0 = cpu.now();
-            let _ = cpu.read_u64(a + 2048);
+            let _ = cpu.read_u64(a + 2048).await;
             let cold = cpu.now() - t0;
             assert!(cold >= 18, "unprefetched read pays the local cache: {cold}");
         })])
@@ -80,11 +80,11 @@ fn subcache_prefetch_of_remote_data_is_noop() {
     let mut m = Machine::ksr1(5).unwrap();
     let a = m.alloc(256, 128).unwrap();
     m.warm(1, a, 256); // lives on another cell
-    m.run(vec![program(move |cpu: &mut Cpu| {
-        cpu.prefetch_subcache(a);
+    m.run(vec![program(move |mut cpu| async move {
+        cpu.prefetch_subcache(a).await;
         cpu.compute(50);
         let t0 = cpu.now();
-        let _ = cpu.read_u64(a);
+        let _ = cpu.read_u64(a).await;
         let latency = cpu.now() - t0;
         assert!(
             latency > 100,
@@ -101,16 +101,16 @@ fn uncached_range_is_functionally_transparent() {
     let a = m.alloc_subpage(64).unwrap();
     m.set_uncached(a, 64);
     m.run(vec![
-        program(move |cpu: &mut Cpu| {
-            cpu.write_u64(a, 11);
-            cpu.write_u64(a + 8, 22);
+        program(move |mut cpu| async move {
+            cpu.write_u64(a, 11).await;
+            cpu.write_u64(a + 8, 22).await;
         }),
-        program(move |cpu: &mut Cpu| {
-            cpu.spin_until(a + 8, |v| v == 22);
-            let v = cpu.read_u64(a);
+        program(move |mut cpu| async move {
+            cpu.spin_until(a + 8, |v| v == 22).await;
+            let v = cpu.read_u64(a).await;
             assert_eq!(v, 11, "uncached data must stay coherent");
         }),
     ])
     .expect("run");
-    assert_eq!(m.peek_u64(a), 11);
+    assert_eq!(m.peek_u64(a).unwrap(), 11);
 }

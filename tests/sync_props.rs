@@ -4,7 +4,7 @@
 //! [`XorShift64`] generator.
 
 use ksr1_repro::core::XorShift64;
-use ksr1_repro::machine::{program, Cpu, Machine};
+use ksr1_repro::machine::{program, Machine};
 use ksr1_repro::sync::{HwLock, LockMode, SwRwLock};
 
 /// The hardware exclusive lock never admits two holders, for any mix of
@@ -23,15 +23,15 @@ fn hw_lock_mutual_exclusion() {
             holds
                 .iter()
                 .map(|&hold| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for _ in 0..3 {
-                            lock.acquire(cpu);
-                            let v = cpu.read_u64(in_cs);
+                            lock.acquire(&mut cpu).await;
+                            let v = cpu.read_u64(in_cs).await;
                             assert_eq!(v, 0, "another holder inside the critical section");
-                            cpu.write_u64(in_cs, 1);
+                            cpu.write_u64(in_cs, 1).await;
                             cpu.compute(hold);
-                            cpu.write_u64(in_cs, 0);
-                            lock.release(cpu);
+                            cpu.write_u64(in_cs, 0).await;
+                            lock.release(&mut cpu).await;
                             cpu.compute(hold / 2 + 1);
                         }
                     })
@@ -39,7 +39,7 @@ fn hw_lock_mutual_exclusion() {
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(in_cs), 0, "case {case}");
+        assert_eq!(m.peek_u64(in_cs).unwrap(), 0, "case {case}");
     }
 }
 
@@ -73,30 +73,30 @@ fn rw_lock_invariants() {
                 .iter()
                 .cloned()
                 .map(|ops| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         for &is_write in &ops {
                             if is_write {
-                                let t = lock.acquire(cpu, LockMode::Write);
-                                let w = cpu.read_u64(state);
-                                let r = cpu.read_u64(state + 8);
+                                let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                                let w = cpu.read_u64(state).await;
+                                let r = cpu.read_u64(state + 8).await;
                                 assert_eq!((w, r), (0, 0), "writer must be alone");
-                                cpu.write_u64(state, 1);
+                                cpu.write_u64(state, 1).await;
                                 cpu.compute(37);
-                                let c = cpu.read_u64(state + 16);
-                                cpu.write_u64(state + 16, c + 1);
-                                cpu.write_u64(state, 0);
-                                lock.release(cpu, t);
+                                let c = cpu.read_u64(state + 16).await;
+                                cpu.write_u64(state + 16, c + 1).await;
+                                cpu.write_u64(state, 0).await;
+                                lock.release(&mut cpu, t).await;
                             } else {
-                                let t = lock.acquire(cpu, LockMode::Read);
-                                let w = cpu.read_u64(state);
+                                let t = lock.acquire(&mut cpu, LockMode::Read).await;
+                                let w = cpu.read_u64(state).await;
                                 assert_eq!(w, 0, "reader admitted alongside a writer");
                                 // Concurrent readers share the lock, so the
                                 // instrumentation counter must itself be
                                 // atomic (gsp-synthesised fetch-add).
-                                cpu.fetch_add(state + 8, 1);
+                                cpu.fetch_add(state + 8, 1).await;
                                 cpu.compute(23);
-                                cpu.fetch_add(state + 8, u64::MAX);
-                                lock.release(cpu, t);
+                                cpu.fetch_add(state + 8, u64::MAX).await;
+                                lock.release(&mut cpu, t).await;
                             }
                         }
                     })
@@ -104,10 +104,10 @@ fn rw_lock_invariants() {
                 .collect(),
         )
         .expect("run");
-        assert_eq!(m.peek_u64(state), 0, "case {case}");
-        assert_eq!(m.peek_u64(state + 8), 0, "case {case}");
+        assert_eq!(m.peek_u64(state).unwrap(), 0, "case {case}");
+        assert_eq!(m.peek_u64(state + 8).unwrap(), 0, "case {case}");
         assert_eq!(
-            m.peek_u64(state + 16),
+            m.peek_u64(state + 16).unwrap(),
             expected_writes,
             "every write accounted (case {case})"
         );
@@ -125,21 +125,21 @@ fn sw_lock_is_fifo_for_writers() {
     m.run(
         (0..4usize)
             .map(|p| {
-                program(move |cpu: &mut Cpu| {
+                program(move |mut cpu| async move {
                     // Stagger arrivals well beyond any queueing noise.
                     cpu.compute(5_000 * (p as u64 + 1));
-                    let t = lock.acquire(cpu, LockMode::Write);
-                    let i = cpu.read_u64(idx);
-                    cpu.write_u64(order + i * 8, p as u64);
-                    cpu.write_u64(idx, i + 1);
+                    let t = lock.acquire(&mut cpu, LockMode::Write).await;
+                    let i = cpu.read_u64(idx).await;
+                    cpu.write_u64(order + i * 8, p as u64).await;
+                    cpu.write_u64(idx, i + 1).await;
                     cpu.compute(20_000); // hold long enough that all queue
-                    lock.release(cpu, t);
+                    lock.release(&mut cpu, t).await;
                 })
             })
             .collect(),
     )
     .expect("run");
-    let served: Vec<u64> = (0..4).map(|i| m.peek_u64(order + i * 8)).collect();
+    let served: Vec<u64> = (0..4).map(|i| m.peek_u64(order + i * 8).unwrap()).collect();
     assert_eq!(served, vec![0, 1, 2, 3], "strict FCFS violated");
 }
 
@@ -154,17 +154,17 @@ fn reader_not_starved_by_writer_stream() {
         .run(
             (0..5usize)
                 .map(|p| {
-                    program(move |cpu: &mut Cpu| {
+                    program(move |mut cpu| async move {
                         if p == 0 {
                             cpu.compute(2_000); // queue behind the first writer
-                            let t = lock.acquire(cpu, LockMode::Read);
-                            cpu.write_u64(reader_done, cpu.now());
-                            lock.release(cpu, t);
+                            let t = lock.acquire(&mut cpu, LockMode::Read).await;
+                            cpu.write_u64(reader_done, cpu.now()).await;
+                            lock.release(&mut cpu, t).await;
                         } else {
                             for _ in 0..6 {
-                                let t = lock.acquire(cpu, LockMode::Write);
+                                let t = lock.acquire(&mut cpu, LockMode::Write).await;
                                 cpu.compute(3_000);
-                                lock.release(cpu, t);
+                                lock.release(&mut cpu, t).await;
                             }
                         }
                     })
@@ -172,7 +172,7 @@ fn reader_not_starved_by_writer_stream() {
                 .collect(),
         )
         .expect("run");
-    let done = m.peek_u64(reader_done);
+    let done = m.peek_u64(reader_done).unwrap();
     assert!(done > 0, "reader never got in");
     assert!(
         done < r.finished_at,

@@ -3,7 +3,7 @@
 //! virtual-time results with tracing on or off.
 
 use ksr_core::trace::{TraceKind, Tracer};
-use ksr_machine::{program, Cpu, Machine, PerfSnapshot, Program};
+use ksr_machine::{program, Machine, PerfSnapshot, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 const PROCS: usize = 8;
@@ -29,12 +29,12 @@ fn run_workload(tracer: Option<Tracer>) -> RunOutcome {
     let b = AnyBarrier::alloc(BarrierKind::Mcs, &mut m, PROCS).expect("barrier");
     let programs: Vec<Box<dyn Program>> = (0..PROCS)
         .map(|p| {
-            program(move |cpu: &mut Cpu| {
+            program(move |mut cpu| async move {
                 let mut ep = Episode::default();
                 for round in 0..ROUNDS {
                     cpu.compute(((p * 61 + round * 17) % 97) as u64 + 5);
-                    cpu.fetch_add(counter, 1);
-                    b.wait(cpu, &mut ep);
+                    cpu.fetch_add(counter, 1).await;
+                    b.wait(&mut cpu, &mut ep).await;
                 }
             })
         })
@@ -117,9 +117,9 @@ fn snapshot_deltas_attribute_phases() {
     // the ring.
     m.warm(1, a, 64 * 1024);
     let before = m.perfmon_snapshot();
-    m.run(vec![program(move |cpu: &mut Cpu| {
+    m.run(vec![program(move |mut cpu| async move {
         for i in 0..256u64 {
-            let _ = cpu.read_u64(a + (i * 128) % (64 * 1024));
+            let _ = cpu.read_u64(a + (i * 128) % (64 * 1024)).await;
         }
     })])
     .expect("run");

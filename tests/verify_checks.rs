@@ -163,7 +163,7 @@ fn full_is_run_checks_coherence_clean() {
 /// (the old process-global observer hook would have cross-wired them).
 #[test]
 fn concurrent_machines_get_their_own_checking_sinks() {
-    use ksr1_repro::machine::{program, Cpu, MachineObserver, ObserverScope};
+    use ksr1_repro::machine::{program, MachineObserver, ObserverScope};
 
     let worker = |seed: u64| {
         let sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>> = Arc::default();
@@ -176,9 +176,9 @@ fn concurrent_machines_get_their_own_checking_sinks() {
         let _scope = ObserverScope::install(observer);
         let mut m = Machine::ksr1(seed).expect("machine");
         let a = m.alloc(1024, 128).expect("alloc");
-        m.run(vec![program(move |cpu: &mut Cpu| {
-            cpu.write_u64(a, seed);
-            let _ = cpu.read_u64(a);
+        m.run(vec![program(move |mut cpu| async move {
+            cpu.write_u64(a, seed).await;
+            let _ = cpu.read_u64(a).await;
         })])
         .expect("run");
         let sinks = sinks.lock().unwrap();
