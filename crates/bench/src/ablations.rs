@@ -21,7 +21,7 @@ use ksr_core::time::cycles_to_seconds;
 use ksr_core::Json;
 use ksr_machine::{program, Machine, MachineConfig, Program};
 use ksr_mem::ProtocolOptions;
-use ksr_net::RingHierarchyConfig;
+use ksr_net::{RingHierarchyConfig, Topology};
 use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
 
 use crate::common::{ExperimentOutput, RunOpts};
@@ -153,7 +153,7 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
                 if subrings == 1 {
                     let mut ring = RingHierarchyConfig::ksr1_32();
                     ring.leaf.subrings = 1;
-                    cfg.ring_override = Some(ring);
+                    cfg.topology = Topology::ring(ring);
                 }
                 hammer_latency(cfg, procs)
             },
@@ -172,7 +172,7 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
                 let mut cfg = MachineConfig::ksr1(seed3);
                 let mut ring = RingHierarchyConfig::ksr1_32();
                 ring.leaf.slots = slots;
-                cfg.ring_override = Some(ring);
+                cfg.topology = Topology::ring(ring);
                 hammer_latency(cfg, procs)
             },
         ));
@@ -311,7 +311,7 @@ mod tests {
             let mut cfg = MachineConfig::ksr1(2);
             let mut ring = RingHierarchyConfig::ksr1_32();
             ring.leaf.slots = slots;
-            cfg.ring_override = Some(ring);
+            cfg.topology = Topology::ring(ring);
             hammer_latency(cfg, 16)
         };
         let few = latency_at(8);
@@ -329,7 +329,7 @@ mod tests {
         let mut ring = RingHierarchyConfig::ksr1_32();
         ring.leaf.subrings = 1;
         // Keep total slots equal so only the interleaving changes.
-        cfg.ring_override = Some(ring);
+        cfg.topology = Topology::ring(ring);
         let one = hammer_latency(cfg, 16);
         assert!(
             one >= two * 0.95,

@@ -21,11 +21,6 @@
 //! `-j`. Wall-clock timings (the only nondeterministic signal) are kept
 //! out of result files and reported separately via
 //! [`ExperimentResult::seconds`].
-//!
-//! The executor also caps total OS thread usage: before fanning out it
-//! sets the machine layer's process-wide thread budget to
-//! `workers × 64` (the largest machine's cell count), clamped — so
-//! `jobs × procs-per-machine` cannot exhaust the host.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -35,13 +30,6 @@ use ksr_core::Progress;
 
 use crate::check::{CheckScope, ExpCheck};
 use crate::common::{ExperimentOutput, MetricRow, RunOpts};
-
-/// Largest cell count of any preset machine (the 64-cell KSR-2); the
-/// per-worker factor of the thread-budget rule.
-const MAX_MACHINE_CELLS: usize = 64;
-
-/// Upper clamp on the thread budget however many workers are requested.
-const MAX_THREAD_BUDGET: usize = 1024;
 
 /// One pure unit of work: a closure over config + seeds that builds its
 /// own machines and returns typed rows. No printing, no file I/O, no
@@ -88,8 +76,8 @@ impl Job {
         &self.label
     }
 
-    /// Simulated processors the job's largest machine runs (informs the
-    /// thread budget and scheduling heuristics).
+    /// Simulated processors the job's largest machine runs (informs
+    /// scheduling heuristics and progress display).
     #[must_use]
     pub fn procs(&self) -> usize {
         self.procs
@@ -251,9 +239,6 @@ pub fn execute(
 ) -> Vec<ExperimentResult> {
     let total: usize = plans.iter().map(|p| p.jobs.len()).sum();
     let workers = opts.jobs.max(1).min(total.max(1));
-    ksr_machine::set_thread_cap(
-        (workers * MAX_MACHINE_CELLS).clamp(MAX_MACHINE_CELLS, MAX_THREAD_BUDGET),
-    );
 
     // Split every plan into its queue items and its reduce.
     let mut reduces = Vec::with_capacity(plans.len());

@@ -1,0 +1,246 @@
+//! LAD — remote-latency ladder and ring saturation on deep hierarchies.
+//!
+//! The paper measures a two-level machine; this scaling study asks what
+//! the same methodology predicts for the full three-level, 1088-cell
+//! KSR-1 design. Two measurements:
+//!
+//! * **Ladder** — uncontended remote-read latency from cell 0 to an
+//!   owner at increasing topological distance: the same cell, the same
+//!   leaf ring, a 1-level LCA crossing (leaf → Ring:1 → leaf), and a
+//!   2-level LCA crossing through the top ring. Each extra level adds
+//!   two ring traversals and two ARD hops to the round trip.
+//! * **Saturation** — mean remote-read latency with an increasing
+//!   number of processors hammering antipodal cells on a fixed deep
+//!   topology, plus the per-packet slot wait the fabric reports. The
+//!   knee of the curve is where the shared upper rings saturate.
+
+use ksr_core::Json;
+use ksr_machine::{program, Machine, MachineConfig, Program, SharedU64};
+
+use crate::common::{ExperimentOutput, MetricRow, RunOpts};
+use crate::exec::{ExperimentPlan, Job};
+
+/// Registry id.
+pub const ID: &str = "LAD";
+/// Registry title.
+pub const TITLE: &str = "Remote-latency ladder and ring saturation on multi-level rings";
+
+/// Mean read latency (cycles) from cell 0 to data homed on `owner`,
+/// on an otherwise idle machine built from `spec`.
+#[must_use]
+pub fn probe_latency(spec: &[usize], owner: usize, seed: u64) -> f64 {
+    let mut m = Machine::new(MachineConfig::ksr_ring(seed, spec)).expect("machine");
+    let len = 64 * 1024u64;
+    let a = m.alloc(len, 16384).expect("alloc");
+    m.warm(owner, a, len);
+    let out = SharedU64::alloc(&mut m, 1).expect("alloc");
+    let samples = 256u64;
+    m.run(vec![program(move |mut cpu| async move {
+        let t0 = cpu.now();
+        for i in 0..samples {
+            // Each sample touches a fresh sub-page, so every read is a
+            // miss served by the owner.
+            let _ = cpu.read_u64(a + (i * 128) % len).await;
+        }
+        let mean = (cpu.now() - t0) / samples;
+        out.set(&mut cpu, 0, mean).await;
+    })])
+    .expect("run");
+    out.peek(&mut m, 0) as f64
+}
+
+/// One saturation point: `procs` processors each stream reads from an
+/// array homed half the machine away. Returns the mean per-read latency
+/// (cycles) and the fabric's mean slot wait per packet (cycles).
+#[must_use]
+pub fn saturation_point(spec: &[usize], procs: usize, seed: u64) -> (f64, f64) {
+    let mut m = Machine::new(MachineConfig::ksr_ring(seed, spec)).expect("machine");
+    let cells = m.config().cells;
+    assert!(
+        procs <= cells,
+        "saturation point oversubscribes the machine"
+    );
+    let len = 16 * 1024u64;
+    let arrays: Vec<u64> = (0..procs)
+        .map(|_| m.alloc(len, 16384).expect("alloc"))
+        .collect();
+    for (p, &a) in arrays.iter().enumerate() {
+        // Antipodal placement: every stream crosses the full hierarchy.
+        m.warm((p + cells / 2) % cells, a, len);
+    }
+    let out = SharedU64::alloc(&mut m, procs).expect("alloc");
+    let samples = 96u64;
+    let programs: Vec<Box<dyn Program>> = (0..procs)
+        .map(|p| {
+            let a = arrays[p];
+            program(move |mut cpu| async move {
+                let t0 = cpu.now();
+                for i in 0..samples {
+                    let _ = cpu.read_u64(a + (i * 128) % len).await;
+                }
+                let mean = (cpu.now() - t0) / samples;
+                out.set(&mut cpu, p, mean).await;
+            })
+        })
+        .collect();
+    m.run(programs).expect("run");
+    let lat = (0..procs).map(|p| out.peek(&mut m, p) as f64).sum::<f64>() / procs as f64;
+    let s = m.fabric_stats();
+    let wait = if s.packets == 0 {
+        0.0
+    } else {
+        s.wait_cycles as f64 / s.packets as f64
+    };
+    (lat, wait)
+}
+
+/// The ladder rungs for a topology spec: `(label, owner cell, rings on
+/// the round-trip path)`.
+fn ladder_rungs(spec: &[usize]) -> Vec<(&'static str, usize, usize)> {
+    let leaf = spec[0];
+    let group1 = leaf * spec.get(1).copied().unwrap_or(1);
+    vec![
+        ("same cell", 0, 0),
+        ("same leaf", 1, 1),
+        ("1-level crossing", leaf, 3),
+        ("2-level crossing", group1, 5),
+    ]
+}
+
+/// Plan LAD: one job per ladder rung, one per saturation point.
+#[must_use]
+pub fn plan(opts: &RunOpts) -> ExperimentPlan {
+    let quick = opts.quick;
+    let spec: &'static [usize] = if quick { &[8, 2, 2] } else { &[32, 8, 4] };
+    let rungs = ladder_rungs(spec);
+    let sat_procs: Vec<usize> = if quick {
+        vec![8, 16, 32]
+    } else {
+        vec![32, 64, 128, 256, 512, 1024]
+    };
+    let seed = opts.machine_seed(4100);
+    let mut jobs: Vec<Job> = rungs
+        .iter()
+        .map(|&(label, owner, _)| {
+            Job::value(
+                format!("LAD ladder {label}"),
+                1,
+                "remote_read_cycles",
+                "cycles",
+                move || probe_latency(spec, owner, seed),
+            )
+        })
+        .collect();
+    for &p in &sat_procs {
+        jobs.push(Job::new(format!("LAD saturation p={p}"), p, move || {
+            let (lat, wait) = saturation_point(spec, p, seed);
+            vec![
+                MetricRow::new("saturated_read_cycles", &[], lat, "cycles"),
+                MetricRow::new("slot_wait_per_packet", &[], wait, "cycles"),
+            ]
+        }));
+    }
+    let cells: usize = spec.iter().product();
+    ExperimentPlan::new(ID, TITLE, jobs, move |res| {
+        let mut out = ExperimentOutput::new(ID, TITLE);
+        out.line(format_args!(
+            "latency ladder on a {cells}-cell ring[{}] machine (idle, cycles/read):",
+            spec.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x")
+        ));
+        for (i, &(label, _, rings)) in rungs.iter().enumerate() {
+            out.line(format_args!(
+                "  {label:<18} {:8.0}  ({rings} ring{} booked)",
+                res.value(i),
+                if rings == 1 { "" } else { "s" }
+            ));
+            out.row(
+                "remote_read_cycles",
+                &[
+                    ("distance", Json::from(label)),
+                    ("rings", Json::from(rings)),
+                ],
+                res.value(i),
+                "cycles",
+            );
+        }
+        let l1 = res.value(2);
+        let l2 = res.value(3);
+        if l1 > 0.0 {
+            out.line(format_args!(
+                "each extra level multiplies remote latency by {:.2}x (2 more rings + 2 ARDs)",
+                l2 / l1
+            ));
+        }
+        out.line(format_args!(
+            "saturation sweep, antipodal streams on the same {cells}-cell machine:"
+        ));
+        let base = rungs.len();
+        let mut curve = ksr_core::table::Series::new("saturated read latency");
+        for (i, &p) in sat_procs.iter().enumerate() {
+            let lat = res.rows(base + i)[0].value;
+            let wait = res.rows(base + i)[1].value;
+            curve.push(p as f64, lat);
+            out.line(format_args!(
+                "  p={p:<5} read {lat:8.0} cy   slot wait/packet {wait:6.1} cy"
+            ));
+            out.row(
+                "saturated_read_cycles",
+                &[("procs", Json::from(p))],
+                lat,
+                "cycles",
+            );
+            out.row(
+                "slot_wait_per_packet",
+                &[("procs", Json::from(p))],
+                wait,
+                "cycles",
+            );
+        }
+        out.series.push(curve);
+        out.push_text(
+            "the ladder prices each level of the hierarchy; the sweep shows mean latency \
+             rising as offered load fills the upper rings' slots — the paper's \u{a7}3.1 \
+             hammering experiment extrapolated to the full three-level design.",
+        );
+        out
+    })
+}
+
+/// LAD (serial convenience form of [`plan`]).
+#[must_use]
+pub fn run(opts: &RunOpts) -> ExperimentOutput {
+    plan(opts).run_serial()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_distance() {
+        let spec = &[8, 2, 2];
+        let local = probe_latency(spec, 0, 1);
+        let leaf = probe_latency(spec, 1, 1);
+        let one = probe_latency(spec, 8, 1);
+        let two = probe_latency(spec, 16, 1);
+        assert!(
+            local < leaf && leaf < one && one < two,
+            "ladder must climb: {local} {leaf} {one} {two}"
+        );
+    }
+
+    #[test]
+    fn contention_raises_latency() {
+        let spec = &[8, 2, 2];
+        let (idle, _) = saturation_point(spec, 2, 3);
+        let (loaded, wait) = saturation_point(spec, 32, 3);
+        assert!(
+            loaded > idle,
+            "32 antipodal streams must contend: {idle} vs {loaded}"
+        );
+        assert!(wait > 0.0, "saturated fabric must report slot wait");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod ablations;
 pub mod check;
 pub mod cli;
+pub mod cmb_combining;
 pub mod common;
 pub mod ep_scaling;
 pub mod exec;
@@ -35,8 +36,10 @@ pub mod fig2_latency;
 pub mod fig3_locks;
 pub mod fig4_barriers;
 pub mod fig8_speedup;
+pub mod lad_latency;
 pub mod perf;
 pub mod registry;
+pub mod scb_scaling;
 pub mod table1_cg;
 pub mod table2_is;
 pub mod table3_sp;

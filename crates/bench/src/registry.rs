@@ -142,6 +142,21 @@ pub const REGISTRY: &[FnExperiment] = &[
         crate::ext_wishlist::TITLE,
         crate::ext_wishlist::plan
     ),
+    entry!(
+        crate::lad_latency::ID,
+        crate::lad_latency::TITLE,
+        crate::lad_latency::plan
+    ),
+    entry!(
+        crate::scb_scaling::ID,
+        crate::scb_scaling::TITLE,
+        crate::scb_scaling::plan
+    ),
+    entry!(
+        crate::cmb_combining::ID,
+        crate::cmb_combining::TITLE,
+        crate::cmb_combining::plan
+    ),
 ];
 
 /// Look an experiment up by id, case-insensitively.
@@ -164,7 +179,7 @@ mod tests {
     fn registry_covers_the_design_index() {
         let expect = [
             "FIG2", "SEC31A", "FIG3", "FIG4", "FIG5", "SEC323", "TAB1", "TAB2", "FIG8", "TAB3",
-            "TAB4", "EP", "ABL", "EXT",
+            "TAB4", "EP", "ABL", "EXT", "LAD", "SCB", "CMB",
         ];
         assert_eq!(ids(), expect);
     }

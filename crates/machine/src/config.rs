@@ -3,21 +3,7 @@
 use ksr_core::time::{Hz, KSR1_CLOCK_HZ, KSR2_CLOCK_HZ};
 use ksr_core::{Error, Result};
 use ksr_mem::{CacheTiming, MemGeometry, ProtocolOptions};
-use ksr_net::{Fabric, RingHierarchy, RingHierarchyConfig};
-
-/// Which machine of the study this is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MachineKind {
-    /// 32-cell KSR-1 (single-level ring, 20 MHz cells).
-    Ksr1,
-    /// 64-cell KSR-2 (two-level ring, 40 MHz cells; the ring keeps its
-    /// absolute speed, so it costs twice as many *processor* cycles).
-    Ksr2,
-    /// Sequent Symmetry-style bus machine (§3.2.3 comparison).
-    Symmetry,
-    /// BBN Butterfly-style MIN machine without coherent caches (§3.2.3).
-    Butterfly,
-}
+use ksr_net::{Fabric, Topology};
 
 /// Unsynchronized per-processor timer interrupts — the OS effect the
 /// authors cite (via personal communication with Steve Frank) to explain
@@ -47,11 +33,10 @@ impl InterruptConfig {
 /// Full description of a simulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
-    /// Machine family.
-    pub kind: MachineKind,
-    /// Number of processor cells physically present (the fabric always has
-    /// its full complement of stations; experiments may run fewer
-    /// programs).
+    /// Interconnect topology (the fabric always has its full complement
+    /// of stations; experiments may run fewer programs than `cells`).
+    pub topology: Topology,
+    /// Number of processor cells physically present.
     pub cells: usize,
     /// Cache geometry per cell.
     pub geometry: MemGeometry,
@@ -73,9 +58,6 @@ pub struct MachineConfig {
     pub native_fetch_op: bool,
     /// Coherence-protocol feature toggles (ablations).
     pub protocol: ProtocolOptions,
-    /// Ring-geometry override for ablation studies (Ksr1/Ksr2 kinds only;
-    /// `None` uses the machine's standard geometry).
-    pub ring_override: Option<RingHierarchyConfig>,
 }
 
 impl MachineConfig {
@@ -83,7 +65,7 @@ impl MachineConfig {
     #[must_use]
     pub fn ksr1(seed: u64) -> Self {
         Self {
-            kind: MachineKind::Ksr1,
+            topology: Topology::ksr1_32(),
             cells: 32,
             geometry: MemGeometry::ksr1(),
             timing: CacheTiming::ksr1(),
@@ -93,7 +75,6 @@ impl MachineConfig {
             interrupts: None,
             native_fetch_op: false,
             protocol: ProtocolOptions::default(),
-            ring_override: None,
         }
     }
 
@@ -107,21 +88,31 @@ impl MachineConfig {
         }
     }
 
-    /// The 64-cell two-level KSR-2 of §3.2.4.
+    /// The 64-cell two-level KSR-2 of §3.2.4: same ring in absolute time,
+    /// 40 MHz cells, so every hop and ARD crossing costs twice the cycles.
     #[must_use]
     pub fn ksr2(seed: u64) -> Self {
         Self {
-            kind: MachineKind::Ksr2,
+            topology: Topology::ksr2_64(),
             cells: 64,
-            geometry: MemGeometry::ksr1(),
-            timing: CacheTiming::ksr1(),
             clock_hz: KSR2_CLOCK_HZ,
-            flops_per_cycle: 2,
-            seed,
-            interrupts: None,
-            native_fetch_op: false,
-            protocol: ProtocolOptions::default(),
-            ring_override: None,
+            ..Self::ksr1(seed)
+        }
+    }
+
+    /// A deeper KSR-1-style ring system from a shape spec (`spec[0]`
+    /// cells per leaf ring, further entries per-level fanout — see
+    /// [`Topology::ring_levels`]): KSR-1 clock, caches and timing, with
+    /// as many cells as the tree holds. `&[32, 8, 4]` is the 1024-cell
+    /// three-level machine of the scaling experiments.
+    #[must_use]
+    pub fn ksr_ring(seed: u64, spec: &[usize]) -> Self {
+        let topology = Topology::ring_levels(spec);
+        let cells = topology.capacity().unwrap_or(0);
+        Self {
+            topology,
+            cells,
+            ..Self::ksr1(seed)
         }
     }
 
@@ -129,7 +120,7 @@ impl MachineConfig {
     #[must_use]
     pub fn symmetry(cells: usize, seed: u64) -> Self {
         Self {
-            kind: MachineKind::Symmetry,
+            topology: Topology::bus(),
             cells,
             geometry: MemGeometry::ksr1(),
             timing: CacheTiming::symmetry(),
@@ -139,7 +130,6 @@ impl MachineConfig {
             interrupts: None,
             native_fetch_op: true,
             protocol: ProtocolOptions::default(),
-            ring_override: None,
         }
     }
 
@@ -147,17 +137,9 @@ impl MachineConfig {
     #[must_use]
     pub fn butterfly(cells: usize, seed: u64) -> Self {
         Self {
-            kind: MachineKind::Butterfly,
-            cells,
-            geometry: MemGeometry::ksr1(),
+            topology: Topology::butterfly(cells),
             timing: CacheTiming::butterfly(),
-            clock_hz: 16_000_000,
-            flops_per_cycle: 1,
-            seed,
-            interrupts: None,
-            native_fetch_op: true,
-            protocol: ProtocolOptions::default(),
-            ring_override: None,
+            ..Self::symmetry(cells, seed)
         }
     }
 
@@ -168,45 +150,17 @@ impl MachineConfig {
         self
     }
 
-    /// Build the interconnect for this configuration.
+    /// Replace the interconnect topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Build the interconnect for this configuration. Capacity and shape
+    /// errors come from the topology's own validation.
     pub fn build_fabric(&self) -> Result<Fabric> {
-        if let Some(ring_cfg) = self.ring_override {
-            if !matches!(self.kind, MachineKind::Ksr1 | MachineKind::Ksr2) {
-                return Err(Error::Config(
-                    "ring_override applies to ring machines only".into(),
-                ));
-            }
-            if self.cells > ring_cfg.total_cells() {
-                return Err(Error::Config(
-                    "ring_override too small for cell count".into(),
-                ));
-            }
-            return Ok(Fabric::Ring(RingHierarchy::new(ring_cfg)?));
-        }
-        match self.kind {
-            MachineKind::Ksr1 => {
-                if self.cells > 32 {
-                    return Err(Error::Config(
-                        "a single-level KSR-1 ring holds 32 cells".into(),
-                    ));
-                }
-                Fabric::ksr1_32()
-            }
-            MachineKind::Ksr2 => {
-                if self.cells > 64 {
-                    return Err(Error::Config("the modelled KSR-2 has 64 cells".into()));
-                }
-                // Same ring in absolute time; the 40 MHz cell sees every
-                // hop cost twice the cycles.
-                let mut cfg = RingHierarchyConfig::ksr_64();
-                cfg.leaf.hop_cycles *= 2;
-                cfg.top.hop_cycles *= 2;
-                cfg.ard_cycles *= 2;
-                Ok(Fabric::Ring(RingHierarchy::new(cfg)?))
-            }
-            MachineKind::Symmetry => Fabric::symmetry(),
-            MachineKind::Butterfly => Fabric::butterfly(self.cells),
-        }
+        self.topology.build(self.cells)
     }
 
     /// Validate the configuration.
@@ -243,6 +197,7 @@ mod tests {
         MachineConfig::ksr2(1).validate().unwrap();
         MachineConfig::symmetry(16, 1).validate().unwrap();
         MachineConfig::butterfly(32, 1).validate().unwrap();
+        MachineConfig::ksr_ring(1, &[32, 8, 4]).validate().unwrap();
     }
 
     #[test]
@@ -264,17 +219,29 @@ mod tests {
                     8,
                     "ring absolute speed unchanged"
                 );
-                assert_eq!(h.config().n_leaves, 2);
+                assert_eq!(h.config().n_leaves(), 2);
             }
             _ => panic!("KSR-2 is a ring machine"),
         }
     }
 
     #[test]
-    fn oversized_configs_rejected() {
+    fn ksr_ring_spans_1024_cells() {
+        let c = MachineConfig::ksr_ring(0, &[32, 8, 4]);
+        assert_eq!(c.cells, 1024);
+        assert_eq!(c.topology.ring_depth(), Some(3));
+        assert_eq!(c.clock_hz, 20_000_000, "KSR-1 cells throughout");
+    }
+
+    #[test]
+    fn oversized_configs_rejected_by_the_topology() {
         let mut c = MachineConfig::ksr1(0);
         c.cells = 33;
-        assert!(c.validate().is_err());
+        let err = c.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("ring[32]") && err.contains("33"),
+            "capacity errors come from the topology: {err}"
+        );
         let mut c = MachineConfig::ksr2(0);
         c.cells = 65;
         assert!(c.validate().is_err());

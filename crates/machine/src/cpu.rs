@@ -11,15 +11,16 @@
 //! coordinator keeps the whole machine deterministic.
 //!
 //! The yield handshake is a per-processor [`Slot`]: the access future
-//! deposits `(issue time, op)` and returns `Pending`; the driver (the
-//! event-loop coordinator, or an oracle worker thread) takes the
-//! request, deposits the reply, and polls again. Access strictly
-//! alternates between the program future and its driver, so the slot's
-//! mutex is never contended — no syscalls, no channels, no rendezvous.
+//! deposits `(issue time, op)` and returns `Pending`; the event-loop
+//! coordinator takes the request, deposits the reply, and polls again.
+//! Coordinator and future live on the same thread (the event core is
+//! single-threaded by construction), so the slot is a plain
+//! `Rc<RefCell>` — no atomics, no locks, no rendezvous.
 
+use std::cell::RefCell;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::rc::Rc;
 use std::task::{Context, Poll};
 
 use ksr_core::time::{Cycles, Hz};
@@ -85,7 +86,7 @@ pub enum AccessOp {
         /// SVA address being spun on.
         addr: u64,
         /// Exit predicate over the loaded value.
-        pred: Box<dyn FnMut(u64) -> bool + Send>,
+        pred: Box<dyn FnMut(u64) -> bool>,
     },
 }
 
@@ -141,21 +142,22 @@ impl Reply {
     }
 }
 
-/// The per-processor yield cell shared by a program future and its
-/// driver. Access strictly alternates (the driver never polls without
-/// first depositing the awaited reply, and the future never suspends
-/// without first depositing its request), so the mutex only ever sees
-/// uncontended lock/unlock pairs — pure user-space atomics.
+/// The per-processor yield cell shared by a program future and the
+/// coordinator. Access strictly alternates (the coordinator never polls
+/// without first depositing the awaited reply, and the future never
+/// suspends without first depositing its request) and both sides live on
+/// the coordinator's thread, so a `RefCell` borrow is never held across
+/// the hand-off.
 #[derive(Default)]
 pub(crate) struct Slot {
-    inner: Mutex<SlotInner>,
+    inner: RefCell<SlotInner>,
 }
 
 #[derive(Default)]
 struct SlotInner {
     /// Deposited by the program future just before it suspends.
     request: Option<(Cycles, AccessOp)>,
-    /// Deposited by the driver just before it polls.
+    /// Deposited by the coordinator just before it polls.
     reply: Option<Reply>,
     /// Deposited by [`Cpu`]'s `Drop` when the program's future completes
     /// (the `Cpu` is owned by the future, so it drops exactly then):
@@ -164,24 +166,16 @@ struct SlotInner {
 }
 
 impl Slot {
-    fn lock(&self) -> std::sync::MutexGuard<'_, SlotInner> {
-        // A panicking program unwinds through its future, never while
-        // holding this lock — but even if a future Rust version changed
-        // drop order, the slot's plain `Option` fields cannot be left
-        // torn, so poisoning is safe to ignore.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     pub(crate) fn put_reply(&self, reply: Reply) {
-        self.lock().reply = Some(reply);
+        self.inner.borrow_mut().reply = Some(reply);
     }
 
     pub(crate) fn take_request(&self) -> Option<(Cycles, AccessOp)> {
-        self.lock().request.take()
+        self.inner.borrow_mut().request.take()
     }
 
     pub(crate) fn take_finished(&self) -> Option<(Cycles, u64)> {
-        self.lock().finished.take()
+        self.inner.borrow_mut().finished.take()
     }
 }
 
@@ -197,7 +191,7 @@ pub struct Cpu {
     interrupts: Option<(InterruptConfig, Cycles)>,
     native_fetch_op: bool,
     tracer: Tracer,
-    slot: Arc<Slot>,
+    slot: Rc<Slot>,
 }
 
 impl Drop for Cpu {
@@ -206,7 +200,7 @@ impl Drop for Cpu {
         // future completes (or is torn down mid-run after a peer's
         // failure): record the final clock and FLOP count for the
         // machine's run report.
-        self.slot.lock().finished = Some((self.local, self.flops));
+        self.slot.inner.borrow_mut().finished = Some((self.local, self.flops));
     }
 }
 
@@ -238,14 +232,14 @@ impl Cpu {
             interrupts,
             native_fetch_op,
             tracer,
-            slot: Arc::new(Slot::default()),
+            slot: Rc::new(Slot::default()),
         }
     }
 
     /// The yield cell this processor's accesses go through (cloned by the
     /// program wrapper so it can read requests after polling).
-    pub(crate) fn slot(&self) -> Arc<Slot> {
-        Arc::clone(&self.slot)
+    pub(crate) fn slot(&self) -> Rc<Slot> {
+        Rc::clone(&self.slot)
     }
 
     /// Record the completion of one barrier episode by this processor
@@ -415,11 +409,7 @@ impl Cpu {
     /// `loop { let v = read(addr); if pred(v) { break v } }` — every
     /// wake-up is a fully costed re-read — but fast-forwarded so the
     /// simulator spends O(updates), not O(spin iterations).
-    pub async fn spin_until(
-        &mut self,
-        addr: u64,
-        pred: impl FnMut(u64) -> bool + Send + 'static,
-    ) -> u64 {
+    pub async fn spin_until(&mut self, addr: u64, pred: impl FnMut(u64) -> bool + 'static) -> u64 {
         match self
             .roundtrip(AccessOp::Spin {
                 addr,
@@ -452,7 +442,7 @@ impl Future for YieldAccess<'_> {
 
     fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Reply> {
         let this = self.get_mut();
-        let mut slot = this.slot.lock();
+        let mut slot = this.slot.inner.borrow_mut();
         if let Some(req) = this.request.take() {
             slot.request = Some(req);
             return Poll::Pending;

@@ -7,9 +7,10 @@
 //! [`RunReport`] with virtual-time measurements.
 //!
 //! * [`config`] — machine presets: the 32-cell KSR-1, the 64-cell KSR-2
-//!   (two-level ring, doubled clock), and the Symmetry/Butterfly
-//!   comparison machines of §3.2.3, plus the timer-interrupt model used by
-//!   the lock experiment.
+//!   (two-level ring, doubled clock), deeper `ksr_ring` trees up to 1024
+//!   cells, and the Symmetry/Butterfly comparison machines of §3.2.3,
+//!   plus the timer-interrupt model used by the lock experiment. The
+//!   interconnect shape is a `ksr_net::Topology` value.
 //! * [`cpu`] — the processor handle: timed reads/writes,
 //!   `get_sub_page`/`release_sub_page`, `prefetch`, `poststore`, private
 //!   compute, FLOP accounting, and fast-forwarded spin loops.
@@ -18,11 +19,8 @@
 //!   written as ordinary `async` closures.
 //! * [`machine`] — the coordinator that serializes all shared-memory
 //!   operations in global virtual-time order (fully deterministic runs):
-//!   the single-threaded event core, the thread-per-processor oracle
-//!   behind `KSR_CORE=threaded` ([`CoreKind`]), and scoped per-thread
-//!   machine observers ([`ObserverScope`]) for verification harnesses.
-//! * [`budget`] — the process-wide cap on simulated-processor OS
-//!   threads; consulted only by the threaded oracle core.
+//!   the single-threaded event core, and scoped per-thread machine
+//!   observers ([`ObserverScope`]) for verification harnesses.
 //! * [`arrays`] — typed shared-vector handles for kernel code.
 //! * [`heap`] — the SVA bump allocator with the paper's
 //!   false-sharing-avoiding sub-page alignment discipline.
@@ -34,22 +32,19 @@
 #![warn(missing_docs)]
 
 pub mod arrays;
-pub mod budget;
 pub mod config;
 pub mod cpu;
 pub mod heap;
-mod hotrecv;
 pub mod machine;
 pub mod program;
 pub mod report;
 pub mod snapshot;
 
 pub use arrays::{SharedF64, SharedU64};
-pub use budget::{set_thread_cap, thread_cap, DEFAULT_THREAD_CAP};
-pub use config::{InterruptConfig, MachineConfig, MachineKind};
+pub use config::{InterruptConfig, MachineConfig};
 pub use cpu::{AccessOp, Cpu, Reply};
 pub use heap::Heap;
-pub use machine::{CoreKind, Machine, MachineObserver, ObserverScope};
+pub use machine::{Machine, MachineObserver, ObserverScope};
 pub use program::{program, Program, Step};
 pub use report::RunReport;
 pub use snapshot::PerfSnapshot;

@@ -10,18 +10,10 @@
 //! processor id), so a run is fully deterministic for a given
 //! configuration and seed.
 //!
-//! Two drivers exist for the same program contract and the same
-//! request-service logic ([`CoreKind`]):
-//!
-//! * **Event core** (default): one host thread drives every processor of
-//!   the machine. Delivering a reply *is* resuming the program — zero
-//!   channels, zero syscalls, zero context switches per access. Machine
-//!   size is bounded only by memory, not host thread limits.
-//! * **Threaded oracle** (`KSR_CORE=threaded`): the historical
-//!   one-OS-thread-per-processor core, kept for differential testing
-//!   while the event core beds in. Each worker thread steps its program
-//!   and relays yields/replies over channels; the coordinator logic is
-//!   byte-identical, so all artifacts must match the event core exactly.
+//! One host thread drives every processor of the machine (the **event
+//! core**): delivering a reply *is* resuming the program — zero
+//! channels, zero syscalls, zero context switches per access. Machine
+//! size is bounded only by memory, not host thread limits.
 //!
 //! Spin loops ([`Cpu::spin_until`]) and accesses blocked on an atomic
 //! sub-page park on a per-sub-page watch list and are re-issued — as
@@ -35,8 +27,7 @@ use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::marker::PhantomData;
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use ksr_core::time::Cycles;
 use ksr_core::trace::{TraceEvent, Tracer};
@@ -50,30 +41,6 @@ use crate::heap::Heap;
 use crate::program::{Program, Step};
 use crate::report::RunReport;
 use crate::snapshot::PerfSnapshot;
-
-/// Which coordinator drives a run (see the module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CoreKind {
-    /// Single-threaded event loop polling resumable programs (default).
-    Event,
-    /// One OS thread per simulated processor, channels per access — the
-    /// differential-test oracle, scheduled for removal once the event
-    /// core has carried a full release.
-    Threaded,
-}
-
-impl CoreKind {
-    /// The core selected by the `KSR_CORE` environment variable
-    /// (`threaded` picks the oracle; anything else — including unset —
-    /// picks the event core). Read once and cached for the process.
-    pub fn from_env() -> Self {
-        static CHOICE: OnceLock<CoreKind> = OnceLock::new();
-        *CHOICE.get_or_init(|| match std::env::var("KSR_CORE").as_deref() {
-            Ok(s) if s.eq_ignore_ascii_case("threaded") => Self::Threaded,
-            _ => Self::Event,
-        })
-    }
-}
 
 /// A hook invoked on every freshly built [`Machine`] (see
 /// [`ObserverScope`]).
@@ -227,6 +194,13 @@ impl Machine {
         self.mem.fabric().stats()
     }
 
+    /// Packets absorbed by in-network ARD combining (0 unless the
+    /// topology is a ring hierarchy built with combining enabled).
+    #[must_use]
+    pub fn combined_packets(&self) -> u64 {
+        self.mem.fabric().combined_packets()
+    }
+
     /// Freeze every hardware counter at the current virtual time. Take
     /// one snapshot before and one after a phase and
     /// [`PerfSnapshot::delta_since`] attributes the counters to it —
@@ -307,34 +281,17 @@ impl Machine {
     /// persist across runs (virtual time keeps increasing), which is how
     /// multi-phase experiments separate warm-up from measurement.
     ///
-    /// Uses the core selected by `KSR_CORE` (see [`CoreKind::from_env`]);
-    /// [`Machine::run_on`] picks one explicitly.
-    ///
     /// # Errors
-    /// [`Error::Host`] when the threaded oracle core is selected and the
-    /// operating system refuses to spawn a processor thread. The event
-    /// core spawns nothing and cannot fail this way.
+    /// None today — the event core spawns nothing that can fail. The
+    /// `Result` stays so future host resources can report typed errors
+    /// without touching every call site.
     ///
     /// # Panics
     /// Re-raises a simulated program's own panic as the run's root
     /// cause, and panics on simulation deadlock (every live processor
     /// parked on a sub-page no one is going to touch) — always a bug in
     /// the simulated program.
-    pub fn run(&mut self, programs: Vec<Box<dyn Program + '_>>) -> Result<RunReport> {
-        self.run_on(CoreKind::from_env(), programs)
-    }
-
-    /// [`Machine::run`] on an explicitly chosen coordinator core. The
-    /// two cores are observably identical (same schedules, same traces,
-    /// same reports); differential tests exploit that.
-    ///
-    /// # Errors
-    /// See [`Machine::run`].
-    pub fn run_on(
-        &mut self,
-        core: CoreKind,
-        mut programs: Vec<Box<dyn Program + '_>>,
-    ) -> Result<RunReport> {
+    pub fn run(&mut self, mut programs: Vec<Box<dyn Program + '_>>) -> Result<RunReport> {
         let n = programs.len();
         assert!(n >= 1, "need at least one program");
         assert!(
@@ -343,13 +300,9 @@ impl Machine {
             self.cfg.cells
         );
         let start = self.epoch;
-        let (proc_end, proc_flops) = match core {
-            CoreKind::Event => {
-                let cpus = self.build_cpus(n, start);
-                coordinate_event(&mut self.mem, &self.tracer, &mut programs, cpus)
-            }
-            CoreKind::Threaded => self.run_threaded(&mut programs, start)?,
-        };
+        let cpus = self.build_cpus(n, start);
+        let (proc_end, proc_flops) =
+            coordinate_event(&mut self.mem, &self.tracer, &mut programs, cpus);
         let finished_at = proc_end.iter().copied().max().unwrap_or(start);
         self.epoch = finished_at;
         Ok(RunReport {
@@ -377,133 +330,6 @@ impl Machine {
             })
             .collect()
     }
-
-    /// The thread-per-processor oracle core. Each program gets a
-    /// dedicated OS thread, reserved against the process-wide
-    /// [thread budget](crate::budget) before anything is spawned; if the
-    /// host then still cannot provide a thread, the run aborts cleanly
-    /// and returns [`Error::Host`] instead of panicking.
-    fn run_threaded(
-        &mut self,
-        programs: &mut [Box<dyn Program + '_>],
-        start: Cycles,
-    ) -> Result<(Vec<Cycles>, Vec<u64>)> {
-        let n = programs.len();
-        let _permits = crate::budget::acquire(n);
-        let (req_tx, req_rx) = mpsc::channel::<Envelope>();
-        let mut reply_txs: Vec<Sender<Reply>> = Vec::with_capacity(n);
-        let mut reply_rxs: Vec<Receiver<Reply>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (rtx, rrx) = mpsc::channel::<Reply>();
-            reply_txs.push(rtx);
-            reply_rxs.push(rrx);
-        }
-        let cpus = self.build_cpus(n, start);
-
-        let mem = &mut self.mem;
-        let tracer = &self.tracer;
-        std::thread::scope(|s| {
-            for (p, ((prog, cpu), rrx)) in programs.iter_mut().zip(cpus).zip(reply_rxs).enumerate()
-            {
-                let tx = req_tx.clone();
-                let spawned = std::thread::Builder::new()
-                    .name(format!("ksr-proc-{p}"))
-                    .spawn_scoped(s, move || drive_on_thread(p, prog, cpu, start, &tx, &rrx));
-                if let Err(e) = spawned {
-                    // Dropping the reply senders wakes every
-                    // already-spawned worker (its recv fails and it
-                    // exits), so the scope joins cleanly and the machine
-                    // is left unperturbed at its old epoch.
-                    drop(reply_txs);
-                    return Err(Error::Host(format!(
-                        "could not spawn simulated processor {p} of {n}: {e}"
-                    )));
-                }
-            }
-            drop(req_tx);
-            // `coordinate_threaded` owns the reply senders: if it
-            // unwinds, they drop, the workers wake and exit, and the
-            // scope join completes instead of hanging.
-            Ok(coordinate_threaded(mem, tracer, n, &req_rx, reply_txs))
-        })
-    }
-}
-
-/// Worker loop of the threaded oracle: step the resumable program on its
-/// own thread, relaying each yielded access over the request channel and
-/// each reply back into `resume`. A panicking program is reported to the
-/// coordinator as [`ThreadMsg::Aborted`] with the original payload, so
-/// the coordinator re-raises it as the run's root cause instead of
-/// parked peers dying with a misleading deadlock report. Channel failure
-/// means the coordinator unwound first; the worker then just exits so
-/// the coordinator's own panic is the one that propagates.
-fn drive_on_thread(
-    p: usize,
-    prog: &mut Box<dyn Program + '_>,
-    cpu: Cpu,
-    start: Cycles,
-    tx: &Sender<Envelope>,
-    rx: &Receiver<Reply>,
-) {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    let mut last_at = start;
-    let mut step = catch_unwind(AssertUnwindSafe(|| prog.start(cpu)));
-    loop {
-        match step {
-            Ok(Step::Yield { at, op }) => {
-                last_at = at;
-                if tx
-                    .send(Envelope {
-                        proc: p,
-                        at,
-                        msg: ThreadMsg::Access(op),
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-                let Ok(reply) = crate::hotrecv::recv_hot(rx) else {
-                    return;
-                };
-                step = catch_unwind(AssertUnwindSafe(|| prog.resume(reply)));
-            }
-            Ok(Step::Done { at, flops }) => {
-                let _ = tx.send(Envelope {
-                    proc: p,
-                    at,
-                    msg: ThreadMsg::Finish { flops },
-                });
-                return;
-            }
-            Err(payload) => {
-                let _ = tx.send(Envelope {
-                    proc: p,
-                    at: last_at,
-                    msg: ThreadMsg::Aborted { payload },
-                });
-                return;
-            }
-        }
-    }
-}
-
-/// A worker-to-coordinator message in the threaded oracle.
-enum ThreadMsg {
-    /// The program yielded an access.
-    Access(AccessOp),
-    /// The program ran to completion.
-    Finish { flops: u64 },
-    /// The program panicked; the payload is the run's root cause.
-    Aborted {
-        payload: Box<dyn std::any::Any + Send>,
-    },
-}
-
-/// A timestamped worker message.
-struct Envelope {
-    proc: usize,
-    at: Cycles,
-    msg: ThreadMsg,
 }
 
 /// Outcome of servicing one access request against the memory system.
@@ -530,9 +356,8 @@ fn data_fault(proc: usize, what: &str, addr: u64, at: Cycles, err: &Error) -> ! 
     )
 }
 
-/// Service one access request in virtual-time order. This is the single
-/// request-processing path shared by both cores — the event loop and the
-/// threaded oracle are observably identical because they both come here.
+/// Service one access request in virtual-time order — the single
+/// request-processing path of the coordinator.
 fn service(mem: &mut MemorySystem, tracer: &Tracer, p: usize, t: Cycles, op: AccessOp) -> Serviced {
     match op {
         AccessOp::Read { addr } => match mem.access(p, addr, MemOp::Read, t) {
@@ -817,94 +642,6 @@ fn coordinate_event(
     (end_at, flops)
 }
 
-/// The threaded oracle's coordinator loop: identical scheduling to
-/// [`coordinate_event`] (both defer to [`service`]), with replies
-/// delivered over per-processor channels instead of direct resumption.
-fn coordinate_threaded(
-    mem: &mut MemorySystem,
-    tracer: &Tracer,
-    n: usize,
-    req_rx: &Receiver<Envelope>,
-    reply_txs: Vec<Sender<Reply>>,
-) -> (Vec<Cycles>, Vec<u64>) {
-    let mut pending: Vec<Option<AccessOp>> = (0..n).map(|_| None).collect();
-    let mut ready = ReadyQueue::default();
-    let mut parked: FxHashMap<u64, Vec<(usize, Cycles)>> = FxHashMap::default();
-    let mut events = Vec::new();
-    // Processors whose next message has not arrived yet.
-    let mut running = n;
-    let mut done = 0usize;
-    let mut end_at = vec![0; n];
-    let mut flops = vec![0; n];
-
-    loop {
-        // Wait until every live processor has an outstanding request.
-        while running > 0 {
-            let env = crate::hotrecv::recv_hot(req_rx).expect("program thread died");
-            running -= 1;
-            match env.msg {
-                ThreadMsg::Finish { flops: f } => {
-                    done += 1;
-                    end_at[env.proc] = env.at;
-                    flops[env.proc] = f;
-                }
-                ThreadMsg::Aborted { payload } => {
-                    // The program's own panic is the root cause of
-                    // whatever happens next (parked peers would otherwise
-                    // die as a bogus "deadlock"). Re-raise it here: the
-                    // unwind drops the reply senders, which wakes every
-                    // other worker thread (it exits), and `thread::scope`
-                    // then resumes this payload.
-                    std::panic::resume_unwind(payload);
-                }
-                ThreadMsg::Access(op) => {
-                    pending[env.proc] = Some(op);
-                    ready.push(env.at, env.proc);
-                }
-            }
-        }
-        if done == n {
-            break;
-        }
-        let Some((t, p)) = ready.pop() else {
-            deadlock_panic(n - done, &parked);
-        };
-        let op = pending[p]
-            .take()
-            .expect("scheduled processor has a request");
-
-        match service(mem, tracer, p, t, op) {
-            Serviced::Reply(reply) => {
-                reply_txs[p].send(reply).expect("program thread died");
-                running += 1;
-            }
-            Serviced::Park { subpage, at, op } => {
-                mem.watch(subpage);
-                parked.entry(subpage).or_default().push((p, at));
-                pending[p] = Some(op);
-            }
-        }
-
-        // Visibility events wake parked processors for a costed retry.
-        mem.drain_events_into(&mut events);
-        for ev in events.drain(..) {
-            if let Some(waiters) = parked.remove(&ev.subpage) {
-                for (proc, parked_at) in waiters {
-                    mem.unwatch(ev.subpage);
-                    let wake_at = parked_at.max(ev.at);
-                    tracer.emit_with(|| TraceEvent::LockHandoff {
-                        at: wake_at,
-                        cell: proc,
-                        subpage: ev.subpage,
-                    });
-                    ready.push(wake_at, proc);
-                }
-            }
-        }
-    }
-    (end_at, flops)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -975,47 +712,6 @@ mod tests {
         )
         .expect("run");
         assert_eq!(m.peek_u64(a).unwrap(), (procs * iters) as u64);
-    }
-
-    #[test]
-    fn cores_agree_on_schedule_and_results() {
-        // The differential property the oracle flag exists for: a
-        // contended, park-heavy workload must produce identical reports
-        // and memory under both cores.
-        let run_core = |core: CoreKind| {
-            let mut m = Machine::ksr1(41).unwrap();
-            let a = m.alloc_subpage(8).unwrap();
-            let flag = m.alloc_subpage(8).unwrap();
-            let r = m
-                .run_on(
-                    core,
-                    (0..8)
-                        .map(|p| {
-                            program(move |mut cpu| async move {
-                                for i in 0..10 {
-                                    cpu.acquire_sub_page(a).await;
-                                    let v = cpu.read_u64(a).await;
-                                    cpu.write_u64(a, v + 1).await;
-                                    cpu.release_sub_page(a).await;
-                                    cpu.compute((p * 13 + i) as u64 % 97);
-                                }
-                                if p == 0 {
-                                    cpu.spin_until_eq(flag, 7).await;
-                                } else if p == 1 {
-                                    cpu.compute(5_000);
-                                    cpu.write_u64(flag, 7).await;
-                                }
-                            })
-                        })
-                        .collect(),
-                )
-                .expect("run");
-            (r.proc_end.clone(), r.proc_flops.clone(), {
-                let mut mm = m;
-                mm.peek_u64(a).unwrap()
-            })
-        };
-        assert_eq!(run_core(CoreKind::Event), run_core(CoreKind::Threaded));
     }
 
     #[test]
@@ -1153,32 +849,23 @@ mod tests {
         ]
     }
 
-    fn assert_panic_propagates(core: CoreKind) {
+    #[test]
+    fn program_panic_propagates_its_own_message() {
         let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut m = Machine::ksr1(7).unwrap();
             let programs = panic_program_set(&mut m);
-            let _ = m.run_on(core, programs);
+            let _ = m.run(programs);
         }))
         .expect_err("a panicking program must fail the run");
         let msg = panic_message(&*payload);
         assert!(
             msg.contains("the simulated program's own diagnosis"),
-            "expected the program's assertion to surface on {core:?}, got: {msg}"
+            "expected the program's assertion to surface, got: {msg}"
         );
         assert!(
             !msg.contains("deadlock"),
-            "the program's panic must not be masked as a deadlock on {core:?}: {msg}"
+            "the program's panic must not be masked as a deadlock: {msg}"
         );
-    }
-
-    #[test]
-    fn program_panic_propagates_its_own_message() {
-        assert_panic_propagates(CoreKind::Event);
-    }
-
-    #[test]
-    fn program_panic_propagates_identically_on_threaded_core() {
-        assert_panic_propagates(CoreKind::Threaded);
     }
 
     #[test]
@@ -1336,41 +1023,9 @@ mod tests {
     }
 
     #[test]
-    fn threaded_oracle_respects_a_tiny_thread_budget() {
-        // With a cap of 1, two 4-proc machines on two threads must still
-        // both complete (the oversized-when-idle rule prevents deadlock;
-        // the budget serializes them). Only the oracle core spawns
-        // processor threads, so only it consults the budget.
-        crate::budget::set_thread_cap(1);
-        std::thread::scope(|s| {
-            for seed in [21u64, 22] {
-                s.spawn(move || {
-                    let mut m = Machine::ksr1_scaled(seed, 64).unwrap();
-                    let a = m.alloc_subpage(8).unwrap();
-                    m.run_on(
-                        CoreKind::Threaded,
-                        (0..4)
-                            .map(|_| {
-                                program(move |mut cpu| async move {
-                                    cpu.fetch_add(a, 1).await;
-                                })
-                            })
-                            .collect(),
-                    )
-                    .expect("run under tiny budget");
-                    assert_eq!(m.peek_u64(a).unwrap(), 4);
-                });
-            }
-        });
-        crate::budget::set_thread_cap(crate::budget::DEFAULT_THREAD_CAP);
-    }
-
-    #[test]
     fn event_core_runs_machines_far_beyond_thread_limits() {
         // 256 processors on one host thread: impossible under the old
         // thread-per-processor core on constrained hosts, trivial now.
-        // (The ring presets stop at KSR-2's 64 cells; the Butterfly
-        // preset scales to any power of two.)
         let mut m = Machine::butterfly(256, 13).unwrap();
         let a = m.alloc_subpage(8).unwrap();
         let r = m
@@ -1385,6 +1040,28 @@ mod tests {
             )
             .expect("run");
         assert_eq!(m.peek_u64(a).unwrap(), 256);
+        assert!(r.duration_cycles() > 0);
+    }
+
+    #[test]
+    fn deep_ring_machine_runs_1024_cells() {
+        // A three-level 1024-cell KSR ring tree via the Topology API:
+        // every cell bumps its own counter, far-side cells paying
+        // multi-level crossings to reach cell 0's leaf.
+        let mut m = Machine::new(MachineConfig::ksr_ring(17, &[32, 8, 4])).unwrap();
+        let a = m.alloc_subpage(8).unwrap();
+        let r = m
+            .run(
+                (0..1024)
+                    .map(|_| {
+                        program(move |mut cpu| async move {
+                            cpu.fetch_add(a, 1).await;
+                        })
+                    })
+                    .collect(),
+            )
+            .expect("run");
+        assert_eq!(m.peek_u64(a).unwrap(), 1024);
         assert!(r.duration_cycles() > 0);
     }
 }

@@ -14,7 +14,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::Arc;
+use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 use ksr_core::time::Cycles;
@@ -45,7 +45,7 @@ pub enum Step {
 /// Drivers call [`start`](Self::start) exactly once with the processor
 /// handle, then alternate servicing the yielded [`AccessOp`] and calling
 /// [`resume`](Self::resume) with its [`Reply`] until [`Step::Done`].
-pub trait Program: Send {
+pub trait Program {
     /// Begin execution on `cpu`; runs until the first yield point or
     /// completion.
     fn start(&mut self, cpu: Cpu) -> Step;
@@ -75,8 +75,8 @@ pub trait Program: Send {
 #[must_use]
 pub fn program<F, Fut>(f: F) -> Box<dyn Program>
 where
-    F: FnOnce(Cpu) -> Fut + Send + 'static,
-    Fut: Future<Output = ()> + Send + 'static,
+    F: FnOnce(Cpu) -> Fut + 'static,
+    Fut: Future<Output = ()> + 'static,
 {
     Box::new(AsyncProgram::NotStarted(Some(f)))
 }
@@ -94,7 +94,7 @@ enum AsyncProgram<F, Fut> {
         /// The program's future.
         fut: Pin<Box<Fut>>,
         /// Yield cell shared with the `Cpu` inside the future.
-        slot: Arc<Slot>,
+        slot: Rc<Slot>,
     },
     /// Completed; stepping again is a contract violation.
     Finished,
@@ -130,8 +130,8 @@ where
 
 impl<F, Fut> Program for AsyncProgram<F, Fut>
 where
-    F: FnOnce(Cpu) -> Fut + Send,
-    Fut: Future<Output = ()> + Send,
+    F: FnOnce(Cpu) -> Fut,
+    Fut: Future<Output = ()>,
 {
     fn start(&mut self, cpu: Cpu) -> Step {
         let Self::NotStarted(f) = self else {

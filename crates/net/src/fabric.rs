@@ -125,6 +125,16 @@ impl Fabric {
         }
     }
 
+    /// Packets absorbed by in-network ARD combining (always 0 on the
+    /// bus and the Butterfly, and on rings with combining disabled).
+    #[must_use]
+    pub fn combined_packets(&self) -> u64 {
+        match self {
+            Self::Ring(h) => h.combined_packets(),
+            Self::Bus(_) | Self::Butterfly(_) => 0,
+        }
+    }
+
     /// Normalized counters.
     #[must_use]
     pub fn stats(&self) -> FabricStats {

@@ -32,10 +32,12 @@ pub mod fabric;
 pub mod hierarchy;
 pub mod msg;
 pub mod ring;
+pub mod topology;
 
 pub use bus::{Bus, BusConfig};
 pub use butterfly::{Butterfly, ButterflyConfig};
 pub use fabric::{Fabric, FabricStats};
-pub use hierarchy::{RingHierarchy, RingHierarchyConfig};
+pub use hierarchy::{RingHierarchy, RingHierarchyConfig, RingLevel};
 pub use msg::{PacketKind, Transit};
-pub use ring::{RingConfig, RingTiming, SlottedRing};
+pub use ring::{RingConfig, RingStats, RingTiming, SlottedRing};
+pub use topology::Topology;

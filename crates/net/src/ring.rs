@@ -157,6 +157,17 @@ pub struct RingStats {
     pub blocked_packets: u64,
 }
 
+impl RingStats {
+    /// Add another ring's counters into this accumulator (used to sum a
+    /// hierarchy level or a whole ring tree).
+    pub fn accumulate(&mut self, other: Self) {
+        self.packets += other.packets;
+        self.data_packets += other.data_packets;
+        self.slot_wait_cycles += other.slot_wait_cycles;
+        self.blocked_packets += other.blocked_packets;
+    }
+}
+
 /// One slotted pipelined unidirectional ring.
 #[derive(Debug, Clone)]
 pub struct SlottedRing {

@@ -1,0 +1,234 @@
+//! The unified interconnect-topology API.
+//!
+//! A [`Topology`] is a *value* describing which interconnect a machine
+//! has and how it is shaped — the KSR ring tree at any depth, the
+//! Symmetry bus, or the Butterfly MIN. `MachineConfig` carries one in
+//! place of the old machine-kind enum and per-config ring-override
+//! pair, so a 1024-cell
+//! three-level system is expressed the same way as the paper's 32-cell
+//! single ring:
+//!
+//! ```
+//! use ksr_net::Topology;
+//!
+//! let t = Topology::ring_levels(&[32, 8, 4]); // 3 levels, 1024 cells
+//! assert_eq!(t.capacity(), Some(1024));
+//! t.build(1024).unwrap();
+//! ```
+//!
+//! Validation — including every capacity error string — lives here, the
+//! single source of truth. Machine presets are constructors on this type.
+
+use ksr_core::time::Cycles;
+use ksr_core::{Error, Result};
+
+use crate::bus::{Bus, BusConfig};
+use crate::butterfly::{Butterfly, ButterflyConfig};
+use crate::fabric::Fabric;
+use crate::hierarchy::{RingHierarchy, RingHierarchyConfig};
+
+/// Shape of a machine's interconnect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// KSR slotted ring hierarchy (any depth).
+    Ring(RingHierarchyConfig),
+    /// Sequent Symmetry-style shared snooping bus.
+    Bus(BusConfig),
+    /// BBN Butterfly-style dance-hall MIN.
+    Butterfly(ButterflyConfig),
+}
+
+impl Topology {
+    /// The paper's single-level 32-cell KSR-1 ring.
+    #[must_use]
+    pub fn ksr1_32() -> Self {
+        Self::Ring(RingHierarchyConfig::ksr1_32())
+    }
+
+    /// Two-level 64-cell KSR ring system, in KSR-1 cell cycles.
+    #[must_use]
+    pub fn ksr_64() -> Self {
+        Self::Ring(RingHierarchyConfig::ksr_64())
+    }
+
+    /// The 64-cell KSR-2 of §3.2.4: the same two-level ring in absolute
+    /// time, but the 40 MHz cell sees every hop and ARD crossing cost
+    /// twice the processor cycles.
+    #[must_use]
+    pub fn ksr2_64() -> Self {
+        Self::Ring(RingHierarchyConfig::ksr_64().scale_cycles(2))
+    }
+
+    /// A ring hierarchy with explicit geometry.
+    #[must_use]
+    pub fn ring(cfg: RingHierarchyConfig) -> Self {
+        Self::Ring(cfg)
+    }
+
+    /// A KSR-style ring tree from a shape spec: `spec[0]` cells per leaf
+    /// ring, each further entry the fanout of the next level up (see
+    /// [`RingHierarchyConfig::ring_levels`]). `&[32, 8, 4]` is a
+    /// 1024-cell three-level system.
+    #[must_use]
+    pub fn ring_levels(spec: &[usize]) -> Self {
+        Self::Ring(RingHierarchyConfig::ring_levels(spec))
+    }
+
+    /// The Symmetry snooping bus (capacity limited by contention, not
+    /// ports — any cell count shares the one bus).
+    #[must_use]
+    pub fn bus() -> Self {
+        Self::Bus(BusConfig::symmetry())
+    }
+
+    /// A Butterfly MIN with `ports` processor/memory ports.
+    #[must_use]
+    pub fn butterfly(ports: usize) -> Self {
+        Self::Butterfly(ButterflyConfig::bbn(ports))
+    }
+
+    /// Multiply ring hop/ARD latencies by `factor` (no-op for bus and
+    /// Butterfly, whose timings are already in their own cell cycles).
+    #[must_use]
+    pub fn scale_ring_cycles(self, factor: Cycles) -> Self {
+        match self {
+            Self::Ring(cfg) => Self::Ring(cfg.scale_cycles(factor)),
+            other => other,
+        }
+    }
+
+    /// Maximum processor cells this topology can host, or `None` when the
+    /// shape itself imposes no port limit (the bus).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            Self::Ring(cfg) => Some(cfg.total_cells()),
+            Self::Bus(_) => None,
+            Self::Butterfly(cfg) => Some(cfg.ports),
+        }
+    }
+
+    /// Ring depth (levels), if this is a ring topology.
+    #[must_use]
+    pub fn ring_depth(&self) -> Option<usize> {
+        match self {
+            Self::Ring(cfg) => Some(cfg.depth()),
+            _ => None,
+        }
+    }
+
+    /// Validate the shape (geometry only; use [`Topology::build`] to also
+    /// check a cell count against capacity).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Self::Ring(cfg) => cfg.validate(),
+            Self::Bus(cfg) => cfg.validate(),
+            Self::Butterfly(cfg) => cfg.validate(),
+        }
+    }
+
+    /// A short human-readable shape description for reports.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Ring(cfg) => {
+                let mut s = format!("ring[{}", cfg.cells_per_leaf);
+                for lvl in &cfg.levels {
+                    s.push_str(&format!("x{}", lvl.fanout));
+                }
+                s.push(']');
+                if cfg.combining {
+                    s.push_str("+combining");
+                }
+                s
+            }
+            Self::Bus(_) => "bus".into(),
+            Self::Butterfly(cfg) => format!("butterfly[{}]", cfg.ports),
+        }
+    }
+
+    /// Validate and build the interconnect for a machine with `cells`
+    /// processors. Every capacity error originates here.
+    pub fn build(&self, cells: usize) -> Result<Fabric> {
+        self.validate()?;
+        if let Some(cap) = self.capacity() {
+            if cells > cap {
+                return Err(Error::Config(format!(
+                    "topology {} holds {cap} cells, machine asks for {cells}",
+                    self.describe()
+                )));
+            }
+        }
+        Ok(match self {
+            Self::Ring(cfg) => Fabric::Ring(RingHierarchy::new(cfg.clone())?),
+            Self::Bus(cfg) => Fabric::Bus(Bus::new(*cfg)?),
+            Self::Butterfly(cfg) => Fabric::Butterfly(Butterfly::new(*cfg)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_at_capacity() {
+        Topology::ksr1_32().build(32).unwrap();
+        Topology::ksr_64().build(64).unwrap();
+        Topology::ksr2_64().build(64).unwrap();
+        Topology::bus().build(16).unwrap();
+        Topology::butterfly(256).build(256).unwrap();
+        Topology::ring_levels(&[32, 8, 4]).build(1024).unwrap();
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(Topology::ksr1_32().capacity(), Some(32));
+        assert_eq!(Topology::ksr_64().capacity(), Some(64));
+        assert_eq!(Topology::bus().capacity(), None);
+        assert_eq!(Topology::butterfly(64).capacity(), Some(64));
+        assert_eq!(Topology::ring_levels(&[32, 8, 2]).capacity(), Some(512));
+    }
+
+    #[test]
+    fn oversized_cell_counts_name_the_topology() {
+        let err = Topology::ksr1_32().build(33).unwrap_err().to_string();
+        assert!(err.contains("ring[32]") && err.contains("33"), "got: {err}");
+        let err = Topology::butterfly(16).build(17).unwrap_err().to_string();
+        assert!(err.contains("butterfly[16]"), "got: {err}");
+        // The bus has no port limit.
+        Topology::bus().build(1000).unwrap();
+    }
+
+    #[test]
+    fn ksr2_doubles_ring_cycles() {
+        let (Topology::Ring(one), Topology::Ring(two)) = (Topology::ksr_64(), Topology::ksr2_64())
+        else {
+            panic!("ring presets");
+        };
+        assert_eq!(two.leaf.hop_cycles, one.leaf.hop_cycles * 2);
+        assert_eq!(two.levels[0].ard_cycles, one.levels[0].ard_cycles * 2);
+        assert_eq!(
+            two.levels[0].ring.hop_cycles,
+            one.levels[0].ring.hop_cycles * 2
+        );
+    }
+
+    #[test]
+    fn describe_shapes() {
+        assert_eq!(Topology::ksr1_32().describe(), "ring[32]");
+        assert_eq!(
+            Topology::ring_levels(&[32, 8, 4]).describe(),
+            "ring[32x8x4]"
+        );
+        assert_eq!(Topology::bus().describe(), "bus");
+        assert_eq!(Topology::butterfly(8).describe(), "butterfly[8]");
+    }
+
+    #[test]
+    fn invalid_shapes_rejected_before_build() {
+        let mut cfg = RingHierarchyConfig::ring_levels(&[32, 2]);
+        cfg.levels[0].fanout = 99;
+        assert!(Topology::ring(cfg).build(32).is_err());
+    }
+}

@@ -58,11 +58,7 @@ pub trait BarrierAlg: Copy + Send + 'static {
     fn nprocs(&self) -> usize;
     /// Block until all `nprocs()` processors have called `wait` for this
     /// episode.
-    ///
-    /// Declared as a `Send` future (not a plain `async fn`) so that
-    /// program futures built over a generic `B: BarrierAlg` stay `Send`
-    /// — the threaded oracle core moves them onto worker threads.
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()> + Send;
+    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()>;
 }
 
 /// An array of episode-stamped flags, one sub-page per flag.

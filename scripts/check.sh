@@ -23,8 +23,7 @@ cargo test --workspace --release --quiet
 tmp_serial=$(mktemp -d)
 tmp_parallel=$(mktemp -d)
 tmp_check=$(mktemp -d)
-tmp_threaded=$(mktemp -d)
-trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check" "$tmp_threaded"' EXIT
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check"' EXIT
 
 echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare)"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
@@ -64,24 +63,5 @@ echo "==> run_all --check --quick (coherence + race + lint verification)"
 # finding; the full report lands in violations.json.
 cargo run --quiet --release -p ksr-bench --bin run_all -- \
     --check --quick --results "$tmp_check" > "$tmp_check/stdout.txt"
-
-echo "==> dual-core differential: threaded oracle vs event core (byte-compare)"
-# While the KSR_CORE=threaded oracle exists, the historical
-# thread-per-processor core must reproduce the event core's artifacts —
-# including violations.json and the rendered stdout — byte for byte.
-KSR_CORE=threaded cargo run --quiet --release -p ksr-bench --bin run_all -- \
-    --check --quick --results "$tmp_threaded" > "$tmp_threaded/stdout.txt"
-for f in "$tmp_check"/*; do
-    name=$(basename "$f")
-    case "$name" in
-    timings.json | bench.json)
-        continue # wall-clock times: the legitimately nondeterministic files
-        ;;
-    esac
-    if ! cmp -s "$f" "$tmp_threaded/$name"; then
-        echo "core divergence: $name differs between the event core and the threaded oracle" >&2
-        exit 1
-    fi
-done
 
 echo "==> all checks passed"
