@@ -1,0 +1,7 @@
+//! Regenerates one artifact of the scaling study (EXPLORE); see DESIGN.md.
+//! Flags: `--quick`/`--full`, `--seed N`, `--results DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ksr_bench::cli::run_single_main("EXPLORE")
+}

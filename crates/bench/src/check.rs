@@ -1,17 +1,18 @@
 //! `--check` / `KSR_CHECK=1` verification mode for the experiment
 //! harness.
 //!
-//! Three passes from `ksr-verify`, all consuming the trace stream and
+//! Four passes from `ksr-verify`, all consuming the trace stream and
 //! never feeding back into virtual time (a checked run's result files
 //! are bit-identical to an unchecked run's):
 //!
 //! 1. **Coherence invariants** — each executor job runs inside a
 //!    [`CheckScope`]: a scoped, thread-local
 //!    [`ksr_machine::ObserverScope`] that attaches a fresh
-//!    [`CheckingSink`] to *every* machine the job builds, shadowing each
-//!    sub-page's global state and flagging protocol violations with the
-//!    offending cycle, processor, and a short event-window replay. Jobs
-//!    on different workers check independently; their [`ExpCheck`]
+//!    [`PredictiveSink`] (a [`ksr_verify::CheckingSink`] plus a
+//!    lock-order graph) to *every* machine the job builds, shadowing
+//!    each sub-page's global state and flagging protocol violations with
+//!    the offending cycle, processor, and a short event-window replay.
+//!    Jobs on different workers check independently; their [`ExpCheck`]
 //!    results merge in job order, so `violations.json` is byte-identical
 //!    at any `-j`.
 //! 2. **Happens-before races** — the IS kernel runs under a
@@ -20,7 +21,13 @@
 //!    race-free, and the detector must catch the deliberately racy
 //!    phase-6 variant (a checker self-test: failing to find the seeded
 //!    race is itself a violation).
-//! 3. **Schedule lints** — the declarative schedule of the IS kernel is
+//! 3. **Predictive passes** — the locked IS trace goes through the
+//!    Eraser-style [`lockset_analysis`] (must be clean thanks to its
+//!    barrier-era discipline), and the seeded lock-order-inversion
+//!    mutant from `ksr_sync::mutants` must be flagged as a potential
+//!    deadlock *from its clean default-schedule trace* while the
+//!    correctly nested counterpart stays silent (both self-tests).
+//! 4. **Schedule lints** — the declarative schedule of the IS kernel is
 //!    linted ([`lint_schedules`]), and a deliberately broken schedule
 //!    must produce findings (another self-test).
 //!
@@ -30,14 +37,15 @@
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use ksr_core::trace::Tracer;
+use ksr_core::trace::{TraceEvent, Tracer};
 use ksr_core::Json;
 use ksr_machine::{Machine, MachineObserver, ObserverScope};
 use ksr_nas::{IsConfig, IsSetup};
-use ksr_verify::report::{lint_to_json, race_to_json, violation_to_json};
+use ksr_sync::mutants::LockOrderMutant;
+use ksr_verify::report::{lint_to_json, predict_to_json, race_to_json, violation_to_json};
 use ksr_verify::{
-    lint_schedules, CheckingSink, CollectingSink, LintFinding, ProcSchedule, RaceDetector,
-    RaceReport, SchedOp, Violation,
+    lint_schedules, lockset_analysis, CollectingSink, LintFinding, LockOrderGraph, PredictFinding,
+    PredictRule, PredictiveSink, ProcSchedule, RaceDetector, RaceReport, SchedOp, Violation,
 };
 
 use crate::common::RunOpts;
@@ -54,13 +62,16 @@ pub struct ExpCheck {
     pub truncated: u64,
     /// Retained violations, in machine-construction order.
     pub violations: Vec<Violation>,
+    /// Predictive lock-order findings, in machine-construction order.
+    pub predict: Vec<PredictFinding>,
 }
 
 impl ExpCheck {
-    /// Violation count including those past the retention cap.
+    /// Violation count including those past the retention cap and the
+    /// predictive findings.
     #[must_use]
     pub fn total_violations(&self) -> u64 {
-        self.violations.len() as u64 + self.truncated
+        self.violations.len() as u64 + self.truncated + self.predict.len() as u64
     }
 
     /// Fold `next` (the following job's results) into `self`.
@@ -69,6 +80,7 @@ impl ExpCheck {
         self.events += next.events;
         self.truncated += next.truncated;
         self.violations.extend(next.violations);
+        self.predict.extend(next.predict);
     }
 
     /// JSON entry for the `coherence.experiments` array.
@@ -83,28 +95,40 @@ impl ExpCheck {
                 "violations",
                 Json::arr(self.violations.iter().map(violation_to_json)),
             ),
+            (
+                "predict",
+                Json::arr(self.predict.iter().map(predict_to_json)),
+            ),
         ])
     }
 }
 
 /// A scope during which every [`Machine`] built **on this thread** gets
-/// a fresh [`CheckingSink`] attached as its tracer. One per executor
+/// a fresh [`PredictiveSink`] attached as its tracer. One per executor
 /// job; concurrent jobs on other workers have their own scopes and
 /// never see each other's machines. Dropping (or draining) the scope
 /// uninstalls the observer.
 pub struct CheckScope {
-    sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>>,
+    sinks: Arc<Mutex<Vec<Arc<Mutex<PredictiveSink>>>>>,
     _scope: ObserverScope,
+}
+
+impl std::fmt::Debug for CheckScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckScope")
+            .field("machines", &self.machines_seen())
+            .finish_non_exhaustive()
+    }
 }
 
 impl CheckScope {
     /// Install the checking observer for the current thread.
     #[must_use]
     pub fn install() -> Self {
-        let sinks: Arc<Mutex<Vec<Arc<Mutex<CheckingSink>>>>> = Arc::default();
+        let sinks: Arc<Mutex<Vec<Arc<Mutex<PredictiveSink>>>>> = Arc::default();
         let registry = Arc::clone(&sinks);
         let observer: Arc<MachineObserver> = Arc::new(move |m: &mut Machine| {
-            let (tracer, sink) = Tracer::attach(CheckingSink::default());
+            let (tracer, sink) = Tracer::attach(PredictiveSink::default());
             m.set_tracer(tracer);
             registry
                 .lock()
@@ -133,9 +157,10 @@ impl CheckScope {
         };
         for sink in sinks.iter() {
             let s = sink.lock().expect("checking sink poisoned");
-            check.events += s.events_seen();
-            check.truncated += s.truncated();
+            check.events += s.checker().events_seen();
+            check.truncated += s.checker().truncated();
             check.violations.extend(s.violations().iter().cloned());
+            check.predict.extend(s.predict_findings());
         }
         check
     }
@@ -150,10 +175,13 @@ pub fn finalize(
     opts: &RunOpts,
 ) -> std::io::Result<(PathBuf, bool)> {
     let coherence_violations: u64 = entries.iter().map(|(_, c)| c.total_violations()).sum();
-    let (race_json, races_clean) = race_suite(opts);
+    let (clean_is_events, procs) = is_trace(opts, false);
+    let (racy_is_events, _) = is_trace(opts, true);
+    let (race_json, races_clean) = race_suite(&clean_is_events, &racy_is_events, procs);
+    let (predict_json, predicts_clean) = predict_suite(opts, &clean_is_events);
     let (lint_json, lints_clean) = lint_suite();
 
-    let clean = coherence_violations == 0 && races_clean && lints_clean;
+    let clean = coherence_violations == 0 && races_clean && predicts_clean && lints_clean;
     let doc = Json::obj([
         ("quick", Json::from(opts.quick)),
         ("seed", Json::from(opts.seed)),
@@ -169,6 +197,7 @@ pub fn finalize(
             ]),
         ),
         ("races", race_json),
+        ("predict", predict_json),
         ("lints", lint_json),
     ]);
     let path = opts.results_dir.join("violations.json");
@@ -176,11 +205,14 @@ pub fn finalize(
     std::fs::write(&path, doc.render_pretty())?;
     eprintln!("[violations: {}]", path.display());
     if clean {
-        eprintln!("[check: PASS — no coherence violations, no races, no lint findings]");
+        eprintln!(
+            "[check: PASS — no coherence violations, no races, no predictive findings, no \
+             lint findings]"
+        );
     } else {
         eprintln!(
             "[check: FAIL — {coherence_violations} coherence violation(s), races clean: \
-             {races_clean}, lints clean: {lints_clean}]"
+             {races_clean}, predictive clean: {predicts_clean}, lints clean: {lints_clean}]"
         );
     }
     Ok((path, clean))
@@ -201,8 +233,9 @@ fn suite_is_config() -> (IsConfig, usize) {
     )
 }
 
-/// Run IS under a collecting tracer and analyze its access stream.
-fn is_races(opts: &RunOpts, racy: bool) -> Vec<RaceReport> {
+/// Run IS under a collecting tracer and hand back its full trace (the
+/// race and predictive suites both analyze it).
+fn is_trace(opts: &RunOpts, racy: bool) -> (Vec<TraceEvent>, usize) {
     let (cfg, procs) = suite_is_config();
     let mut m = Machine::ksr1_scaled(opts.machine_seed(50), 64).expect("machine");
     let (tracer, sink) = Tracer::attach(CollectingSink::new());
@@ -215,15 +248,19 @@ fn is_races(opts: &RunOpts, racy: bool) -> Vec<RaceReport> {
     })
     .expect("run");
     let events = sink.lock().expect("collector poisoned").take();
-    RaceDetector::new(procs).analyze(&events)
+    (events, procs)
 }
 
 /// The race pass: the locked IS kernel must be race-free, and the
 /// deliberately racy phase-6 variant must be caught (with at least one
 /// cross-processor pair involving a write).
-fn race_suite(opts: &RunOpts) -> (Json, bool) {
-    let clean_reports = is_races(opts, false);
-    let racy_reports = is_races(opts, true);
+fn race_suite(
+    clean_is_events: &[TraceEvent],
+    racy_is_events: &[TraceEvent],
+    procs: usize,
+) -> (Json, bool) {
+    let clean_reports: Vec<RaceReport> = RaceDetector::new(procs).analyze(clean_is_events);
+    let racy_reports: Vec<RaceReport> = RaceDetector::new(procs).analyze(racy_is_events);
     let clean_is_clean = clean_reports.is_empty();
     let seeded_race_caught = racy_reports
         .iter()
@@ -253,6 +290,70 @@ fn race_suite(opts: &RunOpts) -> (Json, bool) {
         ),
     ]);
     (json, clean_is_clean && seeded_race_caught)
+}
+
+/// Trace the lock-order mutant (or its correctly nested counterpart)
+/// under the default deterministic schedule and run the lock-order
+/// graph over the result.
+fn lock_order_findings(opts: &RunOpts, clean: bool) -> Vec<PredictFinding> {
+    let mut m = Machine::ksr1_scaled(opts.machine_seed(51), 64).expect("machine");
+    let (tracer, sink) = Tracer::attach(CollectingSink::new());
+    m.set_tracer(tracer);
+    let w = LockOrderMutant::alloc(&mut m).expect("alloc");
+    m.run(if clean {
+        w.clean_programs()
+    } else {
+        w.programs()
+    })
+    .expect("run");
+    let events = sink.lock().expect("collector poisoned").take();
+    let mut graph = LockOrderGraph::new();
+    graph.ingest(&events);
+    graph.findings()
+}
+
+/// The predictive pass: the locked IS trace must survive the
+/// Eraser-style lockset analysis, the seeded lock-order inversion must
+/// be predicted as a potential deadlock from its *clean* default
+/// schedule (self-test), and the correctly nested counterpart must stay
+/// silent (counter-self-test).
+fn predict_suite(opts: &RunOpts, locked_is_events: &[TraceEvent]) -> (Json, bool) {
+    let lockset = lockset_analysis(locked_is_events);
+    let mutant = lock_order_findings(opts, false);
+    let nested = lock_order_findings(opts, true);
+    let is_lockset_clean = lockset.is_empty();
+    let deadlock_predicted = mutant
+        .iter()
+        .any(|f| f.rule == PredictRule::PotentialDeadlock);
+    let nested_silent = nested.is_empty();
+    eprintln!(
+        "[check: predict: locked IS lockset {} ({} finding(s)); lock-order mutant {}; clean \
+         nesting {}]",
+        if is_lockset_clean { "clean" } else { "DIRTY" },
+        lockset.len(),
+        if deadlock_predicted {
+            "predicted"
+        } else {
+            "MISSED"
+        },
+        if nested_silent { "silent" } else { "NOISY" },
+    );
+    let to_arr = |fs: &[PredictFinding]| Json::arr(fs.iter().map(predict_to_json));
+    let json = Json::obj([
+        ("locked_is_lockset_findings", to_arr(&lockset)),
+        (
+            "lock_order_selfcheck",
+            Json::obj([
+                ("deadlock_predicted", Json::from(deadlock_predicted)),
+                ("findings", to_arr(&mutant)),
+            ]),
+        ),
+        ("clean_nesting_findings", to_arr(&nested)),
+    ]);
+    (
+        json,
+        is_lockset_clean && deadlock_predicted && nested_silent,
+    )
 }
 
 /// The declarative schedule of the IS kernel (Figure 9): six barrier
@@ -355,14 +456,13 @@ mod tests {
         let mut a = ExpCheck {
             machines: 1,
             events: 10,
-            truncated: 0,
-            violations: Vec::new(),
+            ..ExpCheck::default()
         };
         a.merge(ExpCheck {
             machines: 2,
             events: 5,
             truncated: 3,
-            violations: Vec::new(),
+            ..ExpCheck::default()
         });
         assert_eq!(a.machines, 3);
         assert_eq!(a.events, 15);

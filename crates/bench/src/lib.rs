@@ -31,6 +31,7 @@ pub mod cmb_combining;
 pub mod common;
 pub mod ep_scaling;
 pub mod exec;
+pub mod explore_exp;
 pub mod ext_wishlist;
 pub mod fig2_latency;
 pub mod fig3_locks;

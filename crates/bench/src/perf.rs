@@ -58,6 +58,7 @@ use crate::table2_is::{is_time, paper_config};
 /// One microworkload: a name, what it stresses, and a runner returning
 /// the *simulated* seconds of the workload (the wall clock is the
 /// harness's job).
+#[derive(Debug)]
 pub struct PerfCase {
     /// Stable case name (a JSON key in `bench.json`).
     pub name: &'static str,

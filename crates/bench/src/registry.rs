@@ -157,6 +157,11 @@ pub const REGISTRY: &[FnExperiment] = &[
         crate::cmb_combining::TITLE,
         crate::cmb_combining::plan
     ),
+    entry!(
+        crate::explore_exp::ID,
+        crate::explore_exp::TITLE,
+        crate::explore_exp::plan
+    ),
 ];
 
 /// Look an experiment up by id, case-insensitively.
@@ -179,7 +184,7 @@ mod tests {
     fn registry_covers_the_design_index() {
         let expect = [
             "FIG2", "SEC31A", "FIG3", "FIG4", "FIG5", "SEC323", "TAB1", "TAB2", "FIG8", "TAB3",
-            "TAB4", "EP", "ABL", "EXT", "LAD", "SCB", "CMB",
+            "TAB4", "EP", "ABL", "EXT", "LAD", "SCB", "CMB", "EXPLORE",
         ];
         assert_eq!(ids(), expect);
     }

@@ -3,8 +3,10 @@
 //! result files — `summary.json`, every per-experiment `.json`/`.txt`/
 //! `.csv`, and (under `--check`) `violations.json`.
 //!
-//! Uses the cheap experiments (FIG4, SEC323, EP, TAB3) in quick mode so
-//! the gate stays debug-build friendly.
+//! Uses the cheap experiments (FIG4, SEC323, EP, TAB3) plus the
+//! schedule explorer (EXPLORE, whose predictive passes hash schedule
+//! states across processes) in quick mode so the gate stays
+//! debug-build friendly.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -15,7 +17,7 @@ use ksr_bench::registry::{find, Experiment};
 use ksr_bench::{check, exec, RunOpts};
 use ksr_core::Progress;
 
-const IDS: [&str; 4] = ["FIG4", "SEC323", "EP", "TAB3"];
+const IDS: [&str; 5] = ["FIG4", "SEC323", "EP", "TAB3", "EXPLORE"];
 
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -85,6 +87,7 @@ fn results_are_byte_identical_across_worker_counts() {
     assert!(names.contains("summary.json"));
     assert!(names.contains("violations.json"));
     assert!(names.contains("fig4.json"));
+    assert!(names.contains("explore.json"));
     for name in &names {
         let a = fs::read(serial_dir.join(name)).expect("read serial artifact");
         let b = fs::read(parallel_dir.join(name)).expect("read parallel artifact");

@@ -74,6 +74,14 @@ pub struct Progress {
     tx: Option<Sender<ProgressEvent>>,
 }
 
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("connected", &self.tx.is_some())
+            .finish()
+    }
+}
+
 impl Progress {
     /// A handle that drops every event (for tests and library callers
     /// that don't want status output).
@@ -139,6 +147,7 @@ impl Progress {
 
 /// Join handle for the stderr drainer thread. The thread exits when
 /// every [`Progress`] clone feeding it has been dropped.
+#[derive(Debug)]
 pub struct ProgressDrainer {
     handle: JoinHandle<()>,
 }

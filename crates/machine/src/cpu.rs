@@ -90,6 +90,43 @@ pub enum AccessOp {
     },
 }
 
+impl std::fmt::Debug for AccessOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Read { addr } => f.debug_struct("Read").field("addr", addr).finish(),
+            Self::Write { addr, value } => f
+                .debug_struct("Write")
+                .field("addr", addr)
+                .field("value", value)
+                .finish(),
+            Self::GetSubPage { addr } => f.debug_struct("GetSubPage").field("addr", addr).finish(),
+            Self::ReleaseSubPage { addr } => f
+                .debug_struct("ReleaseSubPage")
+                .field("addr", addr)
+                .finish(),
+            Self::FetchAdd { addr, delta } => f
+                .debug_struct("FetchAdd")
+                .field("addr", addr)
+                .field("delta", delta)
+                .finish(),
+            Self::Prefetch { addr, exclusive } => f
+                .debug_struct("Prefetch")
+                .field("addr", addr)
+                .field("exclusive", exclusive)
+                .finish(),
+            Self::Poststore { addr } => f.debug_struct("Poststore").field("addr", addr).finish(),
+            Self::SubcachePrefetch { addr } => f
+                .debug_struct("SubcachePrefetch")
+                .field("addr", addr)
+                .finish(),
+            Self::Spin { addr, .. } => f
+                .debug_struct("Spin")
+                .field("addr", addr)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
 impl AccessOp {
     /// Short operation name for diagnostics.
     #[must_use]
@@ -192,6 +229,17 @@ pub struct Cpu {
     native_fetch_op: bool,
     tracer: Tracer,
     slot: Rc<Slot>,
+}
+
+impl std::fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu")
+            .field("id", &self.id)
+            .field("nprocs", &self.nprocs)
+            .field("local", &self.local)
+            .field("flops", &self.flops)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Drop for Cpu {

@@ -21,6 +21,10 @@
 //!   operations in global virtual-time order (fully deterministic runs):
 //!   the single-threaded event core, and scoped per-thread machine
 //!   observers ([`ObserverScope`]) for verification harnesses.
+//! * [`schedule`] — [`ScheduleOracle`]: controlled resolution of the
+//!   coordinator's equal-timestamp ties, the hook the small-scope
+//!   schedule explorer (`ksr_verify::explore`) enumerates interleavings
+//!   through. No oracle installed ⇒ the historical deterministic order.
 //! * [`arrays`] — typed shared-vector handles for kernel code.
 //! * [`heap`] — the SVA bump allocator with the paper's
 //!   false-sharing-avoiding sub-page alignment discipline.
@@ -38,6 +42,7 @@ pub mod heap;
 pub mod machine;
 pub mod program;
 pub mod report;
+pub mod schedule;
 pub mod snapshot;
 
 pub use arrays::{SharedF64, SharedU64};
@@ -47,4 +52,5 @@ pub use heap::Heap;
 pub use machine::{Machine, MachineObserver, ObserverScope};
 pub use program::{program, Program, Step};
 pub use report::RunReport;
+pub use schedule::{ReplayOracle, ScheduleOracle, ScheduleTrace};
 pub use snapshot::PerfSnapshot;

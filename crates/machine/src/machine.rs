@@ -40,6 +40,7 @@ use crate::cpu::{AccessOp, Cpu, Reply};
 use crate::heap::Heap;
 use crate::program::{Program, Step};
 use crate::report::RunReport;
+use crate::schedule::ScheduleOracle;
 use crate::snapshot::PerfSnapshot;
 
 /// A hook invoked on every freshly built [`Machine`] (see
@@ -67,6 +68,7 @@ thread_local! {
 /// deliberately `!Send` — registration is per-thread, and moving the
 /// guard across threads would silently uninstall on the wrong stack.
 #[must_use = "the observer is uninstalled when the scope is dropped"]
+#[derive(Debug)]
 pub struct ObserverScope {
     _not_send: PhantomData<*const ()>,
 }
@@ -96,6 +98,17 @@ pub struct Machine {
     heap: Heap,
     epoch: Cycles,
     tracer: Tracer,
+    oracle: Option<Box<dyn ScheduleOracle>>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cells", &self.cfg.cells)
+            .field("epoch", &self.epoch)
+            .field("oracle", &self.oracle.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Machine {
@@ -117,6 +130,7 @@ impl Machine {
             heap: Heap::new(),
             epoch: 0,
             tracer: Tracer::disabled(),
+            oracle: None,
         };
         // Clone the innermost hook out before invoking it (the borrow
         // must end first) so a hook that builds another machine
@@ -137,6 +151,21 @@ impl Machine {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.mem.set_tracer(tracer.clone());
         self.tracer = tracer;
+    }
+
+    /// Install a [`ScheduleOracle`]: the coordinator consults it whenever
+    /// several processors' requests tie at the minimal virtual time,
+    /// instead of defaulting to ascending proc-id order. Used by the
+    /// small-scope schedule explorer (`ksr_verify::explore`) to enumerate
+    /// interleavings; measurement runs never install one.
+    pub fn set_schedule_oracle(&mut self, oracle: Box<dyn ScheduleOracle>) {
+        self.oracle = Some(oracle);
+    }
+
+    /// Remove any installed schedule oracle, restoring the default
+    /// deterministic `(time, proc id)` order.
+    pub fn clear_schedule_oracle(&mut self) {
+        self.oracle = None;
     }
 
     /// The paper's 32-cell KSR-1.
@@ -301,8 +330,13 @@ impl Machine {
         );
         let start = self.epoch;
         let cpus = self.build_cpus(n, start);
-        let (proc_end, proc_flops) =
-            coordinate_event(&mut self.mem, &self.tracer, &mut programs, cpus);
+        let (proc_end, proc_flops) = coordinate_event(
+            &mut self.mem,
+            &self.tracer,
+            &mut programs,
+            cpus,
+            self.oracle.as_deref_mut(),
+        );
         let finished_at = proc_end.iter().copied().max().unwrap_or(start);
         self.epoch = finished_at;
         Ok(RunReport {
@@ -543,6 +577,43 @@ impl ReadyQueue {
             .take()
             .or_else(|| self.heap.pop().map(|Reverse(x)| x))
     }
+
+    /// Pop the next runnable processor, letting `oracle` (when installed)
+    /// resolve minimal-timestamp ties instead of the default ascending
+    /// proc-id order. The `direct` fast path is by construction the sole
+    /// ready entry, so it never constitutes a choice point; with no
+    /// oracle this is exactly [`ReadyQueue::pop`].
+    fn pop_with(
+        &mut self,
+        oracle: Option<&mut (dyn ScheduleOracle + '_)>,
+    ) -> Option<(Cycles, usize)> {
+        let Some(oracle) = oracle else {
+            return self.pop();
+        };
+        if let Some(d) = self.direct.take() {
+            return Some(d);
+        }
+        let Reverse((t, first)) = self.heap.pop()?;
+        if self.heap.peek().is_none_or(|Reverse((t2, _))| *t2 != t) {
+            return Some((t, first));
+        }
+        // Two or more requests share the minimal timestamp: collect the
+        // whole tie (heap pops ascend by (t, p), so `tied` is in
+        // ascending proc-id order), ask the oracle, re-queue the rest.
+        let mut tied = vec![first];
+        while let Some(&Reverse((t2, p))) = self.heap.peek() {
+            if t2 != t {
+                break;
+            }
+            self.heap.pop();
+            tied.push(p);
+        }
+        let chosen = tied.swap_remove(oracle.pick(t, &tied).min(tied.len() - 1));
+        for p in tied {
+            self.heap.push(Reverse((t, p)));
+        }
+        Some((t, chosen))
+    }
 }
 
 /// Panic with the deadlock diagnosis: every live processor is parked on
@@ -570,6 +641,7 @@ fn coordinate_event(
     tracer: &Tracer,
     programs: &mut [Box<dyn Program + '_>],
     cpus: Vec<Cpu>,
+    mut oracle: Option<&mut (dyn ScheduleOracle + '_)>,
 ) -> (Vec<Cycles>, Vec<u64>) {
     let n = programs.len();
     // Op yielded by each suspended processor, serviced when its
@@ -606,7 +678,7 @@ fn coordinate_event(
     }
 
     while done < n {
-        let Some((t, p)) = ready.pop() else {
+        let Some((t, p)) = ready.pop_with(oracle.as_deref_mut()) else {
             deadlock_panic(n - done, &parked);
         };
         let op = pending[p]
@@ -1020,6 +1092,77 @@ mod tests {
         assert_eq!(seen.load(Ordering::SeqCst), 0);
         let _m = Machine::ksr1_scaled(7, 64).unwrap();
         assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn empty_prefix_oracle_reproduces_the_default_schedule() {
+        use crate::schedule::ReplayOracle;
+        let run = |oracle: bool| {
+            let mut m = Machine::ksr1(99).unwrap();
+            let a = m.alloc_subpage(8).unwrap();
+            let trace = oracle.then(|| {
+                let (o, trace) = ReplayOracle::with_trace(Vec::new());
+                m.set_schedule_oracle(Box::new(o));
+                trace
+            });
+            let r = m
+                .run(
+                    (0..4)
+                        .map(|_| {
+                            program(move |mut cpu| async move {
+                                for _ in 0..10 {
+                                    cpu.acquire_sub_page(a).await;
+                                    let v = cpu.read_u64(a).await;
+                                    cpu.write_u64(a, v + 1).await;
+                                    cpu.release_sub_page(a).await;
+                                }
+                            })
+                        })
+                        .collect(),
+                )
+                .expect("run");
+            (r.proc_end.clone(), trace)
+        };
+        let (baseline, _) = run(false);
+        let (replayed, trace) = run(true);
+        assert_eq!(baseline, replayed, "prefix [] must be the default order");
+        let t = trace.unwrap();
+        let t = t.lock().unwrap();
+        assert!(
+            !t.fanouts.is_empty(),
+            "4 procs starting at cycle 0 must tie at least once"
+        );
+        assert!(t.decisions.iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn oracle_choice_changes_the_schedule() {
+        // Two procs race a get_sub_page at t=0; whoever is serviced
+        // first wins the sub-page, so flipping the first tie must be
+        // observable in the final memory state.
+        let run = |prefix: Vec<usize>| {
+            let mut m = Machine::ksr1(3).unwrap();
+            let g = m.alloc_subpage(8).unwrap();
+            let winner = m.alloc_subpage(8).unwrap();
+            let (o, _trace) = crate::schedule::ReplayOracle::with_trace(prefix);
+            m.set_schedule_oracle(Box::new(o));
+            m.run(
+                (0..2)
+                    .map(|p| {
+                        program(move |mut cpu| async move {
+                            if cpu.get_sub_page(g).await {
+                                cpu.write_u64(winner, p as u64 + 1).await;
+                                cpu.release_sub_page(g).await;
+                            }
+                        })
+                    })
+                    .collect(),
+            )
+            .expect("run");
+            m.peek_u64(winner).unwrap()
+        };
+        assert_eq!(run(vec![0]), 1, "default order: proc 0 wins the tie");
+        assert_eq!(run(vec![1]), 2, "flipped tie: proc 1 wins");
     }
 
     #[test]

@@ -22,6 +22,7 @@ use ksr_core::time::Cycles;
 use crate::cpu::{AccessOp, Cpu, Reply, Slot};
 
 /// One step of a resumable program.
+#[derive(Debug)]
 pub enum Step {
     /// The program is suspended on a shared-memory operation issued at
     /// local time `at`; it must next be resumed with the op's [`Reply`].

@@ -1,0 +1,121 @@
+//! Schedule oracles: controlled resolution of the coordinator's
+//! scheduling ties.
+//!
+//! The event core is deterministic: it services the outstanding request
+//! with the smallest virtual timestamp, breaking ties by processor id.
+//! That single schedule is the only one the `ksr-verify` checkers ever
+//! observe — a bug that needs a different wake order is invisible. A
+//! [`ScheduleOracle`] makes the tie-break a *choice point*: whenever two
+//! or more processors are ready at the same minimal virtual time, the
+//! coordinator asks the oracle which one runs next, and a model checker
+//! (`ksr_verify::explore`) can systematically enumerate every answer.
+//!
+//! Two properties keep this sound:
+//!
+//! * **No oracle, no change.** With no oracle installed the coordinator
+//!   uses the historical `(time, proc id)` min order, so every result
+//!   artifact stays byte-identical.
+//! * **Ties are the whole schedule space.** Wake order is subsumed:
+//!   parked processors re-enter the ready queue keyed by wake time, and
+//!   the queue orders distinct `(time, proc)` keys totally — the only
+//!   freedom the coordinator ever has is which of several *equal-time*
+//!   requests to service first, which is exactly the hook.
+
+use std::sync::{Arc, Mutex};
+
+use ksr_core::time::Cycles;
+
+/// Resolves the coordinator's ready-queue ties.
+///
+/// Installed on a [`Machine`](crate::Machine) via
+/// [`Machine::set_schedule_oracle`](crate::Machine::set_schedule_oracle).
+/// The coordinator consults it only when a genuine choice exists
+/// (`tied.len() >= 2`); runs whose schedule never forks never call it.
+pub trait ScheduleOracle: Send {
+    /// Choose which processor runs next among `tied` — the processors
+    /// whose pending requests share the globally minimal timestamp
+    /// `at`, in ascending proc-id order (so index 0 reproduces the
+    /// default schedule). Returns an index into `tied`; out-of-range
+    /// values are clamped by the caller.
+    fn pick(&mut self, at: Cycles, tied: &[usize]) -> usize;
+}
+
+/// The choice-point log of one run under a [`ReplayOracle`]: how wide
+/// each encountered choice point was and which branch was taken.
+///
+/// `fanouts[k]` is the number of tied processors at the `k`-th choice
+/// point; `decisions[k]` the index actually chosen. Both vectors always
+/// have the same length. A schedule explorer reads the log after a run
+/// to enumerate the untaken branches.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Width (number of tied processors) of each choice point, in
+    /// encounter order.
+    pub fanouts: Vec<usize>,
+    /// Branch taken at each choice point (an index below the fanout).
+    pub decisions: Vec<usize>,
+}
+
+/// A [`ScheduleOracle`] that replays a decision prefix and records the
+/// choice points it encounters.
+///
+/// At the `k`-th choice point it answers `prefix[k]` (clamped to the
+/// actual fanout); past the end of the prefix it answers 0, which is
+/// the default `(time, proc id)` order. Every consultation appends to
+/// the shared [`ScheduleTrace`], so after the run the caller knows the
+/// complete decision vector taken and the fanout at every point — the
+/// exact information a DFS over schedules needs to generate sibling
+/// prefixes.
+#[derive(Debug)]
+pub struct ReplayOracle {
+    prefix: Vec<usize>,
+    trace: Arc<Mutex<ScheduleTrace>>,
+}
+
+impl ReplayOracle {
+    /// An oracle replaying `prefix`, plus the shared handle its
+    /// choice-point log is published through.
+    #[must_use]
+    pub fn with_trace(prefix: Vec<usize>) -> (Self, Arc<Mutex<ScheduleTrace>>) {
+        let trace = Arc::new(Mutex::new(ScheduleTrace::default()));
+        (
+            Self {
+                prefix,
+                trace: Arc::clone(&trace),
+            },
+            trace,
+        )
+    }
+}
+
+impl ScheduleOracle for ReplayOracle {
+    fn pick(&mut self, _at: Cycles, tied: &[usize]) -> usize {
+        let mut trace = self.trace.lock().expect("schedule trace poisoned");
+        let k = trace.fanouts.len();
+        let d = self
+            .prefix
+            .get(k)
+            .copied()
+            .unwrap_or(0)
+            .min(tied.len().saturating_sub(1));
+        trace.fanouts.push(tied.len());
+        trace.decisions.push(d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_oracle_follows_prefix_then_defaults_to_zero() {
+        let (mut o, trace) = ReplayOracle::with_trace(vec![1, 9]);
+        assert_eq!(o.pick(10, &[0, 1]), 1, "prefix[0]");
+        assert_eq!(o.pick(20, &[0, 1, 2]), 2, "prefix[1]=9 clamps to fanout-1");
+        assert_eq!(o.pick(30, &[1, 3]), 0, "past the prefix: default order");
+        let t = trace.lock().unwrap();
+        assert_eq!(t.fanouts, vec![2, 3, 2]);
+        assert_eq!(t.decisions, vec![1, 2, 0]);
+    }
+}

@@ -108,6 +108,7 @@ pub fn cg_sequential(cfg: &CgConfig) -> CgResult {
 }
 
 /// CG wired onto a simulated machine.
+#[derive(Debug)]
 pub struct CgSetup {
     cfg: CgConfig,
     values: SharedF64,

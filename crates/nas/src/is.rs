@@ -103,6 +103,7 @@ pub fn ranks_are_valid(keys: &[u64], ranks: &[u64]) -> bool {
 }
 
 /// IS wired onto a simulated machine.
+#[derive(Debug)]
 pub struct IsSetup {
     cfg: IsConfig,
     key: SharedU64,

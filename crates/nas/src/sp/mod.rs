@@ -169,6 +169,7 @@ pub fn sp_sequential(cfg: &SpConfig) -> Vec<f64> {
 
 /// SP wired onto a simulated machine (full-size cache geometry — the
 /// Table-4 effects are *conflict* misses, not capacity misses).
+#[derive(Debug)]
 pub struct SpSetup {
     cfg: SpConfig,
     fields: [SharedF64; FIELDS], // e, c, d, a, b, u

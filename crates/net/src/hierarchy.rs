@@ -336,6 +336,18 @@ impl RingHierarchy {
                         if at_ard <= home_at {
                             // Merged at the ARD: never climbs, shares the
                             // in-flight response on its way back down.
+                            // Emission contract for merged grants: the
+                            // follower's response is the head's (one copy
+                            // of the sub-page rides down once), so it can
+                            // never land before the follower's own leaf
+                            // rotation reached the ARD — the coherence
+                            // engine may therefore stamp the follower's
+                            // events at `response_at` exactly as it does
+                            // for an uncombined grant.
+                            assert!(
+                                home_at >= first.response_at,
+                                "combined response precedes the follower's leaf rotation"
+                            );
                             self.combined += 1;
                             return RingTiming {
                                 injected_at: first.injected_at,
@@ -705,6 +717,44 @@ mod tests {
         let _ = h.transact(12, 2, cross, 7, PacketKind::Invalidate);
         assert_eq!(h.combined_packets(), 0);
         assert_eq!(h.top_stats().packets, 3);
+    }
+
+    #[test]
+    fn read_rides_a_get_sub_page_response_in_the_same_window() {
+        // The window keys on (leaf, sub-page), not kind: a ReadData for
+        // the hot sub-page rides a GetSubPage head's data home — the
+        // read-combining half of the fetch-and-Φ story.
+        let mut cfg = RingHierarchyConfig::ksr_64();
+        cfg.combining = true;
+        let mut h = RingHierarchy::new(cfg).unwrap();
+        let cross = Transit::CrossRing { dst_leaf: 1 };
+        let head = h.transact(0, 0, cross, 7, PacketKind::GetSubPage);
+        let follower = h.transact(5, 1, cross, 7, PacketKind::ReadData);
+        assert_eq!(follower.response_at, head.response_at);
+        assert_eq!(h.combined_packets(), 1);
+    }
+
+    #[test]
+    fn merged_responses_never_precede_the_followers_leaf_rotation() {
+        // The emission contract the coherence engine relies on: a
+        // combined grant arrives no earlier than the follower's own
+        // rotation to the ARD, so stamping the follower's coherence
+        // events at `response_at` keeps the trace causally ordered.
+        let mut cfg = RingHierarchyConfig::ksr_64();
+        cfg.combining = true;
+        let mut h = RingHierarchy::new(cfg).unwrap();
+        let cross = Transit::CrossRing { dst_leaf: 1 };
+        let head = h.transact(0, 0, cross, 7, PacketKind::GetSubPage);
+        for (i, cell) in [(1u64, 1usize), (2, 2), (3, 3)] {
+            let t = h.transact(10 * i, cell, cross, 7, PacketKind::GetSubPage);
+            if t.response_at == head.response_at {
+                assert!(
+                    t.response_at >= t.injected_at,
+                    "merged response precedes injection"
+                );
+            }
+        }
+        assert!(h.combined_packets() > 0, "the window must have merged some");
     }
 
     #[test]

@@ -40,7 +40,7 @@ impl BarrierAlg for CounterBarrier {
         self.n
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_gen = ep.ep;
         ep.ep += 1;
         // Atomic decrement: native fetch-and-add where the machine has

@@ -46,7 +46,7 @@ impl BarrierAlg for DisseminationBarrier {
         self.n
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         let p = cpu.id();

@@ -56,9 +56,22 @@ pub struct Episode {
 pub trait BarrierAlg: Copy + Send + 'static {
     /// Number of participating processors.
     fn nprocs(&self) -> usize;
-    /// Block until all `nprocs()` processors have called `wait` for this
-    /// episode.
-    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()>;
+    /// The algorithm body: block until all `nprocs()` processors have
+    /// arrived for this episode. Implementations provide this; callers
+    /// go through [`BarrierAlg::wait`].
+    fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()>;
+    /// Block until all `nprocs()` processors have called `wait` for
+    /// this episode, then stamp one cycle-stamped `BarrierEpisode`
+    /// trace event per processor (a no-op unless the machine has a
+    /// tracer attached). The verification passes key barrier *eras* off
+    /// these events, so every barrier — whichever concrete type the
+    /// kernel holds — reports episodes through this one place.
+    fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) -> impl Future<Output = ()> {
+        async move {
+            self.sync(cpu, ep).await;
+            cpu.trace_barrier_episode(ep.ep);
+        }
+    }
 }
 
 /// An array of episode-stamped flags, one sub-page per flag.
@@ -191,18 +204,15 @@ impl BarrierAlg for AnyBarrier {
         }
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         match self {
-            Self::System(b) => b.wait(cpu, ep).await,
-            Self::Counter(b) => b.wait(cpu, ep).await,
-            Self::Tree(b) => b.wait(cpu, ep).await,
-            Self::Dissemination(b) => b.wait(cpu, ep).await,
-            Self::Tournament(b) => b.wait(cpu, ep).await,
-            Self::Mcs(b) => b.wait(cpu, ep).await,
+            Self::System(b) => b.sync(cpu, ep).await,
+            Self::Counter(b) => b.sync(cpu, ep).await,
+            Self::Tree(b) => b.sync(cpu, ep).await,
+            Self::Dissemination(b) => b.sync(cpu, ep).await,
+            Self::Tournament(b) => b.sync(cpu, ep).await,
+            Self::Mcs(b) => b.sync(cpu, ep).await,
         }
-        // One cycle-stamped event per processor per episode (a no-op
-        // unless the machine has a tracer attached).
-        cpu.trace_barrier_episode(ep.ep);
     }
 }
 

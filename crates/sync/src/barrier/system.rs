@@ -43,9 +43,9 @@ impl BarrierAlg for SystemBarrier {
         self.n
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         cpu.compute(CALL_OVERHEAD);
-        self.inner.wait(cpu, ep).await;
+        self.inner.sync(cpu, ep).await;
     }
 }
 

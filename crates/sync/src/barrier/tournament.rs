@@ -63,7 +63,7 @@ impl BarrierAlg for TournamentBarrier {
         self.n
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         if self.n <= 1 {

@@ -78,7 +78,7 @@ impl BarrierAlg for TreeBarrier {
         self.n
     }
 
-    async fn wait(&self, cpu: &mut Cpu, ep: &mut Episode) {
+    async fn sync(&self, cpu: &mut Cpu, ep: &mut Episode) {
         let my_ep = ep.ep;
         ep.ep += 1;
         if self.n == 1 {

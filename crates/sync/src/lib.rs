@@ -11,13 +11,18 @@
 //!   (modified Anderson ticket lock) with read combining and strict FCFS;
 //! * [`barrier`] — the nine barrier algorithms of Figures 4 and 5:
 //!   counter, dynamic tree, dissemination, tournament, MCS, the three
-//!   global-wakeup-flag "(M)" variants, and the "System" library barrier.
+//!   global-wakeup-flag "(M)" variants, and the "System" library barrier;
+//! * [`mutants`] — seeded concurrency-bug workloads (a lock-order
+//!   inversion, a racy flag handoff, a missed-invalidation probe) whose
+//!   default deterministic schedule is clean: validation targets for the
+//!   predictive passes and the schedule explorer in `ksr-verify`.
 
 #![warn(missing_docs)]
 
 pub mod atomic;
 pub mod barrier;
 pub mod hwlock;
+pub mod mutants;
 pub mod rwlock;
 
 pub use barrier::{
@@ -25,4 +30,5 @@ pub use barrier::{
     SystemBarrier, TournamentBarrier, TreeBarrier,
 };
 pub use hwlock::HwLock;
+pub use mutants::{LockOrderMutant, MissedInvalidationProbe, RacyHandoff};
 pub use rwlock::{LockMode, SwRwLock, Ticket};

@@ -6,7 +6,7 @@
 //! time — a checked run produces bit-identical results to an unchecked
 //! one (asserted by the `tracing_preserves_determinism` suite).
 //!
-//! Three passes:
+//! Five passes:
 //!
 //! * [`checker`] — a [`checker::CheckingSink`] that shadows every
 //!   sub-page's global coherence state from the event stream and asserts
@@ -23,15 +23,30 @@
 //! * [`lint`] — static checks over program *schedules* before any
 //!   simulation runs: mismatched barrier arity, lock acquire without
 //!   release, prefetch of a sub-page that is never read.
+//! * [`predict`] — predictive passes over one observed trace: an
+//!   Eraser-style lockset detector ([`predict::lockset_analysis`])
+//!   catching locking-discipline violations even when this run's vector
+//!   clocks ordered the accesses, and a lock-order graph
+//!   ([`predict::LockOrderGraph`]) reporting potential-deadlock cycles
+//!   and lock/barrier hazards that never manifested.
+//! * [`explore`] — a small-scope exhaustive schedule explorer
+//!   ([`explore::explore`]): enumerate every resolution of the
+//!   coordinator's equal-time ties (via `ksr_machine::ScheduleOracle`),
+//!   re-running the checkers on each interleaving with state-hash
+//!   pruning and a bounded budget.
 //!
-//! The bench harness wires all three into `run_all --check` (or
+//! The bench harness wires all of these into `run_all --check` (or
 //! `KSR_CHECK=1`) and writes a machine-readable `violations.json`.
 
 pub mod checker;
+pub mod explore;
 pub mod lint;
+pub mod predict;
 pub mod race;
 pub mod report;
 
 pub use checker::{CheckerConfig, CheckingSink, Rule, Violation};
+pub use explore::{ExploreConfig, ExploreReport, RunOutcome, WitnessedViolation};
 pub use lint::{lint_schedules, LintFinding, LintRule, ProcSchedule, SchedOp};
+pub use predict::{lockset_analysis, LockOrderGraph, PredictFinding, PredictRule, PredictiveSink};
 pub use race::{Access, CollectingSink, RaceDetector, RaceReport};

@@ -190,8 +190,10 @@ impl RaceDetector {
 
     /// Sub-pages acting as synchronization objects anywhere in `events`:
     /// targets of `SyncAcquire`/`SyncRelease` (locks, `get_sub_page`,
-    /// native RMWs) and of satisfied spins (flags).
-    fn sync_subpages(events: &[TraceEvent]) -> FxHashSet<u64> {
+    /// native RMWs) and of satisfied spins (flags). Shared with the
+    /// predictive lockset pass so both passes agree on what counts as a
+    /// synchronization object.
+    pub(crate) fn sync_subpages(events: &[TraceEvent]) -> FxHashSet<u64> {
         let mut sync = FxHashSet::default();
         for e in events {
             match *e {

@@ -10,7 +10,9 @@ use ksr_core::trace::TraceEvent;
 use ksr_core::Json;
 
 use crate::checker::Violation;
+use crate::explore::{ExploreReport, WitnessedViolation};
 use crate::lint::LintFinding;
+use crate::predict::PredictFinding;
 use crate::race::RaceReport;
 
 /// One trace event as a JSON object: `kind`, `at`, and the
@@ -110,6 +112,45 @@ pub fn lint_to_json(f: &LintFinding) -> Json {
     ])
 }
 
+/// One predictive finding (lockset / lock-order pass).
+#[must_use]
+pub fn predict_to_json(f: &PredictFinding) -> Json {
+    Json::obj([
+        ("rule", Json::from(f.rule.label())),
+        ("addr", Json::from(f.addr)),
+        ("cells", Json::arr(f.cells.iter().map(|&c| Json::from(c)))),
+        ("message", Json::from(f.message.as_str())),
+    ])
+}
+
+/// One explored violation with its witness schedule.
+#[must_use]
+pub fn witness_to_json(v: &WitnessedViolation) -> Json {
+    Json::obj([
+        ("kind", Json::from(v.kind.as_str())),
+        ("what", Json::from(v.what.as_str())),
+        (
+            "schedule",
+            Json::arr(v.schedule.iter().map(|&d| Json::from(d))),
+        ),
+    ])
+}
+
+/// An exploration summary: coverage counters plus the witnessed
+/// violations.
+#[must_use]
+pub fn explore_to_json(r: &ExploreReport) -> Json {
+    Json::obj([
+        ("runs", Json::from(r.runs)),
+        ("truncated", Json::from(r.truncated)),
+        ("distinct_states", Json::from(r.distinct_states)),
+        (
+            "violations",
+            Json::arr(r.violations.iter().map(witness_to_json)),
+        ),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +222,30 @@ mod tests {
         assert_eq!(
             race_to_json(&r).render(),
             r#"{"addr":640,"subpage":5,"first":{"cell":0,"at":10,"write":true},"second":{"cell":1,"at":20,"write":false}}"#
+        );
+    }
+
+    #[test]
+    fn predict_and_witness_json_are_stable() {
+        use crate::predict::PredictRule;
+        let f = PredictFinding {
+            rule: PredictRule::PotentialDeadlock,
+            addr: 7,
+            cells: vec![0, 1],
+            message: "m".into(),
+        };
+        assert_eq!(
+            predict_to_json(&f).render(),
+            r#"{"rule":"potential_deadlock","addr":7,"cells":[0,1],"message":"m"}"#
+        );
+        let w = WitnessedViolation {
+            kind: "invariant".into(),
+            what: "stale handoff".into(),
+            schedule: vec![1, 0],
+        };
+        assert_eq!(
+            witness_to_json(&w).render(),
+            r#"{"kind":"invariant","what":"stale handoff","schedule":[1,0]}"#
         );
     }
 

@@ -23,7 +23,8 @@ cargo test --workspace --release --quiet
 tmp_serial=$(mktemp -d)
 tmp_parallel=$(mktemp -d)
 tmp_check=$(mktemp -d)
-trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check"' EXIT
+tmp_check_net=$(mktemp -d)
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check" "$tmp_check_net"' EXIT
 
 echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare)"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
@@ -58,10 +59,18 @@ echo "==> perf gate: microworkload minima vs committed results/bench.json (>10% 
 cargo run --quiet --release -p ksr-bench --bin perf -- \
     --reps 3 --results results --gate results/bench.json
 
-echo "==> run_all --check --quick (coherence + race + lint verification)"
-# Exits non-zero on any coherence violation, data race, or schedule lint
-# finding; the full report lands in violations.json.
+echo "==> run_all --check --quick (coherence + race + predictive + lint verification)"
+# Exits non-zero on any coherence violation, data race, predictive
+# finding, or schedule lint; the full report lands in violations.json.
 cargo run --quiet --release -p ksr-bench --bin run_all -- \
     --check --quick --results "$tmp_check" > "$tmp_check/stdout.txt"
+
+echo "==> run_all --check --quick --only LAD,SCB,CMB (interconnect surface under the checker)"
+# The N-level LCA routing and ARD-combining experiments exercise shadow
+# state the checker models specially (merged GetSubPage/ReadData grants);
+# gate them explicitly so a combining regression can't hide behind the
+# aggregate run.
+cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --check --quick --only LAD,SCB,CMB --results "$tmp_check_net" > "$tmp_check_net/stdout.txt"
 
 echo "==> all checks passed"

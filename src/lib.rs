@@ -16,13 +16,17 @@
 //! * [`sync`] — locks and the nine barrier algorithms of §3.2.
 //! * [`nas`] — the EP, CG, IS kernels and the SP application of §3.3.
 //! * [`verify`] — trace-driven coherence checking, happens-before race
-//!   detection, and static schedule lints (`run_all --check`).
+//!   detection, predictive lockset/lock-order analysis, small-scope
+//!   schedule exploration, and static schedule lints (`run_all --check`).
+//! * [`bench`] — the experiment registry, executor, and `--check`
+//!   harness behind every `results/` artifact.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment
 //! index.
 
 #![warn(missing_docs)]
 
+pub use ksr_bench as bench;
 pub use ksr_core as core;
 pub use ksr_machine as machine;
 pub use ksr_mem as mem;
