@@ -25,12 +25,15 @@ use ksr_net::{RingHierarchyConfig, Topology};
 use ksr_sync::{BarrierAlg, Episode, McsBarrier, TournamentBarrier};
 
 use crate::common::{ExperimentOutput, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "ABL";
 /// Registry title.
 pub const TITLE: &str = "Ablations of the paper's explanatory mechanisms";
+/// Cache schema version of the ablation jobs — bump when any driver or
+/// the job layout changes meaning, so stale cache entries miss.
+const SCHEMA: u32 = 1;
 
 /// Mean barrier episode seconds on a machine built from `cfg`.
 fn episode_secs<B, F>(cfg: MachineConfig, procs: usize, episodes: usize, alloc: F) -> f64
@@ -125,8 +128,14 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     ];
     let seed1 = opts.machine_seed(1);
     for (variant, protocol) in wakeup_variants {
+        let desc = JobDesc::new(ID, SCHEMA, format!("ABL wakeup {variant}"), opts)
+            .seed(seed1)
+            .param("mechanism", "wakeup")
+            .param("variant", variant)
+            .param("procs", procs)
+            .param("episodes", episodes);
         jobs.push(Job::value(
-            format!("ABL wakeup {variant}"),
+            desc,
             procs,
             "wakeup_episode_seconds",
             "s",
@@ -143,8 +152,13 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     // 2. Sub-ring interleaving: one fat lane vs two interleaved lanes.
     let seed2 = opts.machine_seed(2);
     for subrings in [2usize, 1] {
+        let desc = JobDesc::new(ID, SCHEMA, format!("ABL subrings={subrings}"), opts)
+            .seed(seed2)
+            .param("mechanism", "subrings")
+            .param("subrings", subrings)
+            .param("procs", procs);
         jobs.push(Job::value(
-            format!("ABL subrings={subrings}"),
+            desc,
             procs,
             "hammer_latency_cycles",
             "cycles",
@@ -163,8 +177,13 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     // 3. Slot-count sweep: where does the saturation knee go?
     let seed3 = opts.machine_seed(3);
     for slots in [8usize, 16, 24, 32] {
+        let desc = JobDesc::new(ID, SCHEMA, format!("ABL slots={slots}"), opts)
+            .seed(seed3)
+            .param("mechanism", "slots")
+            .param("slots", slots)
+            .param("procs", procs);
         jobs.push(Job::value(
-            format!("ABL slots={slots}"),
+            desc,
             procs,
             "hammer_latency_cycles",
             "cycles",
@@ -181,8 +200,14 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     // 4. MCS arrival-arity sweep: tree height vs packed-word false sharing.
     let seed4 = opts.machine_seed(4);
     for arity in [2usize, 4, 8] {
+        let desc = JobDesc::new(ID, SCHEMA, format!("ABL mcs arity={arity}"), opts)
+            .seed(seed4)
+            .param("mechanism", "mcs_arity")
+            .param("arity", arity)
+            .param("procs", procs)
+            .param("episodes", episodes);
         jobs.push(Job::value(
-            format!("ABL mcs arity={arity}"),
+            desc,
             procs,
             "mcs_episode_seconds",
             "s",

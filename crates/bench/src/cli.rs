@@ -2,7 +2,8 @@
 //! binaries.
 //!
 //! Every binary accepts the same flags, layered over the environment
-//! defaults (`KSR_QUICK`, `KSR_SEED`, `KSR_RESULTS`, `KSR_JOBS`):
+//! defaults (`KSR_QUICK`, `KSR_SEED`, `KSR_RESULTS`, `KSR_JOBS`,
+//! `KSR_CACHE`):
 //!
 //! * `--quick` / `--full` — force reduced or full sweeps;
 //! * `--seed N` — perturb every machine seed;
@@ -12,27 +13,36 @@
 //! * `--check` — verification mode (`KSR_CHECK=1`): every machine gets a
 //!   `ksr-verify` coherence-checking sink, the race-detector and
 //!   schedule-lint suites run afterwards, and `violations.json` lands
-//!   next to the results (non-zero exit on any violation).
+//!   next to the results (non-zero exit on any violation);
+//! * `--cache DIR` — content-addressed results cache: jobs whose
+//!   fingerprint is present load instead of executing, everything else
+//!   executes and populates the cache (bypassed under `--check`, whose
+//!   point is observing execution);
+//! * `--shard i/N` — run only shard `i` of `N` of the flattened job
+//!   list into the cache (requires `--cache`; writes no artifacts);
+//! * `--join` — assemble artifacts from a cache the shards populated:
+//!   a warm run that should execute nothing (requires `--cache`; warns
+//!   about any job it still had to run).
 //!
 //! `run_all` additionally understands `--list` (print the registry and
 //! exit) and `--only ID[,ID...]` (run a subset).
 //!
 //! Output discipline: rendered experiment results go to **stdout** (so
 //! runs pipe cleanly into files and diffs); everything else — per-job
-//! progress, `[written:]` / `[summary:]` / `[check:]` status lines,
-//! errors — goes to **stderr**.
+//! progress, `[written:]` / `[summary:]` / `[check:]` / `[cache:]`
+//! status lines, errors — goes to **stderr**.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use ksr_core::{Json, Progress};
 
-use crate::common::{write_summary, ExperimentOutput, RunOpts};
-use crate::exec;
+use crate::common::{write_summary, ExperimentOutput, RunOpts, Shard};
+use crate::exec::{self, CacheStats};
 use crate::registry::{find, Experiment, FnExperiment, REGISTRY};
 
 /// Parsed command line: run options plus `run_all`'s selection flags.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cli {
     /// Effective run options (environment defaults + flags).
     pub opts: RunOpts,
@@ -40,15 +50,20 @@ pub struct Cli {
     pub list: bool,
     /// `--only`: ids to run (empty means all).
     pub only: Vec<String>,
+    /// `--join`: expect a fully-populated cache and only reduce.
+    pub join: bool,
 }
 
 /// Parse `args` (not including the program name) over environment
-/// defaults. Returns an error message for unknown or malformed flags.
+/// defaults. Returns an error message for unknown or malformed flags and
+/// for inconsistent combinations (sharding without a cache, `--shard`
+/// with `--join` or `--check`).
 pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         opts: RunOpts::from_env(),
         list: false,
         only: Vec::new(),
+        join: false,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -57,12 +72,20 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             "--full" => cli.opts.quick = false,
             "--check" => cli.opts.check = true,
             "--list" => cli.list = true,
+            "--join" => cli.join = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 cli.opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
             }
             "--results" => {
                 cli.opts.results_dir = args.next().ok_or("--results needs a directory")?.into();
+            }
+            "--cache" => {
+                cli.opts.cache = Some(args.next().ok_or("--cache needs a directory")?.into());
+            }
+            "--shard" => {
+                let v = args.next().ok_or("--shard needs i/N")?;
+                cli.opts.shard = Some(Shard::parse(&v)?);
             }
             "--jobs" | "-j" => {
                 let v = args.next().ok_or("--jobs needs a worker count")?;
@@ -82,13 +105,33 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if cli.opts.shard.is_some() {
+        if cli.opts.cache.is_none() {
+            return Err("--shard requires --cache DIR (or KSR_CACHE): shards \
+                 communicate through the cache"
+                .into());
+        }
+        if cli.join {
+            return Err("--shard and --join are different phases: shard first, then join".into());
+        }
+        if cli.opts.check {
+            return Err(
+                "--shard conflicts with --check: checked runs bypass the cache, \
+                 so a checked shard would produce nothing"
+                    .into(),
+            );
+        }
+    }
+    if cli.join && cli.opts.cache.is_none() {
+        return Err("--join requires --cache DIR (or KSR_CACHE): it reduces from the cache".into());
+    }
     Ok(cli)
 }
 
 fn usage(program: &str) -> String {
     format!(
         "usage: {program} [--quick|--full] [--check] [--seed N] [--results DIR] [--jobs N] \
-         [--list] [--only ID,ID...]\n\
+         [--cache DIR] [--shard i/N] [--join] [--list] [--only ID,ID...]\n\
          ids: {}",
         crate::registry::ids().join(", ")
     )
@@ -121,19 +164,76 @@ pub fn emit(exp: &FnExperiment, opts: &RunOpts) -> ExperimentOutput {
 /// binaries skip both. Under `--check`, the per-experiment coherence
 /// results are merged in job order and [`crate::check::finalize`] runs
 /// the race/lint suites and writes `violations.json`.
-fn run_selection(selected: &[&FnExperiment], opts: &RunOpts, summary: bool) -> ExitCode {
+///
+/// With `opts.shard` set this is a shard run instead: execute this
+/// process's slice of the job list into the cache and stop — no
+/// rendering, no artifacts except `timings.json` (which carries the
+/// hit/miss/skip counters).
+fn run_selection(
+    selected: &[&FnExperiment],
+    opts: &RunOpts,
+    summary: bool,
+    join: bool,
+) -> ExitCode {
     let plans: Vec<crate::exec::ExperimentPlan> = selected.iter().map(|e| e.plan(opts)).collect();
     let wall_start = Instant::now();
     let (progress, drainer) = Progress::stderr();
-    let results = exec::execute(plans, opts, &progress);
+
+    if let Some(shard) = opts.shard {
+        let report = exec::execute_shard(plans, opts, &progress);
+        drop(progress);
+        drainer.join();
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let cache_dir = opts.cache.as_deref().expect("--shard requires --cache");
+        eprintln!(
+            "[shard {shard}: {} executed, {} already cached, {} left to other shards → {}]",
+            report.cache.misses,
+            report.cache.hits,
+            report.cache.skipped,
+            cache_dir.display(),
+        );
+        if summary {
+            if let Err(e) = write_timings(
+                &report.timings,
+                wall_seconds,
+                opts,
+                Some((report.cache, report.total_jobs)),
+            ) {
+                eprintln!("[warning: could not write timings: {e}]");
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = exec::execute(plans, opts, &progress);
     drop(progress);
     drainer.join();
     let wall_seconds = wall_start.elapsed().as_secs_f64();
 
-    let mut outputs: Vec<ExperimentOutput> = Vec::with_capacity(results.len());
+    if let Some(stats) = report.cache {
+        let cache_dir = opts.cache.as_deref().expect("stats imply a cache");
+        eprintln!(
+            "[cache: {} hit(s), {} miss(es) of {} job(s) → {}]",
+            stats.hits,
+            stats.misses,
+            report.total_jobs,
+            cache_dir.display(),
+        );
+        if join && stats.misses > 0 {
+            eprintln!(
+                "[warning: --join executed {} job(s) missing from the cache — \
+                 did every shard finish?]",
+                stats.misses
+            );
+        }
+    } else if opts.cache.is_some() && opts.check {
+        eprintln!("[cache: bypassed under --check (violations are observed, not cached)]");
+    }
+
+    let mut outputs: Vec<ExperimentOutput> = Vec::with_capacity(report.results.len());
     let mut checks = Vec::new();
     let mut timings = Vec::new();
-    for (exp, result) in selected.iter().zip(results) {
+    for (exp, result) in selected.iter().zip(report.results) {
         println!("{}", result.output.render());
         match result.output.write_to(&opts.results_dir) {
             Ok(path) => eprintln!("[written: {}]", path.display()),
@@ -161,7 +261,8 @@ fn run_selection(selected: &[&FnExperiment], opts: &RunOpts, summary: bool) -> E
                 return ExitCode::FAILURE;
             }
         }
-        if let Err(e) = write_timings(&timings, wall_seconds, opts) {
+        let cache = report.cache.map(|stats| (stats, report.total_jobs));
+        if let Err(e) = write_timings(&timings, wall_seconds, opts, cache) {
             eprintln!("[warning: could not write timings: {e}]");
         }
     }
@@ -181,30 +282,44 @@ fn run_selection(selected: &[&FnExperiment], opts: &RunOpts, summary: bool) -> E
 }
 
 /// Write `timings.json`: per-experiment wall-clock seconds plus the
-/// run's worker count and total wall time. Timings are the one
-/// nondeterministic output, so they live in their own file that the
-/// determinism gates exclude from byte comparison.
+/// run's worker count, total wall time, and (when a cache was active)
+/// the hit/miss/skip counters. Timings are the one nondeterministic
+/// output, so they live in their own file that the determinism gates
+/// exclude from byte comparison — which is also why the cache counters
+/// belong here and not in `summary.json`.
 fn write_timings(
     timings: &[(&'static str, f64)],
     wall_seconds: f64,
     opts: &RunOpts,
+    cache: Option<(CacheStats, usize)>,
 ) -> std::io::Result<()> {
     std::fs::create_dir_all(&opts.results_dir)?;
-    let doc = Json::obj([
+    let mut doc = Json::obj([
         ("jobs", Json::from(opts.jobs)),
         ("wall_seconds", Json::from(wall_seconds)),
-        (
-            "experiments",
-            Json::Arr(
-                timings
-                    .iter()
-                    .map(|&(id, seconds)| {
-                        Json::obj([("id", Json::from(id)), ("seconds", Json::from(seconds))])
-                    })
-                    .collect(),
-            ),
-        ),
     ]);
+    if let Some((stats, total_jobs)) = cache {
+        doc.push_field(
+            "cache",
+            Json::obj([
+                ("hits", Json::from(stats.hits)),
+                ("misses", Json::from(stats.misses)),
+                ("skipped", Json::from(stats.skipped)),
+                ("total_jobs", Json::from(total_jobs)),
+            ]),
+        );
+    }
+    doc.push_field(
+        "experiments",
+        Json::Arr(
+            timings
+                .iter()
+                .map(|&(id, seconds)| {
+                    Json::obj([("id", Json::from(id)), ("seconds", Json::from(seconds))])
+                })
+                .collect(),
+        ),
+    );
     let path = opts.results_dir.join("timings.json");
     let mut body = doc.render_pretty();
     body.push('\n');
@@ -224,8 +339,12 @@ pub fn run_all_main() -> ExitCode {
         }
     };
     if cli.list {
+        // Job counts come from plan() under the effective options, so
+        // `--quick --list` shows the quick grid — exactly what a user
+        // sizing --shard N is about to run.
         for e in REGISTRY {
-            println!("{:<8} {}", e.id(), e.title());
+            let jobs = e.plan(&cli.opts).jobs().len();
+            println!("{:<8} {:>4} job(s)  {}", e.id(), jobs, e.title());
         }
         return ExitCode::SUCCESS;
     }
@@ -245,7 +364,7 @@ pub fn run_all_main() -> ExitCode {
         }
         sel
     };
-    run_selection(&selected, &cli.opts, true)
+    run_selection(&selected, &cli.opts, true, cli.join)
 }
 
 /// Entry point for a single-experiment binary: run `id` with the shared
@@ -273,7 +392,7 @@ pub fn run_single_main(id: &str) -> ExitCode {
         print_registry_to_stderr();
         return ExitCode::FAILURE;
     };
-    run_selection(&[exp], &cli.opts, false)
+    run_selection(&[exp], &cli.opts, false, cli.join)
 }
 
 #[cfg(test)]
@@ -302,6 +421,7 @@ mod tests {
         assert_eq!(cli.opts.results_dir, std::path::PathBuf::from("out"));
         assert_eq!(cli.opts.jobs, 4);
         assert_eq!(cli.only, ["FIG4", "TAB1"]);
+        assert!(!cli.join);
     }
 
     #[test]
@@ -317,5 +437,39 @@ mod tests {
         assert!(parse_args(["--bogus".to_string()]).is_err());
         assert!(parse_args(["--seed".to_string(), "x".to_string()]).is_err());
         assert!(parse_args(["--jobs".to_string(), "x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn cache_and_shard_flags_parse() {
+        let cli = parse_args(["--cache", "cdir", "--shard", "2/4"].map(String::from)).unwrap();
+        assert_eq!(cli.opts.cache, Some(std::path::PathBuf::from("cdir")));
+        assert_eq!(cli.opts.shard, Some(Shard { index: 2, count: 4 }));
+        let cli = parse_args(["--cache", "cdir", "--join"].map(String::from)).unwrap();
+        assert!(cli.join);
+        assert!(cli.opts.shard.is_none());
+    }
+
+    #[test]
+    fn inconsistent_shard_combinations_are_errors() {
+        assert!(
+            parse_args(["--shard", "1/2"].map(String::from)).is_err(),
+            "--shard without --cache"
+        );
+        assert!(
+            parse_args(["--join"].map(String::from)).is_err(),
+            "--join without --cache"
+        );
+        assert!(
+            parse_args(["--cache", "c", "--shard", "1/2", "--join"].map(String::from)).is_err(),
+            "--shard with --join"
+        );
+        assert!(
+            parse_args(["--cache", "c", "--shard", "1/2", "--check"].map(String::from)).is_err(),
+            "--shard with --check"
+        );
+        assert!(parse_args(["--shard".to_string()]).is_err());
+        assert!(parse_args(["--shard", "0/2"].map(String::from)).is_err());
+        assert!(parse_args(["--shard", "3/2"].map(String::from)).is_err());
+        assert!(parse_args(["--cache".to_string()]).is_err());
     }
 }

@@ -11,12 +11,15 @@ use ksr_machine::Machine;
 use ksr_nas::{EpConfig, EpSetup};
 
 use crate::common::{ExperimentOutput, MetricRow, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "EP";
 /// Registry title.
 pub const TITLE: &str = "Embarrassingly Parallel kernel (§3.3)";
+/// Cache schema version of the EP jobs — bump when [`ep_time`] or the
+/// two-row job layout changes meaning, so stale cache entries miss.
+const SCHEMA: u32 = 1;
 
 /// `(seconds, aggregate MFLOPS)` for one EP run.
 #[must_use]
@@ -48,7 +51,11 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let jobs: Vec<Job> = procs
         .iter()
         .map(|&p| {
-            Job::new(format!("EP p={p}"), p, move || {
+            let desc = JobDesc::new(ID, SCHEMA, format!("EP p={p}"), opts)
+                .seed(seed)
+                .param("pairs", cfg.pairs)
+                .param("procs", p);
+            Job::new(desc, p, move || {
                 let (t, mf) = ep_time(cfg, p, seed);
                 vec![
                     MetricRow::new("ep_run_seconds", &[], t, "s"),

@@ -1,10 +1,18 @@
-//! Pure jobs and the parallel experiment executor.
+//! Pure jobs, canonical job descriptors, and the parallel experiment
+//! executor.
 //!
 //! One experiment = an [`ExperimentPlan`]: a list of pure [`Job`]s
 //! (config + seed + program factory → typed [`MetricRow`]s) plus an
 //! ordered reduce that turns the per-job rows back into the experiment's
 //! [`ExperimentOutput`]. Construction, execution, and reduction are
 //! strictly separated — no experiment prints or writes mid-run.
+//!
+//! Every job carries a [`JobDesc`]: the canonical, hashable statement of
+//! *what* the job computes (experiment id, schema version, label, mode
+//! flags, seed, config parameters). Its fingerprint keys the
+//! content-addressed results cache (`--cache DIR`), and the flattened
+//! job index drives `--shard i/N` partitioning — both possible only
+//! because jobs are pure functions of their descriptor.
 //!
 //! [`execute`] schedules every job of every plan over a pool of
 //! `opts.jobs` scoped worker threads. Determinism is structural, not
@@ -14,29 +22,132 @@
 //!   explicit seed, and the simulator is deterministic per
 //!   (config, seed) regardless of host scheduling;
 //! * job results land in pre-assigned slots, so the reduce always sees
-//!   them in job order no matter which worker finished first;
+//!   them in job order no matter which worker finished first — or
+//!   whether the rows came from the cache instead of a worker;
 //! * reduces run on the caller's thread in plan order.
 //!
 //! Hence `results/*.json` and `summary.json` are byte-identical at any
-//! `-j`. Wall-clock timings (the only nondeterministic signal) are kept
-//! out of result files and reported separately via
-//! [`ExperimentResult::seconds`].
+//! `-j`, cold or warm. Wall-clock timings (the only nondeterministic
+//! signal) are kept out of result files and reported separately via
+//! [`ExperimentResult::seconds`] and [`CacheStats`].
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::Instant;
 
-use ksr_core::Progress;
+use ksr_core::{fingerprint, Fingerprint, Json, Progress};
 
+use crate::cache::ResultsCache;
 use crate::check::{CheckScope, ExpCheck};
 use crate::common::{ExperimentOutput, MetricRow, RunOpts};
 
-/// One pure unit of work: a closure over config + seeds that builds its
-/// own machines and returns typed rows. No printing, no file I/O, no
-/// shared state — which is exactly what makes the grid schedulable in
-/// any order on any number of workers.
-pub struct Job {
+/// The canonical descriptor of one pure job — everything its closure's
+/// result depends on, and nothing else (no wall-clock, no worker count,
+/// no host details, which is why a cache entry written on one machine
+/// hits on another).
+///
+/// Planners must route every input the closure captures through the
+/// descriptor: the seed via [`JobDesc::seed`], each config knob (procs,
+/// topology spec, sweep point, episode count, ...) via
+/// [`JobDesc::param`]. The `quick`/`check` flags and the per-experiment
+/// `schema_version` salt come from construction, so reduced sweeps,
+/// checked runs, and code changes each key separately.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDesc {
+    experiment: &'static str,
+    schema: u32,
     label: String,
+    quick: bool,
+    check: bool,
+    seed: u64,
+    params: Vec<(String, Json)>,
+}
+
+impl JobDesc {
+    /// Start a descriptor for one job of `experiment`.
+    ///
+    /// `schema` is the experiment's schema version: bump it whenever the
+    /// meaning of the job's output changes (new workload shape, fixed
+    /// model, different row layout) so stale cache entries miss instead
+    /// of resurfacing.
+    #[must_use]
+    pub fn new(
+        experiment: &'static str,
+        schema: u32,
+        label: impl Into<String>,
+        opts: &RunOpts,
+    ) -> Self {
+        Self {
+            experiment,
+            schema,
+            label: label.into(),
+            quick: opts.quick,
+            check: opts.check,
+            seed: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Set the machine seed the job builds from (after
+    /// [`RunOpts::machine_seed`] perturbation).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Append one config parameter (insertion order is part of the
+    /// canonical form, so keep call sites stable).
+    #[must_use]
+    pub fn param(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The experiment this job belongs to.
+    #[must_use]
+    pub fn experiment(&self) -> &'static str {
+        self.experiment
+    }
+
+    /// Human-readable label (shown in progress lines).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The canonical serialized form: compact JSON with fields in fixed
+    /// order. This exact string is hashed for the fingerprint and stored
+    /// in cache entries for collision-proof validation, so any change to
+    /// it invalidates existing caches (deliberately).
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        Json::obj([
+            ("experiment", Json::from(self.experiment)),
+            ("schema", Json::from(u64::from(self.schema))),
+            ("label", Json::from(self.label.as_str())),
+            ("quick", Json::from(self.quick)),
+            ("check", Json::from(self.check)),
+            ("seed", Json::from(self.seed)),
+            ("params", Json::Obj(self.params.clone())),
+        ])
+        .render()
+    }
+
+    /// The cache key: the fingerprint of [`JobDesc::canonical`].
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        fingerprint(self.canonical().as_bytes())
+    }
+}
+
+/// One pure unit of work: a closure over config + seeds that builds its
+/// own machines and returns typed rows, plus the [`JobDesc`] stating
+/// exactly which (config, seed) point it is. No printing, no file I/O,
+/// no shared state — which is what makes the grid schedulable in any
+/// order on any number of workers, and cacheable by descriptor.
+pub struct Job {
+    desc: JobDesc,
     procs: usize,
     run: Box<dyn FnOnce() -> Vec<MetricRow> + Send>,
 }
@@ -44,12 +155,12 @@ pub struct Job {
 impl Job {
     /// A job returning arbitrarily many rows.
     pub fn new(
-        label: impl Into<String>,
+        desc: JobDesc,
         procs: usize,
         run: impl FnOnce() -> Vec<MetricRow> + Send + 'static,
     ) -> Self {
         Self {
-            label: label.into(),
+            desc,
             procs,
             run: Box::new(run),
         }
@@ -58,22 +169,28 @@ impl Job {
     /// The common single-measurement job: one `f64` becomes one row of
     /// `metric` (the reduce re-derives the fully parameterized rows).
     pub fn value(
-        label: impl Into<String>,
+        desc: JobDesc,
         procs: usize,
         metric: &str,
         unit: &str,
         f: impl FnOnce() -> f64 + Send + 'static,
     ) -> Self {
         let (metric, unit) = (metric.to_string(), unit.to_string());
-        Self::new(label, procs, move || {
+        Self::new(desc, procs, move || {
             vec![MetricRow::new(&metric, &[], f(), &unit)]
         })
+    }
+
+    /// The job's canonical descriptor.
+    #[must_use]
+    pub fn desc(&self) -> &JobDesc {
+        &self.desc
     }
 
     /// Human-readable label (shown in progress lines).
     #[must_use]
     pub fn label(&self) -> &str {
-        &self.label
+        self.desc.label()
     }
 
     /// Simulated processors the job's largest machine runs (informs
@@ -93,7 +210,7 @@ impl Job {
 impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job")
-            .field("label", &self.label)
+            .field("desc", &self.desc)
             .field("procs", &self.procs)
             .finish_non_exhaustive()
     }
@@ -208,11 +325,51 @@ pub struct ExperimentResult {
     /// The reduced output (identical to `plan.run_serial()`).
     pub output: ExperimentOutput,
     /// Summed wall-clock seconds of the experiment's jobs (for
-    /// `timings.json`; nondeterministic by nature).
+    /// `timings.json`; nondeterministic by nature). Cache hits count as
+    /// zero.
     pub seconds: f64,
     /// Aggregated coherence-checking results, merged in job order —
     /// `Some` exactly when `opts.check` was set.
     pub check: Option<ExpCheck>,
+}
+
+/// Cache traffic counters for one run — reported in `timings.json` and
+/// on stderr, never in the byte-compared result files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Jobs whose rows came from the cache without executing.
+    pub hits: usize,
+    /// Jobs that executed (and, where possible, stored their rows).
+    pub misses: usize,
+    /// Jobs belonging to other shards, neither executed nor loaded.
+    pub skipped: usize,
+}
+
+/// What [`execute`] returns: the per-experiment results plus run-level
+/// execution metadata.
+#[derive(Debug)]
+pub struct ExecReport {
+    /// One entry per plan, in plan order.
+    pub results: Vec<ExperimentResult>,
+    /// Cache counters — `Some` exactly when a cache was in use (i.e.
+    /// `opts.cache` set and not bypassed by `opts.check`).
+    pub cache: Option<CacheStats>,
+    /// Total jobs across every plan.
+    pub total_jobs: usize,
+}
+
+/// What [`execute_shard`] returns: counters only — a shard run produces
+/// cache entries, not artifacts.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Cache counters: `hits` were already present, `misses` were
+    /// executed and stored, `skipped` belong to other shards.
+    pub cache: CacheStats,
+    /// Summed wall-clock seconds of this shard's jobs, per experiment
+    /// (in plan order; zero for experiments with no jobs in the shard).
+    pub timings: Vec<(&'static str, f64)>,
+    /// Total jobs across every plan (all shards together).
+    pub total_jobs: usize,
 }
 
 struct QueueItem {
@@ -228,17 +385,52 @@ struct JobSlot {
     seconds: f64,
 }
 
+/// The cache to consult for a run: `--check` bypasses it entirely,
+/// because checked runs exist to *observe* execution (their violations
+/// are not rows and cannot be replayed from a cache).
+fn active_cache(opts: &RunOpts) -> Option<ResultsCache> {
+    if opts.check {
+        return None;
+    }
+    opts.cache.as_deref().map(ResultsCache::new)
+}
+
+/// Run one job, wrapped in a check scope when requested, and store the
+/// rows in the cache (when one is active). Returns the filled slot.
+fn run_job(item: Job, check: bool, cache: Option<&ResultsCache>, progress: &Progress) -> JobSlot {
+    let desc = item.desc().clone();
+    let started = Instant::now();
+    let (rows, job_check) = if check {
+        let scope = CheckScope::install();
+        let rows = item.execute();
+        (rows, Some(scope.drain()))
+    } else {
+        (item.execute(), None)
+    };
+    let seconds = started.elapsed().as_secs_f64();
+    if let Some(cache) = cache {
+        if let Err(e) = cache.store(&desc, &rows) {
+            progress.note(format!("[warning: could not cache {}: {e}]", desc.label()));
+        }
+    }
+    JobSlot {
+        rows,
+        check: job_check,
+        seconds,
+    }
+}
+
 /// Execute `plans` over `opts.jobs` workers and reduce each in plan
-/// order. Progress (start/finish per job) goes through `progress`;
-/// nothing here touches stdout or the filesystem.
+/// order. With `opts.cache` set (and `--check` off), each job first
+/// consults the cache — hits skip execution entirely and count in
+/// [`ExecReport::cache`]. Progress (start/finish/cached per job) goes
+/// through `progress`; nothing here touches stdout, and the only
+/// filesystem traffic is the cache directory.
 #[must_use]
-pub fn execute(
-    plans: Vec<ExperimentPlan>,
-    opts: &RunOpts,
-    progress: &Progress,
-) -> Vec<ExperimentResult> {
+pub fn execute(plans: Vec<ExperimentPlan>, opts: &RunOpts, progress: &Progress) -> ExecReport {
     let total: usize = plans.iter().map(|p| p.jobs.len()).sum();
     let workers = opts.jobs.max(1).min(total.max(1));
+    let cache = active_cache(opts);
 
     // Split every plan into its queue items and its reduce.
     let mut reduces = Vec::with_capacity(plans.len());
@@ -261,6 +453,7 @@ pub fn execute(
 
     let queue = Mutex::new(queue);
     let slots = Mutex::new(slots);
+    let stats = Mutex::new(CacheStats::default());
     let check = opts.check;
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -268,29 +461,32 @@ pub fn execute(
                 let Some(next) = queue.lock().expect("job queue poisoned").pop_front() else {
                     break;
                 };
-                progress.started(next.item.label(), next.index, total);
                 let label = next.item.label().to_string();
-                let started = Instant::now();
-                let (rows, job_check) = if check {
-                    let scope = CheckScope::install();
-                    let rows = next.item.execute();
-                    (rows, Some(scope.drain()))
+                let slot = if let Some(rows) = cache.as_ref().and_then(|c| c.load(next.item.desc()))
+                {
+                    progress.cached(&label, next.index, total);
+                    stats.lock().expect("cache stats poisoned").hits += 1;
+                    JobSlot {
+                        rows,
+                        check: None,
+                        seconds: 0.0,
+                    }
                 } else {
-                    (next.item.execute(), None)
+                    progress.started(&label, next.index, total);
+                    let slot = run_job(next.item, check, cache.as_ref(), progress);
+                    progress.finished(&label, next.index, total, (slot.seconds * 1000.0) as u64);
+                    if cache.is_some() {
+                        stats.lock().expect("cache stats poisoned").misses += 1;
+                    }
+                    slot
                 };
-                let seconds = started.elapsed().as_secs_f64();
-                progress.finished(&label, next.index, total, (seconds * 1000.0) as u64);
-                slots.lock().expect("result slots poisoned")[next.plan][next.job] = Some(JobSlot {
-                    rows,
-                    check: job_check,
-                    seconds,
-                });
+                slots.lock().expect("result slots poisoned")[next.plan][next.job] = Some(slot);
             });
         }
     });
 
     let slots = slots.into_inner().expect("result slots poisoned");
-    reduces
+    let results = reduces
         .into_iter()
         .zip(slots)
         .map(|((_, _, reduce), plan_slots)| {
@@ -315,17 +511,119 @@ pub fn execute(
                 check: merged,
             }
         })
-        .collect()
+        .collect();
+    ExecReport {
+        results,
+        cache: cache
+            .is_some()
+            .then(|| *stats.lock().expect("cache stats poisoned")),
+        total_jobs: total,
+    }
+}
+
+/// Execute only this process's share of the flattened job list and
+/// populate the cache — no reduces, no artifacts. Shard `i/N` owns the
+/// jobs whose 0-based global index `idx` satisfies `idx % N == i - 1`
+/// (round-robin, so each shard gets an even slice of every experiment's
+/// sweep rather than whole experiments). Jobs already present in the
+/// cache are not re-executed.
+///
+/// Requires `opts.shard` and `opts.cache` to be set (the CLI enforces
+/// this); after all N shards complete, a `--join` run over the same
+/// cache executes nothing and reduces to artifacts byte-identical to an
+/// unsharded run.
+#[must_use]
+pub fn execute_shard(
+    plans: Vec<ExperimentPlan>,
+    opts: &RunOpts,
+    progress: &Progress,
+) -> ShardReport {
+    let shard = opts.shard.expect("execute_shard requires opts.shard");
+    let cache = ResultsCache::new(
+        opts.cache
+            .as_deref()
+            .expect("execute_shard requires opts.cache"),
+    );
+    let total: usize = plans.iter().map(|p| p.jobs.len()).sum();
+    let workers = opts.jobs.max(1).min(total.max(1));
+
+    let mut timings: Vec<(&'static str, f64)> = Vec::with_capacity(plans.len());
+    let mut queue = VecDeque::new();
+    let mut skipped = 0;
+    let mut index = 0;
+    for (pi, plan) in plans.into_iter().enumerate() {
+        timings.push((plan.id, 0.0));
+        for item in plan.jobs {
+            if shard.owns(index) {
+                queue.push_back(QueueItem {
+                    plan: pi,
+                    job: 0, // unused: shard runs fill no reduce slots
+                    index: index + 1,
+                    item,
+                });
+            } else {
+                skipped += 1;
+            }
+            index += 1;
+        }
+    }
+
+    let queue = Mutex::new(queue);
+    let stats = Mutex::new(CacheStats {
+        skipped,
+        ..CacheStats::default()
+    });
+    let timings = Mutex::new(timings);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Some(next) = queue.lock().expect("job queue poisoned").pop_front() else {
+                    break;
+                };
+                let label = next.item.label().to_string();
+                if cache.load(next.item.desc()).is_some() {
+                    progress.cached(&label, next.index, total);
+                    stats.lock().expect("cache stats poisoned").hits += 1;
+                    continue;
+                }
+                progress.started(&label, next.index, total);
+                let slot = run_job(next.item, false, Some(&cache), progress);
+                progress.finished(&label, next.index, total, (slot.seconds * 1000.0) as u64);
+                stats.lock().expect("cache stats poisoned").misses += 1;
+                timings.lock().expect("shard timings poisoned")[next.plan].1 += slot.seconds;
+            });
+        }
+    });
+
+    ShardReport {
+        cache: stats.into_inner().expect("cache stats poisoned"),
+        timings: timings.into_inner().expect("shard timings poisoned"),
+        total_jobs: total,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn toy_desc(id: &'static str, label: String, v: f64) -> JobDesc {
+        JobDesc::new(id, 1, label, &RunOpts::default())
+            .seed(7)
+            .param("v", v)
+    }
+
     fn toy_plan(id: &'static str, values: &[f64]) -> ExperimentPlan {
         let jobs = values
             .iter()
-            .map(|&v| Job::value(format!("{id} v={v}"), 1, "m", "s", move || v))
+            .map(|&v| {
+                Job::value(
+                    toy_desc(id, format!("{id} v={v}"), v),
+                    1,
+                    "m",
+                    "s",
+                    move || v,
+                )
+            })
             .collect();
         let n = values.len();
         ExperimentPlan::new(id, "toy", jobs, move |res| {
@@ -338,6 +636,12 @@ mod tests {
         })
     }
 
+    fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ksr_exec_cache_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn serial_and_parallel_agree_in_job_order() {
         let serial = toy_plan("T", &[3.0, 1.0, 2.0]).run_serial();
@@ -346,14 +650,16 @@ mod tests {
                 jobs,
                 ..RunOpts::default()
             };
-            let results = execute(
+            let report = execute(
                 vec![toy_plan("T", &[3.0, 1.0, 2.0])],
                 &opts,
                 &Progress::disabled(),
             );
-            assert_eq!(results.len(), 1);
-            assert_eq!(results[0].output.text, serial.text, "jobs={jobs}");
-            assert!(results[0].check.is_none());
+            assert_eq!(report.results.len(), 1);
+            assert_eq!(report.total_jobs, 3);
+            assert_eq!(report.results[0].output.text, serial.text, "jobs={jobs}");
+            assert!(report.results[0].check.is_none());
+            assert!(report.cache.is_none(), "no cache configured");
         }
     }
 
@@ -364,21 +670,21 @@ mod tests {
             ..RunOpts::default()
         };
         let plans = vec![toy_plan("A", &[1.0]), toy_plan("B", &[2.0, 4.0])];
-        let results = execute(plans, &opts, &Progress::disabled());
-        assert_eq!(results[0].output.id, "A");
-        assert_eq!(results[1].output.id, "B");
-        assert!(results[1].output.text.contains("v[1] = 4"));
-        assert!(results.iter().all(|r| r.seconds >= 0.0));
+        let report = execute(plans, &opts, &Progress::disabled());
+        assert_eq!(report.results[0].output.id, "A");
+        assert_eq!(report.results[1].output.id, "B");
+        assert!(report.results[1].output.text.contains("v[1] = 4"));
+        assert!(report.results.iter().all(|r| r.seconds >= 0.0));
     }
 
     #[test]
     fn empty_plan_still_reduces() {
-        let results = execute(
+        let report = execute(
             vec![toy_plan("E", &[])],
             &RunOpts::default(),
             &Progress::disabled(),
         );
-        assert_eq!(results[0].output.id, "E");
+        assert_eq!(report.results[0].output.id, "E");
     }
 
     #[test]
@@ -393,5 +699,172 @@ mod tests {
         let events: Vec<_> = rx.into_iter().collect();
         // One Started and one Finished per job.
         assert_eq!(events.len(), 6);
+    }
+
+    #[test]
+    fn descriptor_fingerprints_separate_every_axis() {
+        let base = || toy_desc("T", "x".to_string(), 1.0);
+        let fp = base().fingerprint();
+        assert_eq!(fp, base().fingerprint(), "fingerprints are deterministic");
+        assert_ne!(fp, base().seed(8).fingerprint(), "seed must key");
+        assert_ne!(
+            fp,
+            base().param("extra", 1u64).fingerprint(),
+            "params must key"
+        );
+        assert_ne!(
+            fp,
+            JobDesc::new("T", 2, "x", &RunOpts::default())
+                .seed(7)
+                .param("v", 1.0)
+                .fingerprint(),
+            "schema_version must key"
+        );
+        assert_ne!(
+            fp,
+            JobDesc::new("T", 1, "x", &RunOpts::quick())
+                .seed(7)
+                .param("v", 1.0)
+                .fingerprint(),
+            "quick must key"
+        );
+        assert_ne!(
+            fp,
+            toy_desc("U", "x".to_string(), 1.0).fingerprint(),
+            "experiment id must key"
+        );
+        assert_ne!(
+            fp,
+            toy_desc("T", "y".to_string(), 1.0).fingerprint(),
+            "label must key"
+        );
+    }
+
+    #[test]
+    fn canonical_form_is_stable() {
+        // The canonical rendering is an on-disk contract (hashed into
+        // every cache key); changes must be deliberate schema bumps.
+        let desc = JobDesc::new("FIG4", 3, "fig4 p=8", &RunOpts::quick())
+            .seed(1000)
+            .param("procs", 8usize)
+            .param("kind", "tree");
+        assert_eq!(
+            desc.canonical(),
+            r#"{"experiment":"FIG4","schema":3,"label":"fig4 p=8","quick":true,"check":false,"seed":1000,"params":{"procs":8,"kind":"tree"}}"#
+        );
+    }
+
+    #[test]
+    fn warm_cache_skips_execution() {
+        let dir = temp_cache_dir("warm");
+        let opts = RunOpts {
+            jobs: 2,
+            cache: Some(dir.clone()),
+            ..RunOpts::default()
+        };
+        let cold = execute(
+            vec![toy_plan("C", &[1.0, 2.0, 3.0])],
+            &opts,
+            &Progress::disabled(),
+        );
+        assert_eq!(
+            cold.cache,
+            Some(CacheStats {
+                hits: 0,
+                misses: 3,
+                skipped: 0
+            })
+        );
+        let (progress, rx) = Progress::channel();
+        let warm = execute(vec![toy_plan("C", &[1.0, 2.0, 3.0])], &opts, &progress);
+        drop(progress);
+        assert_eq!(
+            warm.cache,
+            Some(CacheStats {
+                hits: 3,
+                misses: 0,
+                skipped: 0
+            })
+        );
+        assert_eq!(
+            warm.results[0].output.text, cold.results[0].output.text,
+            "cached rows must reduce to the identical output"
+        );
+        // Every event is a Cached notification — nothing started.
+        let events: Vec<_> = rx.into_iter().collect();
+        assert_eq!(events.len(), 3);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, ksr_core::ProgressEvent::Cached { .. })));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn check_mode_bypasses_the_cache() {
+        let dir = temp_cache_dir("check_bypass");
+        let opts = RunOpts {
+            cache: Some(dir.clone()),
+            check: true,
+            ..RunOpts::default()
+        };
+        let report = execute(vec![toy_plan("K", &[1.0])], &opts, &Progress::disabled());
+        assert!(
+            report.cache.is_none(),
+            "checked runs must not consult or populate the cache"
+        );
+        assert!(report.results[0].check.is_some());
+        assert!(
+            !dir.exists(),
+            "checked runs must leave no cache entries behind"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shards_partition_round_robin_and_join_hits_everything() {
+        let dir = temp_cache_dir("shard");
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mk = || vec![toy_plan("S", &values)];
+        for index in [1, 2] {
+            let opts = RunOpts {
+                jobs: 2,
+                cache: Some(dir.clone()),
+                shard: Some(crate::common::Shard { index, count: 2 }),
+                ..RunOpts::default()
+            };
+            let report = execute_shard(mk(), &opts, &Progress::disabled());
+            assert_eq!(report.total_jobs, 5);
+            let own = if index == 1 { 3 } else { 2 }; // indices {0,2,4} vs {1,3}
+            assert_eq!(report.cache.misses, own);
+            assert_eq!(report.cache.skipped, 5 - own);
+            assert_eq!(report.cache.hits, 0);
+        }
+        // Re-running a shard is all hits, no re-execution.
+        let opts = RunOpts {
+            cache: Some(dir.clone()),
+            shard: Some(crate::common::Shard { index: 1, count: 2 }),
+            ..RunOpts::default()
+        };
+        let rerun = execute_shard(mk(), &opts, &Progress::disabled());
+        assert_eq!(rerun.cache.hits, 3);
+        assert_eq!(rerun.cache.misses, 0);
+        // The union of both shards serves a full run entirely from
+        // cache, byte-identical to a serial one.
+        let serial = mk().pop().unwrap().run_serial();
+        let join_opts = RunOpts {
+            cache: Some(dir.clone()),
+            ..RunOpts::default()
+        };
+        let joined = execute(mk(), &join_opts, &Progress::disabled());
+        assert_eq!(
+            joined.cache,
+            Some(CacheStats {
+                hits: 5,
+                misses: 0,
+                skipped: 0
+            })
+        );
+        assert_eq!(joined.results[0].output.text, serial.text);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

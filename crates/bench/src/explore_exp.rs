@@ -35,12 +35,16 @@ use ksr_verify::{
 };
 
 use crate::common::{ExperimentOutput, MetricRow, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "EXPLORE";
 /// Registry title.
 pub const TITLE: &str = "Small-scope schedule exploration of seeded concurrency mutants";
+/// Cache schema version of the EXPLORE jobs — bump when [`run_one`], any
+/// verification pass, or the row layout changes meaning, so stale cache
+/// entries miss.
+const SCHEMA: u32 = 1;
 
 /// The workloads the explorer sweeps: two clean controls and the three
 /// seeded mutants.
@@ -274,47 +278,49 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let seed = opts.machine_seed(4600);
     let mut jobs = Vec::new();
     for s in Scenario::ALL {
-        jobs.push(Job::new(
-            format!("EXPLORE {}", s.label()),
-            s.procs(),
-            move || {
-                let rep = explore_scenario(s, seed, budget(quick));
-                let base = [("scenario", Json::from(s.label()))];
-                let mut rows = vec![
-                    MetricRow::new("schedules_explored", &base, rep.runs as f64, "runs"),
-                    MetricRow::new(
-                        "distinct_states",
-                        &base,
-                        rep.distinct_states as f64,
-                        "states",
-                    ),
-                    MetricRow::new(
-                        "truncated",
-                        &base,
-                        f64::from(u8::from(rep.truncated)),
-                        "flag",
-                    ),
-                    MetricRow::new("violations", &base, rep.violations.len() as f64, "findings"),
-                ];
-                for w in &rep.violations {
-                    rows.push(MetricRow::new(
-                        "witness",
-                        &[
-                            ("scenario", Json::from(s.label())),
-                            ("kind", Json::from(w.kind.as_str())),
-                            ("what", Json::from(w.what.as_str())),
-                            (
-                                "schedule",
-                                Json::arr(w.schedule.iter().map(|&d| Json::from(d))),
-                            ),
-                        ],
-                        1.0,
-                        "finding",
-                    ));
-                }
-                rows
-            },
-        ));
+        let b = budget(quick);
+        let desc = JobDesc::new(ID, SCHEMA, format!("EXPLORE {}", s.label()), opts)
+            .seed(seed)
+            .param("scenario", s.label())
+            .param("max_runs", b.max_runs)
+            .param("max_choice_points", b.max_choice_points);
+        jobs.push(Job::new(desc, s.procs(), move || {
+            let rep = explore_scenario(s, seed, budget(quick));
+            let base = [("scenario", Json::from(s.label()))];
+            let mut rows = vec![
+                MetricRow::new("schedules_explored", &base, rep.runs as f64, "runs"),
+                MetricRow::new(
+                    "distinct_states",
+                    &base,
+                    rep.distinct_states as f64,
+                    "states",
+                ),
+                MetricRow::new(
+                    "truncated",
+                    &base,
+                    f64::from(u8::from(rep.truncated)),
+                    "flag",
+                ),
+                MetricRow::new("violations", &base, rep.violations.len() as f64, "findings"),
+            ];
+            for w in &rep.violations {
+                rows.push(MetricRow::new(
+                    "witness",
+                    &[
+                        ("scenario", Json::from(s.label())),
+                        ("kind", Json::from(w.kind.as_str())),
+                        ("what", Json::from(w.what.as_str())),
+                        (
+                            "schedule",
+                            Json::arr(w.schedule.iter().map(|&d| Json::from(d))),
+                        ),
+                    ],
+                    1.0,
+                    "finding",
+                ));
+            }
+            rows
+        }));
     }
     ExperimentPlan::new(ID, TITLE, jobs, move |res| {
         let mut out = ExperimentOutput::new(ID, TITLE);

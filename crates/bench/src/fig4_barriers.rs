@@ -18,7 +18,7 @@ use ksr_machine::{program, Machine, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 use crate::common::{proc_sweep_32, ExperimentOutput, RunOpts};
-use crate::exec::{ExperimentPlan, Job, JobResults};
+use crate::exec::{ExperimentPlan, Job, JobDesc, JobResults};
 
 /// Registry id of the Figure 4 sweep.
 pub const ID_FIG4: &str = "FIG4";
@@ -33,6 +33,10 @@ pub const ID_SEC323: &str = "SEC323";
 /// Registry title of the §3.2.3 comparison.
 pub const TITLE_SEC323: &str =
     "Barrier comparison with the Sequent Symmetry and the BBN Butterfly (§3.2.3)";
+/// Cache schema version shared by the barrier sweeps — bump when
+/// [`episode_time`] or the job layout changes meaning, so stale cache
+/// entries miss.
+const SCHEMA: u32 = 1;
 
 /// Machines a barrier sweep can target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +60,16 @@ impl BarrierMachine {
             Self::Butterfly => Machine::butterfly(procs.max(2), seed),
         }
         .expect("machine")
+    }
+
+    /// Stable config tag for job descriptors and cache keys.
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Ksr1 => "ksr1",
+            Self::Ksr2 => "ksr2",
+            Self::Symmetry => "symmetry",
+            Self::Butterfly => "butterfly",
+        }
     }
 }
 
@@ -97,22 +111,35 @@ pub fn episode_time(
 /// One job per (kind, procs) point, kind-major — the job-level form of
 /// the old serial sweep loop.
 fn sweep_jobs(
-    tag: &str,
+    experiment: &'static str,
     machine: BarrierMachine,
     kinds: &[BarrierKind],
     procs: &[usize],
     episodes: usize,
     base_seed: u64,
+    opts: &RunOpts,
 ) -> Vec<Job> {
     let mut jobs = Vec::new();
     for &kind in kinds {
         for &p in procs {
+            let seed = base_seed + p as u64;
+            let desc = JobDesc::new(
+                experiment,
+                SCHEMA,
+                format!("{experiment} {} p={p}", kind.label()),
+                opts,
+            )
+            .seed(seed)
+            .param("machine", machine.tag())
+            .param("barrier", kind.label())
+            .param("procs", p)
+            .param("episodes", episodes);
             jobs.push(Job::value(
-                format!("{tag} {} p={p}", kind.label()),
+                desc,
                 p,
                 "barrier_episode_seconds",
                 "s",
-                move || episode_time(machine, kind, p, episodes, base_seed + p as u64),
+                move || episode_time(machine, kind, p, episodes, seed),
             ));
         }
     }
@@ -150,12 +177,13 @@ pub fn plan_fig4(opts: &RunOpts) -> ExperimentPlan {
         BarrierKind::ALL.to_vec()
     };
     let jobs = sweep_jobs(
-        "FIG4",
+        ID_FIG4,
         BarrierMachine::Ksr1,
         &kinds,
         &procs,
         episodes,
         opts.machine_seed(1000),
+        opts,
     );
     ExperimentPlan::new(ID_FIG4, TITLE_FIG4, jobs, move |res| {
         let mut out = ExperimentOutput::new(ID_FIG4, TITLE_FIG4);
@@ -213,12 +241,13 @@ pub fn plan_fig5(opts: &RunOpts) -> ExperimentPlan {
         BarrierKind::ALL.to_vec()
     };
     let jobs = sweep_jobs(
-        "FIG5",
+        ID_FIG5,
         BarrierMachine::Ksr2,
         &kinds,
         &procs,
         episodes,
         opts.machine_seed(1000),
+        opts,
     );
     ExperimentPlan::new(ID_FIG5, TITLE_FIG5, jobs, move |res| {
         let mut out = ExperimentOutput::new(ID_FIG5, TITLE_FIG5);
@@ -278,9 +307,22 @@ pub fn plan_sec323(opts: &RunOpts) -> ExperimentPlan {
         .copied()
         .collect();
     let mut jobs = Vec::new();
+    let sec323_desc = |machine: BarrierMachine, k: BarrierKind, seed: u64| {
+        JobDesc::new(
+            ID_SEC323,
+            SCHEMA,
+            format!("SEC323 {} {}", machine.tag(), k.label()),
+            opts,
+        )
+        .seed(seed)
+        .param("machine", machine.tag())
+        .param("barrier", k.label())
+        .param("procs", procs)
+        .param("episodes", episodes)
+    };
     for &k in BarrierKind::ALL.iter() {
         jobs.push(Job::value(
-            format!("SEC323 symmetry {}", k.label()),
+            sec323_desc(BarrierMachine::Symmetry, k, sym_seed),
             procs,
             "barrier_episode_seconds",
             "s",
@@ -289,7 +331,7 @@ pub fn plan_sec323(opts: &RunOpts) -> ExperimentPlan {
     }
     for &k in &bfly_kinds {
         jobs.push(Job::value(
-            format!("SEC323 butterfly {}", k.label()),
+            sec323_desc(BarrierMachine::Butterfly, k, bfly_seed),
             procs,
             "barrier_episode_seconds",
             "s",

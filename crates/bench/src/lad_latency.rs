@@ -18,12 +18,24 @@ use ksr_core::Json;
 use ksr_machine::{program, Machine, MachineConfig, Program, SharedU64};
 
 use crate::common::{ExperimentOutput, MetricRow, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "LAD";
 /// Registry title.
 pub const TITLE: &str = "Remote-latency ladder and ring saturation on multi-level rings";
+/// Cache schema version of the LAD jobs — bump when [`probe_latency`],
+/// [`saturation_point`], or the job layout changes meaning, so stale
+/// cache entries miss.
+const SCHEMA: u32 = 1;
+
+/// The ring spec as a stable "32x8x4" tag for job descriptors.
+fn spec_tag(spec: &[usize]) -> String {
+    spec.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("x")
+}
 
 /// Mean read latency (cycles) from cell 0 to data homed on `owner`,
 /// on an otherwise idle machine built from `spec`.
@@ -122,17 +134,23 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let mut jobs: Vec<Job> = rungs
         .iter()
         .map(|&(label, owner, _)| {
-            Job::value(
-                format!("LAD ladder {label}"),
-                1,
-                "remote_read_cycles",
-                "cycles",
-                move || probe_latency(spec, owner, seed),
-            )
+            let desc = JobDesc::new(ID, SCHEMA, format!("LAD ladder {label}"), opts)
+                .seed(seed)
+                .param("probe", "ladder")
+                .param("spec", spec_tag(spec))
+                .param("owner", owner);
+            Job::value(desc, 1, "remote_read_cycles", "cycles", move || {
+                probe_latency(spec, owner, seed)
+            })
         })
         .collect();
     for &p in &sat_procs {
-        jobs.push(Job::new(format!("LAD saturation p={p}"), p, move || {
+        let desc = JobDesc::new(ID, SCHEMA, format!("LAD saturation p={p}"), opts)
+            .seed(seed)
+            .param("probe", "saturation")
+            .param("spec", spec_tag(spec))
+            .param("procs", p);
+        jobs.push(Job::new(desc, p, move || {
             let (lat, wait) = saturation_point(spec, p, seed);
             vec![
                 MetricRow::new("saturated_read_cycles", &[], lat, "cycles"),

@@ -13,6 +13,14 @@
 //! job is pure and the reduce runs in job order, `results/*.json` and
 //! `summary.json` are byte-identical at any worker count.
 //!
+//! Purity also powers the sweep-at-scale machinery: every job carries a
+//! canonical [`exec::JobDesc`] whose fingerprint keys the
+//! content-addressed results cache ([`cache::ResultsCache`],
+//! `--cache DIR` / `KSR_CACHE` — warm re-runs execute nothing), and
+//! `--shard i/N` / `--join` split one sweep across processes while the
+//! ordered reduce keeps the final artifacts byte-identical to an
+//! unsharded run.
+//!
 //! Each reduce returns an [`ExperimentOutput`] carrying rendered text,
 //! figure series, and typed [`MetricRow`]s; `write_to` persists
 //! `<id>.txt` / `<id>.csv` / `<id>.json`, and [`common::write_summary`]
@@ -25,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cache;
 pub mod check;
 pub mod cli;
 pub mod cmb_combining;
@@ -45,8 +54,12 @@ pub mod table1_cg;
 pub mod table2_is;
 pub mod table3_sp;
 
-pub use common::{ExperimentOutput, MetricRow, RunOpts};
-pub use exec::{execute, ExperimentPlan, ExperimentResult, Job, JobResults};
+pub use cache::ResultsCache;
+pub use common::{ExperimentOutput, MetricRow, RunOpts, Shard};
+pub use exec::{
+    execute, execute_shard, CacheStats, ExecReport, ExperimentPlan, ExperimentResult, Job, JobDesc,
+    JobResults, ShardReport,
+};
 pub use registry::{Experiment, FnExperiment, REGISTRY};
 
 /// Run every registered experiment, in the DESIGN.md index order.

@@ -27,12 +27,15 @@ use ksr_machine::{program, Machine, MachineConfig, Program};
 use ksr_sync::{AnyBarrier, BarrierAlg, BarrierKind, Episode};
 
 use crate::common::{ExperimentOutput, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "SCB";
 /// Registry title.
 pub const TITLE: &str = "Barrier-episode scaling from 32 to 1024 cells on ring trees";
+/// Cache schema version of the SCB jobs — bump when [`episode_time`] or
+/// the job layout changes meaning, so stale cache entries miss.
+const SCHEMA: u32 = 1;
 
 /// The full sweep: `(cells, ring spec)` per point.
 pub const POINTS: &[(usize, &[usize])] = &[
@@ -87,12 +90,25 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let mut jobs = Vec::new();
     for &kind in &kinds {
         for &(cells, spec) in &points {
+            let point_seed = seed + cells as u64;
+            let desc = JobDesc::new(ID, SCHEMA, format!("SCB {} p={cells}", kind.label()), opts)
+                .seed(point_seed)
+                .param("barrier", kind.label())
+                .param("cells", cells)
+                .param(
+                    "spec",
+                    spec.iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                )
+                .param("episodes", episodes);
             jobs.push(Job::value(
-                format!("SCB {} p={cells}", kind.label()),
+                desc,
                 cells,
                 "barrier_episode_seconds",
                 "s",
-                move || episode_time(spec, kind, episodes, seed + cells as u64),
+                move || episode_time(spec, kind, episodes, point_seed),
             ));
         }
     }

@@ -14,12 +14,15 @@ use ksr_machine::Machine;
 use ksr_nas::{CgConfig, CgSetup};
 
 use crate::common::{ExperimentOutput, RunOpts};
-use crate::exec::{ExperimentPlan, Job};
+use crate::exec::{ExperimentPlan, Job, JobDesc};
 
 /// Registry id.
 pub const ID: &str = "TAB1";
 /// Registry title.
 pub const TITLE: &str = "Conjugate Gradient (Table 1, Figure 8)";
+/// Cache schema version of the TAB1 jobs — bump when [`cg_time`] or the
+/// row layout changes meaning, so stale cache entries miss.
+const SCHEMA: u32 = 1;
 
 /// Cache scale factor used for the kernel experiments.
 pub const SCALE: u64 = 64;
@@ -62,11 +65,20 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
         vec![1, 2, 4, 8, 16, 32]
     };
     let seed = opts.machine_seed(500);
+    let desc = |label: String, p: usize, poststore: bool| {
+        JobDesc::new(ID, SCHEMA, label, opts)
+            .seed(seed)
+            .param("n", cfg.n)
+            .param("offdiag_per_row", cfg.offdiag_per_row)
+            .param("iterations", cfg.iterations)
+            .param("procs", p)
+            .param("poststore", poststore)
+    };
     let mut jobs: Vec<Job> = procs
         .iter()
         .map(|&p| {
             Job::value(
-                format!("TAB1 cg p={p}"),
+                desc(format!("TAB1 cg p={p}"), p, false),
                 p,
                 "cg_run_seconds",
                 "s",
@@ -79,7 +91,7 @@ pub fn plan(opts: &RunOpts) -> ExperimentPlan {
     let ps_procs: Vec<usize> = if quick { vec![] } else { vec![8, 16, 32] };
     for &p in &ps_procs {
         jobs.push(Job::value(
-            format!("TAB1 cg poststore p={p}"),
+            desc(format!("TAB1 cg poststore p={p}"), p, true),
             p,
             "cg_run_seconds",
             "s",

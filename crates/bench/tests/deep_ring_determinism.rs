@@ -40,6 +40,7 @@ fn run_jobs(jobs: &str, dir: &Path) -> String {
         .env_remove("KSR_RESULTS")
         .env_remove("KSR_JOBS")
         .env_remove("KSR_CHECK")
+        .env_remove("KSR_CACHE")
         .output()
         .expect("spawn run_all");
     assert!(

@@ -43,11 +43,11 @@ fn run_at(jobs: usize, dir: &Path) {
         .iter()
         .map(|id| find(id).expect("registered id").plan(&opts))
         .collect();
-    let results = exec::execute(plans, &opts, &Progress::disabled());
-    assert_eq!(results.len(), IDS.len());
+    let report = exec::execute(plans, &opts, &Progress::disabled());
+    assert_eq!(report.results.len(), IDS.len());
     let mut outputs = Vec::new();
     let mut checks = Vec::new();
-    for (id, result) in IDS.iter().zip(results) {
+    for (id, result) in IDS.iter().zip(report.results) {
         result
             .output
             .write_to(&opts.results_dir)

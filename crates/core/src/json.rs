@@ -1,12 +1,15 @@
-//! A minimal hand-rolled JSON value and writer.
+//! A minimal hand-rolled JSON value, writer, and reader.
 //!
 //! The experiment harness writes machine-readable results
 //! (`results/<id>.json`, `results/summary.json`) so downstream tooling
-//! can ingest perf trajectories without scraping text tables. The
+//! can ingest perf trajectories without scraping text tables, and the
+//! sweep cache reads its own entries back ([`Json::parse`]). The
 //! workspace builds offline with no external crates, so this module
 //! provides the small subset of JSON we need: construction, escaping,
-//! and deterministic rendering (object keys keep insertion order, so a
-//! fixed run produces byte-identical files).
+//! deterministic rendering (object keys keep insertion order, so a
+//! fixed run produces byte-identical files), and a strict recursive-
+//! descent parser whose job is round-tripping our own output — numbers
+//! we rendered must re-render byte-identically after a parse.
 
 use std::fmt::Write as _;
 
@@ -92,6 +95,95 @@ impl Json {
         match self {
             Self::Obj(pairs) => pairs.push((key.into(), value)),
             _ => panic!("push_field on a non-object Json value"),
+        }
+    }
+
+    /// Parse a JSON document. Strict: exactly one value, nothing but
+    /// whitespace after it, no extensions. Errors carry the byte offset.
+    ///
+    /// Number mapping preserves this module's rendering exactly:
+    /// integers without `.`/`e` become [`Json::UInt`]/[`Json::Int`]
+    /// (full 64-bit range, exact), everything else — including `-0`,
+    /// which `{}`-formats differently as an integer — becomes
+    /// [`Json::Num`]. Rust's shortest-round-trip float formatting then
+    /// guarantees `parse(v.render()).render() == v.render()`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after the JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64` (any of `Int`/`UInt`/`Num`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Int(i) => Some(*i as f64),
+            Self::UInt(u) => Some(*u as f64),
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer payload, if exactly representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::UInt(u) => Some(*u),
+            Self::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object pairs in document order, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Self::Obj(pairs) => Some(pairs),
+            _ => None,
         }
     }
 
@@ -204,6 +296,253 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Guard against stack exhaustion on pathological nesting; our own
+/// artifacts are at most a handful of levels deep.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_lit(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect_lit("null", Json::Null),
+            Some(b't') => self.expect_lit("true", Json::Bool(true)),
+            Some(b'f') => self.expect_lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected a string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(pairs));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the longest escape-free, control-free run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{08}',
+            b'f' => '\u{0C}',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: must pair with a following \uXXXX
+                    // low surrogate.
+                    if !(self.eat(b'\\') && self.eat(b'u')) {
+                        return Err(self.err("unpaired surrogate"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"))?
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))?
+                }
+            }
+            _ => return Err(self.err("unknown escape")),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        // Integer part: one zero, or a nonzero digit run (RFC 8259).
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        let mut fractional = false;
+        if self.eat(b'.') {
+            fractional = true;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            fractional = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ASCII");
+        if !fractional {
+            // `-0` must stay a float: as Int(0) it would re-render "0",
+            // losing the sign `{}`-formatting preserves for -0.0.
+            if text.starts_with('-') && text != "-0" {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Json::Int(i));
+                }
+            } else if !text.starts_with('-') {
+                if let Ok(u) = text.parse::<u64>() {
+                    return Ok(Json::UInt(u));
+                }
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,5 +623,127 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn push_field_rejects_arrays() {
         Json::arr([]).push_field("k", Json::Null);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Num(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Num(2000.0));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::from("hi"));
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = Json::parse(r#"{"id":"FIG4","rows":[{"procs":32}],"empty":[],"o":{}}"#).unwrap();
+        assert_eq!(v.get("id").and_then(Json::as_str), Some("FIG4"));
+        let rows = v.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("procs").and_then(Json::as_u64), Some(32));
+        assert_eq!(v.get("empty").and_then(Json::as_arr), Some(&[][..]));
+        assert!(v.get("o").and_then(Json::as_obj).unwrap().is_empty());
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""quote\" back\\ nl\n tab\t sol\/ uA bmpé""#).unwrap();
+        assert_eq!(v.as_str(), Some("quote\" back\\ nl\n tab\t sol/ uA bmpé"));
+        // Surrogate pairs combine into one astral code point.
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn parse_number_taxonomy() {
+        // Integers keep exactness across the full 64-bit range.
+        let big = u64::MAX.to_string();
+        assert_eq!(Json::parse(&big).unwrap(), Json::UInt(u64::MAX));
+        let small = i64::MIN.to_string();
+        assert_eq!(Json::parse(&small).unwrap(), Json::Int(i64::MIN));
+        // Out-of-range integers degrade to floats rather than erroring.
+        assert!(matches!(
+            Json::parse("18446744073709551616").unwrap(),
+            Json::Num(_)
+        ));
+        // -0 stays a float so the sign survives re-rendering.
+        assert_eq!(Json::parse("-0").unwrap(), Json::Num(-0.0));
+        assert_eq!(Json::parse("-0").unwrap().render(), "-0");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "nul",
+            "tru",
+            "\"open",
+            "1e",
+            "--1",
+            "1 2",
+            "[1]]",
+            "{}{}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "must reject {bad:?}");
+        }
+        assert!(
+            Json::parse(&format!("{}1{}", "[".repeat(200), "]".repeat(200))).is_err(),
+            "depth limit"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_our_own_rendering() {
+        let v = Json::obj([
+            ("metric", Json::from("ep_run_seconds")),
+            (
+                "params",
+                Json::obj([("procs", Json::from(32usize)), ("series", Json::from("cg"))]),
+            ),
+            ("value", Json::from(0.017_325_5)),
+            ("neg", Json::from(-3i64)),
+            ("exact", Json::from((1u64 << 53) + 1)),
+            ("flag", Json::from(true)),
+            ("none", Json::Null),
+            ("whole", Json::Num(2.0)),
+            ("text", Json::from("nl\n é \"q\"")),
+        ]);
+        for rendered in [v.render(), v.render_pretty()] {
+            let reparsed = Json::parse(&rendered).unwrap();
+            // Byte-identical re-rendering is the cache's contract. (The
+            // value itself may shift representation: Num(2.0) renders
+            // "2" and reparses as UInt(2) — both render "2".)
+            assert_eq!(reparsed.render(), v.render());
+            assert_eq!(reparsed.render_pretty(), v.render_pretty());
+        }
+    }
+
+    #[test]
+    fn accessors_read_each_variant() {
+        assert_eq!(Json::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Json::from(3u64).as_f64(), Some(3.0));
+        assert_eq!(Json::from(-3i64).as_f64(), Some(-3.0));
+        assert_eq!(Json::from(3u64).as_u64(), Some(3));
+        assert_eq!(Json::Int(3).as_u64(), Some(3));
+        assert_eq!(Json::Int(-3).as_u64(), None);
+        assert_eq!(Json::from(true).as_bool(), Some(true));
+        assert_eq!(Json::Null.as_f64(), None);
+        assert_eq!(Json::Null.as_str(), None);
     }
 }

@@ -37,11 +37,14 @@
 //! * [`hash`] — a deterministic FxHash-style hasher and the
 //!   [`hash::FxHashMap`]/[`hash::FxHashSet`] aliases used by every
 //!   integer-keyed table on the simulator's memory-access hot path.
+//! * [`fingerprint`] — stable 128-bit content fingerprints (two salted
+//!   FxHash lanes) keying the sweep harness's results cache.
 //! * [`error`] — the shared error type.
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fingerprint;
 pub mod hash;
 pub mod json;
 pub mod metrics;
@@ -53,6 +56,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::{Error, Result};
+pub use fingerprint::{fingerprint, Fingerprint, FingerprintBuilder};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use json::Json;
 pub use metrics::{efficiency, karp_flatt, speedup, ScalingRow, ScalingTable};

@@ -41,6 +41,15 @@ pub enum ProgressEvent {
         /// Wall-clock duration of the unit, in milliseconds.
         millis: u64,
     },
+    /// A work unit was satisfied from a results cache without running.
+    Cached {
+        /// Human-readable label of the work unit.
+        label: String,
+        /// 1-based position in the overall run.
+        index: usize,
+        /// Total number of work units in the run.
+        total: usize,
+    },
     /// A free-form status line.
     Note(String),
 }
@@ -61,6 +70,11 @@ impl ProgressEvent {
                 total,
                 millis,
             } => format!("[{index}/{total}] {label} done in {millis} ms"),
+            Self::Cached {
+                label,
+                index,
+                total,
+            } => format!("[{index}/{total}] {label} cached"),
             Self::Note(msg) => msg.clone(),
         }
     }
@@ -143,6 +157,15 @@ impl Progress {
             millis,
         });
     }
+
+    /// Report that work unit `index` of `total` was served from a cache.
+    pub fn cached(&self, label: &str, index: usize, total: usize) {
+        self.send(ProgressEvent::Cached {
+            label: label.to_string(),
+            index,
+            total,
+        });
+    }
 }
 
 /// Join handle for the stderr drainer thread. The thread exits when
@@ -178,13 +201,15 @@ mod tests {
         let worker = p.clone();
         worker.started("fig2", 1, 14);
         worker.finished("fig2", 1, 14, 120);
+        worker.cached("fig3", 2, 14);
         p.note("done");
         drop((p, worker));
         let events: Vec<_> = rx.into_iter().collect();
-        assert_eq!(events.len(), 3);
+        assert_eq!(events.len(), 4);
         assert_eq!(events[0].render(), "[1/14] fig2 ...");
         assert_eq!(events[1].render(), "[1/14] fig2 done in 120 ms");
-        assert_eq!(events[2].render(), "done");
+        assert_eq!(events[2].render(), "[2/14] fig3 cached");
+        assert_eq!(events[3].render(), "done");
     }
 
     #[test]

@@ -22,27 +22,68 @@ cargo test --workspace --release --quiet
 
 tmp_serial=$(mktemp -d)
 tmp_parallel=$(mktemp -d)
+tmp_cache=$(mktemp -d)
+tmp_warm=$(mktemp -d)
+tmp_shard_cache=$(mktemp -d)
+tmp_join=$(mktemp -d)
 tmp_check=$(mktemp -d)
 tmp_check_net=$(mktemp -d)
-trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_check" "$tmp_check_net"' EXIT
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_cache" "$tmp_warm" \
+    "$tmp_shard_cache" "$tmp_join" "$tmp_check" "$tmp_check_net"' EXIT
 
-echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare)"
+# Compare every artifact of two result dirs, excluding the wall-clock
+# files (timings.json, bench.json — legitimately nondeterministic).
+compare_dirs() {
+    local ref="$1" other="$2" why="$3" name
+    for f in "$ref"/*; do
+        name=$(basename "$f")
+        case "$name" in
+        timings.json | bench.json) continue ;;
+        esac
+        if ! cmp -s "$f" "$other/$name"; then
+            echo "determinism violation: $name differs ($why)" >&2
+            exit 1
+        fi
+    done
+}
+
+# The hit/miss counters a cached run records in timings.json.
+cache_counter() {
+    sed -n 's/.*"'"$2"'": *\([0-9][0-9]*\).*/\1/p' "$1/timings.json" | head -n 1
+}
+
+echo "==> determinism gate: quick run_all at -j1 vs -j8 (byte-compare; -j8 populates a cache)"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
     --jobs 1 --results "$tmp_serial" > "$tmp_serial/stdout.txt"
 KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
-    --jobs 8 --results "$tmp_parallel" > "$tmp_parallel/stdout.txt"
-for f in "$tmp_serial"/*; do
-    name=$(basename "$f")
-    case "$name" in
-    timings.json | bench.json)
-        continue # wall-clock times: the legitimately nondeterministic files
-        ;;
-    esac
-    if ! cmp -s "$f" "$tmp_parallel/$name"; then
-        echo "determinism violation: $name differs between -j1 and -j8" >&2
-        exit 1
-    fi
-done
+    --jobs 8 --cache "$tmp_cache" --results "$tmp_parallel" > "$tmp_parallel/stdout.txt"
+compare_dirs "$tmp_serial" "$tmp_parallel" "between -j1 and -j8"
+
+echo "==> cache gate: warm re-run must execute zero jobs and byte-match"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --cache "$tmp_cache" --results "$tmp_warm" > "$tmp_warm/stdout.txt"
+compare_dirs "$tmp_serial" "$tmp_warm" "between a cold and a warm cached run"
+warm_hits=$(cache_counter "$tmp_warm" hits)
+warm_misses=$(cache_counter "$tmp_warm" misses)
+warm_total=$(cache_counter "$tmp_warm" total_jobs)
+if [ "$warm_misses" != 0 ] || [ "$warm_hits" != "$warm_total" ]; then
+    echo "cache gate: warm run executed jobs (hits $warm_hits, misses $warm_misses, total $warm_total)" >&2
+    exit 1
+fi
+
+echo "==> shard gate: --shard 1/2 + --shard 2/2 + --join must byte-match the unsharded run"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --cache "$tmp_shard_cache" --shard 1/2 --results "$tmp_join" > /dev/null
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --cache "$tmp_shard_cache" --shard 2/2 --results "$tmp_join" > /dev/null
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --cache "$tmp_shard_cache" --join --results "$tmp_join" > "$tmp_join/stdout.txt"
+join_misses=$(cache_counter "$tmp_join" misses)
+if [ "$join_misses" != 0 ]; then
+    echo "shard gate: the join had to execute $join_misses job(s) the shards should have covered" >&2
+    exit 1
+fi
+compare_dirs "$tmp_serial" "$tmp_join" "between an unsharded run and shard 1/2 + 2/2 + --join"
 
 echo "==> recording per-experiment wall times in results/timings.json"
 mkdir -p results
