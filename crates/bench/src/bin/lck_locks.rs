@@ -1,0 +1,7 @@
+//! Regenerates one artifact of the scaling study (LCK); see DESIGN.md.
+//! Flags: `--quick`/`--full`, `--seed N`, `--results DIR`.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ksr_bench::cli::run_single_main("LCK")
+}

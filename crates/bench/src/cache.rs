@@ -86,6 +86,38 @@ impl ResultsCache {
         rows.iter().map(MetricRow::from_json).collect()
     }
 
+    /// Remove entries that can never hit again: files that no longer
+    /// parse, entries for experiments absent from `live`, and entries
+    /// whose stored schema differs from the experiment's current one
+    /// (a schema bump re-keys every job, so the old generation is dead
+    /// weight). `live` pairs each experiment id with its current schema
+    /// version. In-flight temp files (`.tmp-*`) and files without the
+    /// `.json` suffix are left alone; a missing directory is an empty
+    /// cache, not an error.
+    pub fn prune(&self, live: &[(&str, u32)]) -> io::Result<PruneStats> {
+        let mut stats = PruneStats::default();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".json") || name.starts_with(".tmp-") {
+                continue;
+            }
+            if entry_is_live(&entry.path(), live) {
+                stats.kept += 1;
+            } else {
+                fs::remove_file(entry.path())?;
+                stats.pruned += 1;
+            }
+        }
+        Ok(stats)
+    }
+
     /// Atomically store `rows` as the entry for `desc`.
     pub fn store(&self, desc: &JobDesc, rows: &[MetricRow]) -> io::Result<()> {
         fs::create_dir_all(&self.dir)?;
@@ -117,6 +149,43 @@ impl ResultsCache {
             }
         }
     }
+}
+
+/// Counters returned by [`ResultsCache::prune`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Entries whose experiment and schema are still current.
+    pub kept: u64,
+    /// Entries removed — stale schema, unknown experiment, or corrupt.
+    pub pruned: u64,
+}
+
+/// Whether a cache entry on disk could still be served by [`ResultsCache::load`]
+/// for some job of a live experiment generation. Mirrors `load`'s
+/// validation for the fields prune can judge without a concrete
+/// requesting descriptor: entry version, a parseable stored descriptor,
+/// and an (experiment, schema) pair present in `live`.
+fn entry_is_live(path: &Path, live: &[(&str, u32)]) -> bool {
+    let Ok(text) = fs::read_to_string(path) else {
+        return false;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return false;
+    };
+    if doc.get("version").and_then(Json::as_u64) != Some(ENTRY_VERSION) {
+        return false;
+    }
+    let Some(desc) = doc.get("desc") else {
+        return false;
+    };
+    let (Some(experiment), Some(schema)) = (
+        desc.get("experiment").and_then(Json::as_str),
+        desc.get("schema").and_then(Json::as_u64),
+    ) else {
+        return false;
+    };
+    live.iter()
+        .any(|&(id, s)| id == experiment && u64::from(s) == schema)
 }
 
 #[cfg(test)]
@@ -202,6 +271,44 @@ mod tests {
         fs::write(&path, &full).unwrap();
         assert!(cache.load(&d).is_some());
         let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn prune_keeps_live_entries_and_drops_dead_ones() {
+        let cache = temp_cache("prune");
+        // Live: TEST schema 1 (what desc() builds).
+        let live_desc = desc("live", 1);
+        cache.store(&live_desc, &rows()).unwrap();
+        // Stale schema generation of the same experiment.
+        let stale = JobDesc::new("TEST", 7, "stale", &RunOpts::quick()).seed(2);
+        cache.store(&stale, &rows()).unwrap();
+        // An experiment that no longer exists.
+        let unknown = JobDesc::new("GONE", 1, "old", &RunOpts::quick()).seed(3);
+        cache.store(&unknown, &rows()).unwrap();
+        // Corruption.
+        fs::write(cache.dir().join("deadbeef.json"), "{not json").unwrap();
+        // An in-flight temp file and a foreign file must survive.
+        fs::write(cache.dir().join(".tmp-abc-1-0"), "partial").unwrap();
+        fs::write(cache.dir().join("README"), "not an entry").unwrap();
+
+        let stats = cache.prune(&[("TEST", 1)]).unwrap();
+        assert_eq!(stats, PruneStats { kept: 1, pruned: 3 });
+        assert!(cache.load(&live_desc).is_some(), "live entry must survive");
+        assert!(cache.dir().join(".tmp-abc-1-0").exists());
+        assert!(cache.dir().join("README").exists());
+        assert!(!cache.dir().join("deadbeef.json").exists());
+
+        // A second pass finds nothing left to prune.
+        let stats = cache.prune(&[("TEST", 1)]).unwrap();
+        assert_eq!(stats, PruneStats { kept: 1, pruned: 0 });
+        let _ = fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn prune_of_a_missing_directory_is_empty_not_an_error() {
+        let cache = temp_cache("prune_missing");
+        let stats = cache.prune(&[("TEST", 1)]).unwrap();
+        assert_eq!(stats, PruneStats::default());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 //!   about any job it still had to run).
 //!
 //! `run_all` additionally understands `--list` (print the registry and
-//! exit) and `--only ID[,ID...]` (run a subset).
+//! exit), `--only ID[,ID...]` (run a subset), and `--prune` (delete
+//! cache entries from dead generations — stale schemas, removed
+//! experiments, corrupt files — then exit; requires `--cache`).
 //!
 //! Output discipline: rendered experiment results go to **stdout** (so
 //! runs pipe cleanly into files and diffs); everything else — per-job
@@ -52,6 +54,8 @@ pub struct Cli {
     pub only: Vec<String>,
     /// `--join`: expect a fully-populated cache and only reduce.
     pub join: bool,
+    /// `--prune`: drop dead cache generations instead of running.
+    pub prune: bool,
 }
 
 /// Parse `args` (not including the program name) over environment
@@ -64,6 +68,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
         list: false,
         only: Vec::new(),
         join: false,
+        prune: false,
     };
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
@@ -73,6 +78,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
             "--check" => cli.opts.check = true,
             "--list" => cli.list = true,
             "--join" => cli.join = true,
+            "--prune" => cli.prune = true,
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 cli.opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
@@ -125,13 +131,18 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String>
     if cli.join && cli.opts.cache.is_none() {
         return Err("--join requires --cache DIR (or KSR_CACHE): it reduces from the cache".into());
     }
+    if cli.prune && cli.opts.cache.is_none() {
+        return Err(
+            "--prune requires --cache DIR (or KSR_CACHE): it needs a cache to clean".into(),
+        );
+    }
     Ok(cli)
 }
 
 fn usage(program: &str) -> String {
     format!(
         "usage: {program} [--quick|--full] [--check] [--seed N] [--results DIR] [--jobs N] \
-         [--cache DIR] [--shard i/N] [--join] [--list] [--only ID,ID...]\n\
+         [--cache DIR] [--shard i/N] [--join] [--list] [--only ID,ID...] [--prune]\n\
          ids: {}",
         crate::registry::ids().join(", ")
     )
@@ -348,6 +359,9 @@ pub fn run_all_main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    if cli.prune {
+        return prune_cache(&cli.opts);
+    }
     let selected: Vec<&FnExperiment> = if cli.only.is_empty() {
         REGISTRY.iter().collect()
     } else {
@@ -367,14 +381,47 @@ pub fn run_all_main() -> ExitCode {
     run_selection(&selected, &cli.opts, true, cli.join)
 }
 
+/// Delete cache entries no current experiment generation can ever hit:
+/// every registered experiment's (id, schema) pairs are live, anything
+/// else — stale schemas, removed experiments, corrupt files — goes.
+/// The live set spans the whole registry regardless of `--only`, so a
+/// prune never deletes entries a differently-scoped run still wants.
+fn prune_cache(opts: &RunOpts) -> ExitCode {
+    let dir = opts.cache.clone().expect("parse_args enforces --cache");
+    let mut live: Vec<(&'static str, u32)> = Vec::new();
+    for e in REGISTRY {
+        for job in e.plan(opts).jobs() {
+            let pair = (job.desc().experiment(), job.desc().schema());
+            if !live.contains(&pair) {
+                live.push(pair);
+            }
+        }
+    }
+    match crate::cache::ResultsCache::new(&dir).prune(&live) {
+        Ok(stats) => {
+            eprintln!(
+                "[prune: {} entries removed, {} kept → {}]",
+                stats.pruned,
+                stats.kept,
+                dir.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: could not prune {}: {e}", dir.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Entry point for a single-experiment binary: run `id` with the shared
 /// flags (selection flags are rejected).
 #[must_use]
 pub fn run_single_main(id: &str) -> ExitCode {
     let cli = match parse_args(std::env::args().skip(1)) {
-        Ok(cli) if cli.list || !cli.only.is_empty() => {
+        Ok(cli) if cli.list || cli.prune || !cli.only.is_empty() => {
             eprintln!(
-                "error: --list/--only are run_all flags\n{}",
+                "error: --list/--only/--prune are run_all flags\n{}",
                 usage(&id.to_lowercase())
             );
             return ExitCode::from(2);
@@ -447,6 +494,16 @@ mod tests {
         let cli = parse_args(["--cache", "cdir", "--join"].map(String::from)).unwrap();
         assert!(cli.join);
         assert!(cli.opts.shard.is_none());
+    }
+
+    #[test]
+    fn prune_flag_parses_and_requires_a_cache() {
+        let cli = parse_args(["--cache", "cdir", "--prune"].map(String::from)).unwrap();
+        assert!(cli.prune);
+        assert!(
+            parse_args(["--prune".to_string()]).is_err(),
+            "--prune without --cache"
+        );
     }
 
     #[test]

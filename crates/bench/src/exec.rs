@@ -110,6 +110,12 @@ impl JobDesc {
         self.experiment
     }
 
+    /// The experiment's schema version (bumped to re-key the cache).
+    #[must_use]
+    pub fn schema(&self) -> u32 {
+        self.schema
+    }
+
     /// Human-readable label (shown in progress lines).
     #[must_use]
     pub fn label(&self) -> &str {

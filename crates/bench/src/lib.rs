@@ -47,6 +47,7 @@ pub mod fig3_locks;
 pub mod fig4_barriers;
 pub mod fig8_speedup;
 pub mod lad_latency;
+pub mod lck_locks;
 pub mod perf;
 pub mod registry;
 pub mod scb_scaling;

@@ -158,6 +158,11 @@ pub const REGISTRY: &[FnExperiment] = &[
         crate::cmb_combining::plan
     ),
     entry!(
+        crate::lck_locks::ID,
+        crate::lck_locks::TITLE,
+        crate::lck_locks::plan
+    ),
+    entry!(
         crate::explore_exp::ID,
         crate::explore_exp::TITLE,
         crate::explore_exp::plan
@@ -184,7 +189,7 @@ mod tests {
     fn registry_covers_the_design_index() {
         let expect = [
             "FIG2", "SEC31A", "FIG3", "FIG4", "FIG5", "SEC323", "TAB1", "TAB2", "FIG8", "TAB3",
-            "TAB4", "EP", "ABL", "EXT", "LAD", "SCB", "CMB", "EXPLORE",
+            "TAB4", "EP", "ABL", "EXT", "LAD", "SCB", "CMB", "LCK", "EXPLORE",
         ];
         assert_eq!(ids(), expect);
     }

@@ -3,10 +3,11 @@
 //! result files — `summary.json`, every per-experiment `.json`/`.txt`/
 //! `.csv`, and (under `--check`) `violations.json`.
 //!
-//! Uses the cheap experiments (FIG4, SEC323, EP, TAB3) plus the
-//! schedule explorer (EXPLORE, whose predictive passes hash schedule
-//! states across processes) in quick mode so the gate stays
-//! debug-build friendly.
+//! Uses the cheap experiments (FIG4, SEC323, EP, TAB3), the lock
+//! crossover sweep (LCK, whose cohort lock must also stay silent under
+//! the predictive passes), and the schedule explorer (EXPLORE, whose
+//! predictive passes hash schedule states across processes) in quick
+//! mode so the gate stays debug-build friendly.
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -17,7 +18,7 @@ use ksr_bench::registry::{find, Experiment};
 use ksr_bench::{check, exec, RunOpts};
 use ksr_core::Progress;
 
-const IDS: [&str; 5] = ["FIG4", "SEC323", "EP", "TAB3", "EXPLORE"];
+const IDS: [&str; 6] = ["FIG4", "SEC323", "EP", "TAB3", "LCK", "EXPLORE"];
 
 fn fresh_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(

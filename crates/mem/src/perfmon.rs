@@ -40,6 +40,13 @@ pub struct PerfMon {
     pub prefetches: u64,
     /// `get_sub_page` attempts that lost to an existing atomic holder.
     pub atomic_rejections: u64,
+    /// Ring transactions that crossed at least one level boundary —
+    /// the requester's leaf ring could not satisfy the request, so the
+    /// packet climbed through an ARD. This is Golab's remote memory
+    /// reference (RMR) count for the DSM/NUMA cost model: dividing it
+    /// by lock acquisitions gives the per-acquire RMR complexity the
+    /// LCK experiment reports.
+    pub remote_references: u64,
 }
 
 impl PerfMon {
@@ -107,27 +114,38 @@ impl PerfMon {
             atomic_rejections: self
                 .atomic_rejections
                 .saturating_sub(earlier.atomic_rejections),
+            remote_references: self
+                .remote_references
+                .saturating_sub(earlier.remote_references),
         }
     }
 
-    /// Element-wise sum, for machine-wide aggregation.
+    /// Element-wise sum, for machine-wide aggregation. Saturating, to
+    /// match `delta`'s policy: folding cumulative cycle counters over a
+    /// 1024-cell machine must degrade to a pinned maximum, not panic in
+    /// debug or wrap in release.
     #[must_use]
     pub fn merged(self, o: Self) -> Self {
         Self {
-            subcache_hits: self.subcache_hits + o.subcache_hits,
-            subcache_misses: self.subcache_misses + o.subcache_misses,
-            localcache_hits: self.localcache_hits + o.localcache_hits,
-            localcache_misses: self.localcache_misses + o.localcache_misses,
-            ring_transactions: self.ring_transactions + o.ring_transactions,
-            ring_wait_cycles: self.ring_wait_cycles + o.ring_wait_cycles,
-            ring_latency_cycles: self.ring_latency_cycles + o.ring_latency_cycles,
-            page_allocations: self.page_allocations + o.page_allocations,
-            block_allocations: self.block_allocations + o.block_allocations,
-            invalidations_received: self.invalidations_received + o.invalidations_received,
-            snarfs: self.snarfs + o.snarfs,
-            poststores: self.poststores + o.poststores,
-            prefetches: self.prefetches + o.prefetches,
-            atomic_rejections: self.atomic_rejections + o.atomic_rejections,
+            subcache_hits: self.subcache_hits.saturating_add(o.subcache_hits),
+            subcache_misses: self.subcache_misses.saturating_add(o.subcache_misses),
+            localcache_hits: self.localcache_hits.saturating_add(o.localcache_hits),
+            localcache_misses: self.localcache_misses.saturating_add(o.localcache_misses),
+            ring_transactions: self.ring_transactions.saturating_add(o.ring_transactions),
+            ring_wait_cycles: self.ring_wait_cycles.saturating_add(o.ring_wait_cycles),
+            ring_latency_cycles: self
+                .ring_latency_cycles
+                .saturating_add(o.ring_latency_cycles),
+            page_allocations: self.page_allocations.saturating_add(o.page_allocations),
+            block_allocations: self.block_allocations.saturating_add(o.block_allocations),
+            invalidations_received: self
+                .invalidations_received
+                .saturating_add(o.invalidations_received),
+            snarfs: self.snarfs.saturating_add(o.snarfs),
+            poststores: self.poststores.saturating_add(o.poststores),
+            prefetches: self.prefetches.saturating_add(o.prefetches),
+            atomic_rejections: self.atomic_rejections.saturating_add(o.atomic_rejections),
+            remote_references: self.remote_references.saturating_add(o.remote_references),
         }
     }
 }
@@ -199,5 +217,30 @@ mod tests {
         assert_eq!(m.subcache_hits, 11);
         assert_eq!(m.poststores, 2);
         assert_eq!(m.snarfs, 5);
+    }
+
+    /// Regression: aggregating near-full cumulative counters (a
+    /// 1024-cell fold of cycle counters can plausibly reach 2^64) must
+    /// saturate like `delta`, not overflow.
+    #[test]
+    fn merged_saturates_instead_of_overflowing() {
+        let near_full = PerfMon {
+            ring_latency_cycles: u64::MAX - 5,
+            ring_wait_cycles: u64::MAX,
+            remote_references: u64::MAX - 1,
+            ..Default::default()
+        };
+        let more = PerfMon {
+            ring_latency_cycles: 100,
+            ring_wait_cycles: 1,
+            remote_references: 7,
+            subcache_hits: 3,
+            ..Default::default()
+        };
+        let m = near_full.merged(more);
+        assert_eq!(m.ring_latency_cycles, u64::MAX);
+        assert_eq!(m.ring_wait_cycles, u64::MAX);
+        assert_eq!(m.remote_references, u64::MAX);
+        assert_eq!(m.subcache_hits, 3);
     }
 }

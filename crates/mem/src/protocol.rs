@@ -605,6 +605,12 @@ impl MemorySystem {
             };
             let timing = self.fabric.transact(t0, cell, transit, sp, kind);
             self.perf[cell].ring_transactions += 1;
+            if matches!(transit, Transit::CrossRing { .. }) {
+                // Golab RMR accounting: the packet left the requester's
+                // leaf ring (LCA above level 0), so this is a remote
+                // memory reference in the DSM/NUMA cost model.
+                self.perf[cell].remote_references += 1;
+            }
             self.perf[cell].ring_wait_cycles += timing.slot_wait;
             let mut t = timing.response_at + self.timing.remote_overhead;
             if want != Want::Shared {
@@ -773,6 +779,9 @@ impl MemorySystem {
                 .fabric
                 .transact(t0, cell, transit, sp, PacketKind::GetSubPage);
             self.perf[cell].ring_transactions += 1;
+            if matches!(transit, Transit::CrossRing { .. }) {
+                self.perf[cell].remote_references += 1;
+            }
             self.perf[cell].ring_wait_cycles += timing.slot_wait;
             self.perf[cell].atomic_rejections += 1;
             let done_at = timing.response_at + self.timing.remote_overhead;
@@ -892,6 +901,9 @@ impl MemorySystem {
             .fabric
             .transact(t0, cell, transit, sp, PacketKind::Poststore);
         self.perf[cell].ring_transactions += 1;
+        if matches!(transit, Transit::CrossRing { .. }) {
+            self.perf[cell].remote_references += 1;
+        }
         self.perf[cell].ring_wait_cycles += timing.slot_wait;
         // The writer's copy stops being exclusive as the broadcast
         // launches — demote it before any place holder refills, so the
@@ -1056,6 +1068,30 @@ mod tests {
         // Second sub-page of the same page: no page allocation.
         let t2 = done(m.access(0, 128, MemOp::Read, t)) - t;
         assert_eq!(t2, 175);
+    }
+
+    /// RMR attribution: only transactions whose LCA sits above the leaf
+    /// ring count as remote references; same-leaf ring trips do not.
+    #[test]
+    fn remote_references_count_cross_ring_only() {
+        let mut m = MemorySystem::new(
+            MemGeometry::ksr1(),
+            CacheTiming::ksr1(),
+            Fabric::ksr_64().unwrap(),
+            64,
+            42,
+        )
+        .unwrap();
+        m.warm(32, 0, 128);
+        // Cell 0 (leaf 0) fetches from cell 32 (leaf 1): crosses Ring:1.
+        m.access(0, 0, MemOp::Read, 0);
+        assert_eq!(m.perfmon(0).ring_transactions, 1);
+        assert_eq!(m.perfmon(0).remote_references, 1);
+        // Cell 1 (leaf 0) can now fetch from cell 0 on its own leaf:
+        // a ring transaction, but not a remote reference.
+        m.access(1, 0, MemOp::Read, 10_000);
+        assert_eq!(m.perfmon(1).ring_transactions, 1);
+        assert_eq!(m.perfmon(1).remote_references, 0);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   `release_sub_page`), which serializes all requests;
 //! * [`rwlock`] — the paper's software queue-based read/write ticket lock
 //!   (modified Anderson ticket lock) with read combining and strict FCFS;
+//! * [`cohort`] — topology-aware hierarchical (cohort) locks: per-leaf
+//!   FCFS queues under a global FCFS queue with a bounded local-handoff
+//!   budget, plus a reader-writer variant layered on the ticket lock;
 //! * [`barrier`] — the nine barrier algorithms of Figures 4 and 5:
 //!   counter, dynamic tree, dissemination, tournament, MCS, the three
 //!   global-wakeup-flag "(M)" variants, and the "System" library barrier;
@@ -21,6 +24,7 @@
 
 pub mod atomic;
 pub mod barrier;
+pub mod cohort;
 pub mod hwlock;
 pub mod mutants;
 pub mod rwlock;
@@ -29,6 +33,7 @@ pub use barrier::{
     AnyBarrier, BarrierAlg, BarrierKind, CounterBarrier, DisseminationBarrier, Episode, McsBarrier,
     SystemBarrier, TournamentBarrier, TreeBarrier,
 };
-pub use hwlock::HwLock;
+pub use cohort::{CohortLock, CohortRwLock, CohortTicket, DEFAULT_HANDOFF_BUDGET};
+pub use hwlock::{BackoffConfig, HwLock};
 pub use mutants::{LockOrderMutant, MissedInvalidationProbe, RacyHandoff};
 pub use rwlock::{LockMode, SwRwLock, Ticket};

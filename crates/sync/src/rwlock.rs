@@ -59,6 +59,13 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// Reconstruct a ticket from its queue position — for the cohort
+    /// reader-writer lock (`crate::cohort`), whose local handoff passes
+    /// an open global write ticket between same-leaf writers.
+    pub(crate) fn internal(number: u64, mode: LockMode) -> Self {
+        Self { number, mode }
+    }
+
     /// The ticket's queue position.
     #[must_use]
     pub fn number(&self) -> u64 {

@@ -26,10 +26,12 @@ tmp_cache=$(mktemp -d)
 tmp_warm=$(mktemp -d)
 tmp_shard_cache=$(mktemp -d)
 tmp_join=$(mktemp -d)
+tmp_warm2=$(mktemp -d)
 tmp_check=$(mktemp -d)
 tmp_check_net=$(mktemp -d)
-trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_cache" "$tmp_warm" \
-    "$tmp_shard_cache" "$tmp_join" "$tmp_check" "$tmp_check_net"' EXIT
+tmp_check_lck=$(mktemp -d)
+trap 'rm -rf "$tmp_serial" "$tmp_parallel" "$tmp_cache" "$tmp_warm" "$tmp_warm2" \
+    "$tmp_shard_cache" "$tmp_join" "$tmp_check" "$tmp_check_net" "$tmp_check_lck"' EXIT
 
 # Compare every artifact of two result dirs, excluding the wall-clock
 # files (timings.json, bench.json — legitimately nondeterministic).
@@ -68,6 +70,25 @@ warm_misses=$(cache_counter "$tmp_warm" misses)
 warm_total=$(cache_counter "$tmp_warm" total_jobs)
 if [ "$warm_misses" != 0 ] || [ "$warm_hits" != "$warm_total" ]; then
     echo "cache gate: warm run executed jobs (hits $warm_hits, misses $warm_misses, total $warm_total)" >&2
+    exit 1
+fi
+
+echo "==> prune gate: --prune drops dead entries and keeps every live one"
+# Plant a corrupt entry; --prune must remove it and only it, and a
+# post-prune warm run must still execute zero jobs (no live entry lost).
+echo 'not a cache entry' > "$tmp_cache/deadbeefdeadbeefdeadbeefdeadbeef.json"
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --cache "$tmp_cache" --prune
+if [ -e "$tmp_cache/deadbeefdeadbeefdeadbeefdeadbeef.json" ]; then
+    echo "prune gate: corrupt entry survived --prune" >&2
+    exit 1
+fi
+KSR_QUICK=1 cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --jobs 8 --cache "$tmp_cache" --results "$tmp_warm2" > "$tmp_warm2/stdout.txt"
+compare_dirs "$tmp_serial" "$tmp_warm2" "between a warm run and a post-prune warm run"
+pruned_misses=$(cache_counter "$tmp_warm2" misses)
+if [ "$pruned_misses" != 0 ]; then
+    echo "prune gate: --prune deleted live entries ($pruned_misses post-prune misses)" >&2
     exit 1
 fi
 
@@ -113,5 +134,13 @@ echo "==> run_all --check --quick --only LAD,SCB,CMB (interconnect surface under
 # aggregate run.
 cargo run --quiet --release -p ksr-bench --bin run_all -- \
     --check --quick --only LAD,SCB,CMB --results "$tmp_check_net" > "$tmp_check_net/stdout.txt"
+
+echo "==> run_all --check --quick --only LCK (hierarchical cohort locks under the checker)"
+# The cohort lock keeps all queue state on gsp'd or head-spun sub-pages
+# and never holds two gsp sub-pages at once; gate it explicitly so a
+# lockset or lock-order regression in the hierarchy can't hide behind
+# the aggregate run.
+cargo run --quiet --release -p ksr-bench --bin run_all -- \
+    --check --quick --only LCK --results "$tmp_check_lck" > "$tmp_check_lck/stdout.txt"
 
 echo "==> all checks passed"
